@@ -1,0 +1,248 @@
+//! Capped Borůvka fragment decomposition (the Kutten–Peleg phase 1).
+
+use super::weights::{EdgeWeights, UnionFind};
+use das_graph::{EdgeId, Graph, NodeId};
+
+/// The result of the fragment phase: an MST-subforest decomposition with
+/// bounded fragment diameters, plus the round cost the distributed phase
+/// is charged.
+#[derive(Clone, Debug)]
+pub struct FragmentDecomposition {
+    /// Per-node fragment id (the smallest node id in the fragment).
+    pub fragment: Vec<u32>,
+    /// The fragment forest edges (always a subset of the MST).
+    pub tree_edges: Vec<EdgeId>,
+    /// Number of fragments.
+    pub count: usize,
+    /// Charged rounds: `Σ_phases (2·max fragment diameter + 2)`, the cost
+    /// of one convergecast/broadcast sweep per Borůvka phase.
+    pub charged_rounds: u32,
+    /// Maximum fragment (strong) diameter in the fragment forest.
+    pub max_diameter: u32,
+}
+
+/// Runs Borůvka merging, freezing every component whose fragment-forest
+/// diameter reaches `diam_cap`. Chosen edges are minimum-weight outgoing
+/// edges, hence MST edges (cut property with unique weights), so the
+/// decomposition is an MST subforest.
+///
+/// With `diam_cap == 0` no merging happens: every node is its own
+/// fragment (the filter-upcast configuration).
+pub fn capped_boruvka(g: &Graph, w: &EdgeWeights, diam_cap: u32) -> FragmentDecomposition {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    // per component root: (diameter estimate, frozen)
+    let mut diam: Vec<u32> = vec![0; n];
+    let mut frozen: Vec<bool> = vec![diam_cap == 0; n];
+    let mut charged_rounds = 0u32;
+    let max_phases = (n.max(2) as f64).log2().ceil() as usize + 1;
+
+    for _phase in 0..max_phases {
+        if diam_cap == 0 {
+            break;
+        }
+        // charge one convergecast + broadcast sweep over current fragments
+        let cur_max = (0..n as u32)
+            .map(|v| diam[uf.find(v) as usize])
+            .max()
+            .unwrap_or(0);
+        charged_rounds += 2 * cur_max + 2;
+
+        // each active component picks its minimum outgoing edge
+        let mut best: std::collections::HashMap<u32, (u64, EdgeId)> =
+            std::collections::HashMap::new();
+        for e in g.edges() {
+            let (a, b) = g.endpoints(e);
+            let (ra, rb) = (uf.find(a.0), uf.find(b.0));
+            if ra == rb {
+                continue;
+            }
+            for r in [ra, rb] {
+                if frozen[r as usize] {
+                    continue;
+                }
+                let entry = best.entry(r).or_insert((u64::MAX, e));
+                if w.weight(e) < entry.0 {
+                    *entry = (w.weight(e), e);
+                }
+            }
+        }
+        if best.is_empty() {
+            break;
+        }
+        // merge along all chosen edges (chains are allowed; diameters are
+        // tracked pessimistically and freezing caps the growth)
+        let mut chosen: Vec<EdgeId> = best.values().map(|&(_, e)| e).collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        let mut merged_any = false;
+        for e in chosen {
+            let (a, b) = g.endpoints(e);
+            let (ra, rb) = (uf.find(a.0), uf.find(b.0));
+            if ra == rb {
+                continue;
+            }
+            let new_diam = diam[ra as usize] + diam[rb as usize] + 1;
+            let new_frozen = frozen[ra as usize] || frozen[rb as usize] || new_diam >= diam_cap;
+            uf.union(ra, rb);
+            let root = uf.find(ra);
+            diam[root as usize] = new_diam;
+            frozen[root as usize] = new_frozen;
+            tree_edges.push(e);
+            merged_any = true;
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    // canonical fragment ids: the smallest node id in each component
+    let mut smallest: Vec<u32> = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        let r = uf.find(v) as usize;
+        smallest[r] = smallest[r].min(v);
+    }
+    let fragment: Vec<u32> = (0..n as u32).map(|v| smallest[uf.find(v) as usize]).collect();
+    let mut roots: Vec<u32> = fragment.clone();
+    roots.sort_unstable();
+    roots.dedup();
+    tree_edges.sort_unstable();
+
+    // measured max fragment diameter (BFS inside the fragment forest)
+    let max_diameter = measure_max_diameter(g, &fragment, &tree_edges);
+
+    FragmentDecomposition {
+        fragment,
+        tree_edges,
+        count: roots.len(),
+        charged_rounds,
+        max_diameter,
+    }
+}
+
+fn measure_max_diameter(g: &Graph, fragment: &[u32], tree_edges: &[EdgeId]) -> u32 {
+    use std::collections::VecDeque;
+    let n = g.node_count();
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &e in tree_edges {
+        let (a, b) = g.endpoints(e);
+        adj[a.index()].push(b);
+        adj[b.index()].push(a);
+    }
+    let mut max_d = 0u32;
+    // double sweep per fragment root
+    let mut roots: Vec<usize> = (0..n).filter(|&v| fragment[v] == v as u32).collect();
+    roots.dedup();
+    let bfs = |start: usize, adj: &Vec<Vec<NodeId>>| -> (usize, u32) {
+        let mut dist = vec![u32::MAX; n];
+        dist[start] = 0;
+        let mut q = VecDeque::from([start]);
+        let mut far = (start, 0);
+        while let Some(v) = q.pop_front() {
+            for &u in &adj[v] {
+                if dist[u.index()] == u32::MAX {
+                    dist[u.index()] = dist[v] + 1;
+                    if dist[u.index()] > far.1 {
+                        far = (u.index(), dist[u.index()]);
+                    }
+                    q.push_back(u.index());
+                }
+            }
+        }
+        far
+    };
+    for r in roots {
+        let (far, _) = bfs(r, &adj);
+        let (_, d) = bfs(far, &adj);
+        max_d = max_d.max(d);
+    }
+    max_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::weights::kruskal_mst;
+    use das_graph::generators;
+
+    #[test]
+    fn cap_zero_gives_singletons() {
+        let g = generators::grid(4, 4);
+        let w = EdgeWeights::random(&g, 1);
+        let d = capped_boruvka(&g, &w, 0);
+        assert_eq!(d.count, 16);
+        assert!(d.tree_edges.is_empty());
+        assert_eq!(d.charged_rounds, 0);
+        assert_eq!(d.max_diameter, 0);
+    }
+
+    #[test]
+    fn fragments_are_mst_subforest() {
+        for seed in 0..5 {
+            let g = generators::gnp_connected(30, 0.12, seed);
+            let w = EdgeWeights::random(&g, seed + 50);
+            let mst: std::collections::HashSet<_> =
+                kruskal_mst(&g, &w).into_iter().collect();
+            for cap in [1, 3, 8, 100] {
+                let d = capped_boruvka(&g, &w, cap);
+                for e in &d.tree_edges {
+                    assert!(mst.contains(e), "fragment edge {e} not in MST (cap {cap})");
+                }
+                // fragment ids consistent with tree edges
+                for &e in &d.tree_edges {
+                    let (a, b) = g.endpoints(e);
+                    assert_eq!(d.fragment[a.index()], d.fragment[b.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_cap_yields_single_fragment() {
+        let g = generators::gnp_connected(25, 0.15, 3);
+        let w = EdgeWeights::random(&g, 4);
+        let d = capped_boruvka(&g, &w, 1000);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.tree_edges.len(), 24);
+        // a single fragment spanning everything IS the MST
+        assert_eq!(d.tree_edges, kruskal_mst(&g, &w));
+    }
+
+    #[test]
+    fn diameter_cap_respected_up_to_merge_slack() {
+        let g = generators::grid(8, 8);
+        let w = EdgeWeights::random(&g, 7);
+        for cap in [2u32, 4, 8] {
+            let d = capped_boruvka(&g, &w, cap);
+            // a merge may overshoot before freezing: diameters stay within
+            // a small multiple of the cap
+            assert!(
+                d.max_diameter <= 3 * cap + 2,
+                "cap {cap}: diameter {}",
+                d.max_diameter
+            );
+            assert!(d.count < 64, "cap {cap} should merge something");
+        }
+    }
+
+    #[test]
+    fn bigger_cap_fewer_fragments() {
+        let g = generators::gnp_connected(60, 0.06, 2);
+        let w = EdgeWeights::random(&g, 9);
+        let c1 = capped_boruvka(&g, &w, 2).count;
+        let c2 = capped_boruvka(&g, &w, 6).count;
+        let c3 = capped_boruvka(&g, &w, 20).count;
+        assert!(c1 >= c2 && c2 >= c3, "{c1} >= {c2} >= {c3}");
+        assert!(c3 < c1);
+    }
+
+    #[test]
+    fn charged_rounds_scale_with_cap() {
+        let g = generators::grid(10, 10);
+        let w = EdgeWeights::random(&g, 3);
+        let small = capped_boruvka(&g, &w, 2).charged_rounds;
+        let large = capped_boruvka(&g, &w, 40).charged_rounds;
+        assert!(small < large, "{small} < {large}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Minimum spanning trees — the Section 5 case study.
+//!
+//! The paper uses MST to argue that algorithms should be designed for a
+//! **congestion/dilation trade-off**, not just round complexity:
+//!
+//! * the filter-upcast algorithm has `dilation = Θ̃(n)` and
+//!   `congestion = Θ̃(n)`;
+//! * a Kutten–Peleg-style algorithm with fragment parameter `L` has
+//!   `congestion ≈ L` and `dilation ≈ Θ̃(D + n/L)`;
+//! * picking `L = √(n/k)` and scheduling `k` copies solves `k`-shot MST in
+//!   `Θ̃(D + √(kn))` rounds — matching the communication-complexity lower
+//!   bound.
+//!
+//! [`MstAlgorithm`] implements the whole family, parameterized by the
+//! fragment diameter cap:
+//!
+//! 1. **Fragment phase** (capped Borůvka): components repeatedly merge
+//!    along their minimum-weight outgoing edges — which are always MST
+//!    edges (cut property) — until their diameter reaches the cap. *This
+//!    phase's communication is charged as an idle round prefix rather than
+//!    simulated message-by-message* (the substitution is recorded in
+//!    DESIGN.md): its per-edge congestion is `O(log n)` and therefore
+//!    negligible for the trade-off, while its round cost — which is what
+//!    matters — is charged exactly (`Σ_phases O(diameter)` rounds).
+//! 2. **Filter-upcast** (fully distributed): inter-fragment edges are
+//!    upcast along a BFS tree in sorted order, each node filtering through
+//!    a local Kruskal over fragment ids, so at most `#fragments − 1` edges
+//!    cross any tree edge.
+//! 3. **Downcast**: the root computes the MST of the fragment graph and
+//!    pipelines the chosen edges back down; every node outputs its
+//!    incident MST edges.
+//!
+//! With cap `0` every node is its own fragment and the algorithm *is* the
+//! filter-upcast MST; with cap `≈ n/L` it is the trade-off algorithm.
+
+mod algorithm;
+mod fragments;
+mod weights;
+
+pub use algorithm::MstAlgorithm;
+pub use fragments::{capped_boruvka, FragmentDecomposition};
+pub use weights::{kruskal_mst, EdgeWeights};

@@ -1,0 +1,189 @@
+//! Edge weight functions and the centralized Kruskal reference.
+
+use das_graph::{EdgeId, Graph};
+
+/// A weight function over the edges of a graph. Weights are unique by
+/// construction (the low bits encode the edge id), so the MST is unique —
+/// which also makes every randomized MST algorithm on these weights a
+/// *Bellagio* algorithm in the paper's Appendix A sense.
+#[derive(Clone, Debug)]
+pub struct EdgeWeights {
+    weights: Vec<u64>,
+}
+
+impl EdgeWeights {
+    /// Pseudo-random unique weights for instance `seed`.
+    pub fn random(g: &Graph, seed: u64) -> Self {
+        let m = g.edge_count() as u64;
+        let weights = g
+            .edges()
+            .map(|e| {
+                let base = das_congest::util::seed_mix(seed, e.index() as u64) % (1 << 40);
+                base * m.max(1) + e.index() as u64
+            })
+            .collect();
+        EdgeWeights { weights }
+    }
+
+    /// Explicit weights (must be unique for a unique MST).
+    pub fn from_vec(weights: Vec<u64>) -> Self {
+        EdgeWeights { weights }
+    }
+
+    /// The weight of edge `e`.
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.weights[e.index()]
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Union-find with path compression.
+#[derive(Clone, Debug)]
+pub(crate) struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra as usize] = rb;
+        true
+    }
+}
+
+/// Centralized Kruskal: the unique MST edge set (sorted by edge id).
+///
+/// # Panics
+/// Panics if the graph is disconnected.
+pub fn kruskal_mst(g: &Graph, w: &EdgeWeights) -> Vec<EdgeId> {
+    let mut edges: Vec<EdgeId> = g.edges().collect();
+    edges.sort_unstable_by_key(|&e| w.weight(e));
+    let mut uf = UnionFind::new(g.node_count());
+    let mut mst = Vec::with_capacity(g.node_count().saturating_sub(1));
+    for e in edges {
+        let (a, b) = g.endpoints(e);
+        if uf.union(a.0, b.0) {
+            mst.push(e);
+        }
+    }
+    assert_eq!(
+        mst.len(),
+        g.node_count().saturating_sub(1),
+        "graph must be connected"
+    );
+    mst.sort_unstable();
+    mst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_graph::generators;
+
+    #[test]
+    fn weights_are_unique_and_deterministic() {
+        let g = generators::complete(12);
+        let w1 = EdgeWeights::random(&g, 5);
+        let w2 = EdgeWeights::random(&g, 5);
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            assert_eq!(w1.weight(e), w2.weight(e));
+            assert!(seen.insert(w1.weight(e)), "duplicate weight");
+        }
+        let w3 = EdgeWeights::random(&g, 6);
+        assert!(g.edges().any(|e| w1.weight(e) != w3.weight(e)));
+    }
+
+    #[test]
+    fn kruskal_on_known_graph() {
+        // path weights: MST of a tree is the tree
+        let g = generators::path(6);
+        let w = EdgeWeights::random(&g, 1);
+        let mst = kruskal_mst(&g, &w);
+        assert_eq!(mst.len(), 5);
+    }
+
+    #[test]
+    fn kruskal_picks_light_edges() {
+        // triangle with explicit weights: edge 2 (heaviest) excluded
+        let mut b = das_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1); // e0
+        b.add_edge(1, 2); // e1
+        b.add_edge(0, 2); // e2
+        let g = b.build();
+        let w = EdgeWeights::from_vec(vec![1, 2, 3]);
+        let mst = kruskal_mst(&g, &w);
+        assert_eq!(mst, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn mst_weight_minimal_against_random_trees() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let g = generators::gnp_connected(12, 0.3, 9);
+        let w = EdgeWeights::random(&g, 2);
+        let mst = kruskal_mst(&g, &w);
+        let mst_weight: u64 = mst.iter().map(|&e| w.weight(e)).sum();
+        // any random spanning tree weighs at least as much
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut edges: Vec<_> = g.edges().collect();
+            edges.shuffle(&mut rng);
+            let mut uf = UnionFind::new(g.node_count());
+            let mut weight = 0u64;
+            let mut count = 0;
+            for e in edges {
+                let (a, b) = g.endpoints(e);
+                if uf.union(a.0, b.0) {
+                    weight += w.weight(e);
+                    count += 1;
+                }
+            }
+            assert_eq!(count, g.node_count() - 1);
+            assert!(weight >= mst_weight);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn kruskal_rejects_disconnected() {
+        let mut b = das_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let w = EdgeWeights::random(&g, 0);
+        kruskal_mst(&g, &w);
+    }
+}

@@ -1,0 +1,129 @@
+//! Packet routing along fixed paths (§1 item III) — the
+//! Leighton–Maggs–Rao special case the paper generalizes.
+//!
+//! A routing instance is a set of (source, destination, path) triples; each
+//! packet is one black-box algorithm (a [`das_core::synthetic::RelayChain`]
+//! along its path), so the whole instance is a DAS problem with
+//! `dilation = max path length` and `congestion = max #paths per edge` —
+//! exactly the LMR parameters. Scheduling it with
+//! [`das_core::UniformScheduler`] reproduces the classical
+//! `O(congestion + dilation · log n)` random-delay result.
+
+use das_core::synthetic::RelayChain;
+use das_core::BlackBoxAlgorithm;
+use das_graph::{traversal, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A packet-routing instance.
+#[derive(Clone, Debug)]
+pub struct RoutingInstance {
+    /// One path per packet (node sequences, consecutive-adjacent).
+    pub paths: Vec<Vec<NodeId>>,
+}
+
+impl RoutingInstance {
+    /// `k` packets between random distinct source/destination pairs,
+    /// routed along shortest paths.
+    ///
+    /// # Panics
+    /// Panics if the graph is disconnected or has fewer than 2 nodes.
+    pub fn random_shortest_paths(g: &Graph, k: usize, seed: u64) -> Self {
+        assert!(g.node_count() >= 2, "need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.node_count() as u32;
+        let paths = (0..k)
+            .map(|_| {
+                let s = NodeId(rng.gen_range(0..n));
+                let t = loop {
+                    let t = NodeId(rng.gen_range(0..n));
+                    if t != s {
+                        break t;
+                    }
+                };
+                traversal::shortest_path(g, s, t).expect("connected graph")
+            })
+            .collect();
+        RoutingInstance { paths }
+    }
+
+    /// The LMR parameters of the instance: `(congestion, dilation)` —
+    /// max paths through an edge, and max path length.
+    pub fn parameters(&self, g: &Graph) -> (u64, u32) {
+        let mut load = vec![0u64; g.edge_count()];
+        let mut dilation = 0u32;
+        for path in &self.paths {
+            dilation = dilation.max((path.len().saturating_sub(1)) as u32);
+            for w in path.windows(2) {
+                let e = g.find_edge(w[0], w[1]).expect("path uses real edges");
+                load[e.index()] += 1;
+            }
+        }
+        (load.into_iter().max().unwrap_or(0), dilation)
+    }
+
+    /// Turns the instance into schedulable black boxes (one per packet).
+    pub fn algorithms(&self, g: &Graph) -> Vec<Box<dyn BlackBoxAlgorithm>> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, path)| {
+                Box::new(RelayChain::along(i as u64, g, path.clone()))
+                    as Box<dyn BlackBoxAlgorithm>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_core::{DasProblem, Scheduler, UniformScheduler};
+    use das_graph::generators;
+
+    #[test]
+    fn random_instance_parameters() {
+        let g = generators::grid(6, 6);
+        let inst = RoutingInstance::random_shortest_paths(&g, 20, 3);
+        assert_eq!(inst.paths.len(), 20);
+        let (c, d) = inst.parameters(&g);
+        assert!(c >= 1 && d >= 1);
+        assert!(d <= 10, "grid shortest paths are at most the diameter");
+        // endpoints distinct and paths valid
+        for p in &inst.paths {
+            assert!(p.len() >= 2);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn instance_matches_das_parameters() {
+        let g = generators::grid(5, 5);
+        let inst = RoutingInstance::random_shortest_paths(&g, 15, 7);
+        let (c, d) = inst.parameters(&g);
+        let p = DasProblem::new(&g, inst.algorithms(&g), 0);
+        let params = p.parameters().unwrap();
+        assert_eq!(params.congestion, c);
+        assert_eq!(params.dilation, d);
+    }
+
+    #[test]
+    fn lmr_scheduling_is_correct() {
+        let g = generators::grid(6, 6);
+        let inst = RoutingInstance::random_shortest_paths(&g, 30, 11);
+        let p = DasProblem::new(&g, inst.algorithms(&g), 5);
+        let outcome = UniformScheduler::default().run(&p).unwrap();
+        let rep = das_core::verify::against_references(&p, &outcome).unwrap();
+        assert!(rep.all_correct(), "late {}", outcome.stats.late_messages);
+    }
+
+    #[test]
+    fn deterministic_instances() {
+        let g = generators::cycle(12);
+        let a = RoutingInstance::random_shortest_paths(&g, 5, 1);
+        let b = RoutingInstance::random_shortest_paths(&g, 5, 1);
+        assert_eq!(a.paths, b.paths);
+    }
+}

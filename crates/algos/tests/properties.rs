@@ -1,0 +1,78 @@
+//! Property-based tests of the workload algorithms on random graphs.
+
+use das_algos::bfs::HopBfs;
+use das_algos::broadcast::SingleBroadcast;
+use das_algos::mst::{kruskal_mst, EdgeWeights, MstAlgorithm};
+use das_core::run_alone;
+use das_graph::{generators, traversal, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The distributed MST equals the centralized Kruskal MST, for any
+    /// random graph, weight seed, and fragment cap.
+    #[test]
+    fn mst_is_exact(n in 8usize..36, gseed in 0u64..500, wseed in 0u64..500,
+                    cap in 0u32..12) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, gseed);
+        let w = EdgeWeights::random(&g, wseed);
+        let algo = MstAlgorithm::new(0, &g, w.clone(), cap);
+        let mst = kruskal_mst(&g, &w);
+        let r = run_alone(&g, &algo, 1).unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(
+                r.outputs[v.index()].as_deref(),
+                Some(&algo.expected_digest(&g, &mst, v)[..]),
+                "node {} (n={}, cap={})", v, n, cap
+            );
+        }
+    }
+
+    /// Fragment decompositions are MST subforests with consistent ids.
+    #[test]
+    fn fragments_subset_of_mst(n in 8usize..40, seed in 0u64..500, cap in 1u32..16) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        let w = EdgeWeights::random(&g, seed ^ 0xF00D);
+        let d = das_algos::mst::capped_boruvka(&g, &w, cap);
+        let mst: std::collections::HashSet<_> = kruskal_mst(&g, &w).into_iter().collect();
+        for e in &d.tree_edges {
+            prop_assert!(mst.contains(e));
+        }
+        // fragment count + tree edges account for every node
+        prop_assert_eq!(d.tree_edges.len() + d.count, n);
+    }
+
+    /// A BFS workload's outputs equal true hop distances, capped at h.
+    #[test]
+    fn bfs_distances_exact(n in 6usize..40, seed in 0u64..500, h in 1u32..10,
+                           src in 0u32..6) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        let src = NodeId(src % n as u32);
+        let algo = HopBfs::new(0, &g, src, h);
+        let r = run_alone(&g, &algo, 1).unwrap();
+        let dist = traversal::bfs_distances(&g, src);
+        for v in g.nodes() {
+            let want = dist[v.index()].filter(|&d| d <= h);
+            let got = r.outputs[v.index()]
+                .as_ref()
+                .map(|o| u32::from_le_bytes(o[..4].try_into().unwrap()));
+            prop_assert_eq!(got, want, "node {}", v);
+        }
+    }
+
+    /// A broadcast reaches exactly the h-ball of its source.
+    #[test]
+    fn broadcast_reaches_exactly_the_ball(n in 6usize..40, seed in 0u64..500,
+                                          h in 1u32..8, src in 0u32..6) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        let src = NodeId(src % n as u32);
+        let algo = SingleBroadcast::new(0, &g, src, h);
+        let r = run_alone(&g, &algo, 7).unwrap();
+        let dist = traversal::bfs_distances(&g, src);
+        for v in g.nodes() {
+            let inside = dist[v.index()].is_some_and(|d| d <= h);
+            prop_assert_eq!(r.outputs[v.index()].is_some(), inside, "node {}", v);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! E9 — Appendix A: distinct elements with threshold hashing, shared vs
+//! locally-shared (Bellagio-derandomized) randomness.
+//!
+//! Table: accuracy and rounds across `ε`; the private variant's rounds
+//! include the clustering + sharing pre-computation (`O(d log² n)`) plus
+//! one run per layer — the meta-theorem's `O(T log² n)` shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use das_bench::Table;
+use das_algos::distinct::{
+    estimate_private, estimate_shared, exact_distinct, DistinctConfig,
+};
+use das_congest::util::seed_mix;
+use das_graph::generators;
+
+fn accuracy(est: &[f64], truth: &[usize], tol: f64) -> f64 {
+    let ok = est
+        .iter()
+        .zip(truth)
+        .filter(|&(&e, &t)| e <= t as f64 * tol && e >= t as f64 / tol)
+        .count();
+    ok as f64 / est.len() as f64
+}
+
+fn table() {
+    println!("\n=== E9: Appendix A — distinct elements, shared vs private randomness ===");
+    let g = generators::grid(7, 7);
+    let n = g.node_count();
+    let inputs: Vec<u64> = (0..n).map(|v| seed_mix(4, (v % 20) as u64)).collect();
+    let mut t = Table::new(&[
+        "eps",
+        "shared rounds",
+        "shared acc",
+        "private rounds",
+        "private acc",
+        "coverage",
+    ]);
+    for eps in [1.0, 0.5, 0.25] {
+        let config = DistinctConfig::new(2, eps);
+        let truth = exact_distinct(&g, &inputs, 2);
+        let (shared, sh_rounds) = estimate_shared(&g, &inputs, &config, 33);
+        let private = estimate_private(&g, &inputs, &config, 12, 44);
+        let priv_est: Vec<f64> = private
+            .estimates
+            .iter()
+            .map(|e| e.unwrap_or(0.0))
+            .collect();
+        let tol = (1.0 + eps) * 1.7;
+        t.row_owned(vec![
+            format!("{eps}"),
+            sh_rounds.to_string(),
+            format!("{:.0}%", accuracy(&shared, &truth, tol) * 100.0),
+            private.total_rounds.to_string(),
+            format!("{:.0}%", accuracy(&priv_est, &truth, tol) * 100.0),
+            format!("{:.0}%", private.coverage * 100.0),
+        ]);
+    }
+    t.print();
+    println!("(paper: O(d log n/eps^3) rounds shared; private adds the O(d log^2 n) machinery — App. A)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let g = generators::grid(7, 7);
+    let inputs: Vec<u64> = (0..49).map(|v| seed_mix(4, (v % 20) as u64)).collect();
+    let config = DistinctConfig::new(2, 0.5);
+    c.bench_function("e09/distinct_shared_n49", |b| {
+        b.iter(|| estimate_shared(&g, &inputs, &config, 33).1)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

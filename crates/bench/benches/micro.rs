@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the substrates: engine round throughput, PRG
+//! evaluation, field arithmetic, carving, and the scheduled executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use das_bench::workloads;
+use das_congest::{Engine, EngineConfig, Protocol, ProtocolNode, RoundContext};
+use das_core::{Scheduler, SequentialScheduler};
+use das_graph::{generators, NodeId};
+use das_prg::{field::PrimeField, primes, KWiseGenerator};
+
+/// Every node floods one counter every round — worst-case engine load.
+struct Firehose(u64);
+struct FirehoseNode {
+    rounds: u64,
+    t: u64,
+}
+impl Protocol for Firehose {
+    fn create_node(&self, _id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+        Box::new(FirehoseNode {
+            rounds: self.0,
+            t: 0,
+        })
+    }
+}
+impl ProtocolNode for FirehoseNode {
+    fn round(&mut self, ctx: &mut RoundContext<'_>) {
+        if self.t < self.rounds {
+            ctx.send_all(self.t.to_le_bytes().to_vec()).unwrap();
+        }
+        self.t += 1;
+    }
+    fn is_done(&self) -> bool {
+        self.t > self.rounds
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    c.bench_function("micro/engine_firehose_20rounds_n256", |b| {
+        b.iter(|| {
+            Engine::new(&g, EngineConfig::default().with_record(false))
+                .run(&Firehose(20))
+                .unwrap()
+                .messages
+        })
+    });
+
+    c.bench_function("micro/prime_field_mul_1e5", |b| {
+        let f = PrimeField::new(2_305_843_009_213_693_951);
+        b.iter(|| {
+            let mut acc = 1u64;
+            for x in 1..100_000u64 {
+                acc = f.mul(acc, x | 1);
+            }
+            acc
+        })
+    });
+
+    c.bench_function("micro/next_prime_1e9", |b| {
+        b.iter(|| primes::next_prime(1_000_000_000))
+    });
+
+    c.bench_function("micro/kwise_k32_eval_1000", |b| {
+        let gen = KWiseGenerator::from_seed_bytes(b"micro", 32, 1_000_000_007);
+        b.iter(|| (0..1000u64).map(|x| gen.value(x)).sum::<u64>())
+    });
+
+    c.bench_function("micro/bfs_distances_n1024", |b| {
+        let big = generators::gnp_connected(1024, 0.008, 3);
+        b.iter(|| das_graph::traversal::bfs_distances(&big, NodeId(0)))
+    });
+
+    let path = generators::path(60);
+    let problem = workloads::stacked_relays(&path, 8, 1);
+    problem.parameters().unwrap();
+    c.bench_function("micro/executor_sequential_8relays_n60", |b| {
+        b.iter(|| SequentialScheduler.run(&problem).unwrap().schedule_rounds())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

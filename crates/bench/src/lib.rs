@@ -1,0 +1,92 @@
+//! # das-bench
+//!
+//! The experiment harness: workload builders, result tables, and the
+//! runners behind the `benches/e*.rs` benchmarks — one per experiment in
+//! `EXPERIMENTS.md` (E1–E10). Each bench prints the paper-style table
+//! before timing a representative configuration with criterion, so
+//! `cargo bench` regenerates every table and series.
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;
+
+use das_core::{verify, DasProblem, ScheduleOutcome, Scheduler};
+
+/// One measured scheduler run.
+#[derive(Clone, Debug)]
+pub struct Measured {
+    /// Scheduler name.
+    pub name: &'static str,
+    /// Schedule length (rounds).
+    pub schedule: u64,
+    /// Pre-computation rounds.
+    pub precompute: u64,
+    /// Late (dropped) messages.
+    pub late: u64,
+    /// Fraction of (algorithm, node) outputs matching the alone runs.
+    pub correctness: f64,
+}
+
+impl Measured {
+    /// Total rounds.
+    pub fn total(&self) -> u64 {
+        self.schedule + self.precompute
+    }
+}
+
+/// Runs a scheduler on a problem and verifies it.
+///
+/// # Panics
+/// Panics if the workload violates the CONGEST model (a bug in the
+/// workload, not the scheduler).
+pub fn measure(scheduler: &dyn Scheduler, problem: &DasProblem<'_>) -> (Measured, ScheduleOutcome) {
+    let outcome = scheduler.run(problem).expect("workload is model-valid");
+    let report = verify::against_references(problem, &outcome).expect("references computable");
+    (
+        Measured {
+            name: scheduler.name(),
+            schedule: outcome.schedule_rounds(),
+            precompute: outcome.precompute_rounds,
+            late: outcome.stats.late_messages,
+            correctness: report.correctness_rate(),
+        },
+        outcome,
+    )
+}
+
+/// Success rate of a scheduler over repeated seeds: the empirical version
+/// of the paper's "with high probability".
+pub fn success_rate<F>(trials: u64, mut run: F) -> f64
+where
+    F: FnMut(u64) -> bool,
+{
+    let ok = (0..trials).filter(|&t| run(t)).count();
+    ok as f64 / trials.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_core::SequentialScheduler;
+    use das_graph::generators;
+
+    #[test]
+    fn measure_reports_correct_run() {
+        let g = generators::path(8);
+        let p = workloads::stacked_relays(&g, 4, 1);
+        let (m, _) = measure(&SequentialScheduler, &p);
+        assert_eq!(m.name, "sequential");
+        assert_eq!(m.late, 0);
+        assert_eq!(m.correctness, 1.0);
+        assert_eq!(m.total(), m.schedule);
+    }
+
+    #[test]
+    fn success_rate_counts() {
+        assert_eq!(success_rate(10, |t| t % 2 == 0), 0.5);
+        assert_eq!(success_rate(0, |_| true), 0.0);
+    }
+}

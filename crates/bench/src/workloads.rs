@@ -1,0 +1,90 @@
+//! Reusable workload builders for the experiments.
+
+use das_algos::bfs::HopBfs;
+use das_algos::broadcast::SingleBroadcast;
+use das_core::synthetic::{FloodBall, RelayChain};
+use das_core::{BlackBoxAlgorithm, DasProblem};
+use das_graph::{Graph, NodeId};
+
+/// `k` relays all along the full path `0..n`: congestion `k`, dilation
+/// `n − 1` (the maximally-contended workload).
+pub fn stacked_relays(g: &Graph, k: usize, seed: u64) -> DasProblem<'_> {
+    let algos = (0..k)
+        .map(|i| Box::new(RelayChain::new(i as u64, g)) as Box<dyn BlackBoxAlgorithm>)
+        .collect();
+    DasProblem::new(g, algos, seed)
+}
+
+/// `k` relays on sliding windows of length `seg` along a path: congestion
+/// `≈ seg / stride`, dilation `seg` — the pipelining-friendly workload.
+pub fn segment_relays(g: &Graph, k: usize, seg: usize, stride: usize, seed: u64) -> DasProblem<'_> {
+    let n = g.node_count();
+    assert!(seg + 1 < n, "segments must fit the path");
+    let algos = (0..k)
+        .map(|i| {
+            let start = (i * stride) % (n - seg - 1);
+            let route: Vec<NodeId> = (start..=start + seg).map(|v| NodeId(v as u32)).collect();
+            Box::new(RelayChain::along(i as u64, g, route)) as Box<dyn BlackBoxAlgorithm>
+        })
+        .collect();
+    DasProblem::new(g, algos, seed)
+}
+
+/// `k` depth-`h` floods from spread-out sources (data-dependent patterns).
+pub fn flood_bundle(g: &Graph, k: usize, depth: u32, seed: u64) -> DasProblem<'_> {
+    let n = g.node_count() as u64;
+    let algos = (0..k as u64)
+        .map(|i| {
+            let src = NodeId(((i * 2654435761) % n) as u32);
+            Box::new(FloodBall::new(i, g, src, depth)) as Box<dyn BlackBoxAlgorithm>
+        })
+        .collect();
+    DasProblem::new(g, algos, seed)
+}
+
+/// A mixed bundle: BFS trees, broadcasts, and floods.
+pub fn mixed_bundle(g: &Graph, k: usize, depth: u32, seed: u64) -> DasProblem<'_> {
+    let n = g.node_count() as u64;
+    let algos = (0..k as u64)
+        .map(|i| {
+            let src = NodeId(((i * 40503) % n) as u32);
+            match i % 3 {
+                0 => Box::new(HopBfs::new(i, g, src, depth)) as Box<dyn BlackBoxAlgorithm>,
+                1 => Box::new(SingleBroadcast::new(i, g, src, depth)),
+                _ => Box::new(FloodBall::new(i, g, src, depth)),
+            }
+        })
+        .collect();
+    DasProblem::new(g, algos, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_graph::generators;
+
+    #[test]
+    fn stacked_relay_parameters() {
+        let g = generators::path(10);
+        let p = stacked_relays(&g, 5, 0);
+        let params = p.parameters().unwrap();
+        assert_eq!(params.congestion, 5);
+        assert_eq!(params.dilation, 9);
+    }
+
+    #[test]
+    fn segment_relay_congestion_bounded() {
+        let g = generators::path(50);
+        let p = segment_relays(&g, 20, 10, 2, 0);
+        let params = p.parameters().unwrap();
+        assert!(params.congestion <= 7, "congestion {}", params.congestion);
+        assert_eq!(params.dilation, 10);
+    }
+
+    #[test]
+    fn bundles_build_and_reference() {
+        let g = generators::grid(5, 5);
+        assert!(flood_bundle(&g, 6, 4, 1).parameters().is_ok());
+        assert!(mixed_bundle(&g, 9, 4, 1).parameters().is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+//! # das-cluster
+//!
+//! Ball-carving graph clustering and in-cluster randomness sharing — the
+//! pre-computation machinery of the paper's private-randomness scheduler
+//! (Lemmas 4.2 and 4.3).
+//!
+//! **Carving (Lemma 4.2).** Every node picks a truncated-exponential radius
+//! `r(u)` and a random label `ℓ(u)`; node `v` joins the cluster of the
+//! smallest-labeled node whose ball contains `v`. Distributedly this is a
+//! smallest-label flood where each center's message starts with a *fake
+//! initial hop-count* `H − r(u)`, so it can travel exactly `r(u)` more hops
+//! — one message per node per round, `O(dilation · log n)` rounds per layer.
+//! Repeating over `Θ(log n)` independent layers gives each node `Θ(log n)`
+//! layers in which its whole dilation-ball lies inside one cluster (the
+//! Bartal-style padding property), w.h.p.
+//!
+//! **Boundary detection (Lemma 4.2 property 4).** A short flood from
+//! cluster-boundary nodes tells every node a radius around it that is fully
+//! contained in its cluster.
+//!
+//! **Sharing (Lemma 4.3).** Each cluster center pipelines `Θ(log n)` chunks
+//! of `Θ(log n)` random bits through its ball, smallest
+//! `(hop, label, sub-label)` first, so every member of every cluster learns
+//! its center's full `Θ(log² n)`-bit seed in `O(dilation · log n)` rounds
+//! per layer.
+//!
+//! Both the honest distributed protocols (run on [`das_congest`], with round
+//! counts) and fast centralized reference implementations (proven equal in
+//! tests) are provided.
+//!
+//! ```
+//! use das_cluster::{CarveConfig, Clustering};
+//! use das_graph::generators;
+//!
+//! let g = generators::grid(8, 8);
+//! let clustering = Clustering::carve_centralized(&g, &CarveConfig::for_dilation(&g, 2), 99);
+//! assert_eq!(clustering.layers().len(), clustering.config().num_layers);
+//! // each layer assigns every node to exactly one cluster
+//! for layer in clustering.layers() {
+//!     assert_eq!(layer.center.len(), g.node_count());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod boundary;
+mod carving;
+mod layers;
+mod radius;
+
+pub mod quality;
+pub mod share;
+
+pub use boundary::{boundary_distances_centralized, BoundaryProtocol};
+pub use carving::{carve_layer_centralized, carve_layer_distributed, decode_carve_output, CarvingProtocol, LayerParams};
+pub use layers::{CarveConfig, Clustering, Layer};
+pub use radius::TruncatedExponential;
+pub use share::{share_layer_centralized, ShareConfig, SharedSeeds, SharingProtocol};

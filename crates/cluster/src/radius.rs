@@ -1,0 +1,136 @@
+//! The truncated exponential radius distribution of Lemma 4.2.
+
+use rand::Rng;
+
+/// The radius law `Pr[r = z] ∝ e^{−z/R}` truncated at `cap`, used by the
+/// ball-carving of Lemma 4.2 with `R = Θ(dilation)` and
+/// `cap = H = Θ(dilation · log n)` (so that `Pr[r ≥ H] ≤ 1/n`, i.e. w.h.p.
+/// every radius is below the horizon).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TruncatedExponential {
+    rate: f64,
+    cap: u32,
+}
+
+impl TruncatedExponential {
+    /// Creates the law with scale `R = rate` (mean ≈ `R`) truncated at
+    /// `cap`.
+    ///
+    /// # Panics
+    /// Panics if `rate <= 0`.
+    pub fn new(rate: f64, cap: u32) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        TruncatedExponential { rate, cap }
+    }
+
+    /// The scale parameter `R`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The truncation point.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Samples a radius: `min(⌊Exp(R)⌋, cap)` by inverse CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let x = -self.rate * u.ln();
+        (x.floor() as u64).min(self.cap as u64) as u32
+    }
+
+    /// `Pr[r = z]` (with all truncated mass on `cap`).
+    pub fn pmf(&self, z: u32) -> f64 {
+        let e = (-1.0 / self.rate).exp();
+        if z < self.cap {
+            e.powi(z as i32) * (1.0 - e)
+        } else if z == self.cap {
+            e.powi(z as i32)
+        } else {
+            0.0
+        }
+    }
+
+    /// `Pr[r >= z]`.
+    pub fn tail(&self, z: u32) -> f64 {
+        if z > self.cap {
+            0.0
+        } else {
+            (-1.0 / self.rate).exp().powi(z as i32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = TruncatedExponential::new(5.0, 40);
+        let total: f64 = (0..=40).map(|z| d.pmf(z)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        assert_eq!(d.pmf(41), 0.0);
+    }
+
+    #[test]
+    fn tail_matches_pmf() {
+        let d = TruncatedExponential::new(3.0, 30);
+        for z in 0..=30 {
+            let from_pmf: f64 = (z..=30).map(|y| d.pmf(y)).sum();
+            assert!((d.tail(z) - from_pmf).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_within_cap_and_decay() {
+        let d = TruncatedExponential::new(4.0, 25);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 26];
+        let trials = 100_000;
+        for _ in 0..trials {
+            let z = d.sample(&mut rng);
+            assert!(z <= 25);
+            counts[z as usize] += 1;
+        }
+        // empirical frequencies track the pmf
+        for z in 0..10 {
+            let expect = d.pmf(z) * trials as f64;
+            let got = counts[z as usize] as f64;
+            assert!(
+                (got - expect).abs() < 5.0 * expect.max(30.0).sqrt() + 0.02 * expect,
+                "z={z}: got {got}, expected {expect}"
+            );
+        }
+        // decaying: early buckets dominate late buckets
+        assert!(counts[0] > counts[10]);
+    }
+
+    #[test]
+    fn mean_is_about_rate() {
+        let d = TruncatedExponential::new(8.0, 200);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 50_000;
+        let sum: u64 = (0..trials).map(|_| d.sample(&mut rng) as u64).sum();
+        let mean = sum as f64 / trials as f64;
+        // floor() shifts the mean down by ~0.5
+        assert!((mean - 7.5).abs() < 0.3, "mean = {mean}");
+    }
+
+    #[test]
+    fn truncation_bites() {
+        let d = TruncatedExponential::new(100.0, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let capped = (0..1000).filter(|_| d.sample(&mut rng) == 3).count();
+        assert!(capped > 800, "with huge rate most samples cap: {capped}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        TruncatedExponential::new(0.0, 5);
+    }
+}

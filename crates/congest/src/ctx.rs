@@ -1,0 +1,148 @@
+//! The per-round view a protocol node gets of the world.
+
+use crate::error::CongestError;
+use crate::message::{Envelope, Payload};
+use das_graph::{EdgeId, NodeId};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// A message staged for delivery next round.
+#[derive(Clone, Debug)]
+pub(crate) struct Outgoing {
+    pub to: NodeId,
+    pub edge: EdgeId,
+    pub payload: Payload,
+}
+
+/// Everything a node can see and do during one round.
+///
+/// Obtained only inside [`crate::ProtocolNode::round`]. Provides the inbox
+/// (messages sent to this node in the previous round), the node's local
+/// topology knowledge, a private RNG stream, and the `send` operations —
+/// which enforce the CONGEST model (neighbor-only, size-limited, one message
+/// per neighbor per round).
+pub struct RoundContext<'a> {
+    pub(crate) me: NodeId,
+    pub(crate) n: usize,
+    pub(crate) round: u64,
+    pub(crate) neighbors: &'a [(NodeId, EdgeId)],
+    pub(crate) edge_of: &'a HashMap<NodeId, EdgeId>,
+    pub(crate) inbox: &'a [Envelope],
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) message_bytes: usize,
+    pub(crate) outbox: Vec<Outgoing>,
+    pub(crate) sent_to: Vec<NodeId>,
+    pub(crate) violation: Option<CongestError>,
+}
+
+impl<'a> RoundContext<'a> {
+    /// This node's id.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the network (nodes are assumed to know `n`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round number (starting at 0).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's neighbors and the connecting edge ids.
+    #[inline]
+    pub fn neighbors(&self) -> &[(NodeId, EdgeId)] {
+        self.neighbors
+    }
+
+    /// Degree of this node.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Messages sent to this node in the previous round.
+    #[inline]
+    pub fn inbox(&self) -> &[Envelope] {
+        self.inbox
+    }
+
+    /// This node's private random stream.
+    ///
+    /// Streams of distinct nodes are independent; there is no shared
+    /// randomness anywhere in the engine.
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The per-message size limit in bytes.
+    #[inline]
+    pub fn message_bytes(&self) -> usize {
+        self.message_bytes
+    }
+
+    /// Sends `payload` to neighbor `to`, delivered next round.
+    ///
+    /// # Errors
+    ///
+    /// * [`CongestError::NotNeighbor`] if `to` is not adjacent;
+    /// * [`CongestError::MessageTooLarge`] if the payload exceeds the limit;
+    /// * [`CongestError::DuplicateSend`] if this node already sent to `to`
+    ///   this round.
+    ///
+    /// Any error is also latched so the engine aborts the run even if the
+    /// caller ignores the result.
+    pub fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), CongestError> {
+        let edge = match self.edge_of.get(&to) {
+            Some(&e) => e,
+            None => {
+                return self.fail(CongestError::NotNeighbor { from: self.me, to });
+            }
+        };
+        if payload.len() > self.message_bytes {
+            let err = CongestError::MessageTooLarge {
+                from: self.me,
+                to,
+                size: payload.len(),
+                limit: self.message_bytes,
+            };
+            return self.fail(err);
+        }
+        if self.sent_to.contains(&to) {
+            let err = CongestError::DuplicateSend {
+                from: self.me,
+                to,
+                round: self.round,
+            };
+            return self.fail(err);
+        }
+        self.sent_to.push(to);
+        self.outbox.push(Outgoing { to, edge, payload });
+        Ok(())
+    }
+
+    /// Sends the same payload to every neighbor.
+    ///
+    /// # Errors
+    /// Same conditions as [`RoundContext::send`].
+    pub fn send_all(&mut self, payload: Payload) -> Result<(), CongestError> {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i].0;
+            self.send(to, payload.clone())?;
+        }
+        Ok(())
+    }
+
+    fn fail(&mut self, err: CongestError) -> Result<(), CongestError> {
+        if self.violation.is_none() {
+            self.violation = Some(err.clone());
+        }
+        Err(err)
+    }
+}

@@ -1,0 +1,423 @@
+//! The lockstep round executor.
+
+use crate::ctx::{Outgoing, RoundContext};
+use crate::error::CongestError;
+use crate::message::Envelope;
+use crate::node::Protocol;
+use crate::recorder::{Recording, RoundRecord};
+use das_graph::{EdgeId, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Per-message size limit in bytes. The CONGEST model allows
+    /// `O(log n)` bits; the default of 40 bytes corresponds to a handful of
+    /// `Θ(log n)`-bit words, enough for a tagged tuple of ids/values.
+    pub message_bytes: usize,
+    /// Abort with [`CongestError::RoundLimitExceeded`] if the protocol has
+    /// not terminated after this many rounds.
+    pub max_rounds: u64,
+    /// If set, run exactly this many rounds (ignoring `is_done`), then stop.
+    pub fixed_rounds: Option<u64>,
+    /// Whether to record the communication pattern (per-round arc lists).
+    pub record: bool,
+    /// Base seed; node `v`'s private RNG stream is derived from
+    /// `(seed, v)` by a splitmix step, so streams are independent.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            message_bytes: 40,
+            max_rounds: 1_000_000,
+            fixed_rounds: None,
+            record: true,
+            seed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Returns the config with the given base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the given per-message byte limit.
+    pub fn with_message_bytes(mut self, bytes: usize) -> Self {
+        self.message_bytes = bytes;
+        self
+    }
+
+    /// Returns the config with the given round cap.
+    pub fn with_max_rounds(mut self, rounds: u64) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Returns the config set to run exactly `rounds` rounds.
+    pub fn with_fixed_rounds(mut self, rounds: u64) -> Self {
+        self.fixed_rounds = Some(rounds);
+        self
+    }
+
+    /// Returns the config with pattern recording on or off.
+    pub fn with_record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<Option<Vec<u8>>>,
+    /// The recorded communication pattern (empty if recording was off).
+    pub recording: Recording,
+}
+
+/// The synchronous CONGEST executor. See the [crate docs](crate) for an
+/// end-to-end example.
+pub struct Engine<'g> {
+    graph: &'g Graph,
+    config: EngineConfig,
+    edge_maps: Vec<HashMap<NodeId, EdgeId>>,
+}
+
+impl<'g> Engine<'g> {
+    /// Creates an engine for `graph` with the given configuration.
+    pub fn new(graph: &'g Graph, config: EngineConfig) -> Self {
+        let edge_maps = graph
+            .nodes()
+            .map(|v| graph.neighbors(v).iter().copied().collect())
+            .collect();
+        Engine {
+            graph,
+            config,
+            edge_maps,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `protocol` to completion (all nodes done and no messages in
+    /// flight), or for exactly [`EngineConfig::fixed_rounds`] if set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first model violation a node commits, or
+    /// [`CongestError::RoundLimitExceeded`] if the protocol does not
+    /// terminate in time.
+    pub fn run(&self, protocol: &dyn Protocol) -> Result<ExecutionReport, CongestError> {
+        let n = self.graph.node_count();
+        let mut nodes: Vec<_> = (0..n)
+            .map(|v| {
+                protocol.create_node(NodeId(v as u32), n, self.graph.degree(NodeId(v as u32)))
+            })
+            .collect();
+        let mut rngs: Vec<StdRng> = (0..n)
+            .map(|v| StdRng::seed_from_u64(splitmix64(self.config.seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15))))
+            .collect();
+
+        let limit = protocol.round_limit().unwrap_or(self.config.max_rounds);
+        let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+        let mut rounds_rec: Vec<RoundRecord> = Vec::new();
+        let mut messages: u64 = 0;
+        let mut round: u64 = 0;
+
+        loop {
+            if let Some(t) = self.config.fixed_rounds {
+                if round == t {
+                    break;
+                }
+            }
+            if round >= limit {
+                return Err(CongestError::RoundLimitExceeded { limit });
+            }
+
+            let mut next_inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+            let mut record = RoundRecord::default();
+            let mut any_sent = false;
+
+            for v in 0..n {
+                let me = NodeId(v as u32);
+                let inbox = std::mem::take(&mut inboxes[v]);
+                let mut ctx = RoundContext {
+                    me,
+                    n,
+                    round,
+                    neighbors: self.graph.neighbors(me),
+                    edge_of: &self.edge_maps[v],
+                    inbox: &inbox,
+                    rng: &mut rngs[v],
+                    message_bytes: self.config.message_bytes,
+                    outbox: Vec::new(),
+                    sent_to: Vec::new(),
+                    violation: None,
+                };
+                nodes[v].round(&mut ctx);
+                if let Some(err) = ctx.violation {
+                    return Err(err);
+                }
+                let outbox = std::mem::take(&mut ctx.outbox);
+                for Outgoing { to, edge, payload } in outbox {
+                    any_sent = true;
+                    messages += 1;
+                    if self.config.record {
+                        record.arcs.push(self.graph.arc_from(edge, me));
+                    }
+                    next_inboxes[to.index()].push(Envelope::new(me, payload));
+                }
+            }
+
+            if self.config.record {
+                rounds_rec.push(record);
+            }
+            inboxes = next_inboxes;
+            round += 1;
+
+            if self.config.fixed_rounds.is_none() {
+                let all_done = nodes.iter().all(|node| node.is_done());
+                if all_done && !any_sent {
+                    break;
+                }
+            }
+        }
+
+        let outputs = nodes.iter().map(|node| node.output()).collect();
+        Ok(ExecutionReport {
+            rounds: round,
+            messages,
+            outputs,
+            recording: Recording::new(self.graph.edge_count(), rounds_rec),
+        })
+    }
+}
+
+/// SplitMix64 step, used to derive independent per-node seeds.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ProtocolNode;
+    use das_graph::generators;
+    use rand::Rng;
+
+    /// Flood the minimum id; terminate when quiet for one round.
+    struct MinFlood;
+    struct MinNode {
+        best: u32,
+        changed: bool,
+        quiet: bool,
+    }
+    impl Protocol for MinFlood {
+        fn create_node(&self, id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+            Box::new(MinNode {
+                best: id.0,
+                changed: true,
+                quiet: false,
+            })
+        }
+    }
+    impl ProtocolNode for MinNode {
+        fn round(&mut self, ctx: &mut RoundContext<'_>) {
+            for env in ctx.inbox() {
+                let v = u32::from_le_bytes(env.payload[..4].try_into().unwrap());
+                if v < self.best {
+                    self.best = v;
+                    self.changed = true;
+                }
+            }
+            if self.changed {
+                self.changed = false;
+                self.quiet = false;
+                let m = self.best.to_le_bytes().to_vec();
+                ctx.send_all(m).unwrap();
+            } else {
+                self.quiet = true;
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.quiet
+        }
+        fn output(&self) -> Option<Vec<u8>> {
+            Some(self.best.to_le_bytes().to_vec())
+        }
+    }
+
+    #[test]
+    fn min_flood_converges_on_cycle() {
+        let g = generators::cycle(12);
+        let rep = Engine::new(&g, EngineConfig::default()).run(&MinFlood).unwrap();
+        for out in &rep.outputs {
+            assert_eq!(out.as_deref(), Some(&0u32.to_le_bytes()[..]));
+        }
+        // diameter is 6; flooding needs ~diameter+2 rounds to go quiet
+        assert!(rep.rounds <= 10, "took {} rounds", rep.rounds);
+        assert!(rep.messages > 0);
+    }
+
+    /// A protocol that violates the model in a chosen way.
+    struct Violator(u8);
+    struct ViolatorNode(u8);
+    impl Protocol for Violator {
+        fn create_node(&self, id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+            Box::new(ViolatorNode(if id == NodeId(0) { self.0 } else { 255 }))
+        }
+    }
+    impl ProtocolNode for ViolatorNode {
+        fn round(&mut self, ctx: &mut RoundContext<'_>) {
+            match self.0 {
+                0 => {
+                    // send to non-neighbor (node 2 on a path 0-1-2)
+                    let _ = ctx.send(NodeId(2), vec![0]);
+                }
+                1 => {
+                    let _ = ctx.send(NodeId(1), vec![0; 1000]);
+                }
+                2 => {
+                    let _ = ctx.send(NodeId(1), vec![0]);
+                    let _ = ctx.send(NodeId(1), vec![1]);
+                }
+                _ => {}
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn violations_abort_the_run() {
+        let g = generators::path(3);
+        let eng = Engine::new(&g, EngineConfig::default());
+        assert!(matches!(
+            eng.run(&Violator(0)),
+            Err(CongestError::NotNeighbor { .. })
+        ));
+        assert!(matches!(
+            eng.run(&Violator(1)),
+            Err(CongestError::MessageTooLarge { .. })
+        ));
+        assert!(matches!(
+            eng.run(&Violator(2)),
+            Err(CongestError::DuplicateSend { .. })
+        ));
+    }
+
+    /// Never terminates.
+    struct Chatter;
+    struct ChatterNode;
+    impl Protocol for Chatter {
+        fn create_node(&self, _id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+            Box::new(ChatterNode)
+        }
+    }
+    impl ProtocolNode for ChatterNode {
+        fn round(&mut self, ctx: &mut RoundContext<'_>) {
+            ctx.send_all(vec![7]).unwrap();
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = generators::path(2);
+        let cfg = EngineConfig::default().with_max_rounds(10);
+        assert!(matches!(
+            Engine::new(&g, cfg).run(&Chatter),
+            Err(CongestError::RoundLimitExceeded { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn fixed_rounds_runs_exactly() {
+        let g = generators::path(2);
+        let cfg = EngineConfig::default().with_fixed_rounds(5);
+        let rep = Engine::new(&g, cfg).run(&Chatter).unwrap();
+        assert_eq!(rep.rounds, 5);
+        assert_eq!(rep.messages, 2 * 5);
+        assert_eq!(rep.recording.rounds(), 5);
+    }
+
+    /// Samples one random u64 per round; used to check RNG determinism and
+    /// per-node independence.
+    struct Sampler;
+    struct SamplerNode(u64);
+    impl Protocol for Sampler {
+        fn create_node(&self, _id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+            Box::new(SamplerNode(0))
+        }
+    }
+    impl ProtocolNode for SamplerNode {
+        fn round(&mut self, ctx: &mut RoundContext<'_>) {
+            self.0 = ctx.rng().gen();
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+        fn output(&self) -> Option<Vec<u8>> {
+            Some(self.0.to_le_bytes().to_vec())
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_private() {
+        let g = generators::path(4);
+        let r1 = Engine::new(&g, EngineConfig::default().with_seed(42))
+            .run(&Sampler)
+            .unwrap();
+        let r2 = Engine::new(&g, EngineConfig::default().with_seed(42))
+            .run(&Sampler)
+            .unwrap();
+        assert_eq!(r1.outputs, r2.outputs, "same seed, same draws");
+        let r3 = Engine::new(&g, EngineConfig::default().with_seed(43))
+            .run(&Sampler)
+            .unwrap();
+        assert_ne!(r1.outputs, r3.outputs, "different seed, different draws");
+        // distinct nodes draw differently
+        assert_ne!(r1.outputs[0], r1.outputs[1]);
+    }
+
+    #[test]
+    fn recording_captures_messages() {
+        let g = generators::path(3);
+        let rep = Engine::new(&g, EngineConfig::default()).run(&MinFlood).unwrap();
+        let total: usize = rep.recording.round_records().iter().map(|r| r.arcs.len()).sum();
+        assert_eq!(total as u64, rep.messages);
+    }
+
+    #[test]
+    fn record_off_keeps_counts() {
+        let g = generators::path(3);
+        let rep = Engine::new(&g, EngineConfig::default().with_record(false))
+            .run(&MinFlood)
+            .unwrap();
+        assert_eq!(rep.recording.rounds(), 0);
+        assert!(rep.messages > 0);
+    }
+}

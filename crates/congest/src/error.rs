@@ -1,0 +1,94 @@
+//! Error type for model violations and run failures.
+
+use das_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the CONGEST engine when a protocol violates the model or
+/// a run fails to terminate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CongestError {
+    /// A node tried to send to a non-neighbor.
+    NotNeighbor {
+        /// The sending node.
+        from: NodeId,
+        /// The intended (non-adjacent) recipient.
+        to: NodeId,
+    },
+    /// A message exceeded the per-message size limit.
+    MessageTooLarge {
+        /// The sending node.
+        from: NodeId,
+        /// The intended recipient.
+        to: NodeId,
+        /// Size of the offending payload in bytes.
+        size: usize,
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// A node tried to send two messages to the same neighbor in one round.
+    DuplicateSend {
+        /// The sending node.
+        from: NodeId,
+        /// The recipient that would have received two messages.
+        to: NodeId,
+        /// The round in which it happened.
+        round: u64,
+    },
+    /// The protocol did not terminate within the configured round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::NotNeighbor { from, to } => {
+                write!(f, "node {from} tried to send to non-neighbor {to}")
+            }
+            CongestError::MessageTooLarge {
+                from,
+                to,
+                size,
+                limit,
+            } => write!(
+                f,
+                "message from {from} to {to} is {size} bytes, over the {limit}-byte limit"
+            ),
+            CongestError::DuplicateSend { from, to, round } => write!(
+                f,
+                "node {from} sent two messages to {to} in round {round}"
+            ),
+            CongestError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not terminate within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CongestError::NotNeighbor {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert!(e.to_string().contains("non-neighbor"));
+        let e = CongestError::MessageTooLarge {
+            from: NodeId(0),
+            to: NodeId(1),
+            size: 100,
+            limit: 40,
+        };
+        assert!(e.to_string().contains("100 bytes"));
+        let e = CongestError::RoundLimitExceeded { limit: 5 };
+        assert!(e.to_string().contains('5'));
+    }
+}

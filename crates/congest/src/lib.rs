@@ -1,0 +1,82 @@
+//! # das-congest
+//!
+//! A synchronous, deterministic simulator for the **CONGEST model** of
+//! distributed computing [Peleg 2000]: the network is an undirected graph,
+//! computation proceeds in lockstep rounds, and in each round every node may
+//! send one `O(log n)`-bit message to each of its neighbors.
+//!
+//! This crate is the substrate the `dasched` schedulers run on. It enforces
+//! the model honestly:
+//!
+//! * at most **one message per edge per direction per round**;
+//! * every message at most [`EngineConfig::message_bytes`] bytes;
+//! * nodes only ever talk to graph neighbors;
+//! * each node owns a **private** seeded RNG stream (no shared randomness —
+//!   exactly the setting of Theorem 1.3 of the paper).
+//!
+//! Protocols implement [`Protocol`] (a per-node state-machine factory) and
+//! are driven by [`Engine::run`], which also records the *communication
+//! pattern* (which edges carried messages in which rounds) for congestion and
+//! dilation accounting.
+//!
+//! ```
+//! use das_congest::{Engine, EngineConfig, Protocol, ProtocolNode, RoundContext};
+//! use das_graph::{generators, NodeId};
+//!
+//! /// Each node floods the smallest id it has seen (leader election).
+//! struct MinIdFlood;
+//! struct MinIdNode { best: u32, changed: bool, quiet: bool }
+//!
+//! impl Protocol for MinIdFlood {
+//!     fn create_node(&self, id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+//!         Box::new(MinIdNode { best: id.0, changed: true, quiet: false })
+//!     }
+//! }
+//!
+//! impl ProtocolNode for MinIdNode {
+//!     fn round(&mut self, ctx: &mut RoundContext<'_>) {
+//!         for env in ctx.inbox().to_vec() {
+//!             let v = u32::from_le_bytes(env.payload[..4].try_into().unwrap());
+//!             if v < self.best { self.best = v; self.changed = true; }
+//!         }
+//!         if self.changed {
+//!             self.changed = false;
+//!             self.quiet = false;
+//!             let msg = self.best.to_le_bytes().to_vec();
+//!             ctx.send_all(msg).unwrap();
+//!         } else {
+//!             self.quiet = true;
+//!         }
+//!     }
+//!     fn is_done(&self) -> bool { self.quiet }
+//!     fn output(&self) -> Option<Vec<u8>> { Some(self.best.to_le_bytes().to_vec()) }
+//! }
+//!
+//! let g = generators::path(8);
+//! let report = Engine::new(&g, EngineConfig::default())
+//!     .run(&MinIdFlood)
+//!     .unwrap();
+//! // every node learned the minimum id, 0
+//! for v in g.nodes() {
+//!     assert_eq!(report.outputs[v.index()].as_deref(), Some(&0u32.to_le_bytes()[..]));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod ctx;
+mod engine;
+mod error;
+mod message;
+mod node;
+mod recorder;
+
+pub mod trace;
+pub mod util;
+
+pub use ctx::RoundContext;
+pub use engine::{Engine, EngineConfig, ExecutionReport};
+pub use error::CongestError;
+pub use message::{Envelope, Payload};
+pub use node::{Protocol, ProtocolNode};
+pub use recorder::{Recording, RoundRecord};

@@ -1,0 +1,39 @@
+//! Message payloads and envelopes.
+
+use das_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Raw message contents. The engine enforces the CONGEST size limit
+/// ([`crate::EngineConfig::message_bytes`]) at send time, so a `Payload` that
+/// made it into an inbox is always within the model's bandwidth.
+pub type Payload = Vec<u8>;
+
+/// A delivered message: who sent it and what it carried.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The neighbor that sent this message (in the previous round).
+    pub from: NodeId,
+    /// The message contents.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(from: NodeId, payload: Payload) -> Self {
+        Envelope { from, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrip() {
+        let e = Envelope::new(NodeId(3), vec![1, 2, 3]);
+        assert_eq!(e.from, NodeId(3));
+        assert_eq!(e.payload, vec![1, 2, 3]);
+        let e2 = e.clone();
+        assert_eq!(e, e2);
+    }
+}

@@ -1,0 +1,71 @@
+//! The protocol traits: how distributed algorithms plug into the engine.
+
+use crate::ctx::RoundContext;
+use das_graph::NodeId;
+
+/// A distributed protocol: a factory that builds the per-node state machine.
+///
+/// The factory is handed only what a CONGEST node is classically assumed to
+/// know at start-up: its own id, the network size `n`, and its own degree.
+/// Everything else must be learned through messages.
+pub trait Protocol {
+    /// Creates the state machine for node `id`.
+    fn create_node(&self, id: NodeId, n: usize, degree: usize) -> Box<dyn ProtocolNode>;
+
+    /// Optional hard cap on rounds after which the engine gives up
+    /// (returning [`crate::CongestError::RoundLimitExceeded`]). `None` uses
+    /// the engine default.
+    fn round_limit(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Per-node protocol state machine.
+///
+/// The engine calls [`ProtocolNode::round`] once per round on every node, in
+/// node-id order. Messages sent in round `r` are delivered in the inbox at
+/// round `r + 1`.
+pub trait ProtocolNode {
+    /// Executes one round: read `ctx.inbox()`, update state, send messages.
+    fn round(&mut self, ctx: &mut RoundContext<'_>);
+
+    /// Whether this node has terminated. The engine stops once every node is
+    /// done *and* no messages are in flight.
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    /// The node's final output, if any.
+    fn output(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Silent;
+    impl ProtocolNode for Silent {
+        fn round(&mut self, _ctx: &mut RoundContext<'_>) {}
+    }
+
+    #[test]
+    fn default_done_and_output() {
+        let s = Silent;
+        assert!(!s.is_done());
+        assert!(s.output().is_none());
+    }
+
+    struct Factory;
+    impl Protocol for Factory {
+        fn create_node(&self, _id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+            Box::new(Silent)
+        }
+    }
+
+    #[test]
+    fn default_round_limit_is_none() {
+        assert_eq!(Factory.round_limit(), None);
+    }
+}

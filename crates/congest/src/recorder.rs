@@ -1,0 +1,135 @@
+//! Recording of communication patterns during a run.
+
+use das_graph::Arc;
+use serde::{Deserialize, Serialize};
+
+/// The messages sent in one round, as directed arcs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// One entry per message: the arc it traversed.
+    pub arcs: Vec<Arc>,
+}
+
+/// The full communication footprint of a run: which arcs carried messages in
+/// which rounds. This is exactly the paper's *communication pattern* (§2),
+/// viewed as a subgraph of the time-expanded graph `G × [T]`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recording {
+    edge_count: usize,
+    rounds: Vec<RoundRecord>,
+}
+
+impl Recording {
+    /// Creates a recording over a graph with `edge_count` edges.
+    pub fn new(edge_count: usize, rounds: Vec<RoundRecord>) -> Self {
+        Recording { edge_count, rounds }
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Number of edges of the underlying graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The per-round records.
+    pub fn round_records(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Total messages across all rounds.
+    pub fn message_count(&self) -> u64 {
+        self.rounds.iter().map(|r| r.arcs.len() as u64).sum()
+    }
+
+    /// Per-edge message totals (both directions summed): the paper's
+    /// `congestion(e)` contribution of this one algorithm, i.e. `c_i(e)`.
+    pub fn edge_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.edge_count];
+        for r in &self.rounds {
+            for a in &r.arcs {
+                loads[a.edge.index()] += 1;
+            }
+        }
+        loads
+    }
+
+    /// The maximum per-edge load, i.e. the congestion this single recording
+    /// induces.
+    pub fn max_edge_load(&self) -> u64 {
+        self.edge_loads().into_iter().max().unwrap_or(0)
+    }
+
+    /// Index of the last round in which any message was sent, plus one;
+    /// this is the *dilation* contribution (the effective running time).
+    pub fn active_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .rposition(|r| !r.arcs.is_empty())
+            .map_or(0, |i| i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_graph::{Direction, EdgeId};
+
+    fn arc(e: u32, fwd: bool) -> Arc {
+        Arc::new(
+            EdgeId(e),
+            if fwd {
+                Direction::Forward
+            } else {
+                Direction::Backward
+            },
+        )
+    }
+
+    #[test]
+    fn loads_sum_both_directions() {
+        let rec = Recording::new(
+            2,
+            vec![
+                RoundRecord {
+                    arcs: vec![arc(0, true), arc(0, false)],
+                },
+                RoundRecord {
+                    arcs: vec![arc(1, true)],
+                },
+            ],
+        );
+        assert_eq!(rec.edge_loads(), vec![2, 1]);
+        assert_eq!(rec.max_edge_load(), 2);
+        assert_eq!(rec.message_count(), 3);
+        assert_eq!(rec.rounds(), 2);
+        assert_eq!(rec.active_rounds(), 2);
+    }
+
+    #[test]
+    fn active_rounds_ignores_trailing_silence() {
+        let rec = Recording::new(
+            1,
+            vec![
+                RoundRecord {
+                    arcs: vec![arc(0, true)],
+                },
+                RoundRecord::default(),
+                RoundRecord::default(),
+            ],
+        );
+        assert_eq!(rec.rounds(), 3);
+        assert_eq!(rec.active_rounds(), 1);
+    }
+
+    #[test]
+    fn empty_recording() {
+        let rec = Recording::new(3, vec![]);
+        assert_eq!(rec.max_edge_load(), 0);
+        assert_eq!(rec.active_rounds(), 0);
+        assert_eq!(rec.edge_loads(), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Execution traces: human-readable summaries of a recording, for
+//! debugging protocols and eyeballing load shapes.
+
+use crate::recorder::Recording;
+use std::fmt::Write as _;
+
+/// Summary statistics of a run derived from its [`Recording`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Messages per round.
+    pub per_round: Vec<u64>,
+    /// The busiest round (index, message count), if any message was sent.
+    pub peak: Option<(usize, u64)>,
+    /// Edges ranked by total load, heaviest first: `(edge index, load)`.
+    pub heaviest_edges: Vec<(usize, u64)>,
+}
+
+impl TraceSummary {
+    /// Builds the summary, keeping the `top` heaviest edges.
+    pub fn new(rec: &Recording, top: usize) -> Self {
+        let per_round: Vec<u64> = rec
+            .round_records()
+            .iter()
+            .map(|r| r.arcs.len() as u64)
+            .collect();
+        let peak = per_round
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c));
+        let mut loads: Vec<(usize, u64)> = rec
+            .edge_loads()
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, l)| l > 0)
+            .collect();
+        loads.sort_by_key(|&(e, l)| (std::cmp::Reverse(l), e));
+        loads.truncate(top);
+        TraceSummary {
+            per_round,
+            peak,
+            heaviest_edges: loads,
+        }
+    }
+
+    /// Renders a one-line unicode sparkline of per-round message counts.
+    pub fn sparkline(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.per_round.iter().copied().max().unwrap_or(0).max(1);
+        self.per_round
+            .iter()
+            .map(|&c| BARS[((c * 7) / max) as usize])
+            .collect()
+    }
+
+    /// Renders a multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total: u64 = self.per_round.iter().sum();
+        let _ = writeln!(
+            out,
+            "{} rounds, {} messages  {}",
+            self.per_round.len(),
+            total,
+            self.sparkline()
+        );
+        if let Some((r, c)) = self.peak {
+            let _ = writeln!(out, "peak: {c} messages in round {r}");
+        }
+        for &(e, l) in &self.heaviest_edges {
+            let _ = writeln!(out, "  edge e{e}: {l} messages");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RoundRecord;
+    use das_graph::{Arc, Direction, EdgeId};
+
+    fn arc(e: u32) -> Arc {
+        Arc::new(EdgeId(e), Direction::Forward)
+    }
+
+    fn sample() -> Recording {
+        Recording::new(
+            3,
+            vec![
+                RoundRecord {
+                    arcs: vec![arc(0), arc(1)],
+                },
+                RoundRecord { arcs: vec![arc(0)] },
+                RoundRecord {
+                    arcs: vec![arc(0), arc(1), arc(2)],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = TraceSummary::new(&sample(), 2);
+        assert_eq!(s.per_round, vec![2, 1, 3]);
+        assert_eq!(s.peak, Some((2, 3)));
+        assert_eq!(s.heaviest_edges, vec![(0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = TraceSummary::new(&sample(), 1);
+        let spark = s.sparkline();
+        assert_eq!(spark.chars().count(), 3);
+        // last round is the max bar
+        assert_eq!(spark.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let s = TraceSummary::new(&sample(), 3);
+        let r = s.render();
+        assert!(r.contains("3 rounds, 6 messages"));
+        assert!(r.contains("peak: 3 messages in round 2"));
+        assert!(r.contains("edge e0: 3"));
+    }
+
+    #[test]
+    fn empty_recording() {
+        let s = TraceSummary::new(&Recording::new(1, vec![]), 5);
+        assert!(s.peak.is_none());
+        assert!(s.heaviest_edges.is_empty());
+        assert_eq!(s.sparkline(), "");
+    }
+}

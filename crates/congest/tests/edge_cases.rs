@@ -1,0 +1,173 @@
+//! Engine edge cases: degenerate graphs, boundary message sizes, and
+//! termination corners.
+
+use das_congest::{Engine, EngineConfig, Protocol, ProtocolNode, RoundContext};
+use das_graph::{generators, GraphBuilder, NodeId};
+
+/// Sends one message of a configurable size to every neighbor, once.
+struct OneShot {
+    size: usize,
+}
+struct OneShotNode {
+    size: usize,
+    fired: bool,
+}
+impl Protocol for OneShot {
+    fn create_node(&self, _id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+        Box::new(OneShotNode {
+            size: self.size,
+            fired: false,
+        })
+    }
+}
+impl ProtocolNode for OneShotNode {
+    fn round(&mut self, ctx: &mut RoundContext<'_>) {
+        if !self.fired {
+            self.fired = true;
+            let _ = ctx.send_all(vec![0u8; self.size]);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.fired
+    }
+}
+
+#[test]
+fn single_node_network_terminates_immediately() {
+    let g = generators::path(1);
+    let rep = Engine::new(&g, EngineConfig::default())
+        .run(&OneShot { size: 1 })
+        .unwrap();
+    assert_eq!(rep.messages, 0);
+    assert_eq!(rep.rounds, 1);
+}
+
+#[test]
+fn disconnected_components_run_independently() {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1);
+    b.add_edge(2, 3);
+    let g = b.build();
+    let rep = Engine::new(&g, EngineConfig::default())
+        .run(&OneShot { size: 4 })
+        .unwrap();
+    assert_eq!(rep.messages, 4); // each endpoint fires once per component
+}
+
+#[test]
+fn message_at_exact_size_limit_passes() {
+    let g = generators::path(2);
+    let cfg = EngineConfig::default().with_message_bytes(16);
+    let rep = Engine::new(&g, cfg).run(&OneShot { size: 16 }).unwrap();
+    assert_eq!(rep.messages, 2);
+}
+
+#[test]
+fn message_one_byte_over_fails() {
+    let g = generators::path(2);
+    let cfg = EngineConfig::default().with_message_bytes(16);
+    let err = Engine::new(&g, cfg).run(&OneShot { size: 17 }).unwrap_err();
+    assert!(matches!(
+        err,
+        das_congest::CongestError::MessageTooLarge { size: 17, limit: 16, .. }
+    ));
+}
+
+#[test]
+fn fixed_zero_rounds_runs_nothing() {
+    let g = generators::path(3);
+    let cfg = EngineConfig::default().with_fixed_rounds(0);
+    let rep = Engine::new(&g, cfg).run(&OneShot { size: 1 }).unwrap();
+    assert_eq!(rep.rounds, 0);
+    assert_eq!(rep.messages, 0);
+    assert_eq!(rep.recording.rounds(), 0);
+}
+
+#[test]
+fn star_hub_can_serve_every_spoke_in_one_round() {
+    let g = generators::star(50);
+    let rep = Engine::new(&g, EngineConfig::default())
+        .run(&OneShot { size: 8 })
+        .unwrap();
+    // hub sends 49, each spoke sends 1
+    assert_eq!(rep.messages, 98);
+    assert!(rep.rounds <= 3);
+}
+
+#[test]
+fn recording_edges_match_graph() {
+    let g = generators::cycle(5);
+    let rep = Engine::new(&g, EngineConfig::default())
+        .run(&OneShot { size: 1 })
+        .unwrap();
+    assert_eq!(rep.recording.edge_count(), 5);
+    assert_eq!(rep.recording.message_count(), rep.messages);
+    // every edge used exactly twice (once per direction)
+    assert!(rep.recording.edge_loads().iter().all(|&l| l == 2));
+}
+
+/// A protocol that declares its own round limit.
+struct Limited;
+struct LimitedNode;
+impl Protocol for Limited {
+    fn create_node(&self, _id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+        Box::new(LimitedNode)
+    }
+    fn round_limit(&self) -> Option<u64> {
+        Some(3)
+    }
+}
+impl ProtocolNode for LimitedNode {
+    fn round(&mut self, ctx: &mut RoundContext<'_>) {
+        ctx.send_all(vec![1]).unwrap(); // never terminates on its own
+    }
+}
+
+#[test]
+fn protocol_round_limit_overrides_engine_default() {
+    let g = generators::path(2);
+    let err = Engine::new(&g, EngineConfig::default())
+        .run(&Limited)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        das_congest::CongestError::RoundLimitExceeded { limit: 3 }
+    ));
+}
+
+/// The round context exposes consistent local knowledge.
+struct Introspect;
+struct IntrospectNode {
+    ok: bool,
+    t: u64,
+}
+impl Protocol for Introspect {
+    fn create_node(&self, _id: NodeId, _n: usize, _deg: usize) -> Box<dyn ProtocolNode> {
+        Box::new(IntrospectNode { ok: true, t: 0 })
+    }
+}
+impl ProtocolNode for IntrospectNode {
+    fn round(&mut self, ctx: &mut RoundContext<'_>) {
+        self.ok &= ctx.round() == self.t;
+        self.ok &= ctx.degree() == ctx.neighbors().len();
+        self.ok &= ctx.n() == 4;
+        self.ok &= ctx.message_bytes() == 40;
+        self.t += 1;
+    }
+    fn is_done(&self) -> bool {
+        self.t >= 3
+    }
+    fn output(&self) -> Option<Vec<u8>> {
+        Some(vec![self.ok as u8])
+    }
+}
+
+#[test]
+fn round_context_exposes_consistent_local_view() {
+    let g = generators::cycle(4);
+    let cfg = EngineConfig::default().with_fixed_rounds(3);
+    let rep = Engine::new(&g, cfg).run(&Introspect).unwrap();
+    for out in &rep.outputs {
+        assert_eq!(out.as_deref(), Some(&[1u8][..]));
+    }
+}

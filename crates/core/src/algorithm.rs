@@ -1,0 +1,85 @@
+//! The black-box algorithm interface (the paper's §2 execution format).
+
+use das_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique algorithm identifier in a `poly(n)` range, used to index the
+/// per-algorithm bucket of pseudo-random delay values (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Aid(pub u64);
+
+impl fmt::Debug for Aid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl fmt::Display for Aid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A message an algorithm asks to send to a neighbor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlgoSend {
+    /// Destination (must be a graph neighbor).
+    pub to: NodeId,
+    /// Contents (size-limited by the engine when actually transmitted).
+    pub payload: Vec<u8>,
+}
+
+/// The per-node state machine of one algorithm — the paper's format:
+/// *"when this algorithm is run alone, in each round each node knows what
+/// to send in the next round"*, as a function of the node's input, its
+/// random tape (fixed at creation), and the messages received so far.
+///
+/// The scheduler calls [`AlgoNode::step`] exactly `rounds()` times, in
+/// order. Implementations must be deterministic: same construction + same
+/// inboxes ⇒ same sends and output. The scheduler may deliver an
+/// *incomplete* inbox if it has mis-scheduled — the machine cannot detect
+/// this (it does not know its communication pattern a priori) and will
+/// simply compute on; correctness is the scheduler's burden.
+pub trait AlgoNode {
+    /// Executes one algorithm round: `inbox` holds the messages this node
+    /// received from the previous round's sends. Returns this round's
+    /// sends.
+    fn step(&mut self, inbox: &[(NodeId, Vec<u8>)]) -> Vec<AlgoSend>;
+
+    /// The node's output once all rounds have been stepped (`None` if this
+    /// node produces no output for this algorithm).
+    fn output(&self) -> Option<Vec<u8>>;
+}
+
+/// A black-box distributed algorithm: a factory for its per-node machines.
+pub trait BlackBoxAlgorithm {
+    /// The algorithm's unique identifier.
+    fn aid(&self) -> Aid;
+
+    /// The algorithm's running time `T` when run alone (its dilation
+    /// contribution). Machines are stepped exactly `T` times.
+    fn rounds(&self) -> u32;
+
+    /// Builds the machine for node `v`. `seed` fixes the node's random
+    /// tape — the paper treats algorithm randomness as part of the input,
+    /// sampled once before execution.
+    fn create_node(&self, v: NodeId, n: usize, seed: u64) -> Box<dyn AlgoNode>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aid_formats() {
+        assert_eq!(format!("{}", Aid(3)), "A3");
+        assert_eq!(format!("{:?}", Aid(3)), "A3");
+    }
+
+    #[test]
+    fn aid_ordering() {
+        assert!(Aid(1) < Aid(2));
+        assert_eq!(Aid(5), Aid(5));
+    }
+}

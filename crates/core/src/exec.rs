@@ -1,0 +1,541 @@
+//! The scheduled executor: drives canonical machines in big-rounds over
+//! capacity-1 edges, honestly.
+//!
+//! The executor realizes the execution style shared by all the paper's
+//! schedulers (Theorem 1.1, the §3 remark, and Lemma 4.4):
+//!
+//! * Time is split into **big-rounds** of `phase_len` engine rounds.
+//! * Each algorithm is run by one or more [`Unit`]s — (per-node delay,
+//!   per-node truncation) assignments. In the shared-randomness schedulers
+//!   there is one unit per algorithm with a global delay; in the
+//!   private-randomness scheduler there is one unit per (algorithm, layer)
+//!   with per-cluster delays and per-node truncations.
+//! * There is **one canonical machine per (algorithm, node)**; algorithm
+//!   round `r` executes at the *earliest* big-round any eligible unit
+//!   schedules it. This built-in deduplication is exactly Lemma 4.4's
+//!   "only the first copy of each message is actually sent".
+//! * Messages travel through per-arc FIFO queues at **one message per edge
+//!   per direction per engine round** — the CONGEST bandwidth. If a
+//!   scheduler overloads an edge, messages spill into later big-rounds and
+//!   may arrive after their consumer has stepped; such *late* messages are
+//!   dropped and counted, and the wrong outputs they cause are caught by
+//!   [`crate::verify`]. "With high probability" claims become measured
+//!   failure rates.
+
+use crate::algorithm::BlackBoxAlgorithm;
+use crate::schedule::ScheduleOutcome;
+use das_graph::{Graph, NodeId};
+use das_pattern::{SimulationMap, TimedArc};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One scheduled execution of an algorithm: who runs it, when, how far.
+#[derive(Clone, Debug)]
+pub struct Unit {
+    /// Index of the algorithm in the problem.
+    pub algo: usize,
+    /// Per-node start delay in big-rounds.
+    pub delay: Vec<u64>,
+    /// Big-rounds per algorithm round (1 everywhere except the
+    /// time-division baseline).
+    pub stride: u64,
+    /// Per-node truncation: node `v` executes only rounds `r <
+    /// trunc[v]` of this unit (`u32::MAX` = no truncation). Lemma 4.4's
+    /// "execute only the first h' rounds".
+    pub trunc: Vec<u32>,
+}
+
+impl Unit {
+    /// A unit where every node starts at the same delay, untruncated.
+    pub fn global(algo: usize, delay: u64, n: usize) -> Self {
+        Unit {
+            algo,
+            delay: vec![delay; n],
+            stride: 1,
+            trunc: vec![u32::MAX; n],
+        }
+    }
+}
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// Engine rounds per big-round.
+    pub phase_len: u64,
+    /// Per-message payload limit in bytes (the scheduler's header is extra,
+    /// as the paper allows).
+    pub message_bytes: usize,
+    /// Hard cap on engine rounds.
+    pub max_engine_rounds: u64,
+    /// Record message departures to build a causality-checkable
+    /// [`SimulationMap`] per algorithm.
+    pub record_departures: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            phase_len: 1,
+            message_bytes: 40,
+            max_engine_rounds: 10_000_000,
+            record_departures: true,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Sets the big-round length.
+    pub fn with_phase_len(mut self, phase_len: u64) -> Self {
+        self.phase_len = phase_len.max(1);
+        self
+    }
+
+    /// Enables or disables departure recording.
+    pub fn with_record_departures(mut self, record: bool) -> Self {
+        self.record_departures = record;
+        self
+    }
+}
+
+/// Measured execution statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Engine rounds the schedule took (its length).
+    pub engine_rounds: u64,
+    /// Big-rounds executed.
+    pub big_rounds: u64,
+    /// Engine rounds per big-round.
+    pub phase_len: u64,
+    /// Messages delivered in time.
+    pub delivered: u64,
+    /// Messages that arrived after their consumer had already stepped
+    /// (dropped; a nonzero count usually means wrong outputs).
+    pub late_messages: u64,
+    /// Sends rejected for model violations under perturbed inboxes.
+    pub invalid_sends: u64,
+    /// Maximum backlog observed on any arc queue.
+    pub max_arc_queue: usize,
+}
+
+/// The per-(algorithm, node) step plan: `plan[a][v]` lists the big-round of
+/// each algorithm round `0, 1, 2, …` (a prefix of the rounds; truncation
+/// can cut it short).
+#[derive(Clone, Debug)]
+pub struct StepPlan {
+    plan: Vec<Vec<Vec<u64>>>,
+}
+
+impl StepPlan {
+    /// Builds the plan: round `r` of algorithm `a` at node `v` executes at
+    /// the earliest big-round over all eligible units.
+    ///
+    /// # Panics
+    /// Panics if units reference out-of-range algorithms or are missized.
+    #[allow(clippy::needless_range_loop)]
+    pub fn build(g: &Graph, algos: &[Box<dyn BlackBoxAlgorithm>], units: &[Unit]) -> Self {
+        let n = g.node_count();
+        let mut plan: Vec<Vec<Vec<u64>>> = algos
+            .iter()
+            .map(|_| vec![Vec::new(); n])
+            .collect();
+        // earliest[a][v][r]
+        let mut earliest: Vec<Vec<Vec<Option<u64>>>> = algos
+            .iter()
+            .map(|a| vec![vec![None; a.rounds() as usize]; n])
+            .collect();
+        for u in units {
+            assert!(u.algo < algos.len(), "unit for unknown algorithm");
+            assert_eq!(u.delay.len(), n, "delay vector missized");
+            assert_eq!(u.trunc.len(), n, "truncation vector missized");
+            assert!(u.stride >= 1, "stride must be at least 1");
+            let rounds = algos[u.algo].rounds();
+            for v in 0..n {
+                let lim = rounds.min(u.trunc[v]);
+                for r in 0..lim {
+                    let b = u.delay[v] + r as u64 * u.stride;
+                    let slot = &mut earliest[u.algo][v][r as usize];
+                    if slot.is_none_or(|cur| b < cur) {
+                        *slot = Some(b);
+                    }
+                }
+            }
+        }
+        for (a, per_node) in earliest.into_iter().enumerate() {
+            for (v, rounds) in per_node.into_iter().enumerate() {
+                let mut prev: Option<u64> = None;
+                for (r, slot) in rounds.into_iter().enumerate() {
+                    match slot {
+                        Some(b) => {
+                            assert!(
+                                plan[a][v].len() == r,
+                                "round {r} of algorithm {a} at node {v} scheduled \
+                                 without its predecessor"
+                            );
+                            if let Some(p) = prev {
+                                assert!(b > p, "step plan must be strictly increasing");
+                            }
+                            prev = Some(b);
+                            plan[a][v].push(b);
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        StepPlan { plan }
+    }
+
+    /// The big-rounds at which node `v` steps algorithm `a`.
+    pub fn steps(&self, a: usize, v: NodeId) -> &[u64] {
+        &self.plan[a][v.index()]
+    }
+
+    /// The last big-round with any step, or `None` for an empty plan.
+    pub fn last_big_round(&self) -> Option<u64> {
+        self.plan
+            .iter()
+            .flatten()
+            .filter_map(|s| s.last().copied())
+            .max()
+    }
+}
+
+/// A message in flight.
+struct Flight {
+    dst: NodeId,
+    algo: u32,
+    round: u32,
+    from: NodeId,
+    payload: Vec<u8>,
+}
+
+/// Runs a scheduled execution; see the `exec` module docs at the top of
+/// this file for the semantics.
+pub struct Executor;
+
+impl Executor {
+    /// Executes `units` over the problem's algorithms with the given
+    /// configuration, returning outputs, stats, and (optionally) the
+    /// per-algorithm simulation maps.
+    ///
+    /// # Panics
+    /// Panics if the plan is malformed or the engine-round cap is hit.
+    pub fn run(
+        g: &Graph,
+        algos: &[Box<dyn BlackBoxAlgorithm>],
+        seeds: &[u64],
+        units: &[Unit],
+        config: &ExecutorConfig,
+    ) -> ScheduleOutcome {
+        let n = g.node_count();
+        let k = algos.len();
+        assert_eq!(seeds.len(), k, "one seed per algorithm");
+        let plan = StepPlan::build(g, algos, units);
+
+        // Canonical machines and their progress.
+        let mut machines: Vec<Vec<Box<dyn crate::algorithm::AlgoNode>>> = (0..k)
+            .map(|a| {
+                (0..n)
+                    .map(|v| {
+                        algos[a].create_node(
+                            NodeId(v as u32),
+                            n,
+                            das_congest::util::seed_mix(seeds[a], v as u64),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut steps_done = vec![vec![0u32; n]; k];
+        // Buffered arrivals: buffers[a][v][tag round] -> inbox entries.
+        type Buffers = Vec<Vec<BTreeMap<u32, Vec<(NodeId, Vec<u8>)>>>>;
+        let mut buffers: Buffers = vec![vec![BTreeMap::new(); n]; k];
+
+        // Steps grouped by big-round.
+        let mut by_big_round: BTreeMap<u64, Vec<(usize, usize, u32)>> = BTreeMap::new();
+        for a in 0..k {
+            for v in 0..n {
+                for (r, &b) in plan.plan[a][v].iter().enumerate() {
+                    by_big_round.entry(b).or_default().push((a, v, r as u32));
+                }
+            }
+        }
+        let last_step_round = plan.last_big_round().unwrap_or(0);
+
+        let mut queues: Vec<VecDeque<Flight>> = (0..g.arc_count()).map(|_| VecDeque::new()).collect();
+        let mut active_arcs: Vec<usize> = Vec::new();
+        let mut stats = ExecStats {
+            phase_len: config.phase_len,
+            ..ExecStats::default()
+        };
+        let mut departures: Vec<SimulationMap> = vec![SimulationMap::new(); k];
+        let mut engine_round: u64 = 0;
+        let mut last_activity_round: u64 = 0;
+
+        let mut b: u64 = 0;
+        loop {
+            // 1. Execute the steps scheduled at big-round b.
+            if let Some(steps) = by_big_round.get(&b) {
+                for &(a, v, r) in steps {
+                    debug_assert_eq!(steps_done[a][v], r, "steps execute in order");
+                    let mut inbox = if r == 0 {
+                        Vec::new()
+                    } else {
+                        buffers[a][v].remove(&(r - 1)).unwrap_or_default()
+                    };
+                    // canonical inbox order, matching the reference runner
+                    inbox.sort();
+                    let sends = machines[a][v].step(&inbox);
+                    steps_done[a][v] = r + 1;
+                    let me = NodeId(v as u32);
+                    let mut sent_to: Vec<NodeId> = Vec::new();
+                    for s in sends {
+                        let valid = g.find_edge(me, s.to).is_some()
+                            && s.payload.len() <= config.message_bytes
+                            && !sent_to.contains(&s.to);
+                        if !valid {
+                            stats.invalid_sends += 1;
+                            continue;
+                        }
+                        sent_to.push(s.to);
+                        let edge = g.find_edge(me, s.to).expect("validated");
+                        let arc = g.arc_from(edge, me);
+                        let q = &mut queues[arc.index()];
+                        if q.is_empty() {
+                            active_arcs.push(arc.index());
+                        }
+                        q.push_back(Flight {
+                            dst: s.to,
+                            algo: a as u32,
+                            round: r,
+                            from: me,
+                            payload: s.payload,
+                        });
+                        stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                    }
+                }
+            }
+
+            // 2. Drain queues for phase_len engine rounds.
+            for _ in 0..config.phase_len {
+                let arcs = std::mem::take(&mut active_arcs);
+                for arc_idx in arcs {
+                    let Some(f) = queues[arc_idx].pop_front() else {
+                        continue;
+                    };
+                    if !queues[arc_idx].is_empty() {
+                        active_arcs.push(arc_idx);
+                    }
+                    let (a, v) = (f.algo as usize, f.dst.index());
+                    if config.record_departures {
+                        departures[a].insert(
+                            TimedArc {
+                                round: f.round,
+                                arc: das_graph::Arc::from_index(arc_idx),
+                            },
+                            engine_round as u32,
+                        );
+                    }
+                    if steps_done[a][v] >= f.round + 2 {
+                        stats.late_messages += 1;
+                    } else {
+                        buffers[a][v]
+                            .entry(f.round)
+                            .or_default()
+                            .push((f.from, f.payload));
+                        stats.delivered += 1;
+                    }
+                    last_activity_round = engine_round + 1;
+                }
+                engine_round += 1;
+                assert!(
+                    engine_round <= config.max_engine_rounds,
+                    "engine round cap exceeded; the schedule does not drain"
+                );
+            }
+
+            b += 1;
+            if b > last_step_round && active_arcs.is_empty() {
+                break;
+            }
+        }
+
+        stats.big_rounds = b;
+        // Schedule length: last big-round boundary with any step, extended
+        // by any drain tail.
+        stats.engine_rounds = (last_step_round + 1)
+            .saturating_mul(config.phase_len)
+            .max(last_activity_round);
+
+        let outputs = machines
+            .iter()
+            .map(|per_node| per_node.iter().map(|m| m.output()).collect())
+            .collect();
+        ScheduleOutcome {
+            outputs,
+            stats,
+            departures: config.record_departures.then_some(departures),
+            precompute_rounds: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DasProblem;
+    use crate::synthetic::{FloodBall, RelayChain};
+    use das_graph::generators;
+
+    #[test]
+    fn single_algorithm_zero_delay_matches_reference() {
+        let g = generators::path(8);
+        let p = DasProblem::new(&g, vec![Box::new(RelayChain::new(0, &g))], 3);
+        let units = vec![Unit::global(0, 0, 8)];
+        let outcome = Executor::run(
+            &g,
+            p.algorithms(),
+            &[p.algo_seed(0)],
+            &units,
+            &ExecutorConfig::default(),
+        );
+        let reference = &p.references().unwrap()[0];
+        assert_eq!(outcome.outputs[0], reference.outputs);
+        assert_eq!(outcome.stats.late_messages, 0);
+        // one message per round, phase 1: 7 rounds of activity
+        assert_eq!(outcome.stats.delivered, 7);
+    }
+
+    #[test]
+    fn two_relays_same_path_collide_with_zero_delays() {
+        // both relays want the same edge in the same round; with phase 1 the
+        // second message spills and arrives late
+        let g = generators::path(6);
+        let p = DasProblem::new(
+            &g,
+            vec![
+                Box::new(RelayChain::new(0, &g)),
+                Box::new(RelayChain::new(1, &g)),
+            ],
+            3,
+        );
+        let units = vec![Unit::global(0, 0, 6), Unit::global(1, 0, 6)];
+        let outcome = Executor::run(
+            &g,
+            p.algorithms(),
+            &[p.algo_seed(0), p.algo_seed(1)],
+            &units,
+            &ExecutorConfig::default(),
+        );
+        assert!(outcome.stats.late_messages > 0, "collision must surface");
+    }
+
+    #[test]
+    fn two_relays_staggered_delays_both_correct() {
+        let g = generators::path(6);
+        let p = DasProblem::new(
+            &g,
+            vec![
+                Box::new(RelayChain::new(0, &g)),
+                Box::new(RelayChain::new(1, &g)),
+            ],
+            3,
+        );
+        // delay the second by one big-round: the token trains never collide
+        let units = vec![Unit::global(0, 0, 6), Unit::global(1, 1, 6)];
+        let outcome = Executor::run(
+            &g,
+            p.algorithms(),
+            &[p.algo_seed(0), p.algo_seed(1)],
+            &units,
+            &ExecutorConfig::default(),
+        );
+        assert_eq!(outcome.stats.late_messages, 0);
+        let refs = p.references().unwrap();
+        assert_eq!(outcome.outputs[0], refs[0].outputs);
+        assert_eq!(outcome.outputs[1], refs[1].outputs);
+        // length: second relay starts at big-round 1, runs 5 rounds
+        assert_eq!(outcome.stats.engine_rounds, 6);
+    }
+
+    #[test]
+    fn departures_form_valid_simulation() {
+        let g = generators::path(6);
+        let p = DasProblem::new(&g, vec![Box::new(RelayChain::new(0, &g))], 3);
+        let units = vec![Unit::global(0, 2, 6)];
+        let outcome = Executor::run(
+            &g,
+            p.algorithms(),
+            &[p.algo_seed(0)],
+            &units,
+            &ExecutorConfig::default().with_phase_len(3),
+        );
+        let map = &outcome.departures.as_ref().unwrap()[0];
+        let pattern = &p.references().unwrap()[0].pattern;
+        das_pattern::verify_simulation(&g, pattern, map).unwrap();
+    }
+
+    #[test]
+    fn truncation_limits_execution() {
+        let g = generators::path(10);
+        let p = DasProblem::new(&g, vec![Box::new(FloodBall::new(0, &g, NodeId(0), 9))], 1);
+        // truncate everyone at 3 rounds: the flood stops after 3 hops
+        let units = vec![Unit {
+            algo: 0,
+            delay: vec![0; 10],
+            stride: 1,
+            trunc: vec![3; 10],
+        }];
+        let outcome = Executor::run(
+            &g,
+            p.algorithms(),
+            &[p.algo_seed(0)],
+            &units,
+            &ExecutorConfig::default(),
+        );
+        // nodes 0..3 heard (they step rounds 0..3), beyond never stepped
+        let out = &outcome.outputs[0];
+        assert_eq!(out[2].as_ref().unwrap()[0], 1);
+        assert_eq!(out[6].as_ref().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn two_units_earliest_wins_and_dedups() {
+        let g = generators::path(5);
+        let p = DasProblem::new(&g, vec![Box::new(RelayChain::new(0, &g))], 2);
+        // the same algorithm scheduled twice with different delays: the
+        // canonical machine steps at the earlier one; total messages equal
+        // one copy (dedup)
+        let units = vec![Unit::global(0, 3, 5), Unit::global(0, 1, 5)];
+        let outcome = Executor::run(
+            &g,
+            p.algorithms(),
+            &[p.algo_seed(0)],
+            &units,
+            &ExecutorConfig::default(),
+        );
+        assert_eq!(outcome.stats.delivered, 4, "one copy of each message");
+        assert_eq!(outcome.outputs[0], p.references().unwrap()[0].outputs);
+    }
+
+    #[test]
+    fn stride_spreads_steps() {
+        let g = generators::path(4);
+        let p = DasProblem::new(&g, vec![Box::new(RelayChain::new(0, &g))], 2);
+        let units = vec![Unit {
+            algo: 0,
+            delay: vec![0; 4],
+            stride: 3,
+            trunc: vec![u32::MAX; 4],
+        }];
+        let plan = StepPlan::build(&g, p.algorithms(), &units);
+        assert_eq!(plan.steps(0, NodeId(0)), &[0, 3, 6]);
+        let outcome = Executor::run(
+            &g,
+            p.algorithms(),
+            &[p.algo_seed(0)],
+            &units,
+            &ExecutorConfig::default(),
+        );
+        assert_eq!(outcome.outputs[0], p.references().unwrap()[0].outputs);
+    }
+}

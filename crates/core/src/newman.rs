@@ -1,0 +1,152 @@
+//! Reducing the amount of shared randomness (Appendix A, last part).
+//!
+//! Newman's observation, transplanted to distributed algorithms: a
+//! Bellagio algorithm using `R` bits of shared randomness is a collection
+//! `F` of `2^R` deterministic algorithms, each input being answered
+//! canonically by ≥ 2/3 of them. By the probabilistic method, a random
+//! subcollection `F'` of size `poly(n)` is, w.h.p., still ≥ 3/5-correct
+//! for *every* input — so `O(log n)` shared bits (an index into `F'`)
+//! suffice.
+//!
+//! The paper notes the argument is existential but that nodes can find the
+//! *same* good subcollection without communication by a deterministic
+//! brute-force search in a canonical order (local computation is free in
+//! CONGEST). [`find_subcollection`] implements exactly that search, and
+//! the tests exercise it on a toy Bellagio family.
+
+/// A description of a Bellagio collection for the reduction: `is_canonical
+/// (input, seed)` says whether deterministic algorithm `seed` answers
+/// `input` canonically.
+pub struct Collection<'a> {
+    /// Correctness oracle.
+    pub is_canonical: &'a dyn Fn(u64, u64) -> bool,
+    /// The full seed space (the `2^R` deterministic algorithms).
+    pub seeds: &'a [u64],
+}
+
+/// Checks whether a candidate subcollection is `threshold`-good for every
+/// input: each input is answered canonically by at least
+/// `threshold · |sub|` members.
+pub fn is_good(collection: &Collection<'_>, sub: &[u64], inputs: &[u64], threshold: f64) -> bool {
+    let need = (threshold * sub.len() as f64).ceil() as usize;
+    inputs.iter().all(|&x| {
+        sub.iter()
+            .filter(|&&s| (collection.is_canonical)(x, s))
+            .count()
+            >= need
+    })
+}
+
+/// Deterministic brute-force search for a good subcollection of size
+/// `size`: candidate subcollections are generated in a canonical order
+/// (derived from a counter via SplitMix — the *same* order at every node,
+/// so all nodes find the same collection without any communication), and
+/// the first `threshold`-good one is returned together with its index.
+///
+/// Returns `None` if no good subcollection is found within `max_tries`
+/// candidates (by the probabilistic method this essentially does not
+/// happen once `size = Ω(log |inputs|)`).
+pub fn find_subcollection(
+    collection: &Collection<'_>,
+    inputs: &[u64],
+    size: usize,
+    threshold: f64,
+    max_tries: u64,
+) -> Option<(u64, Vec<u64>)> {
+    assert!(size > 0, "subcollection must be non-empty");
+    for try_idx in 0..max_tries {
+        let sub: Vec<u64> = (0..size as u64)
+            .map(|j| {
+                let r = das_congest::util::seed_mix(try_idx, j);
+                collection.seeds[(r % collection.seeds.len() as u64) as usize]
+            })
+            .collect();
+        if is_good(collection, &sub, inputs, threshold) {
+            return Some((try_idx, sub));
+        }
+    }
+    None
+}
+
+/// The number of shared bits needed to index the reduced collection —
+/// `⌈log₂ size⌉`, the paper's `O(log n)`.
+pub fn bits_needed(size: usize) -> u32 {
+    (size.max(1) as f64).log2().ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_congest::util::seed_mix;
+
+    /// Toy Bellagio family: algorithm `s` answers input `x` canonically
+    /// iff a hash avoids a 1/4 bad region — so every input is answered
+    /// correctly by ~3/4 ≥ 2/3 of the seeds.
+    fn toy_oracle(x: u64, s: u64) -> bool {
+        !seed_mix(x, s).is_multiple_of(4)
+    }
+
+    fn full_seeds() -> Vec<u64> {
+        (0..4096u64).collect()
+    }
+
+    #[test]
+    fn full_collection_is_bellagio() {
+        let seeds = full_seeds();
+        for x in 0..64u64 {
+            let good = seeds.iter().filter(|&&s| toy_oracle(x, s)).count();
+            assert!(
+                good as f64 >= 2.0 / 3.0 * seeds.len() as f64,
+                "input {x} only {good}/{} canonical",
+                seeds.len()
+            );
+        }
+    }
+
+    #[test]
+    fn small_subcollection_exists_and_is_found() {
+        let seeds = full_seeds();
+        let collection = Collection {
+            is_canonical: &toy_oracle,
+            seeds: &seeds,
+        };
+        let inputs: Vec<u64> = (0..256).collect();
+        // O(log |inputs|) seeds suffice
+        let size = 64;
+        let (idx, sub) = find_subcollection(&collection, &inputs, size, 0.6, 100)
+            .expect("a good subcollection exists");
+        assert_eq!(sub.len(), size);
+        assert!(is_good(&collection, &sub, &inputs, 0.6));
+        // shared bits collapse from log2(4096) = 12 to log2(64) = 6
+        assert_eq!(bits_needed(size), 6);
+        assert!(bits_needed(seeds.len()) > bits_needed(size));
+        // the search is deterministic: every "node" finds the same one
+        let (idx2, sub2) = find_subcollection(&collection, &inputs, size, 0.6, 100).unwrap();
+        assert_eq!((idx, &sub), (idx2, &sub2));
+    }
+
+    #[test]
+    fn overly_strict_threshold_fails() {
+        let seeds = full_seeds();
+        let collection = Collection {
+            is_canonical: &toy_oracle,
+            seeds: &seeds,
+        };
+        let inputs: Vec<u64> = (0..64).collect();
+        // demanding perfection from a tiny subcollection must fail fast
+        assert!(find_subcollection(&collection, &inputs, 48, 1.0, 20).is_none());
+    }
+
+    #[test]
+    fn good_check_counts_exactly() {
+        let seeds = vec![0u64, 1, 2, 3];
+        let oracle = |x: u64, s: u64| s >= x; // seed s canonical for inputs <= s
+        let collection = Collection {
+            is_canonical: &oracle,
+            seeds: &seeds,
+        };
+        // input 2: seeds {2,3} canonical = 2/4 = 0.5
+        assert!(is_good(&collection, &seeds, &[2], 0.5));
+        assert!(!is_good(&collection, &seeds, &[2], 0.6));
+    }
+}

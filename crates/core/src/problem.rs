@@ -1,0 +1,142 @@
+//! The DAS problem instance: a network plus the algorithms to co-schedule.
+
+use crate::algorithm::BlackBoxAlgorithm;
+use crate::reference::{run_alone, ReferenceError, ReferenceRun};
+use das_graph::Graph;
+use das_pattern::{das_parameters, DasParameters};
+use std::sync::OnceLock;
+
+/// A Distributed Algorithm Scheduling instance: the network, the `k`
+/// black-box algorithms, and the seed fixing all their random tapes.
+///
+/// Reference (alone) runs are computed lazily and cached: they provide the
+/// ground-truth outputs as well as the measured `congestion` and
+/// `dilation` the schedulers are parameterized by (the paper assumes nodes
+/// know constant-factor approximations of both; see [`crate::doubling`]
+/// for removing that assumption).
+pub struct DasProblem<'g> {
+    graph: &'g Graph,
+    algorithms: Vec<Box<dyn BlackBoxAlgorithm>>,
+    base_seed: u64,
+    references: OnceLock<Result<Vec<ReferenceRun>, ReferenceError>>,
+}
+
+impl<'g> DasProblem<'g> {
+    /// Creates a problem instance.
+    ///
+    /// # Panics
+    /// Panics if `algorithms` is empty.
+    pub fn new(
+        graph: &'g Graph,
+        algorithms: Vec<Box<dyn BlackBoxAlgorithm>>,
+        base_seed: u64,
+    ) -> Self {
+        assert!(!algorithms.is_empty(), "need at least one algorithm");
+        DasProblem {
+            graph,
+            algorithms,
+            base_seed,
+            references: OnceLock::new(),
+        }
+    }
+
+    /// The network.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The algorithms.
+    pub fn algorithms(&self) -> &[Box<dyn BlackBoxAlgorithm>] {
+        &self.algorithms
+    }
+
+    /// Number of algorithms `k`.
+    pub fn k(&self) -> usize {
+        self.algorithms.len()
+    }
+
+    /// The random-tape seed of algorithm `i` (mixes the base seed with the
+    /// algorithm's AID, so tapes are independent across algorithms).
+    pub fn algo_seed(&self, i: usize) -> u64 {
+        das_congest::util::seed_mix(self.base_seed, self.algorithms[i].aid().0)
+    }
+
+    /// The declared dilation: `max_i rounds(A_i)`.
+    pub fn dilation(&self) -> u32 {
+        self.algorithms
+            .iter()
+            .map(|a| a.rounds())
+            .max()
+            .expect("non-empty")
+    }
+
+    /// The cached reference (alone) runs of all algorithms.
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`] if some algorithm violates the
+    /// CONGEST model.
+    pub fn references(&self) -> Result<&[ReferenceRun], ReferenceError> {
+        let computed = self.references.get_or_init(|| {
+            (0..self.k())
+                .map(|i| run_alone(self.graph, self.algorithms[i].as_ref(), self.algo_seed(i)))
+                .collect()
+        });
+        match computed {
+            Ok(refs) => Ok(refs),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The measured `congestion` and `dilation` of the instance.
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`] from the reference runs.
+    pub fn parameters(&self) -> Result<DasParameters, ReferenceError> {
+        let refs = self.references()?;
+        let patterns: Vec<_> = refs.iter().map(|r| r.pattern.clone()).collect();
+        Ok(das_parameters(&patterns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::RelayChain;
+    use das_graph::generators;
+
+    fn relay_problem(g: &Graph, k: usize) -> DasProblem<'_> {
+        let algos = (0..k)
+            .map(|i| Box::new(RelayChain::new(i as u64, g)) as Box<dyn BlackBoxAlgorithm>)
+            .collect();
+        DasProblem::new(g, algos, 11)
+    }
+
+    #[test]
+    fn parameters_of_stacked_relays() {
+        let g = generators::path(10);
+        let p = relay_problem(&g, 6);
+        assert_eq!(p.k(), 6);
+        assert_eq!(p.dilation(), 9);
+        let params = p.parameters().unwrap();
+        assert_eq!(params.dilation, 9);
+        assert_eq!(params.congestion, 6, "each relay loads each edge once");
+        assert_eq!(params.sum(), 15);
+    }
+
+    #[test]
+    fn references_cached_and_seeded() {
+        let g = generators::path(5);
+        let p = relay_problem(&g, 2);
+        let a = p.references().unwrap()[0].outputs.clone();
+        let b = p.references().unwrap()[0].outputs.clone();
+        assert_eq!(a, b);
+        assert_ne!(p.algo_seed(0), p.algo_seed(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_problem_panics() {
+        let g = generators::path(3);
+        DasProblem::new(&g, vec![], 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Alone runs: the ground truth every schedule is verified against.
+
+use crate::algorithm::BlackBoxAlgorithm;
+use das_graph::{Graph, NodeId};
+use das_pattern::{CommPattern, TimedArc};
+use std::error::Error;
+use std::fmt;
+
+/// Ways an algorithm can violate the CONGEST model in its alone run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReferenceError {
+    /// A machine addressed a non-neighbor.
+    NotNeighbor {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+        /// Algorithm round.
+        round: u32,
+    },
+    /// A machine sent two messages to the same neighbor in one round.
+    DuplicateSend {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Algorithm round.
+        round: u32,
+    },
+}
+
+impl fmt::Display for ReferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReferenceError::NotNeighbor { from, to, round } => {
+                write!(f, "round {round}: {from} sent to non-neighbor {to}")
+            }
+            ReferenceError::DuplicateSend { from, to, round } => {
+                write!(f, "round {round}: {from} sent twice to {to}")
+            }
+        }
+    }
+}
+
+impl Error for ReferenceError {}
+
+/// The result of running one algorithm alone: per-node outputs and the
+/// communication pattern (which yields its congestion/dilation
+/// contributions).
+#[derive(Clone, Debug)]
+pub struct ReferenceRun {
+    /// Per-node outputs.
+    pub outputs: Vec<Option<Vec<u8>>>,
+    /// The algorithm's communication pattern.
+    pub pattern: CommPattern,
+}
+
+/// Runs `algo` alone on `g` with per-node seeds derived from `seed`,
+/// producing the reference outputs and communication pattern.
+///
+/// # Errors
+/// Returns a [`ReferenceError`] if the algorithm violates the CONGEST
+/// model (sends to a non-neighbor, or twice to the same neighbor in one
+/// round).
+pub fn run_alone(
+    g: &Graph,
+    algo: &dyn BlackBoxAlgorithm,
+    seed: u64,
+) -> Result<ReferenceRun, ReferenceError> {
+    let n = g.node_count();
+    let mut machines: Vec<_> = (0..n)
+        .map(|v| {
+            algo.create_node(
+                NodeId(v as u32),
+                n,
+                das_congest::util::seed_mix(seed, v as u64),
+            )
+        })
+        .collect();
+    let mut inboxes: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
+    let mut timed_arcs = Vec::new();
+
+    for round in 0..algo.rounds() {
+        let mut next: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            let me = NodeId(v as u32);
+            let mut inbox = std::mem::take(&mut inboxes[v]);
+            // canonical inbox order (the scheduled executor sorts the same
+            // way, so machines see identical inboxes in both runs)
+            inbox.sort();
+            let sends = machines[v].step(&inbox);
+            let mut sent_to: Vec<NodeId> = Vec::with_capacity(sends.len());
+            for s in sends {
+                let edge = match g.find_edge(me, s.to) {
+                    Some(e) => e,
+                    None => {
+                        return Err(ReferenceError::NotNeighbor {
+                            from: me,
+                            to: s.to,
+                            round,
+                        })
+                    }
+                };
+                if sent_to.contains(&s.to) {
+                    return Err(ReferenceError::DuplicateSend {
+                        from: me,
+                        to: s.to,
+                        round,
+                    });
+                }
+                sent_to.push(s.to);
+                timed_arcs.push(TimedArc {
+                    round,
+                    arc: g.arc_from(edge, me),
+                });
+                next[s.to.index()].push((me, s.payload));
+            }
+        }
+        inboxes = next;
+    }
+
+    Ok(ReferenceRun {
+        outputs: machines.iter().map(|m| m.output()).collect(),
+        pattern: CommPattern::from_timed_arcs(g.edge_count(), timed_arcs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::RelayChain;
+    use das_graph::generators;
+
+    #[test]
+    fn relay_reference_run() {
+        let g = generators::path(6);
+        let algo = RelayChain::new(0, &g);
+        let r = run_alone(&g, &algo, 1).unwrap();
+        // the token visits every edge once, left to right
+        assert_eq!(r.pattern.message_count(), 5);
+        assert_eq!(r.pattern.rounds(), 5);
+        assert_eq!(r.pattern.edge_loads(), vec![1; 5]);
+        // last node outputs the token
+        assert!(r.outputs[5].is_some());
+    }
+
+    #[test]
+    fn model_violations_detected() {
+        use crate::algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
+
+        struct Bad(u8);
+        struct BadNode(u8, NodeId);
+        impl BlackBoxAlgorithm for Bad {
+            fn aid(&self) -> Aid {
+                Aid(0)
+            }
+            fn rounds(&self) -> u32 {
+                1
+            }
+            fn create_node(&self, v: NodeId, _n: usize, _s: u64) -> Box<dyn AlgoNode> {
+                Box::new(BadNode(self.0, v))
+            }
+        }
+        impl AlgoNode for BadNode {
+            fn step(&mut self, _inbox: &[(NodeId, Vec<u8>)]) -> Vec<AlgoSend> {
+                if self.1 != NodeId(0) {
+                    return vec![];
+                }
+                match self.0 {
+                    0 => vec![AlgoSend {
+                        to: NodeId(2),
+                        payload: vec![],
+                    }],
+                    _ => vec![
+                        AlgoSend {
+                            to: NodeId(1),
+                            payload: vec![],
+                        },
+                        AlgoSend {
+                            to: NodeId(1),
+                            payload: vec![],
+                        },
+                    ],
+                }
+            }
+            fn output(&self) -> Option<Vec<u8>> {
+                None
+            }
+        }
+
+        let g = generators::path(3);
+        assert!(matches!(
+            run_alone(&g, &Bad(0), 0),
+            Err(ReferenceError::NotNeighbor { .. })
+        ));
+        assert!(matches!(
+            run_alone(&g, &Bad(1), 0),
+            Err(ReferenceError::DuplicateSend { .. })
+        ));
+    }
+}

@@ -1,0 +1,28 @@
+//! The scheduling algorithms: baselines, Theorem 1.1, the §3 remark
+//! variant, and the private-randomness scheduler of Theorem 4.1.
+
+mod baseline;
+mod private;
+mod uniform;
+
+pub use baseline::{InterleaveScheduler, SequentialScheduler};
+pub use private::{PrivateDelayLaw, PrivateScheduler};
+pub use uniform::{prime_range_overhead, uniform_length_bound, TunedUniformScheduler, UniformScheduler};
+
+use crate::problem::DasProblem;
+use crate::reference::ReferenceError;
+use crate::schedule::ScheduleOutcome;
+
+/// A DAS scheduler: turns a problem instance into a scheduled execution.
+pub trait Scheduler {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Schedules and executes all algorithms of `problem`.
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`] if an algorithm violates the
+    /// CONGEST model in its alone run (the measured congestion/dilation
+    /// parameters come from there).
+    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError>;
+}

@@ -1,0 +1,318 @@
+//! The private-randomness scheduler of Theorem 1.3 / 4.1 — the paper's
+//! main algorithmic contribution.
+//!
+//! Pipeline:
+//!
+//! 1. **Carve** `Θ(log n)` layers of clusters with weak diameter
+//!    `O(dilation · log n)` (Lemma 4.2), learning per-node contained radii.
+//! 2. **Share** `Θ(log² n)` random bits inside every cluster (Lemma 4.3).
+//! 3. Each cluster feeds its shared bits into a `Θ(log n)`-wise
+//!    independent PRG and draws, per algorithm, a delay from the
+//!    **block-decay** law of Lemma 4.4 — consistent within the cluster,
+//!    independent across algorithms.
+//! 4. Every algorithm runs once per (layer, cluster), **truncated** at each
+//!    node's contained radius; the canonical-machine executor deduplicates
+//!    messages across layers, so only the first-scheduled copy of each
+//!    message is transmitted. Nodes whose dilation-ball is contained in
+//!    some cluster (w.h.p. all of them, in `Θ(log n)` layers) reconstruct
+//!    the full alone-run behavior.
+//!
+//! Cost: `O(dilation · log² n)` rounds of pre-computation, then a schedule
+//! of `O(congestion + dilation · log n)` rounds.
+
+use crate::exec::{Executor, ExecutorConfig, Unit};
+use crate::problem::DasProblem;
+use crate::reference::ReferenceError;
+use crate::schedule::ScheduleOutcome;
+use crate::schedulers::Scheduler;
+use das_cluster::{
+    share_layer_centralized, CarveConfig, Clustering, ShareConfig,
+};
+use das_congest::util::seed_mix;
+use das_prg::{BlockDecay, DelayLaw, KWiseGenerator};
+
+/// 2^61 − 1 (Mersenne prime): the PRG field. Delay draws reduce PRG values
+/// modulo block sizes; with a 61-bit field the modulo bias is ≤ 2⁻⁴⁰.
+const PRG_PRIME: u64 = 2_305_843_009_213_693_951;
+
+/// How many pseudo-random words each algorithm's AID bucket reserves.
+const BUCKET_WIDTH: u64 = 4;
+
+/// Which delay law drives the per-cluster delays — Lemma 4.4's design
+/// choice, exposed for the ablation experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PrivateDelayLaw {
+    /// The paper's non-uniform block-decay law: only the *first*-scheduled
+    /// copy of each message costs bandwidth, so the delay span stays
+    /// `Θ(congestion / log n)` big-rounds and the schedule is
+    /// `O(congestion + dilation log n)`.
+    #[default]
+    BlockDecay,
+    /// The "simpler solution" from the proof of Lemma 4.4: uniform delays
+    /// over `Θ(congestion)` big-rounds, paying for all `Θ(log n)` copies —
+    /// schedule `O((congestion + dilation) log n)`.
+    UniformWide,
+}
+
+/// The Theorem 4.1 scheduler. Uses **no shared randomness**: every random
+/// bit either stays private to a node or travels in messages (the sharing
+/// protocol of Lemma 4.3), and the pre-computation rounds are charged to
+/// the result.
+#[derive(Clone, Debug)]
+pub struct PrivateScheduler {
+    /// Base seed for all private draws (radii, labels, cluster chunks).
+    pub seed: u64,
+    /// Phase length multiplier: `phase_len = ⌈phase_factor · ln n⌉`.
+    pub phase_factor: f64,
+    /// First-block-size multiplier: `L = ⌈block_factor · C / ln n⌉`.
+    pub block_factor: f64,
+    /// Override the number of clustering layers (default `⌈3 log₂ n⌉`).
+    pub layers: Option<usize>,
+    /// Run the honest distributed pre-computation protocols on the CONGEST
+    /// engine (slower); otherwise use the bit-identical centralized
+    /// references and charge their analytic round cost.
+    pub distributed_precompute: bool,
+    /// The delay law (Lemma 4.4 block-decay by default; see
+    /// [`PrivateDelayLaw`]).
+    pub delay_law: PrivateDelayLaw,
+}
+
+impl Default for PrivateScheduler {
+    fn default() -> Self {
+        PrivateScheduler {
+            seed: 0x9417A7E,
+            phase_factor: 2.0,
+            block_factor: 1.0,
+            layers: None,
+            distributed_precompute: false,
+            delay_law: PrivateDelayLaw::BlockDecay,
+        }
+    }
+}
+
+impl PrivateScheduler {
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of clustering layers.
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = Some(layers);
+        self
+    }
+
+    /// Enables the honest distributed pre-computation.
+    pub fn with_distributed_precompute(mut self, on: bool) -> Self {
+        self.distributed_precompute = on;
+        self
+    }
+
+    /// Selects the delay law (for the ablation experiment).
+    pub fn with_delay_law(mut self, law: PrivateDelayLaw) -> Self {
+        self.delay_law = law;
+        self
+    }
+}
+
+impl Scheduler for PrivateScheduler {
+    fn name(&self) -> &'static str {
+        "private"
+    }
+
+    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+        let g = problem.graph();
+        let n = g.node_count();
+        let params = problem.parameters()?;
+        let ln_n = (n.max(2) as f64).ln();
+
+        // 1. Carving (Lemma 4.2).
+        let mut carve_cfg = CarveConfig::for_dilation(g, params.dilation);
+        if let Some(l) = self.layers {
+            carve_cfg = carve_cfg.with_num_layers(l);
+        }
+        let clustering = if self.distributed_precompute {
+            Clustering::carve_distributed(g, &carve_cfg, self.seed)
+        } else {
+            Clustering::carve_centralized(g, &carve_cfg, self.seed)
+        };
+        let mut precompute_rounds = clustering.precompute_rounds();
+
+        // 2. In-cluster randomness sharing (Lemma 4.3).
+        let share_cfg = ShareConfig::for_graph(g, carve_cfg.horizon);
+        let chunk_seed = seed_mix(self.seed, 0xC0FFEE);
+        let chunks = das_cluster::share::center_chunks(n, share_cfg.chunks, chunk_seed);
+        let mut layer_seeds: Vec<Vec<Vec<u64>>> = Vec::with_capacity(clustering.layers().len());
+        for layer in clustering.layers() {
+            let seeds = if self.distributed_precompute {
+                let (seeds, rounds, delivered) = das_cluster::share::share_layer_distributed(
+                    g,
+                    layer,
+                    &chunks,
+                    &share_cfg,
+                    seed_mix(self.seed, 0x5A),
+                );
+                assert!(delivered, "sharing under-provisioned: raise the slack");
+                precompute_rounds += rounds;
+                seeds
+            } else {
+                precompute_rounds += share_cfg.rounds_needed();
+                share_layer_centralized(layer, &chunks)
+            };
+            layer_seeds.push(seeds);
+        }
+
+        // 3. The delay law: Lemma 4.4's block-decay, or (ablation) the
+        // "simpler solution" uniform over Theta(congestion) big-rounds.
+        let num_layers = clustering.layers().len();
+        let law: Box<dyn DelayLaw> = match self.delay_law {
+            PrivateDelayLaw::BlockDecay => {
+                let block_l = ((self.block_factor * params.congestion as f64) / ln_n)
+                    .ceil()
+                    .max(1.0) as u64;
+                let beta = num_layers.max(2);
+                let alpha = (1.0 - 1.0 / beta as f64)
+                    .powi(num_layers as i32)
+                    .clamp(0.2, 0.9);
+                Box::new(BlockDecay::new(block_l, beta, alpha))
+            }
+            PrivateDelayLaw::UniformWide => {
+                // spread enough that even the concentrated minimum of the
+                // per-layer draws keeps per-big-round loads at O(log n):
+                // range = C·(#layers)/ln n big-rounds, i.e. the simple
+                // solution's Θ(C log n) span
+                let range = ((self.block_factor
+                    * params.congestion as f64
+                    * num_layers as f64)
+                    / ln_n)
+                    .ceil()
+                    .max(1.0) as u64;
+                Box::new(das_prg::Uniform::new(range))
+            }
+        };
+
+        // 4. One unit per (layer, algorithm): per-cluster delays from the
+        // cluster's shared seed, per-node truncation at the contained
+        // radius.
+        let mut units = Vec::with_capacity(num_layers * problem.k());
+        for (l, layer) in clustering.layers().iter().enumerate() {
+            // Build each cluster's generator once (every member holds the
+            // same seed bytes — that is what sharing bought us).
+            let mut gens: std::collections::HashMap<das_graph::NodeId, KWiseGenerator> =
+                std::collections::HashMap::new();
+            for &c in &layer.centers() {
+                let bytes: Vec<u8> = layer_seeds[l][c.index()]
+                    .iter()
+                    .flat_map(|w| w.to_le_bytes())
+                    .collect();
+                let kk = (2.0 * (n.max(2) as f64).log2()).ceil() as usize;
+                gens.insert(c, KWiseGenerator::from_seed_bytes(&bytes, kk, PRG_PRIME));
+            }
+            for (i, algo) in problem.algorithms().iter().enumerate() {
+                let aid = algo.aid().0;
+                let delay: Vec<u64> = (0..n)
+                    .map(|v| {
+                        let c = layer.center[v];
+                        let gen = &gens[&c];
+                        let r1 = gen.bucket_value(aid, 0, BUCKET_WIDTH);
+                        let r2 = gen.bucket_value(aid, 1, BUCKET_WIDTH);
+                        law.sample_from_pair(r1, r2)
+                    })
+                    .collect();
+                units.push(Unit {
+                    algo: i,
+                    delay,
+                    stride: 1,
+                    trunc: layer.contained_radius.clone(),
+                });
+            }
+        }
+
+        let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
+        let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+        let mut outcome = Executor::run(
+            g,
+            problem.algorithms(),
+            &seeds,
+            &units,
+            &ExecutorConfig::default().with_phase_len(phase_len),
+        );
+        outcome.precompute_rounds = precompute_rounds;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{FloodBall, RelayChain};
+    use crate::verify;
+    use das_graph::{generators, NodeId};
+
+    #[test]
+    fn private_schedules_relays_correctly() {
+        let g = generators::path(12);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..6)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 2);
+        let outcome = PrivateScheduler::default().run(&p).unwrap();
+        let report = verify::against_references(&p, &outcome).unwrap();
+        assert!(
+            report.all_correct(),
+            "mismatches {:?}, late {}",
+            report.mismatches,
+            outcome.stats.late_messages
+        );
+        assert!(outcome.precompute_rounds > 0, "pre-computation is charged");
+    }
+
+    #[test]
+    fn private_schedules_floods_on_grid() {
+        let g = generators::grid(5, 5);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..8)
+            .map(|i| {
+                Box::new(FloodBall::new(i, &g, NodeId((3 * i % 25) as u32), 4))
+                    as Box<dyn crate::BlackBoxAlgorithm>
+            })
+            .collect();
+        let p = DasProblem::new(&g, algos, 7);
+        let outcome = PrivateScheduler::default().run(&p).unwrap();
+        let report = verify::against_references(&p, &outcome).unwrap();
+        assert!(
+            report.all_correct(),
+            "mismatches {:?}, late {}",
+            report.mismatches,
+            outcome.stats.late_messages
+        );
+    }
+
+    #[test]
+    fn distributed_precompute_matches_centralized() {
+        let g = generators::path(10);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..3)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 4);
+        let sched = PrivateScheduler::default().with_layers(4);
+        let central = sched.clone().run(&p).unwrap();
+        let dist = sched.with_distributed_precompute(true).run(&p).unwrap();
+        assert_eq!(central.outputs, dist.outputs);
+        assert_eq!(central.schedule_rounds(), dist.schedule_rounds());
+        assert_eq!(central.precompute_rounds, dist.precompute_rounds);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::path(9);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..4)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 4);
+        let a = PrivateScheduler::default().run(&p).unwrap();
+        let b = PrivateScheduler::default().run(&p).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.schedule_rounds(), b.schedule_rounds());
+    }
+}

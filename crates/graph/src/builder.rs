@@ -1,0 +1,168 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// Builder for [`Graph`].
+///
+/// Duplicate edges and self-loops are rejected, keeping every built graph
+/// simple (the CONGEST model is defined on simple graphs).
+///
+/// ```
+/// use das_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 3);
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    seen: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` and returns its id.
+    ///
+    /// Returns `None` (and adds nothing) if the edge is a self-loop or a
+    /// duplicate of an existing edge.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is `>= n`.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> Option<EdgeId> {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.n
+        );
+        if u == v {
+            return None;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let key = (NodeId(a), NodeId(b));
+        if !self.seen.insert(key) {
+            return None;
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(key);
+        Some(id)
+    }
+
+    /// Whether the edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&(NodeId(a), NodeId(b)))
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let mut deg = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            deg[a.index()] += 1;
+            deg[b.index()] += 1;
+        }
+        let mut adj_off = vec![0u32; n + 1];
+        for v in 0..n {
+            adj_off[v + 1] = adj_off[v] + deg[v];
+        }
+        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+        let mut adj = vec![(NodeId(0), EdgeId(0)); self.edges.len() * 2];
+        for (i, &(a, b)) in self.edges.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            adj[cursor[a.index()] as usize] = (b, e);
+            cursor[a.index()] += 1;
+            adj[cursor[b.index()] as usize] = (a, e);
+            cursor[b.index()] += 1;
+        }
+        Graph::from_parts(adj_off, adj, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 1).is_some());
+        assert!(b.add_edge(1, 0).is_none(), "reverse duplicate rejected");
+        assert!(b.add_edge(2, 2).is_none(), "self loop rejected");
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn has_edge_is_order_insensitive() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1);
+        assert!(b.has_edge(1, 2));
+        assert!(b.has_edge(2, 1));
+        assert!(!b.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.degree(NodeId(4)), 0);
+        assert_eq!(g.neighbors(NodeId(4)), &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn csr_adjacency_consistent() {
+        let mut b = GraphBuilder::new(6);
+        let pairs = [(0, 1), (0, 2), (1, 3), (3, 4), (2, 4), (4, 5)];
+        for &(u, v) in &pairs {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        // every adjacency entry is mirrored
+        for v in g.nodes() {
+            for &(u, e) in g.neighbors(v) {
+                assert!(g.neighbors(u).iter().any(|&(w, e2)| w == v && e2 == e));
+                assert_eq!(g.other_endpoint(e, v), u);
+            }
+        }
+        assert_eq!(g.total_degree(), 2 * pairs.len());
+    }
+}

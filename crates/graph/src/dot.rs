@@ -1,0 +1,61 @@
+//! GraphViz DOT export, used to render figure artifacts.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write;
+
+/// Renders the graph in GraphViz DOT format.
+///
+/// `label` is called once per node; return `None` to use the default
+/// `v<id>` label.
+///
+/// ```
+/// use das_graph::{generators, dot};
+/// let g = generators::path(3);
+/// let s = dot::to_dot(&g, |_| None);
+/// assert!(s.contains("v0 -- v1"));
+/// ```
+pub fn to_dot<F>(g: &Graph, label: F) -> String
+where
+    F: Fn(NodeId) -> Option<String>,
+{
+    let mut out = String::new();
+    out.push_str("graph G {\n");
+    for v in g.nodes() {
+        match label(v) {
+            Some(l) => {
+                let _ = writeln!(out, "  v{} [label=\"{}\"];", v.0, l.replace('"', "'"));
+            }
+            None => {
+                let _ = writeln!(out, "  v{};", v.0);
+            }
+        }
+    }
+    for e in g.edges() {
+        let (a, b) = g.endpoints(e);
+        let _ = writeln!(out, "  v{} -- v{};", a.0, b.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = generators::cycle(4);
+        let s = to_dot(&g, |_| None);
+        assert_eq!(s.matches(" -- ").count(), 4);
+        assert!(s.starts_with("graph G {"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn custom_labels() {
+        let g = generators::path(2);
+        let s = to_dot(&g, |v| Some(format!("node {}", v.0)));
+        assert!(s.contains("label=\"node 0\""));
+    }
+}

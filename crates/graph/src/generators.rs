@@ -1,0 +1,403 @@
+//! Deterministic topology generators.
+//!
+//! Random topologies take an explicit `u64` seed so every experiment is
+//! reproducible from its configuration.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A path `v0 - v1 - … - v{n-1}`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    b.build()
+}
+
+/// A cycle on `n >= 3` nodes.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as u32, ((i + 1) % n) as u32);
+    }
+    b.build()
+}
+
+/// A star: node 0 is the hub connected to nodes `1..n`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n > 0, "star needs at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i as u32);
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as u32, v as u32);
+        }
+    }
+    b.build()
+}
+
+/// A `rows x cols` grid; node `(r, c)` has id `r * cols + c`.
+///
+/// # Panics
+/// Panics if either side is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid sides must be positive");
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A `rows x cols` torus (grid with wrap-around); needs both sides >= 3 to
+/// stay simple.
+///
+/// # Panics
+/// Panics if either side is `< 3`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus sides must be >= 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// A complete `arity`-ary tree with `n` nodes; node 0 is the root and node
+/// `i > 0` has parent `(i - 1) / arity`.
+///
+/// # Panics
+/// Panics if `n == 0` or `arity == 0`.
+pub fn balanced_tree(n: usize, arity: usize) -> Graph {
+    assert!(n > 0 && arity > 0, "tree needs nodes and positive arity");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(((i - 1) / arity) as u32, i as u32);
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube on `2^d` nodes.
+///
+/// # Panics
+/// Panics if `d > 20` (guard against absurd sizes).
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d <= 20, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v as u32, u as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` conditioned on connectivity: edges are sampled
+/// independently with probability `p`, then a random spanning-path over a
+/// random permutation is added so the result is always connected.
+///
+/// # Panics
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "graph needs at least one node");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u as u32, v as u32);
+            }
+        }
+    }
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut rng);
+    for w in perm.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.build()
+}
+
+/// A random `d`-regular-ish graph built from `d/2` superimposed random
+/// Hamiltonian cycles (a standard expander construction); `d` must be even
+/// and `n >= 3`. Duplicate edges are dropped, so degrees can be slightly
+/// below `d`.
+///
+/// # Panics
+/// Panics if `d` is odd or zero, or `n < 3`.
+pub fn random_regular_expander(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d > 0 && d.is_multiple_of(2), "degree must be positive and even");
+    assert!(n >= 3, "need at least three nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..d / 2 {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        for i in 0..n {
+            b.add_edge(perm[i], perm[(i + 1) % n]);
+        }
+    }
+    b.build()
+}
+
+/// A barbell: two cliques of size `k` joined by a path of `bridge` extra
+/// nodes. Good for stressing low-conductance cuts.
+///
+/// # Panics
+/// Panics if `k < 2`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "cliques need at least two nodes");
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u as u32, v as u32);
+        }
+    }
+    let off = k + bridge;
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge((off + u) as u32, (off + v) as u32);
+        }
+    }
+    // path from node 0 of clique A through the bridge to node 0 of clique B
+    let mut prev = 0u32;
+    for i in 0..bridge {
+        let w = (k + i) as u32;
+        b.add_edge(prev, w);
+        prev = w;
+    }
+    b.add_edge(prev, off as u32);
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` leaf
+/// nodes attached. Spine node `i` has id `i`; its `j`-th leg has id
+/// `spine + i * legs + j`.
+///
+/// # Panics
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine > 0, "need at least one spine node");
+    let mut b = GraphBuilder::new(spine + spine * legs);
+    for i in 1..spine {
+        b.add_edge((i - 1) as u32, i as u32);
+    }
+    for i in 0..spine {
+        for j in 0..legs {
+            b.add_edge(i as u32, (spine + i * legs + j) as u32);
+        }
+    }
+    b.build()
+}
+
+/// The layered network of the paper's Section 3 lower bound (Figure 2):
+/// spine nodes `v_0 … v_L` and `L` groups `U_1 … U_L` of `eta` nodes each,
+/// where every `u ∈ U_i` is connected to `v_{i-1}` and `v_i`.
+///
+/// Node ids: spine node `v_i` has id `i` (`0..=L`), and the `j`-th node of
+/// `U_i` has id `(L + 1) + (i - 1) * eta + j`.
+///
+/// # Panics
+/// Panics if `layers == 0` or `eta == 0`.
+pub fn layered(layers: usize, eta: usize) -> Graph {
+    assert!(layers > 0 && eta > 0, "need at least one layer and node");
+    let n = (layers + 1) + layers * eta;
+    let mut b = GraphBuilder::new(n);
+    for i in 1..=layers {
+        for j in 0..eta {
+            let u = ((layers + 1) + (i - 1) * eta + j) as u32;
+            b.add_edge((i - 1) as u32, u);
+            b.add_edge(i as u32, u);
+        }
+    }
+    b.build()
+}
+
+/// Id of spine node `v_i` in a [`layered`] graph.
+pub fn layered_spine(i: usize) -> NodeId {
+    NodeId(i as u32)
+}
+
+/// Id of the `j`-th node of group `U_i` (`i >= 1`) in a [`layered`] graph
+/// with the given number of layers and group size.
+pub fn layered_group(layers: usize, eta: usize, i: usize, j: usize) -> NodeId {
+    assert!(i >= 1 && i <= layers && j < eta, "group index out of range");
+    NodeId(((layers + 1) + (i - 1) * eta + j) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(NodeId(0)), 6);
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        // corner degree 2, inner degree 4
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(5)), 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.edge_count(), 2 * 15);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = balanced_tree(7, 2);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn gnp_is_connected_and_deterministic() {
+        let g1 = gnp_connected(40, 0.05, 7);
+        let g2 = gnp_connected(40, 0.05, 7);
+        assert!(traversal::is_connected(&g1));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let g3 = gnp_connected(40, 0.05, 8);
+        // different seeds should (overwhelmingly) differ
+        assert!(g1.edge_count() != g3.edge_count() || {
+            g1.edges().any(|e| g1.endpoints(e) != g3.endpoints(e))
+        });
+    }
+
+    #[test]
+    fn expander_is_connected_with_small_diameter() {
+        let g = random_regular_expander(100, 6, 3);
+        assert!(traversal::is_connected(&g));
+        let d = traversal::diameter(&g).unwrap();
+        assert!(d <= 10, "expander diameter should be small, got {d}");
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2);
+        assert_eq!(g.node_count(), 10);
+        assert!(traversal::is_connected(&g));
+        // two K4s (6 edges each) + 3 bridge edges
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 3 + 12);
+        assert!(traversal::is_connected(&g));
+        assert_eq!(g.degree(NodeId(0)), 4); // 1 spine + 3 legs
+        assert_eq!(g.degree(NodeId(1)), 5); // 2 spine + 3 legs
+        assert_eq!(g.degree(NodeId(7)), 1); // a leg
+    }
+
+    #[test]
+    fn layered_shape() {
+        let layers = 3;
+        let eta = 4;
+        let g = layered(layers, eta);
+        assert_eq!(g.node_count(), 4 + 12);
+        assert_eq!(g.edge_count(), layers * eta * 2);
+        assert!(traversal::is_connected(&g));
+        // every group node has degree exactly 2
+        for i in 1..=layers {
+            for j in 0..eta {
+                let u = layered_group(layers, eta, i, j);
+                assert_eq!(g.degree(u), 2);
+                let nbrs: Vec<NodeId> = g.neighbors(u).iter().map(|&(v, _)| v).collect();
+                assert!(nbrs.contains(&layered_spine(i - 1)));
+                assert!(nbrs.contains(&layered_spine(i)));
+            }
+        }
+        // spine distance: v_0 to v_L is 2L hops
+        let dist = traversal::bfs_distances(&g, layered_spine(0));
+        assert_eq!(dist[layered_spine(layers).index()], Some(2 * layers as u32));
+    }
+}

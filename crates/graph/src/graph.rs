@@ -1,0 +1,400 @@
+//! The immutable undirected [`Graph`] type and its identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected edge in a [`Graph`].
+///
+/// Edge ids are dense: a graph with `m` edges uses ids `0..m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+/// One of the two directions of an undirected edge.
+///
+/// The CONGEST model allows one message per edge *per direction* per round,
+/// so directions are first-class: `Forward` is the direction from the
+/// smaller-id endpoint to the larger-id endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Direction {
+    /// From the smaller-id endpoint towards the larger-id endpoint.
+    Forward,
+    /// From the larger-id endpoint towards the smaller-id endpoint.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// A directed view of an undirected edge: an (edge, direction) pair.
+///
+/// There are exactly `2m` arcs in a graph with `m` edges, and
+/// [`Arc::index`] maps them densely onto `0..2m`, which the simulator uses
+/// for per-direction bandwidth accounting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Arc {
+    /// The underlying undirected edge.
+    pub edge: EdgeId,
+    /// The traversal direction.
+    pub direction: Direction,
+}
+
+impl Arc {
+    /// Creates an arc from an edge and a direction.
+    #[inline]
+    pub fn new(edge: EdgeId, direction: Direction) -> Self {
+        Arc { edge, direction }
+    }
+
+    /// Dense index of the arc in `0..2m`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.edge.index() * 2
+            + match self.direction {
+                Direction::Forward => 0,
+                Direction::Backward => 1,
+            }
+    }
+
+    /// Inverse of [`Arc::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Arc {
+            edge: EdgeId((i / 2) as u32),
+            direction: if i.is_multiple_of(2) {
+                Direction::Forward
+            } else {
+                Direction::Backward
+            },
+        }
+    }
+
+    /// The same edge traversed the other way.
+    #[inline]
+    pub fn reverse(self) -> Arc {
+        Arc::new(self.edge, self.direction.reverse())
+    }
+}
+
+/// An immutable, connected-or-not, simple undirected graph in CSR layout.
+///
+/// Construct one with [`crate::GraphBuilder`] or the topology functions in
+/// [`crate::generators`].
+///
+/// ```
+/// use das_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.degree(das_graph::NodeId(1)), 2);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    /// CSR offsets: neighbors of node `v` live at `adj[adj_off[v]..adj_off[v+1]]`.
+    adj_off: Vec<u32>,
+    /// Flat neighbor array: (neighbor node, incident edge id).
+    adj: Vec<(NodeId, EdgeId)>,
+    /// Endpoints of each edge, stored with `endpoints[e].0 < endpoints[e].1`.
+    endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        adj_off: Vec<u32>,
+        adj: Vec<(NodeId, EdgeId)>,
+        endpoints: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        Graph {
+            adj_off,
+            adj,
+            endpoints,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj_off.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Number of directed arcs (`2 * edge_count`).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        2 * self.endpoints.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count() as u32).map(EdgeId)
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.adj_off[v.index() + 1] - self.adj_off[v.index()]) as usize
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Neighbors of `v` together with the connecting edge ids.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        let lo = self.adj_off[v.index()] as usize;
+        let hi = self.adj_off[v.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// The two endpoints of edge `e`, smaller id first.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// The endpoint of `e` other than `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if v == a {
+            b
+        } else if v == b {
+            a
+        } else {
+            panic!("{v} is not an endpoint of {e}");
+        }
+    }
+
+    /// Looks up the edge between `u` and `v`, if any.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (scan, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(scan)
+            .iter()
+            .find(|(w, _)| *w == target)
+            .map(|&(_, e)| e)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// The arc describing a traversal of edge `e` starting at node `from`.
+    ///
+    /// # Panics
+    /// Panics if `from` is not an endpoint of `e`.
+    #[inline]
+    pub fn arc_from(&self, e: EdgeId, from: NodeId) -> Arc {
+        let (a, b) = self.endpoints(e);
+        if from == a {
+            Arc::new(e, Direction::Forward)
+        } else if from == b {
+            Arc::new(e, Direction::Backward)
+        } else {
+            panic!("{from} is not an endpoint of {e}");
+        }
+    }
+
+    /// The (source, destination) node pair of an arc.
+    #[inline]
+    pub fn arc_endpoints(&self, arc: Arc) -> (NodeId, NodeId) {
+        let (a, b) = self.endpoints(arc.edge);
+        match arc.direction {
+            Direction::Forward => (a, b),
+            Direction::Backward => (b, a),
+        }
+    }
+
+    /// Total number of (node, incident edge) pairs, i.e. `2m`.
+    pub fn total_degree(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.arc_count(), 6);
+        assert_eq!(g.total_degree(), 6);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        let nbrs: Vec<NodeId> = g.neighbors(NodeId(0)).iter().map(|&(n, _)| n).collect();
+        assert!(nbrs.contains(&NodeId(1)));
+        assert!(nbrs.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn endpoints_sorted() {
+        let g = triangle();
+        for e in g.edges() {
+            let (a, b) = g.endpoints(e);
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn find_edge_both_orders() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(g.endpoints(e), (NodeId(0), NodeId(2)));
+        assert_eq!(g.find_edge(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.other_endpoint(e, NodeId(0)), NodeId(1));
+        assert_eq!(g.other_endpoint(e, NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_endpoint_panics_for_non_endpoint() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let _ = g.other_endpoint(e, NodeId(2));
+    }
+
+    #[test]
+    fn arc_index_roundtrip() {
+        for i in 0..10 {
+            let a = Arc::from_index(i);
+            assert_eq!(a.index(), i);
+            assert_eq!(a.reverse().reverse(), a);
+            assert_ne!(a.reverse().index(), a.index());
+        }
+    }
+
+    #[test]
+    fn arc_endpoints_match_direction() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let fwd = g.arc_from(e, NodeId(1));
+        assert_eq!(g.arc_endpoints(fwd), (NodeId(1), NodeId(2)));
+        assert_eq!(g.arc_endpoints(fwd.reverse()), (NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", NodeId(7)), "v7");
+        assert_eq!(format!("{}", EdgeId(3)), "e3");
+        assert_eq!(format!("{:?}", NodeId(7)), "v7");
+    }
+}

@@ -1,0 +1,33 @@
+//! # das-graph
+//!
+//! Graph substrate for the `dasched` project: compact undirected graphs,
+//! deterministic topology generators, and the graph algorithms (BFS,
+//! components, diameter, spanning trees) that the CONGEST simulator and the
+//! schedulers are built on.
+//!
+//! The central type is [`Graph`], an immutable undirected multigraph-free
+//! graph with `u32` node and edge identifiers. Graphs are constructed either
+//! through [`GraphBuilder`] or through the ready-made topologies in
+//! [`generators`].
+//!
+//! ```
+//! use das_graph::{generators, traversal};
+//!
+//! let g = generators::grid(4, 5);
+//! assert_eq!(g.node_count(), 20);
+//! let dist = traversal::bfs_distances(&g, das_graph::NodeId(0));
+//! assert_eq!(dist[19], Some(7)); // (3,4) is 3+4 hops from (0,0)
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod graph;
+
+pub mod dot;
+pub mod generators;
+pub mod traversal;
+pub mod tree;
+
+pub use builder::GraphBuilder;
+pub use graph::{Arc, Direction, EdgeId, Graph, NodeId};

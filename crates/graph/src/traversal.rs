@@ -1,0 +1,272 @@
+//! Breadth-first traversal and distance computations.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distances from `source` to every node (`None` for unreachable nodes).
+///
+/// Runs in `O(n + m)`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    multi_source_bfs(g, std::slice::from_ref(&source))
+}
+
+/// Hop distances from the nearest of `sources` to every node.
+///
+/// # Panics
+/// Panics if `sources` is empty or contains an out-of-range node.
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Option<u32>> {
+    assert!(!sources.is_empty(), "need at least one source");
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(s.index() < g.node_count(), "source {s} out of range");
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].unwrap();
+        for &(u, _) in g.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parents from `source`: `parent[v]` is the predecessor of `v` on a
+/// shortest path from `source` (`None` for the source itself and for
+/// unreachable nodes).
+pub fn bfs_parents(g: &Graph, source: NodeId) -> Vec<Option<NodeId>> {
+    let mut parent = vec![None; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for &(u, _) in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                parent[u.index()] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    parent
+}
+
+/// A shortest path from `from` to `to` as a node sequence (inclusive), or
+/// `None` if `to` is unreachable.
+pub fn shortest_path(g: &Graph, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let parent = bfs_parents(g, from);
+    parent[to.index()]?;
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = parent[cur.index()].expect("parent chain reaches the source");
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Connected-component labels in `0..component_count`, assigned in order of
+/// smallest contained node id.
+pub fn components(g: &Graph) -> (usize, Vec<u32>) {
+    let n = g.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = count;
+        queue.push_back(NodeId(s as u32));
+        while let Some(v) = queue.pop_front() {
+            for &(u, _) in g.neighbors(v) {
+                if label[u.index()] == u32::MAX {
+                    label[u.index()] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, label)
+}
+
+/// Whether the graph is connected. The empty graph counts as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() == 0 || components(g).0 == 1
+}
+
+/// Eccentricity of `v`: the maximum distance from `v` to any reachable node,
+/// or `None` if some node is unreachable.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, v);
+    let mut ecc = 0;
+    for d in dist {
+        ecc = ecc.max(d?);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter by all-pairs BFS (`O(n·m)`), or `None` if disconnected.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.node_count() == 0 {
+        return Some(0);
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// Lower/upper diameter estimate by double-sweep BFS: returns
+/// `(lower_bound, upper_bound = 2 * lower_bound)`; `None` if disconnected.
+/// Much cheaper than [`diameter`] for large graphs.
+pub fn diameter_estimate(g: &Graph, seed_node: NodeId) -> Option<(u32, u32)> {
+    let d1 = bfs_distances(g, seed_node);
+    let mut far = seed_node;
+    let mut far_d = 0;
+    for (i, d) in d1.iter().enumerate() {
+        let d = (*d)?;
+        if d > far_d {
+            far_d = d;
+            far = NodeId(i as u32);
+        }
+    }
+    let lb = eccentricity(g, far)?;
+    Some((lb, 2 * lb))
+}
+
+/// All nodes within `h` hops of `v` (including `v` itself), in BFS order.
+pub fn ball(g: &Graph, v: NodeId, h: u32) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut dist = vec![u32::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    while let Some(w) = queue.pop_front() {
+        out.push(w);
+        if dist[w.index()] == h {
+            continue;
+        }
+        for &(u, _) in g.neighbors(w) {
+            if dist[u.index()] == u32::MAX {
+                dist[u.index()] = dist[w.index()] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn distances_on_path() {
+        let g = generators::path(6);
+        let d = bfs_distances(&g, NodeId(0));
+        for (i, d) in d.iter().enumerate() {
+            assert_eq!(*d, Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = generators::path(7);
+        let d = multi_source_bfs(&g, &[NodeId(0), NodeId(6)]);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[5], Some(1));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], None);
+        assert!(!is_connected(&g));
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = generators::grid(4, 4);
+        let p = shortest_path(&g, NodeId(0), NodeId(15)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(0)));
+        assert_eq!(p.last(), Some(&NodeId(15)));
+        assert_eq!(p.len(), 7); // 6 hops
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_to_self() {
+        let g = generators::path(3);
+        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+    }
+
+    #[test]
+    fn component_labels() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let (k, labels) = components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(10)), Some(9));
+        assert_eq!(diameter(&generators::cycle(10)), Some(5));
+        assert_eq!(diameter(&generators::complete(10)), Some(1));
+        assert_eq!(diameter(&generators::hypercube(5)), Some(5));
+    }
+
+    #[test]
+    fn diameter_estimate_brackets_truth() {
+        let g = generators::gnp_connected(60, 0.08, 11);
+        let truth = diameter(&g).unwrap();
+        let (lb, ub) = diameter_estimate(&g, NodeId(0)).unwrap();
+        assert!(lb <= truth && truth <= ub, "{lb} <= {truth} <= {ub}");
+    }
+
+    #[test]
+    fn ball_contents() {
+        let g = generators::path(9);
+        let b = ball(&g, NodeId(4), 2);
+        let mut ids: Vec<u32> = b.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3, 4, 5, 6]);
+        assert_eq!(ball(&g, NodeId(0), 0), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = generators::path(9);
+        assert_eq!(eccentricity(&g, NodeId(4)), Some(4));
+        assert_eq!(eccentricity(&g, NodeId(0)), Some(8));
+    }
+}

@@ -1,0 +1,195 @@
+//! Rooted spanning trees and tree utilities.
+//!
+//! Several workloads (convergecast, MST upcast, Kutten–Peleg style
+//! pipelines) operate on a rooted BFS tree of the network; this module
+//! provides that structure plus the traversal orders the pipelines need.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::traversal;
+
+/// A rooted spanning tree of (a connected) [`Graph`].
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    depth: Vec<u32>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl RootedTree {
+    /// Builds a BFS spanning tree rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if the graph is not connected or `root` is out of range.
+    pub fn bfs(g: &Graph, root: NodeId) -> Self {
+        assert!(root.index() < g.node_count(), "root out of range");
+        let parent = traversal::bfs_parents(g, root);
+        let dist = traversal::bfs_distances(g, root);
+        let n = g.node_count();
+        let mut parent_edge = vec![None; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut depth = vec![0u32; n];
+        for v in 0..n {
+            match dist[v] {
+                Some(d) => depth[v] = d,
+                None => panic!("graph is not connected; node v{v} unreachable"),
+            }
+            if let Some(p) = parent[v] {
+                let e = g
+                    .find_edge(p, NodeId(v as u32))
+                    .expect("BFS parent must be adjacent");
+                parent_edge[v] = Some(e);
+                children[p.index()].push(NodeId(v as u32));
+            }
+        }
+        RootedTree {
+            root,
+            parent,
+            parent_edge,
+            depth,
+            children,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The edge to the parent of `v` (`None` for the root).
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Height of the tree: maximum depth.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Children of `v`, in increasing id order of discovery.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Whether `v` is a leaf (no children; the root of a 1-node tree is a
+    /// leaf too).
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.index()].is_empty()
+    }
+
+    /// Nodes in an order where every parent precedes its children.
+    pub fn top_down_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            stack.extend(self.children(v).iter().copied());
+        }
+        order
+    }
+
+    /// Nodes in an order where every child precedes its parent.
+    pub fn bottom_up_order(&self) -> Vec<NodeId> {
+        let mut order = self.top_down_order();
+        order.reverse();
+        order
+    }
+
+    /// Subtree sizes (number of nodes in the subtree rooted at each node).
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut size = vec![1u32; self.node_count()];
+        for v in self.bottom_up_order() {
+            if let Some(p) = self.parent(v) {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_tree_on_grid() {
+        let g = generators::grid(3, 3);
+        let t = RootedTree::bfs(&g, NodeId(0));
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.depth(NodeId(8)), 4);
+        // every non-root has a parent at depth - 1 connected by a real edge
+        for v in g.nodes() {
+            if v == t.root() {
+                continue;
+            }
+            let p = t.parent(v).unwrap();
+            assert_eq!(t.depth(p) + 1, t.depth(v));
+            assert!(g.has_edge(p, v));
+            assert_eq!(t.parent_edge(v), g.find_edge(p, v));
+            assert!(t.children(p).contains(&v));
+        }
+    }
+
+    #[test]
+    fn orders_respect_parenthood() {
+        let g = generators::balanced_tree(15, 2);
+        let t = RootedTree::bfs(&g, NodeId(0));
+        let order = t.top_down_order();
+        assert_eq!(order.len(), 15);
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in g.nodes() {
+            if let Some(p) = t.parent(v) {
+                assert!(pos[&p] < pos[&v]);
+            }
+        }
+        let up = t.bottom_up_order();
+        let upos: std::collections::HashMap<NodeId, usize> =
+            up.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in g.nodes() {
+            if let Some(p) = t.parent(v) {
+                assert!(upos[&v] < upos[&p]);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_sum() {
+        let g = generators::balanced_tree(7, 2);
+        let t = RootedTree::bfs(&g, NodeId(0));
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[0], 7);
+        assert_eq!(sizes[1], 3);
+        assert_eq!(sizes[6], 1);
+        assert!(t.is_leaf(NodeId(6)));
+        assert!(!t.is_leaf(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_graph_panics() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let _ = RootedTree::bfs(&g, NodeId(0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the graph substrate.
+
+use das_graph::{generators, traversal, tree::RootedTree, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generators that promise connectivity deliver it; all adjacency is
+    /// mirrored; endpoints are ordered.
+    #[test]
+    fn generator_invariants(n in 4usize..60, p in 0.02f64..0.3, seed in 0u64..1000) {
+        let g = generators::gnp_connected(n, p, seed);
+        prop_assert!(traversal::is_connected(&g));
+        for v in g.nodes() {
+            for &(u, e) in g.neighbors(v) {
+                prop_assert!(g.neighbors(u).iter().any(|&(w, e2)| w == v && e2 == e));
+                prop_assert_eq!(g.other_endpoint(e, v), u);
+            }
+        }
+        for e in g.edges() {
+            let (a, b) = g.endpoints(e);
+            prop_assert!(a < b);
+            prop_assert_eq!(g.find_edge(a, b), Some(e));
+            prop_assert_eq!(g.find_edge(b, a), Some(e));
+        }
+    }
+
+    /// BFS distances satisfy the edge-wise Lipschitz property and match
+    /// shortest-path lengths.
+    #[test]
+    fn bfs_distances_are_metric(n in 4usize..50, seed in 0u64..1000) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        let src = NodeId(0);
+        let dist = traversal::bfs_distances(&g, src);
+        for e in g.edges() {
+            let (a, b) = g.endpoints(e);
+            let (da, db) = (dist[a.index()].unwrap() as i64, dist[b.index()].unwrap() as i64);
+            prop_assert!((da - db).abs() <= 1, "edge {a}-{b}: {da} vs {db}");
+        }
+        for v in g.nodes() {
+            let path = traversal::shortest_path(&g, src, v).unwrap();
+            prop_assert_eq!(path.len() as u32 - 1, dist[v.index()].unwrap());
+        }
+    }
+
+    /// Balls grow monotonically and reach the whole graph at the
+    /// eccentricity.
+    #[test]
+    fn balls_are_monotone(n in 4usize..40, seed in 0u64..1000, v in 0u32..4) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        let v = NodeId(v % n as u32);
+        let ecc = traversal::eccentricity(&g, v).unwrap();
+        let mut prev = 0;
+        for h in 0..=ecc {
+            let b = traversal::ball(&g, v, h).len();
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+        prop_assert_eq!(prev, n);
+    }
+
+    /// BFS trees are spanning, acyclic (n-1 parent edges), and depth
+    /// equals BFS distance.
+    #[test]
+    fn bfs_tree_invariants(n in 2usize..40, seed in 0u64..1000) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        let t = RootedTree::bfs(&g, NodeId(0));
+        let dist = traversal::bfs_distances(&g, NodeId(0));
+        let mut parent_edges = 0;
+        for v in g.nodes() {
+            prop_assert_eq!(t.depth(v), dist[v.index()].unwrap());
+            if v != t.root() {
+                parent_edges += 1;
+                prop_assert!(t.parent(v).is_some());
+            }
+        }
+        prop_assert_eq!(parent_edges, n - 1);
+        let sizes = t.subtree_sizes();
+        prop_assert_eq!(sizes[0] as usize, n);
+    }
+
+    /// Diameter estimates bracket the exact diameter.
+    #[test]
+    fn diameter_estimate_brackets(n in 3usize..35, seed in 0u64..500) {
+        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        let exact = traversal::diameter(&g).unwrap();
+        let (lb, ub) = traversal::diameter_estimate(&g, NodeId(0)).unwrap();
+        prop_assert!(lb <= exact && exact <= ub, "{lb} <= {exact} <= {ub}");
+    }
+}

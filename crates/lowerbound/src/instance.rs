@@ -1,0 +1,215 @@
+//! The Figure 2 hard-instance distribution.
+
+use das_core::synthetic::Prescribed;
+use das_core::BlackBoxAlgorithm;
+use das_graph::{generators, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the layered hard-instance family of Section 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HardInstanceParams {
+    /// Number of layers `L` (paper: `n^{0.1}`).
+    pub layers: usize,
+    /// Group size `η = |U_i|` (paper: `n^{0.9}`).
+    pub eta: usize,
+    /// Number of algorithms `k` (paper: `n^{0.2}`).
+    pub k: usize,
+    /// Per-node membership probability for the sets `S_j`
+    /// (paper: `n^{-0.1}`, so each algorithm uses each edge with that
+    /// probability and `E[congestion] = k · p`).
+    pub p: f64,
+}
+
+impl HardInstanceParams {
+    /// The paper's exact scaling for a target network size `n`:
+    /// `L = ⌈n^{0.1}⌉`, `η = ⌈n^{0.9}⌉`, `k = ⌈n^{0.2}⌉`, `p = n^{-0.1}`.
+    pub fn paper_scaled(n: usize) -> Self {
+        let nf = n.max(2) as f64;
+        HardInstanceParams {
+            layers: nf.powf(0.1).ceil() as usize,
+            eta: nf.powf(0.9).ceil() as usize,
+            k: nf.powf(0.2).ceil() as usize,
+            p: nf.powf(-0.1),
+        }
+    }
+
+    /// Free parameters (for sweeps where the paper's scaling would make
+    /// `η` impractically large before the log factors become visible).
+    pub fn custom(layers: usize, eta: usize, k: usize, p: f64) -> Self {
+        assert!(layers > 0 && eta > 0 && k > 0, "sizes must be positive");
+        assert!(p > 0.0 && p <= 1.0, "p must be a probability");
+        HardInstanceParams { layers, eta, k, p }
+    }
+
+    /// Nodes of the layered network these parameters induce.
+    pub fn node_count(&self) -> usize {
+        (self.layers + 1) + self.layers * self.eta
+    }
+}
+
+/// A sampled instance: the layered network plus, per algorithm and layer,
+/// the subset `S_j ⊆ U_j` the algorithm routes through.
+#[derive(Clone, Debug)]
+pub struct HardInstance {
+    params: HardInstanceParams,
+    graph: Graph,
+    /// `members[a][j]` = indices (within `U_{j+1}`) of the group nodes
+    /// algorithm `a` uses when crossing layer `j+1`.
+    members: Vec<Vec<Vec<u32>>>,
+}
+
+impl HardInstance {
+    /// Samples an instance from the distribution. Every `S_j` is forced
+    /// non-empty (resampling the empty outcome, as the paper's
+    /// `|S_j| = Θ(η p)` concentration implicitly assumes).
+    pub fn sample(params: HardInstanceParams, seed: u64) -> Self {
+        let graph = generators::layered(params.layers, params.eta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let members = (0..params.k)
+            .map(|_| {
+                (0..params.layers)
+                    .map(|_| loop {
+                        let s: Vec<u32> = (0..params.eta as u32)
+                            .filter(|_| rng.gen_bool(params.p))
+                            .collect();
+                        if !s.is_empty() {
+                            break s;
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        HardInstance {
+            params,
+            graph,
+            members,
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &HardInstanceParams {
+        &self.params
+    }
+
+    /// The layered network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The group members algorithm `a` uses in layer `j` (0-based layer).
+    pub fn members(&self, a: usize, j: usize) -> &[u32] {
+        &self.members[a][j]
+    }
+
+    /// Node id of the `m`-th member of `U_{j+1}` (0-based layer `j`).
+    pub fn group_node(&self, j: usize, m: u32) -> NodeId {
+        generators::layered_group(self.params.layers, self.params.eta, j + 1, m as usize)
+    }
+
+    /// The dilation of every algorithm in the family: `2 · layers`
+    /// (+1 absorption round in the black-box encoding).
+    pub fn dilation(&self) -> u32 {
+        2 * self.params.layers as u32
+    }
+
+    /// The exact congestion of the sampled instance: each group node `u`
+    /// of layer `j` loads both its edges once per algorithm whose `S_j`
+    /// contains it.
+    pub fn congestion(&self) -> u64 {
+        let mut best = 0u64;
+        for j in 0..self.params.layers {
+            let mut count = vec![0u64; self.params.eta];
+            for a in 0..self.params.k {
+                for &m in &self.members[a][j] {
+                    count[m as usize] += 1;
+                }
+            }
+            best = best.max(count.into_iter().max().unwrap_or(0));
+        }
+        best
+    }
+
+    /// The instance as schedulable black boxes: algorithm `a` sends
+    /// `v_{j} → S_{j+1}` in round `2j` and `S_{j+1} → v_{j+1}` in round
+    /// `2j + 1` (the paper's two-rounds-per-layer format).
+    pub fn algorithms(&self) -> Vec<Box<dyn BlackBoxAlgorithm>> {
+        let l = self.params.layers;
+        (0..self.params.k)
+            .map(|a| {
+                let mut triples = Vec::new();
+                for j in 0..l {
+                    let vj = generators::layered_spine(j);
+                    let vj1 = generators::layered_spine(j + 1);
+                    for &m in &self.members[a][j] {
+                        let u = self.group_node(j, m);
+                        triples.push((2 * j as u32, vj, u));
+                        triples.push((2 * j as u32 + 1, u, vj1));
+                    }
+                }
+                Box::new(Prescribed::new(a as u64, &self.graph, &triples))
+                    as Box<dyn BlackBoxAlgorithm>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_core::DasProblem;
+
+    #[test]
+    fn paper_scaling() {
+        let p = HardInstanceParams::paper_scaled(1024);
+        assert_eq!(p.layers, 2);
+        assert_eq!(p.k, 4);
+        assert!(p.eta >= 512);
+        assert!((p.p - 1024f64.powf(-0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_sets_look_binomial() {
+        let params = HardInstanceParams::custom(4, 200, 10, 0.1);
+        let inst = HardInstance::sample(params, 1);
+        for a in 0..10 {
+            for j in 0..4 {
+                let s = inst.members(a, j).len();
+                assert!((1..=60).contains(&s), "|S| = {s} looks wrong for η=200, p=0.1");
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_matches_problem_parameters() {
+        let params = HardInstanceParams::custom(3, 30, 8, 0.2);
+        let inst = HardInstance::sample(params, 7);
+        let problem = DasProblem::new(inst.graph(), inst.algorithms(), 3);
+        let measured = problem.parameters().unwrap();
+        assert_eq!(measured.congestion, inst.congestion());
+        // measured dilation counts send rounds only (the black box adds
+        // one silent absorption round on top)
+        assert_eq!(measured.dilation, inst.dilation());
+    }
+
+    #[test]
+    fn expected_congestion_near_kp() {
+        let params = HardInstanceParams::custom(2, 500, 40, 0.1);
+        let inst = HardInstance::sample(params, 3);
+        let c = inst.congestion() as f64;
+        let mean = 40.0 * 0.1;
+        assert!(c >= mean && c < mean * 4.0, "congestion {c} vs mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let params = HardInstanceParams::custom(3, 50, 5, 0.15);
+        let a = HardInstance::sample(params, 9);
+        let b = HardInstance::sample(params, 9);
+        for i in 0..5 {
+            for j in 0..3 {
+                assert_eq!(a.members(i, j), b.members(i, j));
+            }
+        }
+    }
+}

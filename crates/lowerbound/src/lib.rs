@@ -1,0 +1,33 @@
+//! # das-lowerbound
+//!
+//! The Section 3 lower bound, made executable.
+//!
+//! Theorem 3.1 shows — by the probabilistic method over a family of random
+//! instances on a layered network (Figure 2) — that some DAS instances
+//! admit **no** schedule of length
+//! `o(congestion + dilation · log n / log log n)`: any schedule induces a
+//! *crossing pattern* (which layer is crossed in which phase), some
+//! layer-phase pair is heavily loaded, and anti-concentration forces some
+//! single edge of that layer over the phase capacity.
+//!
+//! This crate provides:
+//!
+//! * [`HardInstance`] — sampler for the paper's instance distribution
+//!   (both paper-scaled `n^{0.1}/n^{0.9}/n^{0.2}` parameters and free
+//!   parameters for sweeps), exposing the instance as schedulable
+//!   black-box algorithms;
+//! * [`analysis`] — instance parameters, per-(layer, phase) loads, and the
+//!   empirical anti-concentration certificate (the failure probability of
+//!   crossing patterns at a given budget);
+//! * [`search`] — a greedy crossing-pattern scheduler that upper-bounds
+//!   the optimal schedule length, so measured `OPT̂ / (congestion +
+//!   dilation)` ratios can be tracked as `n` grows.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod search;
+
+mod instance;
+
+pub use instance::{HardInstance, HardInstanceParams};

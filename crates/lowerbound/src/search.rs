@@ -1,0 +1,124 @@
+//! Schedule search: greedy crossing-pattern construction that
+//! upper-bounds the optimal schedule length for hard instances.
+
+use crate::instance::HardInstance;
+
+/// Result of a greedy schedule construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GreedyResult {
+    /// Rounds per phase used.
+    pub phase_rounds: u32,
+    /// Phases consumed.
+    pub phases_used: u32,
+    /// Total schedule length in rounds (`phases_used · phase_rounds · 2`:
+    /// a crossing needs its two hops, scheduled in consecutive
+    /// half-phases).
+    pub length: u64,
+}
+
+/// Greedy earliest-fit: algorithms are processed in order; each crossing
+/// of layer `j` is assigned the earliest phase (not before the previous
+/// layer's phase) in which every member edge still has capacity
+/// (`phase_rounds` messages per edge per phase).
+///
+/// This is a *valid* schedule (so an upper bound on OPT): within a phase
+/// of `2·phase_rounds` rounds, each assigned crossing can perform both of
+/// its hops because each of its edges carries at most `phase_rounds`
+/// messages.
+#[allow(clippy::needless_range_loop)]
+pub fn greedy_schedule(inst: &HardInstance, phase_rounds: u32) -> GreedyResult {
+    assert!(phase_rounds >= 1);
+    let params = inst.params();
+    // capacity[layer][member][phase] — grown on demand
+    let mut used: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); params.eta]; params.layers];
+    let mut max_phase = 0u32;
+    for a in 0..params.k {
+        let mut t = 0u32;
+        // a phase of 2·phase_rounds rounds fits at most `phase_rounds`
+        // sequential crossings of one algorithm
+        let mut crossings_here = 0u32;
+        for j in 0..params.layers {
+            'find: loop {
+                let room = crossings_here < phase_rounds;
+                let fits = room
+                    && inst.members(a, j).iter().all(|&m| {
+                        let col = &used[j][m as usize];
+                        col.get(t as usize).copied().unwrap_or(0) < phase_rounds
+                    });
+                if fits {
+                    for &m in inst.members(a, j) {
+                        let col = &mut used[j][m as usize];
+                        if col.len() <= t as usize {
+                            col.resize(t as usize + 1, 0);
+                        }
+                        col[t as usize] += 1;
+                    }
+                    crossings_here += 1;
+                    max_phase = max_phase.max(t);
+                    break 'find;
+                }
+                t += 1;
+                crossings_here = 0;
+            }
+        }
+    }
+    GreedyResult {
+        phase_rounds,
+        phases_used: max_phase + 1,
+        length: (max_phase as u64 + 1) * phase_rounds as u64 * 2,
+    }
+}
+
+/// Minimizes the greedy length over a range of phase granularities,
+/// returning the best schedule found — the empirical `OPT̂` upper bound.
+pub fn best_greedy(inst: &HardInstance, max_phase_rounds: u32) -> GreedyResult {
+    (1..=max_phase_rounds.max(1))
+        .map(|r| greedy_schedule(inst, r))
+        .min_by_key(|g| g.length)
+        .expect("non-empty range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::HardInstanceParams;
+
+    #[test]
+    fn greedy_respects_capacity_and_order() {
+        let inst = HardInstance::sample(HardInstanceParams::custom(3, 10, 8, 0.3), 1);
+        let g = greedy_schedule(&inst, 2);
+        assert!(g.phases_used >= 1);
+        assert_eq!(g.length, g.phases_used as u64 * 4);
+    }
+
+    #[test]
+    fn greedy_length_at_least_trivial_bound() {
+        let inst = HardInstance::sample(HardInstanceParams::custom(4, 8, 12, 0.4), 2);
+        let g = best_greedy(&inst, 8);
+        let c = inst.congestion();
+        let d = inst.dilation() as u64;
+        assert!(
+            g.length as f64 >= (c.max(d)) as f64,
+            "schedule {} below the trivial bound {}",
+            g.length,
+            c.max(d)
+        );
+    }
+
+    #[test]
+    fn more_capacity_fewer_phases() {
+        let inst = HardInstance::sample(HardInstanceParams::custom(4, 8, 16, 0.4), 3);
+        let g1 = greedy_schedule(&inst, 1);
+        let g4 = greedy_schedule(&inst, 4);
+        assert!(g4.phases_used <= g1.phases_used);
+    }
+
+    #[test]
+    fn single_algorithm_needs_dilation() {
+        let inst = HardInstance::sample(HardInstanceParams::custom(5, 10, 1, 0.3), 4);
+        let g = greedy_schedule(&inst, 1);
+        // one algorithm, one crossing per phase: exactly dilation rounds
+        assert_eq!(g.phases_used, 5);
+        assert_eq!(g.length, inst.dilation() as u64);
+    }
+}

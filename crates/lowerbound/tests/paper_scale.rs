@@ -1,0 +1,54 @@
+//! The paper's exact `n^{0.1}/n^{0.9}/n^{0.2}` scaling, instantiated at a
+//! feasible size, plus distributional sanity of the sampled instances.
+
+use das_core::DasProblem;
+use das_lowerbound::{analysis, HardInstance, HardInstanceParams};
+
+#[test]
+fn paper_scaled_instance_is_well_formed() {
+    let params = HardInstanceParams::paper_scaled(4096);
+    let inst = HardInstance::sample(params, 1);
+    let g = inst.graph();
+    assert_eq!(g.node_count(), params.node_count());
+    // every group node has degree exactly 2 (its two spine edges)
+    let grp = das_graph::generators::layered_group(params.layers, params.eta, 1, 0);
+    assert_eq!(g.degree(grp), 2);
+    // spine v_0 connects to all of U_1
+    assert_eq!(
+        g.degree(das_graph::generators::layered_spine(0)),
+        params.eta
+    );
+    // measured parameters agree with the closed-form accounting
+    let problem = DasProblem::new(g, inst.algorithms(), 3);
+    let measured = problem.parameters().unwrap();
+    assert_eq!(measured.congestion, inst.congestion());
+    assert_eq!(measured.dilation, inst.dilation());
+}
+
+#[test]
+fn congestion_concentrates_around_kp() {
+    // E[congestion contribution per member] = k * p; the max over eta
+    // members sits within a small factor of the mean (Chernoff)
+    let params = HardInstanceParams::paper_scaled(4096);
+    let inst = HardInstance::sample(params, 2);
+    let mean = params.k as f64 * params.p;
+    let c = inst.congestion() as f64;
+    assert!(
+        c >= mean && c <= mean * 5.0 + 10.0,
+        "congestion {c} vs mean {mean}"
+    );
+}
+
+#[test]
+fn certificate_behaves_at_paper_scale() {
+    let params = HardInstanceParams::paper_scaled(4096);
+    let inst = HardInstance::sample(params, 3);
+    let d = inst.dilation();
+    // capacity 1 phases at dilation-many phases: overload near-certain
+    // (many algorithms share members with p = n^{-0.1} ≈ 0.43)
+    let tight = analysis::pattern_failure_rate(&inst, 1, d, 30, 4);
+    assert!(tight > 0.9, "tight-budget failure rate {tight}");
+    // huge capacity: no overload possible
+    let loose = analysis::pattern_failure_rate(&inst, params.k as u32, d, 30, 4);
+    assert_eq!(loose, 0.0);
+}

@@ -1,0 +1,313 @@
+//! Causal precedence and simulation verification (Section 2).
+//!
+//! In a pattern, communication `e1 = (v_i, u_{i+1})` *causally precedes*
+//! `e2 = (x_j, y_{j+1})` if there is a chain of pattern communications
+//! starting at `e1` and ending at `e2` where each link departs from the node
+//! the previous link arrived at, no earlier than the arrival. A *simulation*
+//! of an algorithm in a longer time span `T' ≥ T` re-times every
+//! communication while preserving this relation; [`verify_simulation`]
+//! checks that property for the schedules our schedulers emit.
+
+use crate::comm_pattern::{CommPattern, TimedArc};
+use das_graph::{Graph, NodeId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A mapping from original communications to their scheduled departure
+/// rounds (over the same network edge, which is how all schedulers in this
+/// project re-time messages).
+pub type SimulationMap = HashMap<TimedArc, u32>;
+
+/// Why a candidate simulation map is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimulationError {
+    /// An original communication has no scheduled time.
+    Unmapped {
+        /// The communication that was never scheduled.
+        arc: TimedArc,
+    },
+    /// A causal pair is scheduled out of order: the predecessor arrives
+    /// after the successor departs.
+    OrderViolation {
+        /// The causally-earlier communication.
+        earlier: TimedArc,
+        /// The causally-later communication.
+        later: TimedArc,
+        /// Scheduled departure of `earlier`.
+        earlier_sched: u32,
+        /// Scheduled departure of `later`.
+        later_sched: u32,
+    },
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::Unmapped { arc } => {
+                write!(f, "communication {arc:?} has no scheduled time")
+            }
+            SimulationError::OrderViolation {
+                earlier,
+                later,
+                earlier_sched,
+                later_sched,
+            } => write!(
+                f,
+                "causal order violated: {earlier:?} scheduled at {earlier_sched} must arrive \
+                 before {later:?} scheduled at {later_sched}"
+            ),
+        }
+    }
+}
+
+impl Error for SimulationError {}
+
+/// Whether `e1` causally precedes `e2` in `pattern` (reflexively false:
+/// an edge does not precede itself unless through a real chain).
+///
+/// Runs a forward search over the pattern; intended for tests and small
+/// instances — use [`verify_simulation`] to check whole schedules.
+pub fn causally_precedes(g: &Graph, pattern: &CommPattern, e1: TimedArc, e2: TimedArc) -> bool {
+    // Breadth-first over "reachable (node, earliest-departure-time) states".
+    // State: we have arrived at node w at time t (may depart at rounds >= t).
+    let (_, u1) = g.arc_endpoints(e1.arc);
+    let start = (u1, e1.round + 1);
+    let mut frontier = vec![start];
+    let mut best: HashMap<NodeId, u32> = HashMap::new();
+    best.insert(start.0, start.1);
+    while let Some((w, t)) = frontier.pop() {
+        for ta in pattern.timed_arcs() {
+            let (src, dst) = g.arc_endpoints(ta.arc);
+            if src != w || ta.round < t {
+                continue;
+            }
+            if *ta == e2 {
+                return true;
+            }
+            let arr = ta.round + 1;
+            if best.get(&dst).is_none_or(|&b| arr < b) {
+                best.insert(dst, arr);
+                frontier.push((dst, arr));
+            }
+        }
+    }
+    false
+}
+
+/// Verifies that `map` is a valid simulation of `pattern`: every
+/// communication is scheduled, and for every causal pair the predecessor's
+/// scheduled arrival is no later than the successor's scheduled departure.
+///
+/// Only the *covering* pairs (`e1` arrives at the node `e2` departs from, no
+/// later than `e2`'s departure) need checking — order on them implies order
+/// on the full transitive closure, because schedules keep messages on their
+/// original edges. Runs in `O(M log M)` for `M` messages.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_simulation(
+    g: &Graph,
+    pattern: &CommPattern,
+    map: &SimulationMap,
+) -> Result<(), SimulationError> {
+    // Check everything is mapped first.
+    for ta in pattern.timed_arcs() {
+        if !map.contains_key(ta) {
+            return Err(SimulationError::Unmapped { arc: *ta });
+        }
+    }
+
+    // Group communications by node: incoming (by arrival) and outgoing
+    // (by departure).
+    let n = g.node_count();
+    let mut incoming: Vec<Vec<TimedArc>> = vec![Vec::new(); n];
+    let mut outgoing: Vec<Vec<TimedArc>> = vec![Vec::new(); n];
+    for ta in pattern.timed_arcs() {
+        let (src, dst) = g.arc_endpoints(ta.arc);
+        incoming[dst.index()].push(*ta);
+        outgoing[src.index()].push(*ta);
+    }
+
+    for v in 0..n {
+        // Sort incoming by original arrival time, outgoing by original
+        // departure time.
+        incoming[v].sort_unstable_by_key(|ta| ta.round);
+        outgoing[v].sort_unstable_by_key(|ta| ta.round);
+        // Sweep outgoing edges in original-departure order, keeping the
+        // max scheduled arrival over all incoming with arrival <= departure,
+        // together with a witness.
+        let mut i = 0;
+        let mut max_arr: Option<(u32, TimedArc)> = None;
+        for &out in &outgoing[v] {
+            while i < incoming[v].len() && incoming[v][i].round < out.round {
+                let inc = incoming[v][i];
+                let sched_arr = map[&inc] + 1;
+                if max_arr.is_none_or(|(m, _)| sched_arr > m) {
+                    max_arr = Some((sched_arr, inc));
+                }
+                i += 1;
+            }
+            if let Some((m, witness)) = max_arr {
+                let out_sched = map[&out];
+                if m > out_sched {
+                    return Err(SimulationError::OrderViolation {
+                        earlier: witness,
+                        later: out,
+                        earlier_sched: map[&witness],
+                        later_sched: out_sched,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the identity simulation (every communication keeps its round);
+/// always valid.
+pub fn identity_map(pattern: &CommPattern) -> SimulationMap {
+    pattern.timed_arcs().iter().map(|&ta| (ta, ta.round)).collect()
+}
+
+/// Builds the simulation that delays every communication by `delay` rounds;
+/// always valid (a rigid shift preserves all gaps).
+pub fn shifted_map(pattern: &CommPattern, delay: u32) -> SimulationMap {
+    pattern
+        .timed_arcs()
+        .iter()
+        .map(|&ta| (ta, ta.round + delay))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_graph::generators;
+
+    /// Pattern on a path 0-1-2: round 0 send 0->1, round 1 send 1->2.
+    fn relay_pattern(g: &Graph) -> CommPattern {
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e12 = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        CommPattern::from_timed_arcs(
+            g.edge_count(),
+            vec![
+                TimedArc {
+                    round: 0,
+                    arc: g.arc_from(e01, NodeId(0)),
+                },
+                TimedArc {
+                    round: 1,
+                    arc: g.arc_from(e12, NodeId(1)),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn relay_has_causal_chain() {
+        let g = generators::path(3);
+        let p = relay_pattern(&g);
+        let tas = p.timed_arcs();
+        assert!(causally_precedes(&g, &p, tas[0], tas[1]));
+        assert!(!causally_precedes(&g, &p, tas[1], tas[0]));
+    }
+
+    #[test]
+    fn identity_and_shift_are_valid() {
+        let g = generators::path(3);
+        let p = relay_pattern(&g);
+        assert!(verify_simulation(&g, &p, &identity_map(&p)).is_ok());
+        assert!(verify_simulation(&g, &p, &shifted_map(&p, 10)).is_ok());
+    }
+
+    #[test]
+    fn reordering_is_rejected() {
+        let g = generators::path(3);
+        let p = relay_pattern(&g);
+        let tas = p.timed_arcs().to_vec();
+        let mut map = SimulationMap::new();
+        map.insert(tas[0], 5); // arrives at 6 ...
+        map.insert(tas[1], 3); // ... but successor departs at 3
+        let err = verify_simulation(&g, &p, &map).unwrap_err();
+        assert!(matches!(err, SimulationError::OrderViolation { .. }));
+        assert!(err.to_string().contains("causal order violated"));
+    }
+
+    #[test]
+    fn equal_time_arrival_departure_is_allowed() {
+        // predecessor arrives exactly when successor departs: allowed
+        // (k_l + 1 <= j with arrival = departure is the boundary case).
+        let g = generators::path(3);
+        let p = relay_pattern(&g);
+        let tas = p.timed_arcs().to_vec();
+        let mut map = SimulationMap::new();
+        map.insert(tas[0], 4); // arrives at 5
+        map.insert(tas[1], 5); // departs at 5: ok
+        assert!(verify_simulation(&g, &p, &map).is_ok());
+        map.insert(tas[1], 4); // departs at 4 < arrival 5: bad
+        assert!(verify_simulation(&g, &p, &map).is_err());
+    }
+
+    #[test]
+    fn unmapped_is_rejected() {
+        let g = generators::path(3);
+        let p = relay_pattern(&g);
+        let mut map = identity_map(&p);
+        let victim = p.timed_arcs()[1];
+        map.remove(&victim);
+        assert_eq!(
+            verify_simulation(&g, &p, &map),
+            Err(SimulationError::Unmapped { arc: victim })
+        );
+    }
+
+    #[test]
+    fn independent_messages_may_reorder() {
+        // two messages from different nodes with no causal link can be
+        // scheduled in any order.
+        let g = generators::path(4);
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e23 = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        let p = CommPattern::from_timed_arcs(
+            g.edge_count(),
+            vec![
+                TimedArc {
+                    round: 0,
+                    arc: g.arc_from(e01, NodeId(0)),
+                },
+                TimedArc {
+                    round: 5,
+                    arc: g.arc_from(e23, NodeId(2)),
+                },
+            ],
+        );
+        let tas = p.timed_arcs().to_vec();
+        assert!(!causally_precedes(&g, &p, tas[0], tas[1]));
+        let mut map = SimulationMap::new();
+        map.insert(tas[0], 9);
+        map.insert(tas[1], 0);
+        assert!(verify_simulation(&g, &p, &map).is_ok());
+    }
+
+    #[test]
+    fn causality_through_long_chain() {
+        let g = generators::path(5);
+        let mut tas = Vec::new();
+        for i in 0..4 {
+            let e = g.find_edge(NodeId(i), NodeId(i + 1)).unwrap();
+            tas.push(TimedArc {
+                round: i,
+                arc: g.arc_from(e, NodeId(i)),
+            });
+        }
+        let p = CommPattern::from_timed_arcs(g.edge_count(), tas.clone());
+        assert!(causally_precedes(&g, &p, tas[0], tas[3]));
+        // compressing the chain below its causal length must fail
+        let mut map = SimulationMap::new();
+        for (i, ta) in tas.iter().enumerate() {
+            map.insert(*ta, (i / 2) as u32); // rounds 0,0,1,1 — too tight
+        }
+        assert!(verify_simulation(&g, &p, &map).is_err());
+    }
+}

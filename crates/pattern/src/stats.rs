@@ -1,0 +1,113 @@
+//! Load profiles of communication patterns — the quantities the
+//! random-delay analyses reason about (per-round/per-phase edge loads).
+
+use crate::comm_pattern::CommPattern;
+
+/// Per-round and per-edge load statistics of one or more patterns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadProfile {
+    /// `load[r]` = messages sent in round `r` (across all patterns).
+    pub per_round: Vec<u64>,
+    /// Maximum messages any single edge carries in any single round.
+    pub max_edge_round_load: u64,
+    /// Maximum messages any single edge carries in any single *phase* of
+    /// `phase_len` rounds (the Theorem 1.1 quantity).
+    pub max_edge_phase_load: u64,
+    /// The phase length used for the phase statistic.
+    pub phase_len: u32,
+}
+
+/// Computes the joint load profile of `patterns` with the given phase
+/// length.
+///
+/// # Panics
+/// Panics if `patterns` is empty, `phase_len == 0`, or the patterns cover
+/// different edge counts.
+pub fn load_profile(patterns: &[CommPattern], phase_len: u32) -> LoadProfile {
+    assert!(!patterns.is_empty(), "need at least one pattern");
+    assert!(phase_len > 0, "phase length must be positive");
+    let edge_count = patterns[0].edge_count();
+    let rounds = patterns.iter().map(|p| p.rounds()).max().unwrap_or(0) as usize;
+    let phases = rounds.div_ceil(phase_len as usize).max(1);
+
+    let mut per_round = vec![0u64; rounds];
+    let mut edge_round: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
+    let mut edge_phase: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
+    for p in patterns {
+        assert_eq!(p.edge_count(), edge_count, "patterns over different graphs");
+        for ta in p.timed_arcs() {
+            per_round[ta.round as usize] += 1;
+            *edge_round
+                .entry((ta.arc.edge.0, ta.round))
+                .or_default() += 1;
+            *edge_phase
+                .entry((ta.arc.edge.0, ta.round / phase_len))
+                .or_default() += 1;
+        }
+    }
+    let _ = phases;
+    LoadProfile {
+        per_round,
+        max_edge_round_load: edge_round.values().copied().max().unwrap_or(0),
+        max_edge_phase_load: edge_phase.values().copied().max().unwrap_or(0),
+        phase_len,
+    }
+}
+
+impl LoadProfile {
+    /// Total messages.
+    pub fn total_messages(&self) -> u64 {
+        self.per_round.iter().sum()
+    }
+
+    /// The busiest round's message count.
+    pub fn peak_round(&self) -> u64 {
+        self.per_round.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_pattern::TimedArc;
+    use das_graph::{Arc, Direction, EdgeId};
+
+    fn ta(round: u32, e: u32) -> TimedArc {
+        TimedArc {
+            round,
+            arc: Arc::new(EdgeId(e), Direction::Forward),
+        }
+    }
+
+    #[test]
+    fn profile_counts() {
+        let p1 = CommPattern::from_timed_arcs(3, vec![ta(0, 0), ta(1, 0), ta(1, 1)]);
+        let p2 = CommPattern::from_timed_arcs(3, vec![ta(0, 0), ta(5, 2)]);
+        let prof = load_profile(&[p1, p2], 2);
+        assert_eq!(prof.total_messages(), 5);
+        assert_eq!(prof.per_round[0], 2);
+        assert_eq!(prof.per_round[1], 2);
+        assert_eq!(prof.per_round[5], 1);
+        assert_eq!(prof.peak_round(), 2);
+        // edge 0 carries 2 messages in phase 0 (rounds 0-1)
+        assert_eq!(prof.max_edge_phase_load, 3);
+        assert_eq!(prof.max_edge_round_load, 2);
+    }
+
+    #[test]
+    fn single_silent_pattern() {
+        let p = CommPattern::from_timed_arcs(2, vec![]);
+        let prof = load_profile(&[p], 4);
+        assert_eq!(prof.total_messages(), 0);
+        assert_eq!(prof.max_edge_phase_load, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_phase_panics() {
+        let p = CommPattern::from_timed_arcs(1, vec![ta(0, 0)]);
+        load_profile(&[p], 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The time-expanded graph `G × [T]` of Section 2.
+
+use das_graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// The `T`-round time-expanded graph of a network `G = (V, E)`.
+///
+/// It has `T + 1` copies `V_0 … V_T` of the node set; copy `v_i ∈ V_i` is
+/// connected by a directed edge to `u_{i+1} ∈ V_{i+1}` iff `{v, u} ∈ E`.
+/// Communication patterns of `T`-round algorithms are subgraphs of this
+/// graph.
+#[derive(Clone, Debug)]
+pub struct TimeExpandedGraph<'g> {
+    graph: &'g Graph,
+    horizon: usize,
+}
+
+impl<'g> TimeExpandedGraph<'g> {
+    /// Creates `G × [T]` for the given horizon `T`.
+    pub fn new(graph: &'g Graph, horizon: usize) -> Self {
+        TimeExpandedGraph { graph, horizon }
+    }
+
+    /// The underlying network.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The horizon `T`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of node copies, `(T + 1) · |V|`.
+    pub fn copy_count(&self) -> usize {
+        (self.horizon + 1) * self.graph.node_count()
+    }
+
+    /// Number of directed edges, `T · 2|E|` (each undirected network edge
+    /// yields two directed time edges per step).
+    pub fn edge_count(&self) -> usize {
+        self.horizon * 2 * self.graph.edge_count()
+    }
+
+    /// Whether `(v_i, u_{i+1})` is an edge, i.e. whether `i < T` and
+    /// `{v, u} ∈ E`.
+    pub fn has_edge(&self, v: NodeId, i: usize, u: NodeId) -> bool {
+        i < self.horizon && self.graph.has_edge(v, u)
+    }
+
+    /// Dense index of the node copy `v_i` in `0..copy_count()`.
+    pub fn copy_index(&self, v: NodeId, i: usize) -> usize {
+        assert!(i <= self.horizon, "time index out of range");
+        i * self.graph.node_count() + v.index()
+    }
+
+    /// Renders an ASCII picture of the time-expanded graph with a
+    /// communication pattern highlighted (the Figure 1 artifact). `used`
+    /// is called with `(v, i, u)` and should return `true` iff the pattern
+    /// sends a message from `v` to `u` in round `i`.
+    pub fn render_ascii<F>(&self, used: F) -> String
+    where
+        F: Fn(NodeId, usize, NodeId) -> bool,
+    {
+        let n = self.graph.node_count();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "time-expanded graph G x [{}]  ({} nodes per column; * marks pattern edges)",
+            self.horizon, n
+        );
+        let mut header = String::from("      ");
+        for i in 0..=self.horizon {
+            let _ = write!(header, "V_{i:<5}");
+        }
+        let _ = writeln!(out, "{header}");
+        for v in self.graph.nodes() {
+            let mut line = format!("v{:<4} ", v.0);
+            for i in 0..=self.horizon {
+                line.push('o');
+                if i < self.horizon {
+                    // mark whether v sends anywhere in round i
+                    let sends = self
+                        .graph
+                        .neighbors(v)
+                        .iter()
+                        .any(|&(u, _)| used(v, i, u));
+                    line.push_str(if sends { " *--> " } else { "      " });
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_graph::generators;
+
+    #[test]
+    fn counts() {
+        let g = generators::path(4); // 3 edges
+        let te = TimeExpandedGraph::new(&g, 5);
+        assert_eq!(te.copy_count(), 6 * 4);
+        assert_eq!(te.edge_count(), 5 * 6);
+        assert_eq!(te.horizon(), 5);
+    }
+
+    #[test]
+    fn edges_follow_network_adjacency() {
+        let g = generators::path(3);
+        let te = TimeExpandedGraph::new(&g, 2);
+        assert!(te.has_edge(NodeId(0), 0, NodeId(1)));
+        assert!(te.has_edge(NodeId(1), 1, NodeId(0)));
+        assert!(!te.has_edge(NodeId(0), 0, NodeId(2)), "not adjacent");
+        assert!(!te.has_edge(NodeId(0), 2, NodeId(1)), "past horizon");
+    }
+
+    #[test]
+    fn copy_index_is_dense_and_unique() {
+        let g = generators::path(3);
+        let te = TimeExpandedGraph::new(&g, 2);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..=2 {
+            for v in g.nodes() {
+                assert!(seen.insert(te.copy_index(v, i)));
+            }
+        }
+        assert_eq!(seen.len(), te.copy_count());
+        assert_eq!(seen.into_iter().max().unwrap(), te.copy_count() - 1);
+    }
+
+    #[test]
+    fn ascii_render_marks_pattern() {
+        let g = generators::path(2);
+        let te = TimeExpandedGraph::new(&g, 2);
+        let s = te.render_ascii(|v, i, _u| v == NodeId(0) && i == 0);
+        assert!(s.contains("*-->"));
+        assert!(s.contains("V_0"));
+        assert!(s.contains("V_2"));
+    }
+}

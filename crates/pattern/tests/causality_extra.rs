@@ -1,0 +1,83 @@
+//! Extra causality scenarios: branching, merging, and diamond-shaped
+//! causal structures.
+
+use das_graph::{generators, Graph, NodeId};
+use das_pattern::causality::{identity_map, shifted_map, verify_simulation};
+use das_pattern::{CommPattern, SimulationMap, TimedArc};
+
+fn arc(g: &Graph, from: u32, to: u32, round: u32) -> TimedArc {
+    let e = g.find_edge(NodeId(from), NodeId(to)).expect("edge exists");
+    TimedArc {
+        round,
+        arc: g.arc_from(e, NodeId(from)),
+    }
+}
+
+/// A diamond: 1 -> {0, 2} in round 0, then {0, 2} -> 1 back in round 1,
+/// then 1 -> 0 again in round 2 (depends on both replies).
+fn diamond(g: &Graph) -> CommPattern {
+    CommPattern::from_timed_arcs(
+        g.edge_count(),
+        vec![
+            arc(g, 1, 0, 0),
+            arc(g, 1, 2, 0),
+            arc(g, 0, 1, 1),
+            arc(g, 2, 1, 1),
+            arc(g, 1, 0, 2),
+        ],
+    )
+}
+
+#[test]
+fn diamond_accepts_identity_and_shift() {
+    let g = generators::path(3);
+    let p = diamond(&g);
+    assert!(verify_simulation(&g, &p, &identity_map(&p)).is_ok());
+    assert!(verify_simulation(&g, &p, &shifted_map(&p, 100)).is_ok());
+}
+
+#[test]
+fn diamond_rejects_one_late_branch() {
+    let g = generators::path(3);
+    let p = diamond(&g);
+    let mut map: SimulationMap = identity_map(&p);
+    // delay only node 2's reply past the final send's departure
+    map.insert(arc(&g, 2, 1, 1), 5);
+    assert!(verify_simulation(&g, &p, &map).is_err());
+    // ...unless the final send moves too
+    map.insert(arc(&g, 1, 0, 2), 7);
+    assert!(verify_simulation(&g, &p, &map).is_ok());
+}
+
+#[test]
+fn independent_branches_may_stretch_apart() {
+    let g = generators::path(3);
+    let p = diamond(&g);
+    let mut map: SimulationMap = identity_map(&p);
+    // the two round-0 sends have no causal order between them
+    map.insert(arc(&g, 1, 0, 0), 50);
+    map.insert(arc(&g, 0, 1, 1), 51);
+    map.insert(arc(&g, 1, 0, 2), 52);
+    // the other branch keeps its early times — still valid
+    assert!(verify_simulation(&g, &p, &map).is_ok());
+}
+
+#[test]
+fn self_crossing_chains_on_cycles() {
+    // a message looping around a cycle revisits nodes: causality must
+    // still chain through repeated visits
+    let g = generators::cycle(4);
+    let hops = [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 1)];
+    let tas: Vec<TimedArc> = hops
+        .iter()
+        .enumerate()
+        .map(|(r, &(a, b))| arc(&g, a, b, r as u32))
+        .collect();
+    let p = CommPattern::from_timed_arcs(g.edge_count(), tas.clone());
+    // compressing the loop below its causal length fails
+    let mut map: SimulationMap = tas.iter().map(|&ta| (ta, ta.round / 2)).collect();
+    assert!(verify_simulation(&g, &p, &map).is_err());
+    // stretching it is fine
+    map = tas.iter().map(|&ta| (ta, ta.round * 3)).collect();
+    assert!(verify_simulation(&g, &p, &map).is_ok());
+}

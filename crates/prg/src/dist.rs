@@ -1,0 +1,289 @@
+//! Random delay laws used by the schedulers.
+//!
+//! * [`Uniform`] — Theorem 1.1: delay each algorithm uniformly in
+//!   `[Θ(congestion / log n)]` phases.
+//! * [`BlockDecay`] — Lemma 4.4: the non-uniform distribution that lets the
+//!   private-randomness scheduler pay for only the *first*-scheduled copy of
+//!   each message. Its support is split into `β = Θ(log n)` blocks; block
+//!   `i` (0-based) holds `⌈L·α^i⌉` points and receives total probability
+//!   mass `1/β`, spread uniformly inside the block.
+
+use crate::primes::next_prime;
+use rand::Rng;
+
+/// A distribution over integer delays `0..support()`.
+pub trait DelayLaw {
+    /// Number of points in the support.
+    fn support(&self) -> u64;
+
+    /// Probability mass of `delay` (0 outside the support).
+    fn pmf(&self, delay: u64) -> f64;
+
+    /// Samples from two independent uniform words (e.g. two `k`-wise
+    /// independent PRG values); deterministic in `(r1, r2)`.
+    fn sample_from_pair(&self, r1: u64, r2: u64) -> u64;
+
+    /// Samples with a local RNG.
+    fn sample_rng<R: Rng + ?Sized>(&self, rng: &mut R) -> u64
+    where
+        Self: Sized,
+    {
+        let r1 = rng.gen::<u64>();
+        let r2 = rng.gen::<u64>();
+        self.sample_from_pair(r1, r2)
+    }
+}
+
+/// The uniform law on `0..range`.
+///
+/// To avoid modulo bias when driven by a `GF(p)` PRG, construct it with
+/// [`Uniform::prime_at_least`], which rounds the range up to a prime — the
+/// paper's own trick (footnote 6: pick delays in `[1..p]` for a prime
+/// `p ∈ Θ(R)`, which exists by Bertrand's postulate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Uniform {
+    range: u64,
+}
+
+impl Uniform {
+    /// Uniform on `0..range`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(range: u64) -> Self {
+        assert!(range > 0, "range must be positive");
+        Uniform { range }
+    }
+
+    /// Uniform on `0..p` for the smallest prime `p >= range`; pair it with
+    /// a PRG over the same modulus `p` for exactly unbiased samples.
+    pub fn prime_at_least(range: u64) -> Self {
+        Uniform {
+            range: next_prime(range),
+        }
+    }
+
+    /// The range (exclusive upper bound).
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+}
+
+impl DelayLaw for Uniform {
+    fn support(&self) -> u64 {
+        self.range
+    }
+
+    fn pmf(&self, delay: u64) -> f64 {
+        if delay < self.range {
+            1.0 / self.range as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn sample_from_pair(&self, r1: u64, _r2: u64) -> u64 {
+        r1 % self.range
+    }
+}
+
+/// The block-decay law of Lemma 4.4.
+///
+/// Support: `β` consecutive blocks, block `i` of size `⌈L·α^i⌉ ≥ 1`; each
+/// block carries total mass `1/β`, uniform within the block. Points in
+/// later blocks are individually *heavier*, which compensates for the
+/// shrinking probability that a copy delayed that far is the first
+/// scheduled — the balance that yields `O(log n / congestion)` per-big-round
+/// first-copy load in the paper's analysis.
+#[derive(Clone, Debug)]
+pub struct BlockDecay {
+    block_sizes: Vec<u64>,
+    /// Cumulative start offsets of each block (offsets[i] = start of block i).
+    offsets: Vec<u64>,
+}
+
+impl BlockDecay {
+    /// Creates the law with first-block size `l`, `beta` blocks, and decay
+    /// factor `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `l == 0`, `beta == 0`, or `alpha` is outside `(0, 1)`.
+    pub fn new(l: u64, beta: usize, alpha: f64) -> Self {
+        assert!(l > 0, "first block must be non-empty");
+        assert!(beta > 0, "need at least one block");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let mut block_sizes = Vec::with_capacity(beta);
+        let mut offsets = Vec::with_capacity(beta);
+        let mut off = 0u64;
+        for i in 0..beta {
+            let size = ((l as f64) * alpha.powi(i as i32)).ceil().max(1.0) as u64;
+            offsets.push(off);
+            block_sizes.push(size);
+            off += size;
+        }
+        BlockDecay {
+            block_sizes,
+            offsets,
+        }
+    }
+
+    /// Number of blocks `β`.
+    pub fn beta(&self) -> usize {
+        self.block_sizes.len()
+    }
+
+    /// Size of block `i`.
+    pub fn block_size(&self, i: usize) -> u64 {
+        self.block_sizes[i]
+    }
+
+    /// The block containing `delay`, or `None` outside the support.
+    pub fn block_of(&self, delay: u64) -> Option<usize> {
+        if delay >= self.support() {
+            return None;
+        }
+        match self.offsets.binary_search(&delay) {
+            Ok(i) => Some(i),
+            Err(i) => Some(i - 1),
+        }
+    }
+}
+
+impl DelayLaw for BlockDecay {
+    fn support(&self) -> u64 {
+        *self.offsets.last().expect("beta >= 1") + *self.block_sizes.last().expect("beta >= 1")
+    }
+
+    fn pmf(&self, delay: u64) -> f64 {
+        match self.block_of(delay) {
+            Some(i) => 1.0 / (self.beta() as f64 * self.block_sizes[i] as f64),
+            None => 0.0,
+        }
+    }
+
+    fn sample_from_pair(&self, r1: u64, r2: u64) -> u64 {
+        let beta = self.beta() as u64;
+        let block = (r1 % beta) as usize;
+        let off = r2 % self.block_sizes[block];
+        self.offsets[block] + off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_pmf_sums_to_one() {
+        let u = Uniform::new(10);
+        let total: f64 = (0..12).map(|d| u.pmf(d)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(u.pmf(10), 0.0);
+    }
+
+    #[test]
+    fn uniform_prime_rounding() {
+        let u = Uniform::prime_at_least(10);
+        assert_eq!(u.range(), 11);
+        let u = Uniform::prime_at_least(13);
+        assert_eq!(u.range(), 13);
+    }
+
+    #[test]
+    fn block_decay_shape() {
+        let d = BlockDecay::new(100, 5, 0.5);
+        assert_eq!(d.beta(), 5);
+        assert_eq!(d.block_size(0), 100);
+        assert_eq!(d.block_size(1), 50);
+        assert_eq!(d.block_size(4), 7); // ceil(100 * 0.0625)
+        assert_eq!(d.support(), 100 + 50 + 25 + 13 + 7);
+    }
+
+    #[test]
+    fn block_decay_pmf_sums_to_one() {
+        let d = BlockDecay::new(37, 7, 0.6);
+        let total: f64 = (0..d.support()).map(|x| d.pmf(x)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        assert_eq!(d.pmf(d.support()), 0.0);
+    }
+
+    #[test]
+    fn block_masses_equal() {
+        let d = BlockDecay::new(64, 6, 0.5);
+        for i in 0..d.beta() {
+            let lo = if i == 0 { 0 } else { d.offsets[i] };
+            let hi = lo + d.block_size(i);
+            let mass: f64 = (lo..hi).map(|x| d.pmf(x)).sum();
+            assert!((mass - 1.0 / 6.0).abs() < 1e-9, "block {i} mass {mass}");
+        }
+    }
+
+    #[test]
+    fn later_blocks_have_heavier_points() {
+        let d = BlockDecay::new(100, 5, 0.5);
+        let first = d.pmf(0);
+        let last = d.pmf(d.support() - 1);
+        assert!(last > first, "points get heavier toward the tail");
+    }
+
+    #[test]
+    fn block_of_boundaries() {
+        let d = BlockDecay::new(10, 3, 0.5);
+        // sizes: 10, 5, 3 ; offsets 0, 10, 15
+        assert_eq!(d.block_of(0), Some(0));
+        assert_eq!(d.block_of(9), Some(0));
+        assert_eq!(d.block_of(10), Some(1));
+        assert_eq!(d.block_of(14), Some(1));
+        assert_eq!(d.block_of(15), Some(2));
+        assert_eq!(d.block_of(17), Some(2));
+        assert_eq!(d.block_of(18), None);
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let d = BlockDecay::new(8, 4, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 200_000;
+        let mut counts = vec![0u64; d.support() as usize];
+        for _ in 0..trials {
+            counts[d.sample_rng(&mut rng) as usize] += 1;
+        }
+        for (x, &c) in counts.iter().enumerate() {
+            let expect = d.pmf(x as u64) * trials as f64;
+            let rel = (c as f64 - expect).abs() / expect;
+            assert!(rel < 0.1, "point {x}: got {c}, expected {expect}");
+        }
+    }
+
+    #[test]
+    fn pair_sampling_deterministic() {
+        let d = BlockDecay::new(20, 4, 0.7);
+        assert_eq!(d.sample_from_pair(5, 9), d.sample_from_pair(5, 9));
+        let u = Uniform::new(7);
+        assert_eq!(u.sample_from_pair(20, 0), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_in_support(l in 1u64..200, beta in 1usize..10, a in 0.1f64..0.9,
+                              r1: u64, r2: u64) {
+            let d = BlockDecay::new(l, beta, a);
+            let s = d.sample_from_pair(r1, r2);
+            prop_assert!(s < d.support());
+            prop_assert!(d.pmf(s) > 0.0);
+        }
+
+        #[test]
+        fn support_close_to_geometric_sum(l in 10u64..500, a in 0.3f64..0.9) {
+            let beta = 20usize;
+            let d = BlockDecay::new(l, beta, a);
+            // support <= L/(1-alpha) + beta (ceil slack)
+            let bound = (l as f64) / (1.0 - a) + beta as f64;
+            prop_assert!((d.support() as f64) <= bound + 1.0);
+            prop_assert!(d.support() >= l);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Arithmetic in the prime field `GF(p)`.
+
+use serde::{Deserialize, Serialize};
+
+/// The field `GF(p)` for a prime `p < 2^62`.
+///
+/// All operations take and return canonical representatives in `[0, p)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrimeField {
+    p: u64,
+}
+
+impl PrimeField {
+    /// Creates the field `GF(p)`.
+    ///
+    /// # Panics
+    /// Panics if `p < 2` or `p >= 2^62` (guard for multiplication via
+    /// `u128`) — primality itself is the caller's responsibility; use
+    /// [`crate::primes::is_prime`].
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(p < (1 << 62), "modulus too large");
+        PrimeField { p }
+    }
+
+    /// The modulus `p`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, p)`.
+    #[inline]
+    pub fn reduce(&self, x: u64) -> u64 {
+        x % self.p
+    }
+
+    /// `a + b mod p`. Inputs must be canonical.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    /// `a - b mod p`. Inputs must be canonical.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// `a * b mod p`. Inputs must be canonical.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        ((a as u128 * b as u128) % self.p as u128) as u64
+    }
+
+    /// `a^e mod p` by square-and-multiply.
+    pub fn pow(&self, mut a: u64, mut e: u64) -> u64 {
+        let mut acc = 1 % self.p;
+        a %= self.p;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, a);
+            }
+            a = self.mul(a, a);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse by Fermat's little theorem (`p` must be
+    /// prime).
+    ///
+    /// # Panics
+    /// Panics if `a ≡ 0 (mod p)`.
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(!a.is_multiple_of(self.p), "zero has no inverse");
+        self.pow(a, self.p - 2)
+    }
+
+    /// Evaluates the polynomial `c[0] + c[1]·x + … + c[d]·x^d` at `x`
+    /// by Horner's rule. Coefficients need not be canonical.
+    pub fn poly_eval(&self, coeffs: &[u64], x: u64) -> u64 {
+        let x = self.reduce(x);
+        let mut acc = 0u64;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), self.reduce(c));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const P: u64 = 1_000_000_007;
+
+    #[test]
+    fn basic_ops() {
+        let f = PrimeField::new(7);
+        assert_eq!(f.add(5, 4), 2);
+        assert_eq!(f.sub(2, 5), 4);
+        assert_eq!(f.mul(3, 5), 1);
+        assert_eq!(f.pow(3, 6), 1); // Fermat
+        assert_eq!(f.inv(3), 5);
+        assert_eq!(f.mul(3, f.inv(3)), 1);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let f = PrimeField::new(97);
+        // 2 + 3x + x^2 at x = 5: 2 + 15 + 25 = 42
+        assert_eq!(f.poly_eval(&[2, 3, 1], 5), 42);
+        assert_eq!(f.poly_eval(&[], 5), 0);
+        assert_eq!(f.poly_eval(&[13], 12345), 13);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_inverse_panics() {
+        PrimeField::new(7).inv(14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn huge_modulus_panics() {
+        PrimeField::new(1 << 62);
+    }
+
+    proptest! {
+        #[test]
+        fn field_laws(a in 0..P, b in 0..P, c in 0..P) {
+            let f = PrimeField::new(P);
+            // commutativity
+            prop_assert_eq!(f.add(a, b), f.add(b, a));
+            prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+            // associativity
+            prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+            prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+            // distributivity
+            prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+            // sub inverts add
+            prop_assert_eq!(f.sub(f.add(a, b), b), a);
+        }
+
+        #[test]
+        fn inverse_law(a in 1..P) {
+            let f = PrimeField::new(P);
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+
+        #[test]
+        fn pow_matches_repeated_mul(a in 0..P, e in 0u64..64) {
+            let f = PrimeField::new(P);
+            let mut acc = 1u64;
+            for _ in 0..e {
+                acc = f.mul(acc, a);
+            }
+            prop_assert_eq!(f.pow(a, e), acc);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # das-prg
+//!
+//! Bounded-independence pseudorandomness for the `dasched` schedulers.
+//!
+//! The paper's private-randomness scheduler (Theorem 1.3/4.1) shares only
+//! `Θ(log² n)` random bits per cluster and stretches them — via the classical
+//! Reed–Solomon construction, i.e. evaluation of a random degree-`(k-1)`
+//! polynomial over a prime field `GF(p)` — into `poly(n)` values that are
+//! `k`-wise independent for `k = Θ(log n)`. That is exactly what
+//! [`KWiseGenerator`] implements, on top of:
+//!
+//! * [`field::PrimeField`] — arithmetic in `GF(p)` for 62-bit primes,
+//! * [`primes`] — deterministic Miller–Rabin and Bertrand-postulate prime
+//!   lookup (the paper picks delay ranges `[1..p]` for a prime `p ∈ Θ(R)`),
+//! * [`dist`] — the delay distributions: the uniform law of Theorem 1.1 and
+//!   the non-uniform block-decay law of Lemma 4.4.
+//!
+//! ```
+//! use das_prg::{KWiseGenerator, primes};
+//!
+//! // 2^7-ish delays, 8-wise independent, from one 16-byte shared seed
+//! let p = primes::next_prime(100);
+//! let gen = KWiseGenerator::from_seed_bytes(b"shared-randomness", 8, p);
+//! let d0 = gen.value(0);
+//! assert!(d0 < p);
+//! // deterministic: same seed, same values
+//! let gen2 = KWiseGenerator::from_seed_bytes(b"shared-randomness", 8, p);
+//! assert_eq!(gen.value(17), gen2.value(17));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod field;
+pub mod primes;
+
+mod kwise;
+mod seed;
+
+pub use dist::{BlockDecay, DelayLaw, Uniform};
+pub use kwise::KWiseGenerator;
+pub use seed::BitPool;

@@ -1,0 +1,120 @@
+//! Primality testing and prime lookup.
+//!
+//! Lemma 4.3 of the paper picks random delays from `[1..p]` for a prime
+//! `p ∈ Θ(R)` and invokes Bertrand's postulate (a prime exists in `[a, 2a]`
+//! for every `a ≥ 1`) — [`next_prime`] is the constructive version.
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`
+/// (witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // write n-1 = d * 2^s
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The smallest prime `>= n` (and `>= 2`).
+///
+/// By Bertrand's postulate the result is `< 2·max(n, 2)`, so delay ranges
+/// grow by at most a factor of two.
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    while !is_prime(c) {
+        c += 1;
+    }
+    c
+}
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1 % m;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn known_large_values() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(2_305_843_009_213_693_951)); // 2^61 - 1, Mersenne
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        // strong pseudoprime to several bases, composite:
+        assert!(!is_prime(3_215_031_751));
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(100), 101);
+    }
+
+    proptest! {
+        #[test]
+        fn bertrand(n in 1u64..1_000_000) {
+            let p = next_prime(n);
+            prop_assert!(p >= n.max(2));
+            prop_assert!(p < 2 * n.max(2), "Bertrand violated: {n} -> {p}");
+            prop_assert!(is_prime(p));
+        }
+
+        #[test]
+        fn matches_trial_division(n in 2u64..100_000) {
+            let trial = (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0);
+            prop_assert_eq!(is_prime(n), trial);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic expansion of shared seed bytes into field elements.
+
+/// A deterministic stream of `u64` words derived from a byte seed.
+///
+/// The paper shares `Θ(log² n)` truly-random bits per cluster; those bits
+/// (transported as message payloads) are the *seed* here, and the PRG
+/// coefficients are read off the pool. Two nodes holding the same bytes
+/// derive exactly the same coefficients — which is the whole point of
+/// sharing.
+#[derive(Clone, Debug)]
+pub struct BitPool {
+    state: u64,
+}
+
+impl BitPool {
+    /// Creates a pool from seed bytes (an FNV-1a fold of the bytes primes
+    /// the SplitMix64 stream).
+    pub fn new(seed: &[u8]) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in seed {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // Avoid the all-zero fixed point for empty input.
+        BitPool {
+            state: h ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Next pseudo-random word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next word reduced into `[0, bound)` (negligible modulo bias for the
+    /// bounds used here, `bound << 2^64`).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Fills a vector with `count` words below `bound`.
+    pub fn take_below(&mut self, bound: u64, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.next_below(bound)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BitPool::new(b"cluster-7");
+        let mut b = BitPool::new(b"cluster-7");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = BitPool::new(b"cluster-8");
+        assert_ne!(BitPool::new(b"cluster-7").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut p = BitPool::new(&[1, 2, 3]);
+        for v in p.take_below(17, 100) {
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn empty_seed_is_fine() {
+        let mut p = BitPool::new(&[]);
+        let v1 = p.next_u64();
+        let v2 = p.next_u64();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_panics() {
+        BitPool::new(&[0]).next_below(0);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut p = BitPool::new(b"uniformity");
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[p.next_below(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Additional property and object-safety tests for the PRG crate.
+
+use das_prg::{primes, BlockDecay, DelayLaw, KWiseGenerator, Uniform};
+use proptest::prelude::*;
+
+#[test]
+fn delay_laws_are_object_safe() {
+    // the private scheduler selects the law at runtime as a trait object
+    let laws: Vec<Box<dyn DelayLaw>> = vec![
+        Box::new(Uniform::new(10)),
+        Box::new(BlockDecay::new(8, 4, 0.5)),
+    ];
+    for law in laws {
+        let s = law.sample_from_pair(12345, 678);
+        assert!(s < law.support());
+        assert!(law.pmf(s) > 0.0);
+    }
+}
+
+#[test]
+fn kwise_values_depend_on_every_seed_byte() {
+    let p = primes::next_prime(1 << 20);
+    let base = KWiseGenerator::from_seed_bytes(b"abcdefgh", 8, p);
+    for i in 0..8 {
+        let mut seed = *b"abcdefgh";
+        seed[i] ^= 1;
+        let other = KWiseGenerator::from_seed_bytes(&seed, 8, p);
+        assert!(
+            (0..16).any(|x| base.value(x) != other.value(x)),
+            "flipping byte {i} changed nothing"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bucketed values never collide across evaluation points: buckets are
+    /// disjoint ranges, so (aid, idx) pairs map to distinct points.
+    #[test]
+    fn bucket_points_are_distinct(aid1 in 0u64..100, aid2 in 0u64..100,
+                                  i1 in 0u64..8, i2 in 0u64..8) {
+        prop_assume!((aid1, i1) != (aid2, i2));
+        let width = 8u64;
+        let x1 = aid1 * width + i1;
+        let x2 = aid2 * width + i2;
+        prop_assert_ne!(x1, x2);
+    }
+
+    /// Uniform samples driven by a matching-modulus generator are exactly
+    /// the generator values (no bias path).
+    #[test]
+    fn uniform_prime_matching_is_identity(range in 2u64..5000, x in 0u64..1000) {
+        let law = Uniform::prime_at_least(range);
+        let gen = KWiseGenerator::from_seed_bytes(b"bias", 4, law.range());
+        let v = gen.value(x);
+        prop_assert_eq!(law.sample_from_pair(v, 0), v);
+    }
+
+    /// Block-decay tail masses decay geometrically: mass of any suffix of
+    /// blocks i.. equals (beta - i)/beta.
+    #[test]
+    fn block_decay_suffix_mass(l in 4u64..100, beta in 2usize..12) {
+        let d = BlockDecay::new(l, beta, 0.5);
+        for i in 0..beta {
+            let lo: u64 = (0..i).map(|j| d.block_size(j)).sum();
+            let mass: f64 = (lo..d.support()).map(|x| d.pmf(x)).sum();
+            let want = (beta - i) as f64 / beta as f64;
+            prop_assert!((mass - want).abs() < 1e-9, "suffix {i}: {mass} vs {want}");
+        }
+    }
+
+    /// next_prime is idempotent on primes and monotone.
+    #[test]
+    fn next_prime_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(primes::next_prime(lo) <= primes::next_prime(hi));
+        let p = primes::next_prime(a);
+        prop_assert_eq!(primes::next_prime(p), p);
+    }
+}

@@ -1,0 +1,57 @@
+//! Lemma 4.2 up close: carve a grid, inspect the layers, and export one
+//! layer as GraphViz DOT (color by cluster) for visual inspection.
+//!
+//! ```sh
+//! cargo run --release --example clustering > /tmp/clusters.dot
+//! dot -Tpng /tmp/clusters.dot -o clusters.png   # if graphviz is installed
+//! ```
+
+use dasched::cluster::{quality, CarveConfig, Clustering};
+use dasched::graph::{dot, generators};
+
+fn main() {
+    let g = generators::grid(9, 9);
+    let dilation = 2;
+    let cfg = CarveConfig::for_dilation(&g, dilation);
+    let cl = Clustering::carve_centralized(&g, &cfg, 7);
+    let q = quality::measure(&g, &cl, dilation);
+
+    eprintln!(
+        "9x9 grid, dilation {dilation}: {} layers, horizon {}, radius rate {}",
+        cfg.num_layers, cfg.horizon, cfg.radius_rate
+    );
+    eprintln!(
+        "weak radius {} | padding rate {:.2} | covering layers min {} avg {:.1}",
+        q.max_weak_radius, q.padding_rate, q.min_covering_layers, q.avg_covering_layers
+    );
+    eprintln!("pre-computation: {} CONGEST rounds", cl.precompute_rounds());
+    eprintln!();
+    eprintln!("layer  clusters  largest  centers");
+    for (i, layer) in cl.layers().iter().enumerate().take(8) {
+        let centers = layer.centers();
+        let largest = centers
+            .iter()
+            .map(|&c| layer.center.iter().filter(|&&x| x == c).count())
+            .max()
+            .unwrap_or(0);
+        let names: Vec<String> = centers.iter().take(6).map(|c| c.to_string()).collect();
+        eprintln!(
+            "{i:>5}  {:>8}  {:>7}  {}{}",
+            centers.len(),
+            largest,
+            names.join(","),
+            if centers.len() > 6 { ",…" } else { "" }
+        );
+    }
+
+    // DOT export of layer 0, labeling nodes by their cluster center
+    let layer = &cl.layers()[0];
+    let rendered = dot::to_dot(&g, |v| {
+        Some(format!(
+            "{}\\nC={}",
+            v,
+            layer.center[v.index()]
+        ))
+    });
+    println!("{rendered}");
+}

@@ -1,0 +1,44 @@
+//! Figure 1 artifact: the communication pattern of an algorithm as a
+//! subgraph of the time-expanded graph `G × [T]`.
+//!
+//! ```sh
+//! cargo run --example communication_pattern
+//! ```
+
+use dasched::core::run_alone;
+use dasched::core::synthetic::FloodBall;
+use dasched::graph::{generators, NodeId};
+use dasched::pattern::TimeExpandedGraph;
+
+fn main() {
+    // a 4-node path and a 3-round flood from node 0 (a BFS-like algorithm
+    // whose pattern is data-dependent)
+    let g = generators::path(4);
+    let algo = FloodBall::new(0, &g, NodeId(0), 3);
+    let reference = run_alone(&g, &algo, 7).expect("valid algorithm");
+    let pattern = &reference.pattern;
+
+    println!("communication pattern of a 3-hop flood on a 4-path");
+    println!(
+        "messages: {}   rounds: {}   max edge load: {}",
+        pattern.message_count(),
+        pattern.rounds(),
+        pattern.edge_loads().iter().max().unwrap()
+    );
+    println!();
+
+    let te = TimeExpandedGraph::new(&g, pattern.rounds() as usize);
+    let rendered = te.render_ascii(|v, i, u| {
+        pattern
+            .sends_from(&g, v, i as u32)
+            .iter()
+            .any(|&(_, dst)| dst == u)
+    });
+    println!("{rendered}");
+
+    println!("timed arcs (round: src -> dst):");
+    for ta in pattern.timed_arcs() {
+        let (src, dst) = g.arc_endpoints(ta.arc);
+        println!("  round {}: {} -> {}", ta.round, src, dst);
+    }
+}

@@ -1,0 +1,69 @@
+//! Section 5 case study: the MST congestion/dilation trade-off and the
+//! k-shot MST experiment.
+//!
+//! ```sh
+//! cargo run --release --example kshot_mst
+//! ```
+
+use dasched::algos::mst::{EdgeWeights, MstAlgorithm};
+use dasched::core::{verify, BlackBoxAlgorithm, DasProblem, Scheduler, UniformScheduler};
+use dasched::graph::generators;
+
+fn main() {
+    let g = generators::gnp_connected(64, 0.08, 5);
+    let n = g.node_count();
+
+    // 1. single-shot trade-off: sweep the fragment diameter cap
+    println!("single-shot MST trade-off on n={n} (larger fragments = lower congestion):");
+    println!(
+        "{:>5} {:>10} {:>12} {:>10} {:>10}",
+        "cap", "fragments", "congestion", "dilation", "charged"
+    );
+    for cap in [0u32, 2, 4, 8, 16, 32] {
+        let algo = MstAlgorithm::new(0, &g, EdgeWeights::random(&g, 1), cap);
+        let p = DasProblem::new(&g, vec![Box::new(algo.clone())], 0);
+        let params = p.parameters().expect("valid MST algorithm");
+        println!(
+            "{:>5} {:>10} {:>12} {:>10} {:>10}",
+            cap,
+            algo.decomposition().count,
+            params.congestion,
+            algo.rounds(),
+            algo.decomposition().charged_rounds
+        );
+    }
+    println!();
+
+    // 2. k-shot: schedule k MST instances together with the cap tuned to
+    //    k (fragment count ~ sqrt(nk), the paper's L = sqrt(n/k))
+    println!("k-shot MST (k instances, cap tuned vs untuned):");
+    println!(
+        "{:>3} {:>14} {:>14} {:>9}",
+        "k", "tuned rounds", "cap-0 rounds", "correct"
+    );
+    for k in [1usize, 2, 4, 8] {
+        let cap_tuned = ((n as f64 / k as f64).sqrt()).ceil() as u32;
+        let mut lengths = Vec::new();
+        let mut all_ok = true;
+        for cap in [cap_tuned, 0] {
+            let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..k as u64)
+                .map(|i| {
+                    Box::new(MstAlgorithm::new(i, &g, EdgeWeights::random(&g, 100 + i), cap))
+                        as Box<dyn BlackBoxAlgorithm>
+                })
+                .collect();
+            let p = DasProblem::new(&g, algos, 9);
+            let outcome = UniformScheduler::default().run(&p).expect("valid");
+            let report = verify::against_references(&p, &outcome).expect("refs");
+            all_ok &= report.all_correct();
+            lengths.push(outcome.schedule_rounds());
+        }
+        println!(
+            "{:>3} {:>14} {:>14} {:>9}",
+            k,
+            lengths[0],
+            lengths[1],
+            if all_ok { "yes" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: schedule a mixed bundle of distributed algorithms with
+//! every scheduler and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dasched::algos::bfs::HopBfs;
+use dasched::algos::broadcast::SingleBroadcast;
+use dasched::core::synthetic::RelayChain;
+use dasched::core::{
+    verify, BlackBoxAlgorithm, DasProblem, InterleaveScheduler, PrivateScheduler, Scheduler,
+    SequentialScheduler, TunedUniformScheduler, UniformScheduler,
+};
+use dasched::graph::{generators, NodeId};
+
+fn main() {
+    // An 8x8 grid carrying a mixed workload: BFS trees, broadcasts, and
+    // path relays, all independent.
+    let g = generators::grid(8, 8);
+    let mut algos: Vec<Box<dyn BlackBoxAlgorithm>> = Vec::new();
+    for i in 0..6u64 {
+        algos.push(Box::new(HopBfs::new(i, &g, NodeId((i * 11 % 64) as u32), 10)));
+    }
+    for i in 6..12u64 {
+        algos.push(Box::new(SingleBroadcast::new(
+            i,
+            &g,
+            NodeId((i * 7 % 64) as u32),
+            8,
+        )));
+    }
+    for i in 12..18u64 {
+        let row = (i as usize - 12) % 8;
+        let route: Vec<NodeId> = (0..8).map(|c| NodeId((row * 8 + c) as u32)).collect();
+        algos.push(Box::new(RelayChain::along(i, &g, route)));
+    }
+
+    let problem = DasProblem::new(&g, algos, 2026);
+    let params = problem.parameters().expect("valid algorithms");
+    println!(
+        "workload: k={} algorithms on n={} nodes | congestion={} dilation={} (trivial LB {})",
+        problem.k(),
+        g.node_count(),
+        params.congestion,
+        params.dilation,
+        params.trivial_lower_bound()
+    );
+    println!();
+    println!(
+        "{:<16} {:>10} {:>12} {:>8} {:>9}",
+        "scheduler", "schedule", "precompute", "late", "correct"
+    );
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SequentialScheduler),
+        Box::new(InterleaveScheduler),
+        Box::new(UniformScheduler::default()),
+        Box::new(TunedUniformScheduler::default()),
+        Box::new(PrivateScheduler::default()),
+    ];
+    for s in schedulers {
+        let outcome = s.run(&problem).expect("valid algorithms");
+        let report = verify::against_references(&problem, &outcome).expect("references");
+        println!(
+            "{:<16} {:>10} {:>12} {:>8} {:>8.1}%",
+            s.name(),
+            outcome.schedule_rounds(),
+            outcome.precompute_rounds,
+            outcome.stats.late_messages,
+            report.correctness_rate() * 100.0
+        );
+    }
+    println!();
+    println!(
+        "bound: congestion + dilation*ln(n) = {}",
+        params.congestion as f64 + params.dilation as f64 * (g.node_count() as f64).ln()
+    );
+}

@@ -1,0 +1,421 @@
+//! `dasched` — command-line front end for the scheduling toolkit.
+//!
+//! ```text
+//! dasched run        --graph grid:8x8 --workload mixed:18 --scheduler private [--seed 42]
+//! dasched compare    --graph path:100 --workload segments:32:14 [--seed 42]
+//! dasched carve      --graph grid:10x10 --dilation 3 [--layers 20] [--seed 42]
+//! dasched lowerbound --layers 6 --eta 64 --k 32 --p 0.12 [--seed 42]
+//! dasched mst        --graph gnp:100:0.05 [--cap 8] [--k 4] [--seed 42]
+//! ```
+//!
+//! Graph specs: `path:N`, `cycle:N`, `grid:RxC`, `gnp:N:P`, `tree:N:ARITY`,
+//! `expander:N:D`, `star:N`, `hypercube:D`.
+//! Workload specs: `mixed:K[:DEPTH]`, `floods:K[:DEPTH]`, `relays:K`,
+//! `segments:K:SEG`, `bfs:K[:DEPTH]`, `routing:K`.
+
+use dasched::algos::bfs::HopBfs;
+use dasched::algos::broadcast::SingleBroadcast;
+use dasched::algos::mst::{EdgeWeights, MstAlgorithm};
+use dasched::algos::routing::RoutingInstance;
+use dasched::cluster::{quality, CarveConfig, Clustering};
+use dasched::core::synthetic::{FloodBall, RelayChain};
+use dasched::core::{
+    verify, BlackBoxAlgorithm, DasProblem, InterleaveScheduler, PrivateScheduler, Scheduler,
+    SequentialScheduler, TunedUniformScheduler, UniformScheduler,
+};
+use dasched::graph::{generators, Graph, NodeId};
+use dasched::lowerbound::{analysis, search, HardInstance, HardInstanceParams};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dasched run        --graph SPEC --workload SPEC --scheduler NAME [--seed N]
+  dasched compare    --graph SPEC --workload SPEC [--seed N]
+  dasched carve      --graph SPEC --dilation D [--layers L] [--seed N]
+  dasched lowerbound --layers L --eta E --k K --p P [--seed N]
+  dasched mst        --graph SPEC [--cap C] [--k K] [--seed N]
+
+graph specs:    path:N  cycle:N  grid:RxC  gnp:N:P  tree:N:ARITY
+                expander:N:D  star:N  hypercube:D
+workload specs: mixed:K[:DEPTH]  floods:K[:DEPTH]  relays:K
+                segments:K:SEG  bfs:K[:DEPTH]  routing:K
+schedulers:     sequential  interleave  uniform  tuned  private";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    let opts = parse_flags(rest)?;
+    let seed = opt_u64(&opts, "seed")?.unwrap_or(42);
+    match cmd.as_str() {
+        "run" => cmd_run(&opts, seed),
+        "compare" => cmd_compare(&opts, seed),
+        "carve" => cmd_carve(&opts, seed),
+        "lowerbound" => cmd_lowerbound(&opts, seed),
+        "mst" => cmd_mst(&opts, seed),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn opt_u64(opts: &HashMap<String, String>, key: &str) -> Result<Option<u64>, String> {
+    opts.get(key)
+        .map(|s| s.parse().map_err(|_| format!("--{key} must be a number")))
+        .transpose()
+}
+
+/// Parses a graph spec like `grid:8x8` or `gnp:100:0.05`.
+fn parse_graph(spec: &str, seed: u64) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let usize_at = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad graph spec `{spec}`"))
+    };
+    match parts[0] {
+        "path" => Ok(generators::path(usize_at(1)?)),
+        "cycle" => Ok(generators::cycle(usize_at(1)?)),
+        "star" => Ok(generators::star(usize_at(1)?)),
+        "hypercube" => Ok(generators::hypercube(usize_at(1)?)),
+        "grid" => {
+            let dims: Vec<&str> = parts
+                .get(1)
+                .ok_or_else(|| format!("bad graph spec `{spec}`"))?
+                .split('x')
+                .collect();
+            let r: usize = dims
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad grid spec `{spec}`"))?;
+            let c: usize = dims
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad grid spec `{spec}`"))?;
+            Ok(generators::grid(r, c))
+        }
+        "tree" => Ok(generators::balanced_tree(usize_at(1)?, usize_at(2)?)),
+        "expander" => Ok(generators::random_regular_expander(
+            usize_at(1)?,
+            usize_at(2)?,
+            seed,
+        )),
+        "gnp" => {
+            let n = usize_at(1)?;
+            let p: f64 = parts
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad gnp spec `{spec}`"))?;
+            Ok(generators::gnp_connected(n, p, seed))
+        }
+        other => Err(format!("unknown graph kind `{other}`")),
+    }
+}
+
+/// Parses a workload spec like `mixed:18` into black boxes.
+fn parse_workload(
+    spec: &str,
+    g: &Graph,
+    seed: u64,
+) -> Result<Vec<Box<dyn BlackBoxAlgorithm>>, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let k: usize = parts
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad workload spec `{spec}` (need KIND:K)"))?;
+    if k == 0 {
+        return Err("workload needs k >= 1".into());
+    }
+    let n = g.node_count() as u64;
+    let depth: u32 = parts.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let src = |i: u64| NodeId(((i * 2654435761 + seed) % n) as u32);
+    let algos: Vec<Box<dyn BlackBoxAlgorithm>> = match parts[0] {
+        "floods" => (0..k as u64)
+            .map(|i| Box::new(FloodBall::new(i, g, src(i), depth)) as Box<dyn BlackBoxAlgorithm>)
+            .collect(),
+        "bfs" => (0..k as u64)
+            .map(|i| Box::new(HopBfs::new(i, g, src(i), depth)) as Box<dyn BlackBoxAlgorithm>)
+            .collect(),
+        "relays" => (0..k as u64)
+            .map(|i| Box::new(RelayChain::new(i, g)) as Box<dyn BlackBoxAlgorithm>)
+            .collect(),
+        "segments" => {
+            let seg: usize = parts
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or("segments needs KIND:K:SEG")?;
+            if seg + 1 >= g.node_count() {
+                return Err("segment longer than the path".into());
+            }
+            (0..k)
+                .map(|i| {
+                    let start = (i * 2) % (g.node_count() - seg - 1);
+                    let route: Vec<NodeId> =
+                        (start..=start + seg).map(|v| NodeId(v as u32)).collect();
+                    Box::new(RelayChain::along(i as u64, g, route)) as Box<dyn BlackBoxAlgorithm>
+                })
+                .collect()
+        }
+        "routing" => RoutingInstance::random_shortest_paths(g, k, seed).algorithms(g),
+        "mixed" => (0..k as u64)
+            .map(|i| match i % 3 {
+                0 => Box::new(HopBfs::new(i, g, src(i), depth)) as Box<dyn BlackBoxAlgorithm>,
+                1 => Box::new(SingleBroadcast::new(i, g, src(i), depth)),
+                _ => Box::new(FloodBall::new(i, g, src(i), depth)),
+            })
+            .collect(),
+        other => return Err(format!("unknown workload kind `{other}`")),
+    };
+    Ok(algos)
+}
+
+fn parse_scheduler(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "sequential" => Box::new(SequentialScheduler),
+        "interleave" => Box::new(InterleaveScheduler),
+        "uniform" => Box::new(UniformScheduler::default()),
+        "tuned" => Box::new(TunedUniformScheduler::default()),
+        "private" => Box::new(PrivateScheduler::default()),
+        other => return Err(format!("unknown scheduler `{other}`")),
+    })
+}
+
+// ---------------------------------------------------------------- commands
+
+fn describe(problem: &DasProblem<'_>) -> Result<String, String> {
+    let params = problem.parameters().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "n={} k={} congestion={} dilation={} (trivial LB {})",
+        problem.graph().node_count(),
+        problem.k(),
+        params.congestion,
+        params.dilation,
+        params.trivial_lower_bound()
+    ))
+}
+
+fn report_one(name: &str, problem: &DasProblem<'_>, s: &dyn Scheduler) -> Result<(), String> {
+    let outcome = s.run(problem).map_err(|e| e.to_string())?;
+    let rep = verify::against_references(problem, &outcome).map_err(|e| e.to_string())?;
+    println!(
+        "{name:<12} schedule {:>6} rounds  precompute {:>6}  late {:>4}  correct {:>5.1}%",
+        outcome.schedule_rounds(),
+        outcome.precompute_rounds,
+        outcome.stats.late_messages,
+        rep.correctness_rate() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_run(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
+    let sched = parse_scheduler(req(opts, "scheduler")?)?;
+    let problem = DasProblem::new(&g, algos, seed);
+    println!("{}", describe(&problem)?);
+    report_one(sched.name(), &problem, sched.as_ref())
+}
+
+fn cmd_compare(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
+    let problem = DasProblem::new(&g, algos, seed);
+    println!("{}", describe(&problem)?);
+    for name in ["sequential", "interleave", "uniform", "tuned", "private"] {
+        let sched = parse_scheduler(name)?;
+        report_one(name, &problem, sched.as_ref())?;
+    }
+    Ok(())
+}
+
+fn cmd_carve(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let dilation = opt_u64(opts, "dilation")?.ok_or("missing --dilation")? as u32;
+    let mut cfg = CarveConfig::for_dilation(&g, dilation);
+    if let Some(l) = opt_u64(opts, "layers")? {
+        cfg = cfg.with_num_layers(l as usize);
+    }
+    let cl = Clustering::carve_centralized(&g, &cfg, seed);
+    let q = quality::measure(&g, &cl, dilation);
+    println!(
+        "n={} dilation={} layers={} horizon={}",
+        g.node_count(),
+        dilation,
+        cfg.num_layers,
+        cfg.horizon
+    );
+    println!(
+        "weak radius {} (cap {}), padding/layer {:.2}, covering layers min {} avg {:.1}",
+        q.max_weak_radius, cfg.horizon, q.padding_rate, q.min_covering_layers, q.avg_covering_layers
+    );
+    println!(
+        "clusters/layer {:.1}, pre-computation rounds {}",
+        q.avg_clusters_per_layer,
+        cl.precompute_rounds()
+    );
+    Ok(())
+}
+
+fn cmd_lowerbound(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let layers = opt_u64(opts, "layers")?.ok_or("missing --layers")? as usize;
+    let eta = opt_u64(opts, "eta")?.ok_or("missing --eta")? as usize;
+    let k = opt_u64(opts, "k")?.ok_or("missing --k")? as usize;
+    let p: f64 = req(opts, "p")?
+        .parse()
+        .map_err(|_| "--p must be a probability")?;
+    let inst = HardInstance::sample(HardInstanceParams::custom(layers, eta, k, p), seed);
+    let (c, d, trivial, target) = analysis::targets(&inst);
+    println!(
+        "hard instance: n={} C={c} D={d} trivial LB={trivial} log-factor target={target}",
+        inst.graph().node_count()
+    );
+    for rounds in [1u32, 2, 4, 8] {
+        let rate = analysis::pattern_failure_rate(&inst, rounds, d, 100, seed);
+        println!(
+            "  capacity {rounds}/edge/phase over {d} phases: {:>5.1}% of crossing patterns overload",
+            rate * 100.0
+        );
+    }
+    let best = search::best_greedy(&inst, 12);
+    println!(
+        "best greedy schedule: {} rounds (ratio to C+D: {:.2})",
+        best.length,
+        best.length as f64 / trivial as f64
+    );
+    Ok(())
+}
+
+fn cmd_mst(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let cap = opt_u64(opts, "cap")?.unwrap_or(0) as u32;
+    let k = opt_u64(opts, "k")?.unwrap_or(1) as usize;
+    let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..k as u64)
+        .map(|i| {
+            Box::new(MstAlgorithm::new(
+                i,
+                &g,
+                EdgeWeights::random(&g, seed + i),
+                cap,
+            )) as Box<dyn BlackBoxAlgorithm>
+        })
+        .collect();
+    let frag = {
+        let a = MstAlgorithm::new(0, &g, EdgeWeights::random(&g, seed), cap);
+        (a.decomposition().count, a.decomposition().charged_rounds)
+    };
+    let problem = DasProblem::new(&g, algos, seed);
+    println!(
+        "{} | fragments {} (cap {cap}, {} charged rounds)",
+        describe(&problem)?,
+        frag.0,
+        frag.1
+    );
+    report_one("uniform", &problem, &UniformScheduler::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--graph", "path:5", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_flags(&args).unwrap();
+        assert_eq!(opts["graph"], "path:5");
+        assert_eq!(opt_u64(&opts, "seed").unwrap(), Some(7));
+        assert_eq!(opt_u64(&opts, "nope").unwrap(), None);
+        assert!(parse_flags(&["--x".to_string()]).is_err());
+        assert!(parse_flags(&["y".to_string()]).is_err());
+    }
+
+    #[test]
+    fn graph_specs() {
+        assert_eq!(parse_graph("path:5", 0).unwrap().node_count(), 5);
+        assert_eq!(parse_graph("grid:3x4", 0).unwrap().node_count(), 12);
+        assert_eq!(parse_graph("hypercube:3", 0).unwrap().node_count(), 8);
+        assert_eq!(parse_graph("tree:7:2", 0).unwrap().edge_count(), 6);
+        assert!(parse_graph("gnp:20:0.2", 1).is_ok());
+        assert!(parse_graph("expander:12:4", 1).is_ok());
+        assert!(parse_graph("blob:3", 0).is_err());
+        assert!(parse_graph("grid:3", 0).is_err());
+    }
+
+    #[test]
+    fn workload_specs() {
+        let g = parse_graph("grid:4x4", 0).unwrap();
+        assert_eq!(parse_workload("mixed:6", &g, 1).unwrap().len(), 6);
+        assert_eq!(parse_workload("floods:3:2", &g, 1).unwrap().len(), 3);
+        assert_eq!(parse_workload("routing:4", &g, 1).unwrap().len(), 4);
+        assert!(parse_workload("mixed:0", &g, 1).is_err());
+        assert!(parse_workload("nope:3", &g, 1).is_err());
+        let path = parse_graph("path:30", 0).unwrap();
+        assert_eq!(parse_workload("segments:5:10", &path, 1).unwrap().len(), 5);
+        assert!(parse_workload("segments:5:40", &path, 1).is_err());
+    }
+
+    #[test]
+    fn schedulers_resolve() {
+        for n in ["sequential", "interleave", "uniform", "tuned", "private"] {
+            assert!(!parse_scheduler(n).unwrap().name().is_empty());
+        }
+        assert!(parse_scheduler("magic").is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_command() {
+        let args: Vec<String> = [
+            "run", "--graph", "path:12", "--workload", "relays:3", "--scheduler", "sequential",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_lowerbound_command() {
+        let args: Vec<String> = [
+            "lowerbound", "--layers", "3", "--eta", "10", "--k", "6", "--p", "0.3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+}

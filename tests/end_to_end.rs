@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! construction through scheduling, verification, and causality checking.
+
+use dasched::algos::bfs::HopBfs;
+use dasched::algos::broadcast::SingleBroadcast;
+use dasched::algos::coloring::Coloring;
+use dasched::algos::flood::LeaderElection;
+use dasched::algos::mst::{EdgeWeights, MstAlgorithm};
+use dasched::core::synthetic::{FloodBall, RelayChain};
+use dasched::core::{
+    verify, BlackBoxAlgorithm, DasProblem, InterleaveScheduler, PrivateScheduler, Scheduler,
+    SequentialScheduler, TunedUniformScheduler, UniformScheduler,
+};
+use dasched::graph::{generators, NodeId};
+use dasched::pattern::verify_simulation;
+
+fn mixed_problem(g: &dasched::graph::Graph, k: usize, seed: u64) -> DasProblem<'_> {
+    let n = g.node_count() as u64;
+    let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..k as u64)
+        .map(|i| {
+            let src = NodeId(((i * 17 + 3) % n) as u32);
+            match i % 6 {
+                0 => Box::new(HopBfs::new(i, g, src, 6)) as Box<dyn BlackBoxAlgorithm>,
+                1 => Box::new(SingleBroadcast::new(i, g, src, 6)),
+                2 => Box::new(FloodBall::new(i, g, src, 5)),
+                3 => Box::new(Coloring::new(i, g, 6)),
+                4 => Box::new(LeaderElection::new(i, g, 7, seed + i)),
+                _ => Box::new(MstAlgorithm::new(
+                    i,
+                    g,
+                    EdgeWeights::random(g, seed + i),
+                    4,
+                )),
+            }
+        })
+        .collect();
+    DasProblem::new(g, algos, seed)
+}
+
+#[test]
+fn every_scheduler_correct_on_mixed_grid_workload() {
+    let g = generators::grid(7, 7);
+    let problem = mixed_problem(&g, 8, 11);
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SequentialScheduler),
+        Box::new(InterleaveScheduler),
+        Box::new(UniformScheduler::default()),
+        Box::new(PrivateScheduler::default()),
+    ];
+    for s in schedulers {
+        let outcome = s.run(&problem).unwrap();
+        let report = verify::against_references(&problem, &outcome).unwrap();
+        assert!(
+            report.all_correct(),
+            "{} mismatched {:?} (late {})",
+            s.name(),
+            report.mismatches,
+            outcome.stats.late_messages
+        );
+    }
+}
+
+#[test]
+fn scheduled_departures_are_causally_valid_simulations() {
+    let g = generators::gnp_connected(40, 0.08, 3);
+    let problem = mixed_problem(&g, 6, 5);
+    let refs = problem.references().unwrap();
+    for s in [
+        Box::new(SequentialScheduler) as Box<dyn Scheduler>,
+        Box::new(UniformScheduler::default()),
+    ] {
+        let outcome = s.run(&problem).unwrap();
+        assert_eq!(outcome.stats.late_messages, 0, "{}", s.name());
+        let deps = outcome.departures.as_ref().unwrap();
+        for (i, map) in deps.iter().enumerate() {
+            verify_simulation(&g, &refs[i].pattern, map)
+                .unwrap_or_else(|e| panic!("{} algo {i}: {e}", s.name()));
+        }
+    }
+}
+
+#[test]
+fn private_scheduler_works_across_topologies() {
+    for (name, g) in [
+        ("path", generators::path(30)),
+        ("cycle", generators::cycle(30)),
+        ("tree", generators::balanced_tree(31, 2)),
+        ("expander", generators::random_regular_expander(40, 4, 9)),
+    ] {
+        let problem = mixed_problem(&g, 6, 23);
+        let outcome = PrivateScheduler::default().run(&problem).unwrap();
+        let report = verify::against_references(&problem, &outcome).unwrap();
+        assert!(
+            report.all_correct(),
+            "{name}: mismatches {:?} late {}",
+            report.mismatches,
+            outcome.stats.late_messages
+        );
+        assert!(outcome.precompute_rounds > 0, "{name}: precompute charged");
+    }
+}
+
+#[test]
+fn schedulers_are_reproducible() {
+    let g = generators::grid(6, 6);
+    let problem = mixed_problem(&g, 6, 7);
+    for s in [
+        Box::new(UniformScheduler::default()) as Box<dyn Scheduler>,
+        Box::new(TunedUniformScheduler::default()),
+        Box::new(PrivateScheduler::default()),
+    ] {
+        let a = s.run(&problem).unwrap();
+        let b = s.run(&problem).unwrap();
+        assert_eq!(a.outputs, b.outputs, "{}", s.name());
+        assert_eq!(a.schedule_rounds(), b.schedule_rounds(), "{}", s.name());
+        assert_eq!(a.precompute_rounds, b.precompute_rounds, "{}", s.name());
+    }
+}
+
+#[test]
+fn congestion_and_dilation_grow_as_expected_with_k() {
+    let g = generators::path(20);
+    let p1 = DasProblem::new(
+        &g,
+        (0..3u64)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn BlackBoxAlgorithm>)
+            .collect(),
+        1,
+    );
+    let p2 = DasProblem::new(
+        &g,
+        (0..9u64)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn BlackBoxAlgorithm>)
+            .collect(),
+        1,
+    );
+    let a = p1.parameters().unwrap();
+    let b = p2.parameters().unwrap();
+    assert_eq!(a.dilation, b.dilation, "same algorithms, same dilation");
+    assert_eq!(b.congestion, 3 * a.congestion, "congestion adds up");
+}

@@ -1,0 +1,103 @@
+//! Cross-section integration tests tying the paper's parts together:
+//! §5 workloads under the Theorem 4.1 scheduler, and the §3 hard family
+//! under every scheduler.
+
+use dasched::algos::mst::{EdgeWeights, MstAlgorithm};
+use dasched::core::{
+    verify, BlackBoxAlgorithm, DasProblem, PrivateScheduler, Scheduler, SequentialScheduler,
+    TunedUniformScheduler, UniformScheduler,
+};
+use dasched::graph::generators;
+use dasched::lowerbound::{HardInstance, HardInstanceParams};
+
+#[test]
+fn kshot_mst_under_the_private_scheduler() {
+    // the paper's two contributions composed: k MST instances with the
+    // trade-off parameter tuned for k, scheduled with private randomness
+    let g = generators::gnp_connected(40, 0.12, 4);
+    let k = 3u64;
+    let cap = ((40f64 / k as f64).sqrt()).ceil() as u32;
+    let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..k)
+        .map(|i| {
+            Box::new(MstAlgorithm::new(i, &g, EdgeWeights::random(&g, 70 + i), cap))
+                as Box<dyn BlackBoxAlgorithm>
+        })
+        .collect();
+    let p = DasProblem::new(&g, algos, 6);
+    let outcome = PrivateScheduler::default().run(&p).unwrap();
+    let report = verify::against_references(&p, &outcome).unwrap();
+    assert!(
+        report.all_correct(),
+        "mismatches {:?} late {}",
+        report.mismatches,
+        outcome.stats.late_messages
+    );
+    assert!(outcome.precompute_rounds > 0);
+}
+
+#[test]
+fn hard_instances_are_schedulable_by_everyone() {
+    // the lower-bound family is still a legal DAS instance; every upper
+    // bound must handle it correctly (just not quickly)
+    let inst = HardInstance::sample(HardInstanceParams::custom(4, 24, 10, 0.2), 5);
+    let p = DasProblem::new(inst.graph(), inst.algorithms(), 3);
+    for s in [
+        Box::new(SequentialScheduler) as Box<dyn Scheduler>,
+        Box::new(UniformScheduler::default()),
+        Box::new(TunedUniformScheduler::default()),
+    ] {
+        let outcome = s.run(&p).unwrap();
+        let report = verify::against_references(&p, &outcome).unwrap();
+        assert!(
+            report.all_correct(),
+            "{}: mismatches {:?} late {}",
+            s.name(),
+            report.mismatches,
+            outcome.stats.late_messages
+        );
+    }
+}
+
+#[test]
+fn tuned_scheduler_beats_uniform_on_the_hard_family() {
+    // the §3 remark's point: on this family, log/loglog phases win
+    let inst = HardInstance::sample(HardInstanceParams::custom(5, 48, 24, 4.0 / 24.0), 9);
+    let p = DasProblem::new(inst.graph(), inst.algorithms(), 7);
+    let uniform = UniformScheduler::default().run(&p).unwrap();
+    let tuned = TunedUniformScheduler::default().run(&p).unwrap();
+    assert!(
+        verify::against_references(&p, &tuned).unwrap().all_correct(),
+        "tuned late {}",
+        tuned.stats.late_messages
+    );
+    assert!(
+        tuned.schedule_rounds() < uniform.schedule_rounds(),
+        "tuned {} vs uniform {}",
+        tuned.schedule_rounds(),
+        uniform.schedule_rounds()
+    );
+}
+
+#[test]
+fn mst_tradeoff_flips_the_scheduling_winner() {
+    // with cap 0 (filter-upcast) dilation dominates; large fragments push
+    // the work into congestion — the measured parameters must reflect it
+    let g = generators::gnp_connected(60, 0.08, 8);
+    let params_of = |cap: u32| {
+        let algos: Vec<Box<dyn BlackBoxAlgorithm>> = vec![Box::new(MstAlgorithm::new(
+            0,
+            &g,
+            EdgeWeights::random(&g, 1),
+            cap,
+        ))];
+        DasProblem::new(&g, algos, 0).parameters().unwrap()
+    };
+    let flat = params_of(0);
+    let frag = params_of(10);
+    assert!(
+        frag.congestion < flat.congestion,
+        "fragments must cut congestion: {} vs {}",
+        frag.congestion,
+        flat.congestion
+    );
+}
