@@ -257,7 +257,9 @@ mod tests {
         let sources: Vec<NodeId> = (0..8).map(|i| NodeId(i * 4)).collect();
         let h = 12u32;
         let proto = KBfsProtocol::new(sources.clone(), h);
-        let report = Engine::new(&g, EngineConfig::default()).run(&proto).unwrap();
+        let report = Engine::new(&g, EngineConfig::default())
+            .run(&proto)
+            .unwrap();
         for v in g.nodes() {
             let got = decode_kbfs_output(report.outputs[v.index()].as_ref().unwrap());
             for (i, &s) in sources.iter().enumerate() {

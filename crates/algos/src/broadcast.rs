@@ -75,8 +75,7 @@ impl AlgoNode for SingleBroadcastNode {
     fn step(&mut self, inbox: &[(NodeId, Vec<u8>)]) -> Vec<AlgoSend> {
         for (_, payload) in inbox {
             if self.payload.is_none() {
-                self.payload =
-                    Some(u64::from_le_bytes(payload[..8].try_into().expect("token")));
+                self.payload = Some(u64::from_le_bytes(payload[..8].try_into().expect("token")));
                 self.heard_at = Some(self.round);
                 self.pending = true;
             }
@@ -249,9 +248,13 @@ mod tests {
         let g = generators::path(30);
         let k = 12;
         let h = 29u32;
-        let messages: Vec<(NodeId, u64)> = (0..k).map(|i| (NodeId(i as u32), 1000 + i as u64)).collect();
+        let messages: Vec<(NodeId, u64)> = (0..k)
+            .map(|i| (NodeId(i as u32), 1000 + i as u64))
+            .collect();
         let proto = KBroadcastProtocol::new(messages, h);
-        let report = Engine::new(&g, EngineConfig::default()).run(&proto).unwrap();
+        let report = Engine::new(&g, EngineConfig::default())
+            .run(&proto)
+            .unwrap();
         // correctness: digests match the expected k-hop coverage
         for v in g.nodes() {
             let got = u64::from_le_bytes(
@@ -273,7 +276,9 @@ mod tests {
     fn k_broadcast_respects_ttl() {
         let g = generators::path(10);
         let proto = KBroadcastProtocol::new(vec![(NodeId(0), 5)], 3);
-        let report = Engine::new(&g, EngineConfig::default()).run(&proto).unwrap();
+        let report = Engine::new(&g, EngineConfig::default())
+            .run(&proto)
+            .unwrap();
         let expect_in = proto.expected_digest(&g, NodeId(3));
         assert_ne!(expect_in, 0);
         let got3 = u64::from_le_bytes(report.outputs[3].as_ref().unwrap()[..8].try_into().unwrap());

@@ -18,8 +18,8 @@
 //! one cluster, since the OR-flood has influence radius exactly `d` — and
 //! let each node adopt the estimate from a covering layer.
 
-use das_congest::{util, Engine, EngineConfig, Protocol, ProtocolNode, RoundContext};
 use das_cluster::{CarveConfig, Clustering, ShareConfig};
+use das_congest::{util, Engine, EngineConfig, Protocol, ProtocolNode, RoundContext};
 use das_graph::{traversal, Graph, NodeId};
 
 /// Parameters of a distinct-elements instance.
@@ -246,7 +246,9 @@ pub fn estimate_shared(
     let cfg = EngineConfig::default()
         .with_fixed_rounds(rounds)
         .with_record(false);
-    let report = Engine::new(g, cfg).run(&proto).expect("protocol fits the model");
+    let report = Engine::new(g, cfg)
+        .run(&proto)
+        .expect("protocol fits the model");
     let est = report
         .outputs
         .iter()
@@ -298,11 +300,12 @@ pub fn estimate_private(
         let cfg = EngineConfig::default()
             .with_fixed_rounds(rounds)
             .with_record(false);
-        let report = Engine::new(g, cfg).run(&proto).expect("protocol fits the model");
+        let report = Engine::new(g, cfg)
+            .run(&proto)
+            .expect("protocol fits the model");
         total_rounds += report.rounds;
         for v in g.nodes() {
-            if estimates[v.index()].is_none()
-                && layer.contained_radius[v.index()] >= config.radius
+            if estimates[v.index()].is_none() && layer.contained_radius[v.index()] >= config.radius
             {
                 estimates[v.index()] = Some(DistinctProtocol::decode_estimate(
                     report.outputs[v.index()].as_ref().expect("output"),
@@ -386,11 +389,7 @@ mod tests {
         let truth = exact_distinct(&g, &inputs, 2);
         let outcome = estimate_private(&g, &inputs, &config, 14, 21);
         assert!(outcome.coverage >= 0.95, "coverage {}", outcome.coverage);
-        let est: Vec<f64> = outcome
-            .estimates
-            .iter()
-            .map(|e| e.unwrap_or(0.0))
-            .collect();
+        let est: Vec<f64> = outcome.estimates.iter().map(|e| e.unwrap_or(0.0)).collect();
         let acc = accuracy(&est, &truth, 2.5);
         assert!(acc >= 0.75, "accuracy {acc}");
         // total rounds include pre-computation

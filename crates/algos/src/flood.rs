@@ -192,27 +192,35 @@ mod tests {
         // node 0 and node 19 can only see 2 hops; their answers may differ
         let outs: std::collections::HashSet<_> =
             r.outputs.iter().map(|o| o.clone().unwrap()).collect();
-        assert!(outs.len() > 1, "2 rounds cannot reach consensus on a 20-path");
+        assert!(
+            outs.len() > 1,
+            "2 rounds cannot reach consensus on a 20-path"
+        );
     }
 
     #[test]
     fn protocol_converges_in_diameter_plus_constant() {
         let g = generators::gnp_connected(60, 0.06, 11);
         let diam = traversal::diameter(&g).unwrap() as u64;
-        let rep = Engine::new(&g, EngineConfig::default()).run(&MinIdProtocol).unwrap();
+        let rep = Engine::new(&g, EngineConfig::default())
+            .run(&MinIdProtocol)
+            .unwrap();
         for out in &rep.outputs {
             assert_eq!(out.as_deref(), Some(&0u32.to_le_bytes()[..]));
         }
-        assert!(rep.rounds <= diam + 3, "{} vs diameter {}", rep.rounds, diam);
+        assert!(
+            rep.rounds <= diam + 3,
+            "{} vs diameter {}",
+            rep.rounds,
+            diam
+        );
     }
 
     #[test]
     fn elections_schedule_together() {
         let g = generators::grid(5, 5);
         let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..8)
-            .map(|i| {
-                Box::new(LeaderElection::new(i, &g, 9, 100 + i)) as Box<dyn BlackBoxAlgorithm>
-            })
+            .map(|i| Box::new(LeaderElection::new(i, &g, 9, 100 + i)) as Box<dyn BlackBoxAlgorithm>)
             .collect();
         let p = DasProblem::new(&g, algos, 5);
         let outcome = UniformScheduler::default().run(&p).unwrap();

@@ -212,7 +212,6 @@ impl BlackBoxAlgorithm for MstAlgorithm {
             incident_count,
         })
     }
-
 }
 
 impl MstAlgorithm {
@@ -391,9 +390,6 @@ mod tests {
             "congestion should drop with larger fragments"
         );
         // …and the charged fragment phase grows with the cap
-        assert!(
-            big_cap.decomposition().charged_rounds
-                > small_cap.decomposition().charged_rounds
-        );
+        assert!(big_cap.decomposition().charged_rounds > small_cap.decomposition().charged_rounds);
     }
 }

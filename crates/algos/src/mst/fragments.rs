@@ -103,7 +103,9 @@ pub fn capped_boruvka(g: &Graph, w: &EdgeWeights, diam_cap: u32) -> FragmentDeco
         let r = uf.find(v) as usize;
         smallest[r] = smallest[r].min(v);
     }
-    let fragment: Vec<u32> = (0..n as u32).map(|v| smallest[uf.find(v) as usize]).collect();
+    let fragment: Vec<u32> = (0..n as u32)
+        .map(|v| smallest[uf.find(v) as usize])
+        .collect();
     let mut roots: Vec<u32> = fragment.clone();
     roots.sort_unstable();
     roots.dedup();
@@ -182,8 +184,7 @@ mod tests {
         for seed in 0..5 {
             let g = generators::gnp_connected(30, 0.12, seed);
             let w = EdgeWeights::random(&g, seed + 50);
-            let mst: std::collections::HashSet<_> =
-                kruskal_mst(&g, &w).into_iter().collect();
+            let mst: std::collections::HashSet<_> = kruskal_mst(&g, &w).into_iter().collect();
             for cap in [1, 3, 8, 100] {
                 let d = capped_boruvka(&g, &w, cap);
                 for e in &d.tree_edges {

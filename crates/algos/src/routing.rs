@@ -68,8 +68,7 @@ impl RoutingInstance {
             .iter()
             .enumerate()
             .map(|(i, path)| {
-                Box::new(RelayChain::along(i as u64, g, path.clone()))
-                    as Box<dyn BlackBoxAlgorithm>
+                Box::new(RelayChain::along(i as u64, g, path.clone())) as Box<dyn BlackBoxAlgorithm>
             })
             .collect()
     }

@@ -51,7 +51,12 @@ fn layers_ablation() {
     use das_cluster::{CarveConfig, Clustering};
     let g = generators::grid(14, 14);
     let dilation = 4u32;
-    let mut t = Table::new(&["layers", "covered nodes", "avg covering layers", "padding/layer"]);
+    let mut t = Table::new(&[
+        "layers",
+        "covered nodes",
+        "avg covering layers",
+        "padding/layer",
+    ]);
     for layers in [1usize, 2, 4, 8, 16, 24] {
         let cfg = CarveConfig {
             dilation,
@@ -99,7 +104,9 @@ fn phase_factor_ablation() {
         ]);
     }
     t.print();
-    println!("(phases shorter than the max per-phase edge load make messages spill and arrive late)\n");
+    println!(
+        "(phases shorter than the max per-phase edge load make messages spill and arrive late)\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -5,9 +5,10 @@
 //! rate over random shared seeds.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use das_bench::{measure, success_rate, workloads, Table};
+use das_bench::{measure, record_trial, workloads, Table, TrialRunner};
 use das_core::{uniform_length_bound, Scheduler, UniformScheduler};
 use das_graph::generators;
+use std::path::Path;
 
 fn table() {
     println!("\n=== E1: Theorem 1.1 — uniform random delays with shared randomness ===");
@@ -31,11 +32,21 @@ fn table() {
         let params = problem.parameters().unwrap();
         let (m, _) = measure(&UniformScheduler::default(), &problem);
         let bound = uniform_length_bound(params.congestion, params.dilation, g.node_count());
-        let success = success_rate(10, |s| {
-            let sched = UniformScheduler::default().with_seed(s * 71 + 1);
-            let out = sched.run(&problem).unwrap();
-            out.stats.late_messages == 0
-        });
+        // 10 seeds fanned across threads; results identical per base seed
+        // regardless of thread count
+        let agg = TrialRunner::new(71, 10).aggregate(
+            &format!("e01_uniform_{name}_k{k}"),
+            "uniform",
+            |seed| {
+                let out = UniformScheduler::default()
+                    .with_seed(seed)
+                    .run(&problem)
+                    .unwrap();
+                record_trial(&problem, seed, &out)
+            },
+        );
+        let success = agg.success_rate;
+        agg.write(Path::new(".")).expect("write BENCH artifact");
         t.row_owned(vec![
             name.into(),
             g.node_count().to_string(),

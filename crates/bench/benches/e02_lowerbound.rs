@@ -54,7 +54,16 @@ fn growth_table() {
     let k = 48usize;
     let p = layers as f64 / k as f64; // mean per-cell edge load ~ (k/L)*p = 1
     let mut t = Table::new(&[
-        "eta", "n", "C", "D", "C+D", "r*", "oblivious len", "ratio", "ln eta/lnln eta", "greedy",
+        "eta",
+        "n",
+        "C",
+        "D",
+        "C+D",
+        "r*",
+        "oblivious len",
+        "ratio",
+        "ln eta/lnln eta",
+        "greedy",
     ]);
     for eta in [16usize, 64, 256, 1024] {
         let inst = HardInstance::sample(

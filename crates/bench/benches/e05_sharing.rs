@@ -28,8 +28,7 @@ fn table() {
         let cfg = CarveConfig::for_dilation(&g, 2).with_num_layers(3);
         let cl = Clustering::carve_centralized(&g, &cfg, 13);
         let share_cfg = ShareConfig::for_graph(&g, cfg.horizon);
-        let chunks =
-            das_cluster::share::center_chunks(g.node_count(), share_cfg.chunks, 17);
+        let chunks = das_cluster::share::center_chunks(g.node_count(), share_cfg.chunks, 17);
         let mut all_delivered = true;
         let mut rounds = 0;
         for layer in cl.layers() {
@@ -46,11 +45,17 @@ fn table() {
             rounds.to_string(),
             share_cfg.horizon.to_string(),
             share_cfg.rounds_needed().to_string(),
-            if all_delivered { "100%".into() } else { "INCOMPLETE".to_string() },
+            if all_delivered {
+                "100%".into()
+            } else {
+                "INCOMPLETE".to_string()
+            },
         ]);
     }
     t.print();
-    println!("(paper: all chunks delivered within H + Theta(log n) rounds per layer — Lemma 4.3)\n");
+    println!(
+        "(paper: all chunks delivered within H + Theta(log n) rounds per layer — Lemma 4.3)\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -62,7 +67,8 @@ fn bench(c: &mut Criterion) {
     let chunks = das_cluster::share::center_chunks(64, share_cfg.chunks, 17);
     c.bench_function("e05/share_layer_distributed_n64", |b| {
         b.iter(|| {
-            das_cluster::share::share_layer_distributed(&g, &cl.layers()[0], &chunks, &share_cfg, 3).1
+            das_cluster::share::share_layer_distributed(&g, &cl.layers()[0], &chunks, &share_cfg, 3)
+                .1
         })
     });
     c.bench_function("e05/kwise_generator_1000_values", |b| {

@@ -5,9 +5,10 @@
 //! seeds.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use das_bench::{measure, success_rate, workloads, Table};
+use das_bench::{measure, record_trial, workloads, Table, TrialRunner};
 use das_core::{uniform_length_bound, PrivateScheduler, Scheduler};
 use das_graph::generators;
+use std::path::Path;
 
 fn table() {
     println!("\n=== E6: Theorem 4.1 — private-randomness scheduling ===");
@@ -42,10 +43,20 @@ fn table() {
         let n = g.node_count() as f64;
         let bound = uniform_length_bound(params.congestion, params.dilation, g.node_count());
         let pre_budget = (params.dilation as f64 * n.ln() * n.ln()).ceil();
-        let success = success_rate(5, |s| {
-            let out = PrivateScheduler::default().with_seed(s * 31 + 5).run(&problem).unwrap();
-            out.stats.late_messages == 0
-        });
+        // 5 seeds fanned across threads via the deterministic runner
+        let agg = TrialRunner::new(31, 5).aggregate(
+            &format!("e06_private_{name}_k{k}"),
+            "private",
+            |seed| {
+                let out = PrivateScheduler::default()
+                    .with_seed(seed)
+                    .run(&problem)
+                    .unwrap();
+                record_trial(&problem, seed, &out)
+            },
+        );
+        let success = agg.success_rate;
+        agg.write(Path::new(".")).expect("write BENCH artifact");
         t.row_owned(vec![
             name.into(),
             g.node_count().to_string(),

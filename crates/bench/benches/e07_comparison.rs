@@ -8,16 +8,25 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use das_bench::{measure, workloads, Table};
 use das_core::{
-    InterleaveScheduler, PrivateScheduler, Scheduler, SequentialScheduler,
-    TunedUniformScheduler, UniformScheduler,
+    InterleaveScheduler, PrivateScheduler, Scheduler, SequentialScheduler, TunedUniformScheduler,
+    UniformScheduler,
 };
 use das_graph::generators;
 
 fn table() {
-    println!("\n=== E7: scheduler comparison (schedule length vs k; + = total with precompute) ===");
+    println!(
+        "\n=== E7: scheduler comparison (schedule length vs k; + = total with precompute) ==="
+    );
     let g = generators::path(100);
     let mut t = Table::new(&[
-        "k", "C", "D", "sequential", "interleave", "uniform", "tuned", "private(+pre)",
+        "k",
+        "C",
+        "D",
+        "sequential",
+        "interleave",
+        "uniform",
+        "tuned",
+        "private(+pre)",
     ]);
     for k in [8usize, 16, 32, 64, 128] {
         let problem = workloads::segment_relays(&g, k, 14, 1, 5);
@@ -55,7 +64,10 @@ fn bench(c: &mut Criterion) {
     let problem = workloads::segment_relays(&g, 32, 14, 1, 5);
     problem.parameters().unwrap();
     for (name, sched) in [
-        ("sequential", Box::new(SequentialScheduler) as Box<dyn Scheduler>),
+        (
+            "sequential",
+            Box::new(SequentialScheduler) as Box<dyn Scheduler>,
+        ),
         ("uniform", Box::new(UniformScheduler::default())),
     ] {
         c.bench_function(&format!("e07/{name}_k32"), |b| {

@@ -6,8 +6,8 @@
 //! filter-upcast, against the `Θ̃(D + √(kn))` target.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use das_bench::Table;
 use das_algos::mst::{EdgeWeights, MstAlgorithm};
+use das_bench::Table;
 use das_core::{verify, BlackBoxAlgorithm, DasProblem, Scheduler, UniformScheduler};
 use das_graph::{generators, traversal};
 
@@ -15,7 +15,11 @@ fn tradeoff_table() {
     println!("\n=== E8a: single-shot MST trade-off (fragment cap sweep) ===");
     let g = generators::gnp_connected(100, 0.05, 2);
     let mut t = Table::new(&[
-        "cap", "fragments", "congestion", "dilation", "charged(phase1)",
+        "cap",
+        "fragments",
+        "congestion",
+        "dilation",
+        "charged(phase1)",
     ]);
     for cap in [0u32, 2, 4, 8, 16, 32, 64] {
         let algo = MstAlgorithm::new(0, &g, EdgeWeights::random(&g, 1), cap);
@@ -39,7 +43,12 @@ fn kshot_table() {
     let n = g.node_count() as f64;
     let diam = traversal::diameter(&g).unwrap() as f64;
     let mut t = Table::new(&[
-        "k", "tuned", "cap-0", "tuned/cap-0", "D+sqrt(kn)", "correct",
+        "k",
+        "tuned",
+        "cap-0",
+        "tuned/cap-0",
+        "D+sqrt(kn)",
+        "correct",
     ]);
     for k in [1usize, 2, 4, 8] {
         let cap_tuned = (n / k as f64).sqrt().ceil() as u32;
@@ -58,7 +67,9 @@ fn kshot_table() {
                 .collect();
             let p = DasProblem::new(&g, algos, 9);
             let outcome = UniformScheduler::default().run(&p).unwrap();
-            ok &= verify::against_references(&p, &outcome).unwrap().all_correct();
+            ok &= verify::against_references(&p, &outcome)
+                .unwrap()
+                .all_correct();
             lengths.push(outcome.schedule_rounds());
         }
         let target = diam + (k as f64 * n).sqrt();
@@ -81,7 +92,12 @@ fn bench(c: &mut Criterion) {
     let g = generators::gnp_connected(100, 0.05, 2);
     c.bench_function("e08/mst_alone_cap8_n100", |b| {
         let algo = MstAlgorithm::new(0, &g, EdgeWeights::random(&g, 1), 8);
-        b.iter(|| das_core::run_alone(&g, &algo, 1).unwrap().pattern.message_count())
+        b.iter(|| {
+            das_core::run_alone(&g, &algo, 1)
+                .unwrap()
+                .pattern
+                .message_count()
+        })
     });
 }
 

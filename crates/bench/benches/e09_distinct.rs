@@ -6,10 +6,8 @@
 //! one run per layer — the meta-theorem's `O(T log² n)` shape.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use das_algos::distinct::{estimate_private, estimate_shared, exact_distinct, DistinctConfig};
 use das_bench::Table;
-use das_algos::distinct::{
-    estimate_private, estimate_shared, exact_distinct, DistinctConfig,
-};
 use das_congest::util::seed_mix;
 use das_graph::generators;
 
@@ -40,11 +38,7 @@ fn table() {
         let truth = exact_distinct(&g, &inputs, 2);
         let (shared, sh_rounds) = estimate_shared(&g, &inputs, &config, 33);
         let private = estimate_private(&g, &inputs, &config, 12, 44);
-        let priv_est: Vec<f64> = private
-            .estimates
-            .iter()
-            .map(|e| e.unwrap_or(0.0))
-            .collect();
+        let priv_est: Vec<f64> = private.estimates.iter().map(|e| e.unwrap_or(0.0)).collect();
         let tol = (1.0 + eps) * 1.7;
         t.row_owned(vec![
             format!("{eps}"),

@@ -3,10 +3,10 @@
 //! scheduling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use das_bench::Table;
 use das_algos::bfs::KBfsProtocol;
 use das_algos::broadcast::KBroadcastProtocol;
 use das_algos::routing::RoutingInstance;
+use das_bench::Table;
 use das_congest::{Engine, EngineConfig};
 use das_core::{verify, DasProblem, Scheduler, UniformScheduler};
 use das_graph::{generators, NodeId};
@@ -19,7 +19,9 @@ fn broadcast_table() {
     for k in [4usize, 8, 16, 32] {
         let msgs: Vec<(NodeId, u64)> = (0..k).map(|i| (NodeId(i as u32), i as u64)).collect();
         let proto = KBroadcastProtocol::new(msgs, h);
-        let rep = Engine::new(&g, EngineConfig::default()).run(&proto).unwrap();
+        let rep = Engine::new(&g, EngineConfig::default())
+            .run(&proto)
+            .unwrap();
         t.row_owned(vec![
             k.to_string(),
             h.to_string(),
@@ -39,7 +41,9 @@ fn bfs_table() {
     for k in [2usize, 4, 8, 16] {
         let sources: Vec<NodeId> = (0..k).map(|i| NodeId((i * 5 % 81) as u32)).collect();
         let proto = KBfsProtocol::new(sources, h);
-        let rep = Engine::new(&g, EngineConfig::default()).run(&proto).unwrap();
+        let rep = Engine::new(&g, EngineConfig::default())
+            .run(&proto)
+            .unwrap();
         t.row_owned(vec![
             k.to_string(),
             h.to_string(),
@@ -72,7 +76,9 @@ fn routing_table() {
         ]);
     }
     t.print();
-    println!("(paper: packet routing admits O(C+D) schedules; random delays give O(C + D log n))\n");
+    println!(
+        "(paper: packet routing admits O(C+D) schedules; random delays give O(C + D log n))\n"
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -83,7 +89,12 @@ fn bench(c: &mut Criterion) {
     let sources: Vec<NodeId> = (0..8).map(|i| NodeId((i * 5 % 81) as u32)).collect();
     c.bench_function("e10/kbfs_8sources_n81", |b| {
         let proto = KBfsProtocol::new(sources.clone(), 16);
-        b.iter(|| Engine::new(&g, EngineConfig::default()).run(&proto).unwrap().rounds)
+        b.iter(|| {
+            Engine::new(&g, EngineConfig::default())
+                .run(&proto)
+                .unwrap()
+                .rounds
+        })
     });
 }
 

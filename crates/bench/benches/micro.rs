@@ -2,9 +2,9 @@
 //! evaluation, field arithmetic, carving, and the scheduled executor.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use das_bench::workloads;
+use das_bench::{workloads, TrialRunner};
 use das_congest::{Engine, EngineConfig, Protocol, ProtocolNode, RoundContext};
-use das_core::{Scheduler, SequentialScheduler};
+use das_core::{Scheduler, SequentialScheduler, UniformScheduler};
 use das_graph::{generators, NodeId};
 use das_prg::{field::PrimeField, primes, KWiseGenerator};
 
@@ -75,6 +75,28 @@ fn bench(c: &mut Criterion) {
     problem.parameters().unwrap();
     c.bench_function("micro/executor_sequential_8relays_n60", |b| {
         b.iter(|| SequentialScheduler.run(&problem).unwrap().schedule_rounds())
+    });
+
+    // Multi-seed sweep through the trial runner, 1 thread vs the full
+    // pool: the gap is the parallel harness's speedup on this machine.
+    let sweep_problem = workloads::segment_relays(&path, 16, 10, 2, 7);
+    sweep_problem.parameters().unwrap();
+    let sweep = |_| {
+        TrialRunner::new(42, 16).run_trials(|seed| {
+            UniformScheduler::default()
+                .with_seed(seed)
+                .run(&sweep_problem)
+                .unwrap()
+                .schedule_rounds()
+        })
+    };
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    c.bench_function("micro/runner_sweep_16seeds_1thread", |b| {
+        b.iter(|| sweep(()))
+    });
+    std::env::remove_var("RAYON_NUM_THREADS");
+    c.bench_function("micro/runner_sweep_16seeds_all_cores", |b| {
+        b.iter(|| sweep(()))
     });
 }
 

@@ -1,0 +1,49 @@
+//! Reduced-trial smoke experiment for CI: E1's representative
+//! configuration with a handful of seeds through [`TrialRunner`], writing
+//! `BENCH_e01_smoke.json` into the current directory.
+//!
+//! Usage: `bench_smoke [trials] [base_seed]` (defaults: 8 trials, seed 42).
+
+use das_bench::{record_trial, workloads, TrialRunner};
+use das_core::{Scheduler, UniformScheduler};
+use das_graph::generators;
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let base_seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    if trials == 0 {
+        eprintln!("error: trials must be at least 1 (usage: bench_smoke [trials] [base_seed])");
+        std::process::exit(2);
+    }
+
+    let g = generators::path(120);
+    let problem = workloads::segment_relays(&g, 40, 16, 2, 7);
+    problem.parameters().expect("workload is model-valid");
+
+    let runner = TrialRunner::new(base_seed, trials);
+    let agg = runner.aggregate("e01_smoke", "uniform", |seed| {
+        let out = UniformScheduler::default()
+            .with_seed(seed)
+            .run(&problem)
+            .expect("workload is model-valid");
+        record_trial(&problem, seed, &out)
+    });
+    let path = agg.write(Path::new(".")).expect("write BENCH artifact");
+    println!(
+        "wrote {} ({} trials, success {:.0}%, schedule mean {:.1} / p50 {} / p95 {} / max {})",
+        path.display(),
+        agg.trials,
+        agg.success_rate * 100.0,
+        agg.schedule.mean,
+        agg.schedule.p50,
+        agg.schedule.p95,
+        agg.schedule.max,
+    );
+    assert!(
+        agg.mean_correctness > 0.99,
+        "smoke run produced wrong outputs (correctness {})",
+        agg.mean_correctness
+    );
+}

@@ -1,16 +1,20 @@
 //! # das-bench
 //!
-//! The experiment harness: workload builders, result tables, and the
-//! runners behind the `benches/e*.rs` benchmarks — one per experiment in
-//! `EXPERIMENTS.md` (E1–E10). Each bench prints the paper-style table
-//! before timing a representative configuration with criterion, so
-//! `cargo bench` regenerates every table and series.
+//! The experiment harness: workload builders, result tables, the parallel
+//! [`TrialRunner`], and the runners behind the `benches/e*.rs` benchmarks —
+//! one per experiment in `EXPERIMENTS.md` (E1–E10). Each bench prints the
+//! paper-style table before timing a representative configuration with
+//! criterion, so `cargo bench` regenerates every table and series.
+//! Seed sweeps fan across threads through [`TrialRunner`] and can be
+//! serialized to `BENCH_<experiment>.json` artifacts.
 
 #![warn(missing_docs)]
 
+pub mod runner;
 pub mod table;
 pub mod workloads;
 
+pub use runner::{SummaryStats, TrialAggregate, TrialRecord, TrialRunner};
 pub use table::Table;
 
 use das_core::{verify, DasProblem, ScheduleOutcome, Scheduler};
@@ -57,14 +61,41 @@ pub fn measure(scheduler: &dyn Scheduler, problem: &DasProblem<'_>) -> (Measured
     )
 }
 
-/// Success rate of a scheduler over repeated seeds: the empirical version
+/// Builds the per-trial record for a schedule outcome, verifying outputs
+/// against the problem's reference runs.
+///
+/// # Panics
+/// Panics if the reference runs are not computable (a workload bug).
+pub fn record_trial(problem: &DasProblem<'_>, seed: u64, outcome: &ScheduleOutcome) -> TrialRecord {
+    let report = verify::against_references(problem, outcome).expect("references computable");
+    TrialRecord {
+        seed,
+        schedule: outcome.schedule_rounds(),
+        precompute: outcome.precompute_rounds,
+        late: outcome.stats.late_messages,
+        correctness: report.correctness_rate(),
+    }
+}
+
+/// Success rate of a scheduler over repeated trials: the empirical version
 /// of the paper's "with high probability".
-pub fn success_rate<F>(trials: u64, mut run: F) -> f64
+///
+/// Trials are fanned across threads by [`TrialRunner`]; `run` receives the
+/// trial index `0..trials` (experiments derive their own seeds from it),
+/// and the result is independent of the thread count.
+pub fn success_rate<F>(trials: u64, run: F) -> f64
 where
-    F: FnMut(u64) -> bool,
+    F: Fn(u64) -> bool + Send + Sync,
 {
-    let ok = (0..trials).filter(|&t| run(t)).count();
-    ok as f64 / trials.max(1) as f64
+    if trials == 0 {
+        return 0.0;
+    }
+    let ok = TrialRunner::new(0, trials)
+        .run_indexed(run)
+        .into_iter()
+        .filter(|&ok| ok)
+        .count();
+    ok as f64 / trials as f64
 }
 
 #[cfg(test)]

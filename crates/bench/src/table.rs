@@ -33,7 +33,8 @@ impl Table {
     /// Panics on column-count mismatch.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

@@ -60,10 +60,7 @@ impl BoundaryProtocol {
     /// Creates the protocol from a per-node center assignment and carving
     /// labels.
     pub fn new(center: &[NodeId], label_of_center: impl Fn(NodeId) -> u64, cap: u32) -> Self {
-        let keys = center
-            .iter()
-            .map(|&c| (label_of_center(c), c.0))
-            .collect();
+        let keys = center.iter().map(|&c| (label_of_center(c), c.0)).collect();
         BoundaryProtocol { keys, cap }
     }
 
@@ -96,7 +93,8 @@ impl ProtocolNode for BoundaryNode {
         let t = ctx.round();
         if t == 0 {
             let payload = util::encode(TAG_LABEL, &[self.key.0, self.key.1 as u64]);
-            ctx.send_all(payload).expect("label exchange fits the model");
+            ctx.send_all(payload)
+                .expect("label exchange fits the model");
             return;
         }
         if t == 1 {
@@ -173,7 +171,13 @@ mod tests {
     fn split_path(n: usize, split: usize) -> (Graph, Vec<NodeId>) {
         let g = generators::path(n);
         let center: Vec<NodeId> = (0..n)
-            .map(|i| if i < split { NodeId(0) } else { NodeId((n - 1) as u32) })
+            .map(|i| {
+                if i < split {
+                    NodeId(0)
+                } else {
+                    NodeId((n - 1) as u32)
+                }
+            })
             .collect();
         (g, center)
     }
@@ -232,8 +236,7 @@ mod tests {
             let params = crate::carving::LayerParams::generate(35, &law, 16, seed + 100);
             let center = crate::carving::carve_layer_centralized(&g, &params);
             let want = boundary_distances_centralized(&g, &center, 16);
-            let (got, rounds) =
-                boundary_distances_distributed(&g, &center, &params.label, 16);
+            let (got, rounds) = boundary_distances_distributed(&g, &center, &params.label, 16);
             assert_eq!(got, want, "seed {seed}");
             assert_eq!(rounds, 18);
         }

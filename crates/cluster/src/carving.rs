@@ -173,7 +173,8 @@ impl ProtocolNode for CarvingNode {
             if self.forwarded.is_none_or(|f| (label, center) < f) {
                 self.forwarded = Some((label, center));
                 let payload = util::encode(TAG_CARVE, &[i as u64, label, center as u64]);
-                ctx.send_all(payload).expect("carving stays within the model");
+                ctx.send_all(payload)
+                    .expect("carving stays within the model");
             }
         }
     }

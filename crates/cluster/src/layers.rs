@@ -122,12 +122,7 @@ impl Clustering {
         let mut layers = Vec::with_capacity(config.num_layers);
         let mut rounds = 0u64;
         for l in 0..config.num_layers {
-            let params = LayerParams::generate(
-                n,
-                &law,
-                config.horizon,
-                seed_mix(seed, l as u64),
-            );
+            let params = LayerParams::generate(n, &law, config.horizon, seed_mix(seed, l as u64));
             let (center, carve_rounds) = if distributed {
                 carve_layer_distributed(g, &params, seed_mix(seed, 1000 + l as u64))
             } else {
@@ -221,7 +216,9 @@ mod tests {
     #[test]
     fn centralized_equals_distributed() {
         let g = generators::gnp_connected(25, 0.12, 3);
-        let cfg = CarveConfig::for_dilation(&g, 1).with_num_layers(3).with_horizon(14);
+        let cfg = CarveConfig::for_dilation(&g, 1)
+            .with_num_layers(3)
+            .with_horizon(14);
         let a = Clustering::carve_centralized(&g, &cfg, 5);
         let b = Clustering::carve_distributed(&g, &cfg, 5);
         for (la, lb) in a.layers().iter().zip(b.layers()) {
@@ -252,10 +249,7 @@ mod tests {
         let cl = Clustering::carve_centralized(&g, &cfg, 11);
         for v in g.nodes() {
             let covered = cl.covering_layers(v, dilation).len();
-            assert!(
-                covered >= 2,
-                "node {v} covered in only {covered}/24 layers"
-            );
+            assert!(covered >= 2, "node {v} covered in only {covered}/24 layers");
         }
         // and on average a decent constant fraction
         let total: usize = g

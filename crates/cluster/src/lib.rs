@@ -52,7 +52,10 @@ pub mod quality;
 pub mod share;
 
 pub use boundary::{boundary_distances_centralized, BoundaryProtocol};
-pub use carving::{carve_layer_centralized, carve_layer_distributed, decode_carve_output, CarvingProtocol, LayerParams};
+pub use carving::{
+    carve_layer_centralized, carve_layer_distributed, decode_carve_output, CarvingProtocol,
+    LayerParams,
+};
 pub use layers::{CarveConfig, Clustering, Layer};
 pub use radius::TruncatedExponential;
 pub use share::{share_layer_centralized, ShareConfig, SharedSeeds, SharingProtocol};

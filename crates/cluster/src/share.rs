@@ -80,10 +80,7 @@ pub fn center_chunks(n: usize, chunks: usize, seed: u64) -> Vec<Vec<u64>> {
 
 /// Centralized reference for one layer: every node simply receives its
 /// center's chunks.
-pub fn share_layer_centralized(
-    layer: &Layer,
-    chunks_of: &[Vec<u64>],
-) -> Vec<Vec<u64>> {
+pub fn share_layer_centralized(layer: &Layer, chunks_of: &[Vec<u64>]) -> Vec<Vec<u64>> {
     layer
         .center
         .iter()
@@ -193,7 +190,8 @@ impl ProtocolNode for SharingNode {
             let (hop, data) = self.pending.remove(&key).expect("key just found");
             self.sent.insert(key);
             let payload = util::encode(TAG_SHARE, &[util::pack2(hop + 1, sub), label, data]);
-            ctx.send_all(payload).expect("sharing stays within the model");
+            ctx.send_all(payload)
+                .expect("sharing stays within the model");
         }
     }
 

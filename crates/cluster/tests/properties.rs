@@ -2,8 +2,8 @@
 //! random graphs.
 
 use das_cluster::{
-    boundary_distances_centralized, carve_layer_centralized, share_layer_centralized,
-    CarveConfig, Clustering, LayerParams, ShareConfig,
+    boundary_distances_centralized, carve_layer_centralized, share_layer_centralized, CarveConfig,
+    Clustering, LayerParams, ShareConfig,
 };
 use das_graph::{generators, traversal};
 use proptest::prelude::*;

@@ -4,7 +4,6 @@ use crate::error::CongestError;
 use crate::message::{Envelope, Payload};
 use das_graph::{EdgeId, NodeId};
 use rand::rngs::StdRng;
-use std::collections::HashMap;
 
 /// A message staged for delivery next round.
 #[derive(Clone, Debug)]
@@ -26,7 +25,6 @@ pub struct RoundContext<'a> {
     pub(crate) n: usize,
     pub(crate) round: u64,
     pub(crate) neighbors: &'a [(NodeId, EdgeId)],
-    pub(crate) edge_of: &'a HashMap<NodeId, EdgeId>,
     pub(crate) inbox: &'a [Envelope],
     pub(crate) rng: &'a mut StdRng,
     pub(crate) message_bytes: usize,
@@ -99,9 +97,10 @@ impl<'a> RoundContext<'a> {
     /// Any error is also latched so the engine aborts the run even if the
     /// caller ignores the result.
     pub fn send(&mut self, to: NodeId, payload: Payload) -> Result<(), CongestError> {
-        let edge = match self.edge_of.get(&to) {
-            Some(&e) => e,
-            None => {
+        // neighbors are sorted by id (a Graph invariant), so binary search
+        let edge = match self.neighbors.binary_search_by_key(&to, |&(u, _)| u) {
+            Ok(i) => self.neighbors[i].1,
+            Err(_) => {
                 return self.fail(CongestError::NotNeighbor { from: self.me, to });
             }
         };

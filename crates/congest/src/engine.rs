@@ -5,10 +5,9 @@ use crate::error::CongestError;
 use crate::message::Envelope;
 use crate::node::Protocol;
 use crate::recorder::{Recording, RoundRecord};
-use das_graph::{EdgeId, Graph, NodeId};
+use das_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -91,21 +90,12 @@ pub struct ExecutionReport {
 pub struct Engine<'g> {
     graph: &'g Graph,
     config: EngineConfig,
-    edge_maps: Vec<HashMap<NodeId, EdgeId>>,
 }
 
 impl<'g> Engine<'g> {
     /// Creates an engine for `graph` with the given configuration.
     pub fn new(graph: &'g Graph, config: EngineConfig) -> Self {
-        let edge_maps = graph
-            .nodes()
-            .map(|v| graph.neighbors(v).iter().copied().collect())
-            .collect();
-        Engine {
-            graph,
-            config,
-            edge_maps,
-        }
+        Engine { graph, config }
     }
 
     /// The underlying graph.
@@ -129,16 +119,23 @@ impl<'g> Engine<'g> {
     pub fn run(&self, protocol: &dyn Protocol) -> Result<ExecutionReport, CongestError> {
         let n = self.graph.node_count();
         let mut nodes: Vec<_> = (0..n)
-            .map(|v| {
-                protocol.create_node(NodeId(v as u32), n, self.graph.degree(NodeId(v as u32)))
-            })
+            .map(|v| protocol.create_node(NodeId(v as u32), n, self.graph.degree(NodeId(v as u32))))
             .collect();
         let mut rngs: Vec<StdRng> = (0..n)
-            .map(|v| StdRng::seed_from_u64(splitmix64(self.config.seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15))))
+            .map(|v| {
+                StdRng::seed_from_u64(splitmix64(
+                    self.config.seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                ))
+            })
             .collect();
 
         let limit = protocol.round_limit().unwrap_or(self.config.max_rounds);
+        // Double-buffered inboxes plus per-node scratch, all reused across
+        // rounds so the steady state allocates nothing.
         let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+        let mut next_inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+        let mut outbox: Vec<Outgoing> = Vec::new();
+        let mut sent_to: Vec<NodeId> = Vec::new();
         let mut rounds_rec: Vec<RoundRecord> = Vec::new();
         let mut messages: u64 = 0;
         let mut round: u64 = 0;
@@ -153,32 +150,31 @@ impl<'g> Engine<'g> {
                 return Err(CongestError::RoundLimitExceeded { limit });
             }
 
-            let mut next_inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
             let mut record = RoundRecord::default();
             let mut any_sent = false;
 
             for v in 0..n {
                 let me = NodeId(v as u32);
-                let inbox = std::mem::take(&mut inboxes[v]);
+                sent_to.clear();
                 let mut ctx = RoundContext {
                     me,
                     n,
                     round,
                     neighbors: self.graph.neighbors(me),
-                    edge_of: &self.edge_maps[v],
-                    inbox: &inbox,
+                    inbox: &inboxes[v],
                     rng: &mut rngs[v],
                     message_bytes: self.config.message_bytes,
-                    outbox: Vec::new(),
-                    sent_to: Vec::new(),
+                    outbox: std::mem::take(&mut outbox),
+                    sent_to: std::mem::take(&mut sent_to),
                     violation: None,
                 };
                 nodes[v].round(&mut ctx);
                 if let Some(err) = ctx.violation {
                     return Err(err);
                 }
-                let outbox = std::mem::take(&mut ctx.outbox);
-                for Outgoing { to, edge, payload } in outbox {
+                outbox = std::mem::take(&mut ctx.outbox);
+                sent_to = std::mem::take(&mut ctx.sent_to);
+                for Outgoing { to, edge, payload } in outbox.drain(..) {
                     any_sent = true;
                     messages += 1;
                     if self.config.record {
@@ -191,7 +187,10 @@ impl<'g> Engine<'g> {
             if self.config.record {
                 rounds_rec.push(record);
             }
-            inboxes = next_inboxes;
+            std::mem::swap(&mut inboxes, &mut next_inboxes);
+            for ib in &mut next_inboxes {
+                ib.clear();
+            }
             round += 1;
 
             if self.config.fixed_rounds.is_none() {
@@ -273,7 +272,9 @@ mod tests {
     #[test]
     fn min_flood_converges_on_cycle() {
         let g = generators::cycle(12);
-        let rep = Engine::new(&g, EngineConfig::default()).run(&MinFlood).unwrap();
+        let rep = Engine::new(&g, EngineConfig::default())
+            .run(&MinFlood)
+            .unwrap();
         for out in &rep.outputs {
             assert_eq!(out.as_deref(), Some(&0u32.to_le_bytes()[..]));
         }
@@ -406,8 +407,15 @@ mod tests {
     #[test]
     fn recording_captures_messages() {
         let g = generators::path(3);
-        let rep = Engine::new(&g, EngineConfig::default()).run(&MinFlood).unwrap();
-        let total: usize = rep.recording.round_records().iter().map(|r| r.arcs.len()).sum();
+        let rep = Engine::new(&g, EngineConfig::default())
+            .run(&MinFlood)
+            .unwrap();
+        let total: usize = rep
+            .recording
+            .round_records()
+            .iter()
+            .map(|r| r.arcs.len())
+            .sum();
         assert_eq!(total as u64, rep.messages);
     }
 

@@ -57,10 +57,9 @@ impl fmt::Display for CongestError {
                 f,
                 "message from {from} to {to} is {size} bytes, over the {limit}-byte limit"
             ),
-            CongestError::DuplicateSend { from, to, round } => write!(
-                f,
-                "node {from} sent two messages to {to} in round {round}"
-            ),
+            CongestError::DuplicateSend { from, to, round } => {
+                write!(f, "node {from} sent two messages to {to} in round {round}")
+            }
             CongestError::RoundLimitExceeded { limit } => {
                 write!(f, "protocol did not terminate within {limit} rounds")
             }

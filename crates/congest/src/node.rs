@@ -8,7 +8,10 @@ use das_graph::NodeId;
 /// The factory is handed only what a CONGEST node is classically assumed to
 /// know at start-up: its own id, the network size `n`, and its own degree.
 /// Everything else must be learned through messages.
-pub trait Protocol {
+///
+/// Factories are `Send + Sync` and the machines they build are `Send`, so
+/// a trial harness can drive independent runs from worker threads.
+pub trait Protocol: Send + Sync {
     /// Creates the state machine for node `id`.
     fn create_node(&self, id: NodeId, n: usize, degree: usize) -> Box<dyn ProtocolNode>;
 
@@ -25,7 +28,7 @@ pub trait Protocol {
 /// The engine calls [`ProtocolNode::round`] once per round on every node, in
 /// node-id order. Messages sent in round `r` are delivered in the inbox at
 /// round `r + 1`.
-pub trait ProtocolNode {
+pub trait ProtocolNode: Send {
     /// Executes one round: read `ctx.inbox()`, update state, send messages.
     fn round(&mut self, ctx: &mut RoundContext<'_>);
 

@@ -69,7 +69,11 @@ fn message_one_byte_over_fails() {
     let err = Engine::new(&g, cfg).run(&OneShot { size: 17 }).unwrap_err();
     assert!(matches!(
         err,
-        das_congest::CongestError::MessageTooLarge { size: 17, limit: 16, .. }
+        das_congest::CongestError::MessageTooLarge {
+            size: 17,
+            limit: 16,
+            ..
+        }
     ));
 }
 

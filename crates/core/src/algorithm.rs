@@ -41,7 +41,9 @@ pub struct AlgoSend {
 /// *incomplete* inbox if it has mis-scheduled — the machine cannot detect
 /// this (it does not know its communication pattern a priori) and will
 /// simply compute on; correctness is the scheduler's burden.
-pub trait AlgoNode {
+///
+/// Machines are `Send` so whole executions can move to worker threads.
+pub trait AlgoNode: Send {
     /// Executes one algorithm round: `inbox` holds the messages this node
     /// received from the previous round's sends. Returns this round's
     /// sends.
@@ -53,7 +55,10 @@ pub trait AlgoNode {
 }
 
 /// A black-box distributed algorithm: a factory for its per-node machines.
-pub trait BlackBoxAlgorithm {
+///
+/// Factories are `Send + Sync` so a problem instance can be shared with or
+/// moved across worker threads by a trial harness.
+pub trait BlackBoxAlgorithm: Send + Sync {
     /// The algorithm's unique identifier.
     fn aid(&self) -> Aid;
 

@@ -26,7 +26,6 @@ use crate::algorithm::BlackBoxAlgorithm;
 use crate::schedule::ScheduleOutcome;
 use das_graph::{Graph, NodeId};
 use das_pattern::{SimulationMap, TimedArc};
-use std::collections::{BTreeMap, VecDeque};
 
 /// One scheduled execution of an algorithm: who runs it, when, how far.
 #[derive(Clone, Debug)]
@@ -133,10 +132,7 @@ impl StepPlan {
     #[allow(clippy::needless_range_loop)]
     pub fn build(g: &Graph, algos: &[Box<dyn BlackBoxAlgorithm>], units: &[Unit]) -> Self {
         let n = g.node_count();
-        let mut plan: Vec<Vec<Vec<u64>>> = algos
-            .iter()
-            .map(|_| vec![Vec::new(); n])
-            .collect();
+        let mut plan: Vec<Vec<Vec<u64>>> = algos.iter().map(|_| vec![Vec::new(); n]).collect();
         // earliest[a][v][r]
         let mut earliest: Vec<Vec<Vec<Option<u64>>>> = algos
             .iter()
@@ -208,6 +204,116 @@ struct Flight {
     payload: Vec<u8>,
 }
 
+/// Per-arc FIFO of in-flight messages: a two-stack queue over plain `Vec`s
+/// (push onto `back`, pop from `front`, refill by reversing), keeping the
+/// hot path on flat storage whose allocations persist across big-rounds.
+#[derive(Default)]
+struct ArcFifo {
+    /// Pop end, stored in reverse arrival order.
+    front: Vec<Flight>,
+    /// Push end, in arrival order.
+    back: Vec<Flight>,
+}
+
+impl ArcFifo {
+    #[inline]
+    fn len(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.front.is_empty() && self.back.is_empty()
+    }
+
+    #[inline]
+    fn push_back(&mut self, f: Flight) {
+        self.back.push(f);
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<Flight> {
+        if self.front.is_empty() {
+            self.front.extend(self.back.drain(..).rev());
+        }
+        self.front.pop()
+    }
+}
+
+/// Arrival buffer for one (algorithm, node) machine: inbox entries keyed by
+/// algorithm-round tag. The executor consumes tags strictly in order (step
+/// `r` consumes tag `r - 1`) and drops older arrivals as late, so the live
+/// tags form a window starting at the consumer's next tag. A flat ring over
+/// a power-of-two array of buckets therefore replaces a `BTreeMap`, with
+/// the bucket vectors reused across rounds.
+#[derive(Default)]
+struct TagWindow {
+    /// Smallest tag the window can currently hold.
+    base: u32,
+    /// Ring position of `base`'s bucket.
+    head: usize,
+    /// Power-of-two ring of buckets (empty until the first push).
+    buckets: Vec<Vec<(NodeId, Vec<u8>)>>,
+}
+
+impl TagWindow {
+    /// Files one arrival under `tag`. Requires `tag >= base`, which the
+    /// executor's late-drop check guarantees.
+    fn push(&mut self, tag: u32, from: NodeId, payload: Vec<u8>) {
+        debug_assert!(tag >= self.base, "arrival below the live window");
+        let offset = (tag - self.base) as usize;
+        if offset >= self.buckets.len() {
+            self.grow(offset + 1);
+        }
+        let pos = (self.head + offset) & (self.buckets.len() - 1);
+        self.buckets[pos].push((from, payload));
+    }
+
+    /// Moves the bucket for `tag` into `into` (clearing it first) and
+    /// advances the window past `tag`. Buckets below `tag` must already be
+    /// empty — the executor consumes tags strictly in order.
+    fn take(&mut self, tag: u32, into: &mut Vec<(NodeId, Vec<u8>)>) {
+        into.clear();
+        debug_assert!(tag >= self.base, "tags are consumed in order");
+        if self.buckets.is_empty() {
+            self.base = tag + 1;
+            return;
+        }
+        let len = self.buckets.len();
+        let offset = (tag - self.base) as usize;
+        if offset >= len {
+            // the window never stretched to this tag: nothing is stored
+            debug_assert!(self.buckets.iter().all(|b| b.is_empty()));
+            self.base = tag + 1;
+            self.head = 0;
+            return;
+        }
+        let mask = len - 1;
+        for i in 0..offset {
+            debug_assert!(
+                self.buckets[(self.head + i) & mask].is_empty(),
+                "skipped a live tag"
+            );
+        }
+        // swap rather than take, so `into`'s allocation returns to the ring
+        std::mem::swap(into, &mut self.buckets[(self.head + offset) & mask]);
+        self.head = (self.head + offset + 1) & mask;
+        self.base = tag + 1;
+    }
+
+    fn grow(&mut self, min_len: usize) {
+        let new_len = min_len.next_power_of_two().max(4);
+        let mut new_buckets: Vec<Vec<(NodeId, Vec<u8>)>> = Vec::with_capacity(new_len);
+        new_buckets.resize_with(new_len, Vec::new);
+        let old_len = self.buckets.len();
+        for (i, slot) in new_buckets.iter_mut().enumerate().take(old_len) {
+            *slot = std::mem::take(&mut self.buckets[(self.head + i) & (old_len - 1)]);
+        }
+        self.buckets = new_buckets;
+        self.head = 0;
+    }
+}
+
 /// Runs a scheduled execution; see the `exec` module docs at the top of
 /// this file for the semantics.
 pub struct Executor;
@@ -246,22 +352,27 @@ impl Executor {
             })
             .collect();
         let mut steps_done = vec![vec![0u32; n]; k];
-        // Buffered arrivals: buffers[a][v][tag round] -> inbox entries.
-        type Buffers = Vec<Vec<BTreeMap<u32, Vec<(NodeId, Vec<u8>)>>>>;
-        let mut buffers: Buffers = vec![vec![BTreeMap::new(); n]; k];
+        // Buffered arrivals: one flat TagWindow per (algorithm, node),
+        // indexed densely at `a * n + v`.
+        let mut buffers: Vec<TagWindow> = Vec::with_capacity(k * n);
+        buffers.resize_with(k * n, TagWindow::default);
+        let mut inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
 
-        // Steps grouped by big-round.
-        let mut by_big_round: BTreeMap<u64, Vec<(usize, usize, u32)>> = BTreeMap::new();
+        // Steps grouped by big-round: big-rounds are dense, so a flat Vec
+        // indexed by `b` replaces a BTreeMap.
+        let last_step_round = plan.last_big_round().unwrap_or(0);
+        let mut by_big_round: Vec<Vec<(u32, u32, u32)>> =
+            vec![Vec::new(); last_step_round as usize + 1];
         for a in 0..k {
             for v in 0..n {
                 for (r, &b) in plan.plan[a][v].iter().enumerate() {
-                    by_big_round.entry(b).or_default().push((a, v, r as u32));
+                    by_big_round[b as usize].push((a as u32, v as u32, r as u32));
                 }
             }
         }
-        let last_step_round = plan.last_big_round().unwrap_or(0);
 
-        let mut queues: Vec<VecDeque<Flight>> = (0..g.arc_count()).map(|_| VecDeque::new()).collect();
+        let mut queues: Vec<ArcFifo> = Vec::with_capacity(g.arc_count());
+        queues.resize_with(g.arc_count(), ArcFifo::default);
         let mut active_arcs: Vec<usize> = Vec::new();
         let mut stats = ExecStats {
             phase_len: config.phase_len,
@@ -274,14 +385,15 @@ impl Executor {
         let mut b: u64 = 0;
         loop {
             // 1. Execute the steps scheduled at big-round b.
-            if let Some(steps) = by_big_round.get(&b) {
+            if let Some(steps) = by_big_round.get(b as usize) {
                 for &(a, v, r) in steps {
+                    let (a, v) = (a as usize, v as usize);
                     debug_assert_eq!(steps_done[a][v], r, "steps execute in order");
-                    let mut inbox = if r == 0 {
-                        Vec::new()
+                    if r == 0 {
+                        inbox.clear();
                     } else {
-                        buffers[a][v].remove(&(r - 1)).unwrap_or_default()
-                    };
+                        buffers[a * n + v].take(r - 1, &mut inbox);
+                    }
                     // canonical inbox order, matching the reference runner
                     inbox.sort();
                     let sends = machines[a][v].step(&inbox);
@@ -338,10 +450,7 @@ impl Executor {
                     if steps_done[a][v] >= f.round + 2 {
                         stats.late_messages += 1;
                     } else {
-                        buffers[a][v]
-                            .entry(f.round)
-                            .or_default()
-                            .push((f.from, f.payload));
+                        buffers[a * n + v].push(f.round, f.from, f.payload);
                         stats.delivered += 1;
                     }
                     last_activity_round = engine_round + 1;

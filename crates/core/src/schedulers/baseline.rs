@@ -91,7 +91,9 @@ mod tests {
         let g = generators::path(8);
         let p = mixed_problem(&g);
         let outcome = SequentialScheduler.run(&p).unwrap();
-        assert!(verify::against_references(&p, &outcome).unwrap().all_correct());
+        assert!(verify::against_references(&p, &outcome)
+            .unwrap()
+            .all_correct());
         assert_eq!(outcome.stats.late_messages, 0);
         // 7 + 7 + 5 rounds
         assert_eq!(outcome.schedule_rounds(), 19);
@@ -102,7 +104,9 @@ mod tests {
         let g = generators::path(8);
         let p = mixed_problem(&g);
         let outcome = InterleaveScheduler.run(&p).unwrap();
-        assert!(verify::against_references(&p, &outcome).unwrap().all_correct());
+        assert!(verify::against_references(&p, &outcome)
+            .unwrap()
+            .all_correct());
         assert_eq!(outcome.stats.late_messages, 0);
         // k = 3, dilation = 7: last step at big-round <= 2 + 6*3 = 20
         assert!(outcome.schedule_rounds() <= 3 * 7);

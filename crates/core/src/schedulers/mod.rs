@@ -7,14 +7,19 @@ mod uniform;
 
 pub use baseline::{InterleaveScheduler, SequentialScheduler};
 pub use private::{PrivateDelayLaw, PrivateScheduler};
-pub use uniform::{prime_range_overhead, uniform_length_bound, TunedUniformScheduler, UniformScheduler};
+pub use uniform::{
+    prime_range_overhead, uniform_length_bound, TunedUniformScheduler, UniformScheduler,
+};
 
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
 
 /// A DAS scheduler: turns a problem instance into a scheduled execution.
-pub trait Scheduler {
+///
+/// Schedulers are `Send + Sync` so a trial harness can share one across
+/// worker threads.
+pub trait Scheduler: Send + Sync {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 

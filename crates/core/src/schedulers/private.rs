@@ -25,9 +25,7 @@ use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
-use das_cluster::{
-    share_layer_centralized, CarveConfig, Clustering, ShareConfig,
-};
+use das_cluster::{share_layer_centralized, CarveConfig, Clustering, ShareConfig};
 use das_congest::util::seed_mix;
 use das_prg::{BlockDecay, DelayLaw, KWiseGenerator};
 
@@ -182,9 +180,7 @@ impl Scheduler for PrivateScheduler {
                 // per-layer draws keeps per-big-round loads at O(log n):
                 // range = C·(#layers)/ln n big-rounds, i.e. the simple
                 // solution's Θ(C log n) span
-                let range = ((self.block_factor
-                    * params.congestion as f64
-                    * num_layers as f64)
+                let range = ((self.block_factor * params.congestion as f64 * num_layers as f64)
                     / ln_n)
                     .ceil()
                     .max(1.0) as u64;

@@ -57,11 +57,7 @@ fn kwise_from_shared(seed: u64, n: usize, p: u64) -> KWiseGenerator {
     KWiseGenerator::from_seed_bytes(&seed.to_le_bytes(), k, p)
 }
 
-fn delayed_units(
-    problem: &DasProblem<'_>,
-    gen: &KWiseGenerator,
-    law: &Uniform,
-) -> Vec<Unit> {
+fn delayed_units(problem: &DasProblem<'_>, gen: &KWiseGenerator, law: &Uniform) -> Vec<Unit> {
     let n = problem.graph().node_count();
     problem
         .algorithms()
@@ -140,7 +136,9 @@ impl Scheduler for TunedUniformScheduler {
         let ln_n = (n.max(3) as f64).ln();
         let lnln = ln_n.ln().max(1.0);
         let phase_len = (self.phase_factor * ln_n / lnln).ceil().max(1.0) as u64;
-        let range = (self.range_factor * params.congestion as f64).ceil().max(1.0) as u64;
+        let range = (self.range_factor * params.congestion as f64)
+            .ceil()
+            .max(1.0) as u64;
         let law = Uniform::prime_at_least(range);
         let gen = kwise_from_shared(self.shared_seed, n, law.range());
         let units = delayed_units(problem, &gen, &law);
@@ -206,8 +204,7 @@ mod tests {
         let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..30)
             .map(|i| {
                 let start = (i * 2) % (60 - seg);
-                let route: Vec<NodeId> =
-                    (start..=start + seg).map(|v| NodeId(v as u32)).collect();
+                let route: Vec<NodeId> = (start..=start + seg).map(|v| NodeId(v as u32)).collect();
                 Box::new(RelayChain::along(i as u64, &g, route))
                     as Box<dyn crate::BlackBoxAlgorithm>
             })

@@ -44,7 +44,12 @@ impl RelayChain {
     pub fn along(aid: u64, g: &Graph, route: Vec<NodeId>) -> Self {
         assert!(!route.is_empty(), "route must be non-empty");
         for w in route.windows(2) {
-            assert!(g.has_edge(w[0], w[1]), "route hop {}-{} missing", w[0], w[1]);
+            assert!(
+                g.has_edge(w[0], w[1]),
+                "route hop {}-{} missing",
+                w[0],
+                w[1]
+            );
         }
         RelayChain {
             aid: Aid(aid),
@@ -376,7 +381,11 @@ mod tests {
         // drop the first hop (sensitivity check, done by re-running with a
         // pattern that omits it).
         let g = generators::path(3);
-        let full = Prescribed::new(0, &g, &[(0, NodeId(0), NodeId(1)), (1, NodeId(1), NodeId(2))]);
+        let full = Prescribed::new(
+            0,
+            &g,
+            &[(0, NodeId(0), NodeId(1)), (1, NodeId(1), NodeId(2))],
+        );
         let cut = Prescribed::new(0, &g, &[(1, NodeId(1), NodeId(2))]);
         let rf = run_alone(&g, &full, 2).unwrap();
         let rc = run_alone(&g, &cut, 2).unwrap();

@@ -98,6 +98,12 @@ impl GraphBuilder {
             adj[cursor[b.index()] as usize] = (a, e);
             cursor[b.index()] += 1;
         }
+        // Sort each adjacency run by neighbor id so lookups can binary
+        // search (the graph is simple, so neighbor ids are unique per run).
+        for v in 0..n {
+            let (lo, hi) = (adj_off[v] as usize, adj_off[v + 1] as usize);
+            adj[lo..hi].sort_unstable();
+        }
         Graph::from_parts(adj_off, adj, self.edges)
     }
 }
@@ -146,6 +152,26 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_by_neighbor() {
+        // insertion order deliberately scrambled relative to id order
+        let mut b = GraphBuilder::new(5);
+        for &(u, v) in &[(2, 4), (0, 2), (2, 3), (1, 2), (4, 0)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        for v in g.nodes() {
+            let ids: Vec<_> = g.neighbors(v).iter().map(|&(u, _)| u).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "neighbors of {v} unsorted");
+            // edge ids still pair correctly after the sort
+            for &(u, e) in g.neighbors(v) {
+                assert_eq!(g.find_edge(v, u), Some(e));
+            }
+        }
     }
 
     #[test]

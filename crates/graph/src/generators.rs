@@ -165,7 +165,10 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
 /// # Panics
 /// Panics if `d` is odd or zero, or `n < 3`.
 pub fn random_regular_expander(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(d > 0 && d.is_multiple_of(2), "degree must be positive and even");
+    assert!(
+        d > 0 && d.is_multiple_of(2),
+        "degree must be positive and even"
+    );
     assert!(n >= 3, "need at least three nodes");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -345,9 +348,11 @@ mod tests {
         assert_eq!(g1.edge_count(), g2.edge_count());
         let g3 = gnp_connected(40, 0.05, 8);
         // different seeds should (overwhelmingly) differ
-        assert!(g1.edge_count() != g3.edge_count() || {
-            g1.edges().any(|e| g1.endpoints(e) != g3.endpoints(e))
-        });
+        assert!(
+            g1.edge_count() != g3.edge_count() || {
+                g1.edges().any(|e| g1.endpoints(e) != g3.endpoints(e))
+            }
+        );
     }
 
     #[test]

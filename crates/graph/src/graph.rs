@@ -220,7 +220,8 @@ impl Graph {
         self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
-    /// Neighbors of `v` together with the connecting edge ids.
+    /// Neighbors of `v` together with the connecting edge ids, sorted by
+    /// neighbor id (so callers may binary search).
     ///
     /// # Panics
     /// Panics if `v` is out of range.
@@ -257,16 +258,19 @@ impl Graph {
     }
 
     /// Looks up the edge between `u` and `v`, if any.
+    ///
+    /// Binary search over the smaller endpoint's sorted adjacency:
+    /// `O(log min(deg u, deg v))`.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let (scan, target) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
-        self.neighbors(scan)
-            .iter()
-            .find(|(w, _)| *w == target)
-            .map(|&(_, e)| e)
+        let nbrs = self.neighbors(scan);
+        nbrs.binary_search_by_key(&target, |&(w, _)| w)
+            .ok()
+            .map(|i| nbrs[i].1)
     }
 
     /// Whether `u` and `v` are adjacent.

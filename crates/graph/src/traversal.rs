@@ -220,7 +220,10 @@ mod tests {
     #[test]
     fn shortest_path_to_self() {
         let g = generators::path(3);
-        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)), Some(vec![NodeId(1)]));
+        assert_eq!(
+            shortest_path(&g, NodeId(1), NodeId(1)),
+            Some(vec![NodeId(1)])
+        );
     }
 
     #[test]

@@ -64,7 +64,8 @@ proptest! {
     /// equals BFS distance.
     #[test]
     fn bfs_tree_invariants(n in 2usize..40, seed in 0u64..1000) {
-        let g = generators::gnp_connected(n, 3.0 / n as f64, seed);
+        // 3.0 / n exceeds 1.0 for n < 3, and gnp_connected rejects p > 1
+        let g = generators::gnp_connected(n, (3.0 / n as f64).min(1.0), seed);
         let t = RootedTree::bfs(&g, NodeId(0));
         let dist = traversal::bfs_distances(&g, NodeId(0));
         let mut parent_edges = 0;

@@ -175,7 +175,10 @@ mod tests {
         for a in 0..10 {
             for j in 0..4 {
                 let s = inst.members(a, j).len();
-                assert!((1..=60).contains(&s), "|S| = {s} looks wrong for η=200, p=0.1");
+                assert!(
+                    (1..=60).contains(&s),
+                    "|S| = {s} looks wrong for η=200, p=0.1"
+                );
             }
         }
     }

@@ -10,14 +10,18 @@
 
 use crate::comm_pattern::{CommPattern, TimedArc};
 use das_graph::{Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 
 /// A mapping from original communications to their scheduled departure
 /// rounds (over the same network edge, which is how all schedulers in this
 /// project re-time messages).
-pub type SimulationMap = HashMap<TimedArc, u32>;
+///
+/// An ordered map, so iteration (and `Debug` output) is deterministic —
+/// important because these maps end up inside `ScheduleOutcome`, whose
+/// byte-for-byte reproducibility across thread counts is a test invariant.
+pub type SimulationMap = BTreeMap<TimedArc, u32>;
 
 /// Why a candidate simulation map is invalid.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -167,7 +171,11 @@ pub fn verify_simulation(
 /// Builds the identity simulation (every communication keeps its round);
 /// always valid.
 pub fn identity_map(pattern: &CommPattern) -> SimulationMap {
-    pattern.timed_arcs().iter().map(|&ta| (ta, ta.round)).collect()
+    pattern
+        .timed_arcs()
+        .iter()
+        .map(|&ta| (ta, ta.round))
+        .collect()
 }
 
 /// Builds the simulation that delays every communication by `delay` rounds;

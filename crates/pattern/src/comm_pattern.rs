@@ -167,7 +167,8 @@ mod tests {
 
     #[test]
     fn from_timed_arcs_sorts_and_dedups() {
-        let p = CommPattern::from_timed_arcs(2, vec![ta(3, 1, true), ta(0, 0, true), ta(3, 1, true)]);
+        let p =
+            CommPattern::from_timed_arcs(2, vec![ta(3, 1, true), ta(0, 0, true), ta(3, 1, true)]);
         assert_eq!(p.message_count(), 2);
         assert_eq!(p.timed_arcs()[0], ta(0, 0, true));
         assert_eq!(p.rounds(), 4);
@@ -175,10 +176,8 @@ mod tests {
 
     #[test]
     fn edge_loads_count_both_directions() {
-        let p = CommPattern::from_timed_arcs(
-            2,
-            vec![ta(0, 0, true), ta(1, 0, false), ta(0, 1, true)],
-        );
+        let p =
+            CommPattern::from_timed_arcs(2, vec![ta(0, 0, true), ta(1, 0, false), ta(0, 1, true)]);
         assert_eq!(p.edge_loads(), vec![2, 1]);
     }
 

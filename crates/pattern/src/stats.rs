@@ -39,9 +39,7 @@ pub fn load_profile(patterns: &[CommPattern], phase_len: u32) -> LoadProfile {
         assert_eq!(p.edge_count(), edge_count, "patterns over different graphs");
         for ta in p.timed_arcs() {
             per_round[ta.round as usize] += 1;
-            *edge_round
-                .entry((ta.arc.edge.0, ta.round))
-                .or_default() += 1;
+            *edge_round.entry((ta.arc.edge.0, ta.round)).or_default() += 1;
             *edge_phase
                 .entry((ta.arc.edge.0, ta.round / phase_len))
                 .or_default() += 1;

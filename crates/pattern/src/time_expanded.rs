@@ -80,11 +80,7 @@ impl<'g> TimeExpandedGraph<'g> {
                 line.push('o');
                 if i < self.horizon {
                     // mark whether v sends anywhere in round i
-                    let sends = self
-                        .graph
-                        .neighbors(v)
-                        .iter()
-                        .any(|&(u, _)| used(v, i, u));
+                    let sends = self.graph.neighbors(v).iter().any(|&(u, _)| used(v, i, u));
                     line.push_str(if sends { " *--> " } else { "      " });
                 }
             }

@@ -47,11 +47,7 @@ fn main() {
     // DOT export of layer 0, labeling nodes by their cluster center
     let layer = &cl.layers()[0];
     let rendered = dot::to_dot(&g, |v| {
-        Some(format!(
-            "{}\\nC={}",
-            v,
-            layer.center[v.index()]
-        ))
+        Some(format!("{}\\nC={}", v, layer.center[v.index()]))
     });
     println!("{rendered}");
 }

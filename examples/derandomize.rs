@@ -124,7 +124,10 @@ fn main() {
         .map(|&s| canonical_rate(&run_with_global_seed(&g, &fam, s, 1)))
         .collect();
     let avg = per_seed.iter().sum::<f64>() / trials as f64;
-    println!("Bellagio check: avg canonical-output rate over {trials} global seeds = {:.1}%", avg * 100.0);
+    println!(
+        "Bellagio check: avg canonical-output rate over {trials} global seeds = {:.1}%",
+        avg * 100.0
+    );
 
     // 1. Newman: shrink the seed space
     let oracle = |_x: u64, s: u64| canonical_rate(&run_with_global_seed(&g, &fam, s, 1)) == 1.0;

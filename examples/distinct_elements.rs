@@ -6,9 +6,7 @@
 //! cargo run --release --example distinct_elements
 //! ```
 
-use dasched::algos::distinct::{
-    estimate_private, estimate_shared, exact_distinct, DistinctConfig,
-};
+use dasched::algos::distinct::{estimate_private, estimate_shared, exact_distinct, DistinctConfig};
 use dasched::congest::util::seed_mix;
 use dasched::graph::generators;
 
@@ -23,7 +21,10 @@ fn main() {
     let (shared, shared_rounds) = estimate_shared(&g, &inputs, &config, 1234);
     let private = estimate_private(&g, &inputs, &config, 16, 77);
 
-    println!("distinct elements within {} hops (eps = {}):", config.radius, config.eps);
+    println!(
+        "distinct elements within {} hops (eps = {}):",
+        config.radius, config.eps
+    );
     println!(
         "{:>5} {:>6} {:>9} {:>9}",
         "node", "exact", "shared", "private"

@@ -48,8 +48,12 @@ fn main() {
         for cap in [cap_tuned, 0] {
             let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..k as u64)
                 .map(|i| {
-                    Box::new(MstAlgorithm::new(i, &g, EdgeWeights::random(&g, 100 + i), cap))
-                        as Box<dyn BlackBoxAlgorithm>
+                    Box::new(MstAlgorithm::new(
+                        i,
+                        &g,
+                        EdgeWeights::random(&g, 100 + i),
+                        cap,
+                    )) as Box<dyn BlackBoxAlgorithm>
                 })
                 .collect();
             let p = DasProblem::new(&g, algos, 9);

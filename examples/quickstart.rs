@@ -20,7 +20,12 @@ fn main() {
     let g = generators::grid(8, 8);
     let mut algos: Vec<Box<dyn BlackBoxAlgorithm>> = Vec::new();
     for i in 0..6u64 {
-        algos.push(Box::new(HopBfs::new(i, &g, NodeId((i * 11 % 64) as u32), 10)));
+        algos.push(Box::new(HopBfs::new(
+            i,
+            &g,
+            NodeId((i * 11 % 64) as u32),
+            10,
+        )));
     }
     for i in 6..12u64 {
         algos.push(Box::new(SingleBroadcast::new(

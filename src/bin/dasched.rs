@@ -279,7 +279,11 @@ fn cmd_carve(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     );
     println!(
         "weak radius {} (cap {}), padding/layer {:.2}, covering layers min {} avg {:.1}",
-        q.max_weak_radius, cfg.horizon, q.padding_rate, q.min_covering_layers, q.avg_covering_layers
+        q.max_weak_radius,
+        cfg.horizon,
+        q.padding_rate,
+        q.min_covering_layers,
+        q.avg_covering_layers
     );
     println!(
         "clusters/layer {:.1}, pre-computation rounds {}",
@@ -400,7 +404,13 @@ mod tests {
     #[test]
     fn end_to_end_run_command() {
         let args: Vec<String> = [
-            "run", "--graph", "path:12", "--workload", "relays:3", "--scheduler", "sequential",
+            "run",
+            "--graph",
+            "path:12",
+            "--workload",
+            "relays:3",
+            "--scheduler",
+            "sequential",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -411,7 +421,15 @@ mod tests {
     #[test]
     fn end_to_end_lowerbound_command() {
         let args: Vec<String> = [
-            "lowerbound", "--layers", "3", "--eta", "10", "--k", "6", "--p", "0.3",
+            "lowerbound",
+            "--layers",
+            "3",
+            "--eta",
+            "10",
+            "--k",
+            "6",
+            "--p",
+            "0.3",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -25,12 +25,7 @@ fn mixed_problem(g: &dasched::graph::Graph, k: usize, seed: u64) -> DasProblem<'
                 2 => Box::new(FloodBall::new(i, g, src, 5)),
                 3 => Box::new(Coloring::new(i, g, 6)),
                 4 => Box::new(LeaderElection::new(i, g, 7, seed + i)),
-                _ => Box::new(MstAlgorithm::new(
-                    i,
-                    g,
-                    EdgeWeights::random(g, seed + i),
-                    4,
-                )),
+                _ => Box::new(MstAlgorithm::new(i, g, EdgeWeights::random(g, seed + i), 4)),
             }
         })
         .collect();

@@ -6,7 +6,7 @@
 use dasched::core::synthetic::RelayChain;
 use dasched::core::{
     verify, BlackBoxAlgorithm, DasProblem, Executor, ExecutorConfig, Scheduler,
-    TunedUniformScheduler, Unit, UniformScheduler,
+    TunedUniformScheduler, UniformScheduler, Unit,
 };
 use dasched::graph::generators;
 
@@ -78,7 +78,10 @@ fn correctness_rate_degrades_monotonically_with_starvation() {
         rates[0] <= rates[2],
         "more phase budget cannot hurt: {rates:?}"
     );
-    assert!(rates[2] > 0.9, "full budget should be near-perfect: {rates:?}");
+    assert!(
+        rates[2] > 0.9,
+        "full budget should be near-perfect: {rates:?}"
+    );
 }
 
 #[test]

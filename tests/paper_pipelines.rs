@@ -19,8 +19,12 @@ fn kshot_mst_under_the_private_scheduler() {
     let cap = ((40f64 / k as f64).sqrt()).ceil() as u32;
     let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..k)
         .map(|i| {
-            Box::new(MstAlgorithm::new(i, &g, EdgeWeights::random(&g, 70 + i), cap))
-                as Box<dyn BlackBoxAlgorithm>
+            Box::new(MstAlgorithm::new(
+                i,
+                &g,
+                EdgeWeights::random(&g, 70 + i),
+                cap,
+            )) as Box<dyn BlackBoxAlgorithm>
         })
         .collect();
     let p = DasProblem::new(&g, algos, 6);
@@ -66,7 +70,9 @@ fn tuned_scheduler_beats_uniform_on_the_hard_family() {
     let uniform = UniformScheduler::default().run(&p).unwrap();
     let tuned = TunedUniformScheduler::default().run(&p).unwrap();
     assert!(
-        verify::against_references(&p, &tuned).unwrap().all_correct(),
+        verify::against_references(&p, &tuned)
+            .unwrap()
+            .all_correct(),
         "tuned late {}",
         tuned.stats.late_messages
     );

@@ -1,0 +1,377 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Supports the constructs this workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] #[test] fn f(x in strat, y: ty) { .. } }`
+//! * range strategies (`4usize..60`, `0.1f64..0.9`) and plain-type
+//!   parameters drawn from the full domain,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Unlike upstream proptest there is no shrinking and no persisted failure
+//! file: inputs are drawn from a deterministic per-test stream (seeded from
+//! the test path and case index, overridable with `PROPTEST_RNG_SEED`), so
+//! every failure is reproducible by rerunning the same test binary.
+//! `prop_assume!` skips the case rather than re-drawing.
+
+/// Execution configuration: how many cases each property runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic input stream for one test case (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The stream for case `case` of the test identified by `path`.
+    ///
+    /// Honors `PROPTEST_RNG_SEED` (a u64) as an extra perturbation so suites
+    /// can be re-rolled without editing code.
+    pub fn for_case(path: &str, case: u32) -> Self {
+        let base: u64 = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        let mut state = base ^ fnv1a(path.as_bytes()) ^ ((case as u64) << 32 | case as u64);
+        // decorrelate nearby case indices
+        for _ in 0..2 {
+            state = splitmix(&mut state);
+        }
+        TestRng { state }
+    }
+
+    /// Next word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix(&mut self.state)
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (u as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_range_strategy_float!(f32, f64);
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Whole-domain generation for plain-typed parameters (`x: u64`).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A strategy for [`Arbitrary`] types, proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property; failure fails the test with the
+/// case's inputs in the panic message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// Defines property tests; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` item in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __outcome = $crate::__proptest_case! {
+                    rng = __rng; body = $body; bindings = []; $($params)*
+                };
+                let _ = __outcome;
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: munches the parameter list of one property, accumulating
+/// bindings, then runs the body in a skippable closure.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // `name in strategy` (more params follow)
+    (rng = $rng:ident; body = $body:block; bindings = [$($acc:tt)*];
+     $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case! {
+            rng = $rng; body = $body;
+            bindings = [$($acc)* (strat $name ($strat))];
+            $($rest)*
+        }
+    };
+    // `name in strategy` (final)
+    (rng = $rng:ident; body = $body:block; bindings = [$($acc:tt)*];
+     $name:ident in $strat:expr) => {
+        $crate::__proptest_case! {
+            rng = $rng; body = $body;
+            bindings = [$($acc)* (strat $name ($strat))];
+        }
+    };
+    // `name: Type` (more params follow)
+    (rng = $rng:ident; body = $body:block; bindings = [$($acc:tt)*];
+     $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case! {
+            rng = $rng; body = $body;
+            bindings = [$($acc)* (arb $name ($ty))];
+            $($rest)*
+        }
+    };
+    // `name: Type` (final)
+    (rng = $rng:ident; body = $body:block; bindings = [$($acc:tt)*];
+     $name:ident : $ty:ty) => {
+        $crate::__proptest_case! {
+            rng = $rng; body = $body;
+            bindings = [$($acc)* (arb $name ($ty))];
+        }
+    };
+    // all params munched: bind in order, run body
+    (rng = $rng:ident; body = $body:block; bindings = [$($binding:tt)*];) => {
+        {
+            let mut __case = || -> ::core::ops::ControlFlow<()> {
+                $crate::__proptest_bind! { rng = $rng; $($binding)* }
+                $body
+                ::core::ops::ControlFlow::Continue(())
+            };
+            __case()
+        }
+    };
+}
+
+/// Internal: emits one `let` per accumulated binding, in declaration order.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    (rng = $rng:ident;) => {};
+    (rng = $rng:ident; (strat $name:ident ($strat:expr)) $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+    (rng = $rng:ident; (arb $name:ident ($ty:ty)) $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 5u64..50, y in 0.25f64..0.75, z in 3usize..9) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((3..9).contains(&z));
+        }
+
+        /// Plain-typed params and assume-skips both work.
+        #[test]
+        fn arbitrary_and_assume(a: u64, b: u64) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::for_case("mod::test", 3);
+        let mut b = TestRng::for_case("mod::test", 3);
+        let mut c = TestRng::for_case("mod::test", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn just_returns_value() {
+        let mut rng = TestRng::for_case("j", 0);
+        assert_eq!(Just(7u32).sample(&mut rng), 7);
+        let s = any::<bool>();
+        let _: bool = s.sample(&mut rng);
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal, dependency-free implementation of exactly the surface the
+//! repo uses: [`rngs::StdRng`], [`SeedableRng`], the [`Rng`] extension
+//! methods (`gen`, `gen_range`, `gen_bool`), and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256**, seeded through SplitMix64, so streams are
+//! deterministic, high-quality, and stable across platforms. Values differ
+//! from upstream `rand` (which uses ChaCha12 for `StdRng`); nothing in this
+//! repo depends on the exact stream, only on determinism per seed.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from a word stream ("standard"
+/// distribution): the target of [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value using the provided word source.
+    fn sample_standard(next: impl FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(mut next: impl FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard(mut next: impl FnMut() -> u64) -> Self {
+        ((next() as u128) << 64) | next() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(mut next: impl FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(mut next: impl FnMut() -> u64) -> Self {
+        // 53 random mantissa bits in [0, 1)
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(mut next: impl FnMut() -> u64) -> Self {
+        (next() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range(lo: Self, hi: Self, next: impl FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, mut next: impl FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                // Debiased multiply-shift (Lemire): reject draws whose low
+                // word lands in the short band of size 2^64 mod span.
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let m = (next() as u128).wrapping_mul(span as u128);
+                    if (m as u64) >= threshold {
+                        return lo + (m >> 64) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, next: impl FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                let off = <u64 as SampleUniform>::sample_range(0, span, next);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: Self, hi: Self, next: impl FnMut() -> u64) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let u = f64::sample_standard(next);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(lo: Self, hi: Self, next: impl FnMut() -> u64) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let u = f32::sample_standard(next);
+        lo + u * (hi - lo)
+    }
+}
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(|| self.next_u64())
+    }
+
+    /// Samples uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(range.start, range.end, || self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let w = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // avoid the all-zero state, which xoshiro cannot leave
+            if s == [0; 4] {
+                let mut sm = 0xDEAD_BEEF_CAFE_F00Du64;
+                for word in s.iter_mut() {
+                    *word = splitmix64(&mut sm);
+                }
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "value {v} drawn {c}/3000 times");
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice in order (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn f64_standard_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

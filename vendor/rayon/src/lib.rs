@@ -1,0 +1,267 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small slice of rayon the workspace uses: `into_par_iter()` /
+//! `par_iter()` plus `map`/`for_each`/`collect`/`sum`, executed on real OS
+//! threads via [`std::thread::scope`].
+//!
+//! Semantics guaranteed here (and relied on by the deterministic trial
+//! runner in `das-bench`):
+//!
+//! * **Order preservation** — `collect()` returns results in the input
+//!   order, regardless of which thread computed which item.
+//! * **`RAYON_NUM_THREADS`** — honored like upstream rayon: `1` forces
+//!   fully sequential execution; unset uses the available parallelism.
+//!
+//! Work distribution is a shared atomic cursor (dynamic load balancing), so
+//! uneven per-item cost does not serialize on the slowest chunk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The traits, imported as `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use: `RAYON_NUM_THREADS` if set and valid,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator, consuming the collection.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// A materialized parallel pipeline stage.
+///
+/// Unlike upstream rayon this shim is eager at the `collect`/`for_each`
+/// boundary and materializes the input items first; with the coarse-grained
+/// work the workspace fans out (whole simulation trials), per-item overhead
+/// is irrelevant.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+/// Core parallel-iterator operations.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes the items of this stage, in order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every item in parallel, preserving order.
+    fn map<U: Send, F>(self, f: F) -> ParVec<U>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        ParVec {
+            items: parallel_map(self.into_items(), &f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = parallel_map(self.into_items(), &|x| f(x));
+    }
+
+    /// Collects the items, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_items(self.into_items())
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_items().into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.into_items().len()
+    }
+}
+
+/// Collections constructible from ordered parallel results.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in the right order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParVec<$t>;
+
+            fn into_par_iter(self) -> ParVec<$t> {
+                ParVec { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Maps `f` over `items` on up to [`current_num_threads`] threads, returning
+/// results in input order.
+fn parallel_map<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Items move to whichever worker claims their index; results come back
+    // tagged with the index so order is restored independent of scheduling.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each index is claimed once");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let out: Vec<usize> = (0usize..64)
+            .into_par_iter()
+            .map(|i| {
+                // vary per-item cost to exercise the dynamic cursor
+                let mut acc = 0usize;
+                for j in 0..(i % 7) * 1000 {
+                    acc = acc.wrapping_add(j);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the serde shim.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which are not
+//! available offline). Supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields → JSON objects in declaration order,
+//! * tuple structs with one field (newtypes) → the inner value,
+//! * tuple structs with several fields → JSON arrays,
+//! * unit structs → `null`,
+//! * enums whose variants are all unit variants → the variant name string.
+//!
+//! Generics, data-carrying enum variants, and `#[serde(...)]` attributes are
+//! rejected with a compile-time panic so a mismatch is loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the shim's `serde::Serialize` for a supported type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` for a supported type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__obj, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let __obj = ::serde::de::as_object(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de::elem(__arr, {i}, \"{name}\")?"))
+                .collect();
+            format!(
+                "let __arr = ::serde::de::as_array(v, \"{name}\")?;\n\
+                 if __arr.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"expected {arity} elements for {name}, got {{}}\", __arr.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {},\n\
+                         __other => ::std::result::Result::Err(::serde::Error(\n\
+                             ::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::Error(\n\
+                         ::std::format!(\"expected {name} variant string, got {{__other:?}}\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                shape: Shape::Named(named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream()).len();
+                Input {
+                    name,
+                    shape: Shape::Tuple(arity),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input {
+                name,
+                shape: Shape::Unit,
+            },
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                shape: Shape::UnitEnum(unit_variants(g.stream())),
+            },
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Splits a token stream on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments do not split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut iter = chunk.into_iter().peekable();
+            loop {
+                match iter.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        iter.next();
+                        iter.next();
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        iter.next();
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn unit_variants(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut iter = chunk.into_iter().peekable();
+            while let Some(TokenTree::Punct(p)) = iter.peek() {
+                if p.as_char() == '#' {
+                    iter.next();
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected variant name, got {other:?}"),
+            };
+            if let Some(extra) = iter.next() {
+                panic!(
+                    "serde shim derive: variant `{name}` carries data ({extra:?}); \
+                     only unit variants are supported"
+                );
+            }
+            name
+        })
+        .collect()
+}
