@@ -21,11 +21,11 @@ fn delay_law_ablation() {
         // all relays on the same 12-hop segment: congestion = k, dilation 12
         let problem = workloads::segment_relays(&g, k, 12, 0, 3);
         let params = problem.parameters().unwrap();
-        let (bd, _) = measure(
+        let (bd, _, _) = measure(
             &PrivateScheduler::default().with_delay_law(PrivateDelayLaw::BlockDecay),
             &problem,
         );
-        let (uw, _) = measure(
+        let (uw, _, _) = measure(
             &PrivateScheduler::default().with_delay_law(PrivateDelayLaw::UniformWide),
             &problem,
         );
@@ -95,7 +95,7 @@ fn phase_factor_ablation() {
             phase_factor: pf,
             range_factor: 1.0,
         };
-        let (m, _) = measure(&sched, &problem);
+        let (m, _, _) = measure(&sched, &problem);
         t.row_owned(vec![
             format!("{pf}"),
             format!("{:.1}%", m.correctness * 100.0),

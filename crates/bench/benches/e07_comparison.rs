@@ -44,7 +44,7 @@ fn table() {
             params.dilation.to_string(),
         ];
         for s in schedulers {
-            let (m, _) = measure(s.as_ref(), &problem);
+            let (m, _, _) = measure(s.as_ref(), &problem);
             let mark = if m.correctness == 1.0 { "" } else { "!" };
             if m.precompute > 0 {
                 cells.push(format!("{}{} (+{})", m.schedule, mark, m.precompute));

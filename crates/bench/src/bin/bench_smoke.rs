@@ -4,8 +4,8 @@
 //!
 //! Usage: `bench_smoke [trials] [base_seed]` (defaults: 8 trials, seed 42).
 
-use das_bench::{record_trial, workloads, TrialRunner};
-use das_core::{Scheduler, UniformScheduler};
+use das_bench::{run_trial, workloads, TrialRunner};
+use das_core::UniformScheduler;
 use das_graph::generators;
 use std::path::Path;
 
@@ -24,15 +24,15 @@ fn main() {
 
     let runner = TrialRunner::new(base_seed, trials);
     let agg = runner.aggregate("e01_smoke", "uniform", |seed| {
-        let out = UniformScheduler::default()
-            .with_seed(seed)
-            .run(&problem)
-            .expect("workload is model-valid");
-        record_trial(&problem, seed, &out)
+        run_trial(&UniformScheduler::default(), &problem, seed)
     });
     let path = agg.write(Path::new(".")).expect("write BENCH artifact");
+    let predicted = agg
+        .predicted_schedule
+        .as_ref()
+        .expect("staged trials carry predictions");
     println!(
-        "wrote {} ({} trials, success {:.0}%, schedule mean {:.1} / p50 {} / p95 {} / max {})",
+        "wrote {} ({} trials, success {:.0}%, schedule mean {:.1} / p50 {} / p95 {} / max {}, predicted mean {:.1} / max {})",
         path.display(),
         agg.trials,
         agg.success_rate * 100.0,
@@ -40,6 +40,8 @@ fn main() {
         agg.schedule.p50,
         agg.schedule.p95,
         agg.schedule.max,
+        predicted.mean,
+        predicted.max,
     );
     assert!(
         agg.mean_correctness > 0.99,

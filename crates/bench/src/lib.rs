@@ -7,6 +7,13 @@
 //! criterion, so `cargo bench` regenerates every table and series.
 //! Seed sweeps fan across threads through [`TrialRunner`] and can be
 //! serialized to `BENCH_<experiment>.json` artifacts.
+//!
+//! Trials follow the staged pipeline ([`run_trial`]): plan with the
+//! trial's `sched_seed`, execute the plan, verify **exactly once**, and
+//! record — including the plan's predicted length, so artifacts track the
+//! plan-vs-reality gap. Because a sweep varies only scheduler randomness,
+//! the problem's reference runs are computed once and shared by every
+//! trial.
 
 #![warn(missing_docs)]
 
@@ -17,7 +24,8 @@ pub mod workloads;
 pub use runner::{SummaryStats, TrialAggregate, TrialRecord, TrialRunner};
 pub use table::Table;
 
-use das_core::{verify, DasProblem, ScheduleOutcome, Scheduler};
+use das_core::verify::{self, VerifyReport};
+use das_core::{execute_plan, DasProblem, ScheduleOutcome, Scheduler};
 
 /// One measured scheduler run.
 #[derive(Clone, Debug)]
@@ -41,12 +49,17 @@ impl Measured {
     }
 }
 
-/// Runs a scheduler on a problem and verifies it.
+/// Runs a scheduler on a problem and verifies it exactly once, returning
+/// the verification report alongside the outcome so callers can reuse it
+/// (e.g. to record a trial) instead of verifying again.
 ///
 /// # Panics
 /// Panics if the workload violates the CONGEST model (a bug in the
 /// workload, not the scheduler).
-pub fn measure(scheduler: &dyn Scheduler, problem: &DasProblem<'_>) -> (Measured, ScheduleOutcome) {
+pub fn measure(
+    scheduler: &dyn Scheduler,
+    problem: &DasProblem<'_>,
+) -> (Measured, ScheduleOutcome, VerifyReport) {
     let outcome = scheduler.run(problem).expect("workload is model-valid");
     let report = verify::against_references(problem, &outcome).expect("references computable");
     (
@@ -58,23 +71,49 @@ pub fn measure(scheduler: &dyn Scheduler, problem: &DasProblem<'_>) -> (Measured
             correctness: report.correctness_rate(),
         },
         outcome,
+        report,
     )
 }
 
-/// Builds the per-trial record for a schedule outcome, verifying outputs
-/// against the problem's reference runs.
-///
-/// # Panics
-/// Panics if the reference runs are not computable (a workload bug).
-pub fn record_trial(problem: &DasProblem<'_>, seed: u64, outcome: &ScheduleOutcome) -> TrialRecord {
-    let report = verify::against_references(problem, outcome).expect("references computable");
+/// Builds the per-trial record from an outcome and the [`VerifyReport`]
+/// of its (single) verification. `predicted` is the plan's predicted
+/// schedule length when the trial went through the staged pipeline.
+pub fn record_trial(
+    seed: u64,
+    outcome: &ScheduleOutcome,
+    report: &VerifyReport,
+    predicted: Option<u64>,
+) -> TrialRecord {
     TrialRecord {
         seed,
         schedule: outcome.schedule_rounds(),
+        predicted,
         precompute: outcome.precompute_rounds,
         late: outcome.stats.late_messages,
         correctness: report.correctness_rate(),
     }
+}
+
+/// One full trial through the staged pipeline: plan with `sched_seed`,
+/// execute the plan, verify exactly once, and record — with the plan's
+/// predicted length threaded into the record.
+///
+/// All trials of a sweep share the problem's cached reference runs: only
+/// the scheduler randomness varies.
+///
+/// # Panics
+/// Panics if the workload violates the CONGEST model.
+pub fn run_trial(
+    scheduler: &dyn Scheduler,
+    problem: &DasProblem<'_>,
+    sched_seed: u64,
+) -> TrialRecord {
+    let plan = scheduler
+        .plan(problem, sched_seed)
+        .expect("workload is model-valid");
+    let outcome = execute_plan(problem, &plan);
+    let report = verify::against_references(problem, &outcome).expect("references computable");
+    record_trial(sched_seed, &outcome, &report, Some(plan.predicted_rounds))
 }
 
 /// Success rate of a scheduler over repeated trials: the empirical version
@@ -101,18 +140,54 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use das_core::SequentialScheduler;
+    use das_core::{SequentialScheduler, UniformScheduler};
     use das_graph::generators;
 
     #[test]
     fn measure_reports_correct_run() {
         let g = generators::path(8);
         let p = workloads::stacked_relays(&g, 4, 1);
-        let (m, _) = measure(&SequentialScheduler, &p);
+        let (m, outcome, report) = measure(&SequentialScheduler, &p);
         assert_eq!(m.name, "sequential");
         assert_eq!(m.late, 0);
         assert_eq!(m.correctness, 1.0);
         assert_eq!(m.total(), m.schedule);
+        // the report is reusable without re-verifying
+        let rec = record_trial(0, &outcome, &report, None);
+        assert_eq!(rec.schedule, m.schedule);
+        assert_eq!(rec.predicted, None);
+    }
+
+    #[test]
+    fn run_trial_records_prediction_and_matches_fused_run() {
+        let g = generators::path(12);
+        let p = workloads::stacked_relays(&g, 6, 1);
+        let rec = run_trial(&UniformScheduler::default(), &p, 99);
+        let fused = UniformScheduler::default().with_seed(99).run(&p).unwrap();
+        assert_eq!(rec.schedule, fused.schedule_rounds());
+        assert_eq!(rec.late, fused.stats.late_messages);
+        let predicted = rec.predicted.expect("staged trials carry a prediction");
+        if rec.late == 0 {
+            assert!(predicted <= rec.schedule, "prediction is the step boundary");
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_reference_runs_across_trials() {
+        // the E1 shape: one problem, many trials varying only sched_seed —
+        // the k reference runs are computed exactly once
+        let g = generators::path(16);
+        let p = workloads::stacked_relays(&g, 5, 7);
+        let runner = TrialRunner::new(42, 12);
+        let agg = runner.aggregate("reuse_check", "uniform", |seed| {
+            run_trial(&UniformScheduler::default(), &p, seed)
+        });
+        assert_eq!(agg.trials, 12);
+        assert_eq!(
+            p.reference_runs_computed(),
+            5,
+            "reference runs must be shared across the sweep, not recomputed per trial"
+        );
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct TrialRecord {
     pub seed: u64,
     /// Schedule length in engine rounds.
     pub schedule: u64,
+    /// The plan's predicted schedule length (the last step boundary),
+    /// when the trial went through the staged plan/execute pipeline —
+    /// emitted into the artifact so the plan-vs-reality gap is tracked.
+    pub predicted: Option<u64>,
     /// Pre-computation rounds.
     pub precompute: u64,
     /// Late (dropped) messages.
@@ -168,6 +172,9 @@ pub struct TrialAggregate {
     pub trials: u64,
     /// Schedule-length distribution.
     pub schedule: SummaryStats,
+    /// Predicted-schedule-length distribution, when every record carries
+    /// a plan prediction.
+    pub predicted_schedule: Option<SummaryStats>,
     /// Late-message distribution.
     pub late: SummaryStats,
     /// Fraction of trials with zero late messages.
@@ -188,6 +195,11 @@ impl TrialAggregate {
     ) -> Self {
         let schedules: Vec<u64> = records.iter().map(|r| r.schedule).collect();
         let lates: Vec<u64> = records.iter().map(|r| r.late).collect();
+        let predictions: Option<Vec<u64>> = if records.is_empty() {
+            None
+        } else {
+            records.iter().map(|r| r.predicted).collect()
+        };
         let n = records.len().max(1) as f64;
         let successes = records.iter().filter(|r| r.success()).count();
         TrialAggregate {
@@ -196,6 +208,7 @@ impl TrialAggregate {
             base_seed,
             trials: records.len() as u64,
             schedule: SummaryStats::of(&schedules),
+            predicted_schedule: predictions.map(|p| SummaryStats::of(&p)),
             late: SummaryStats::of(&lates),
             success_rate: successes as f64 / n,
             mean_correctness: records.iter().map(|r| r.correctness).sum::<f64>() / n,
@@ -244,6 +257,7 @@ mod tests {
         TrialRecord {
             seed,
             schedule,
+            predicted: Some(schedule),
             precompute: 0,
             late,
             correctness: 1.0,

@@ -2,7 +2,7 @@
 //! ⇒ byte-identical `ScheduleOutcome`s and aggregate JSON whether the
 //! sweep runs on one thread (`RAYON_NUM_THREADS=1`) or the full pool.
 
-use das_bench::{record_trial, workloads, TrialAggregate, TrialRunner};
+use das_bench::{run_trial, workloads, TrialAggregate, TrialRunner};
 use das_core::{Scheduler, UniformScheduler};
 use das_graph::generators;
 use std::time::Instant;
@@ -22,11 +22,7 @@ fn sweep(trials: u64) -> (Vec<String>, TrialAggregate) {
         format!("{out:?}")
     });
     let agg = runner.aggregate("determinism", "uniform", |seed| {
-        let out = UniformScheduler::default()
-            .with_seed(seed)
-            .run(&problem)
-            .expect("workload is model-valid");
-        record_trial(&problem, seed, &out)
+        run_trial(&UniformScheduler::default(), &problem, seed)
     });
     (outcomes, agg)
 }

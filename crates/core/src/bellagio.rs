@@ -137,12 +137,33 @@ pub struct BellagioOutcome {
     pub total_rounds: u64,
 }
 
-/// Derandomizes a Bellagio family per Meta-Theorem A.1.
-pub fn derandomize(
+/// The planned derandomization: clustering, per-layer per-node seed
+/// assignments, and the analytic round accounting — everything decided
+/// before any machine steps, mirroring the core pipeline's plan/execute
+/// split (see [`crate::plan`]).
+#[derive(Clone, Debug)]
+pub struct DerandomizationPlan {
+    /// The carved clustering (step 1).
+    pub clustering: Clustering,
+    /// Per-layer, per-node folded cluster seeds (step 2).
+    pub layer_seeds: Vec<Vec<u64>>,
+    /// The private tape seed threaded into every truncated run.
+    pub private_seed: u64,
+    /// Runtime `T` the plan was padded for.
+    pub t_rounds: u32,
+    /// Total CONGEST rounds the plan charges: carving + sharing + one
+    /// truncated run per layer (the Meta-Theorem's `O(T log² n)`).
+    pub total_rounds: u64,
+}
+
+/// Plans the derandomization of a Bellagio family: carves the layers,
+/// shares one seed per cluster, and accounts the rounds — without running
+/// the family.
+pub fn plan_derandomization(
     g: &Graph,
     family: &dyn SeededFamily,
     config: &BellagioConfig,
-) -> BellagioOutcome {
+) -> DerandomizationPlan {
     let n = g.node_count();
     let t_rounds = family.rounds();
 
@@ -158,9 +179,7 @@ pub fn derandomize(
     let share_cfg = ShareConfig::for_graph(g, carve_cfg.horizon);
     let chunks =
         das_cluster::share::center_chunks(n, share_cfg.chunks, seed_mix(config.seed, 0x5EED));
-
-    // 3. one truncated run per layer with per-cluster seeds
-    let mut layer_outputs = Vec::with_capacity(clustering.layers().len());
+    let mut layer_seeds = Vec::with_capacity(clustering.layers().len());
     for layer in clustering.layers() {
         total_rounds += share_cfg.rounds_needed();
         let seeds_words = das_cluster::share_layer_centralized(layer, &chunks);
@@ -168,14 +187,39 @@ pub fn derandomize(
             .iter()
             .map(|ws| ws.iter().fold(0u64, |acc, &w| seed_mix(acc, w)))
             .collect();
+        total_rounds += t_rounds as u64; // alone, one round per engine round
+        layer_seeds.push(seeds);
+    }
+
+    DerandomizationPlan {
+        clustering,
+        layer_seeds,
+        private_seed: seed_mix(config.seed, 0x7A9E),
+        t_rounds,
+        total_rounds,
+    }
+}
+
+/// Executes a derandomization plan: one truncated run per layer with the
+/// planned per-cluster seeds, then the majority vote over covering layers.
+pub fn execute_derandomization(
+    g: &Graph,
+    family: &dyn SeededFamily,
+    plan: &DerandomizationPlan,
+) -> BellagioOutcome {
+    let n = g.node_count();
+    let t_rounds = plan.t_rounds;
+
+    // 3. one truncated run per layer with per-cluster seeds
+    let mut layer_outputs = Vec::with_capacity(plan.clustering.layers().len());
+    for (l, layer) in plan.clustering.layers().iter().enumerate() {
         let outputs = run_truncated(
             g,
             family,
-            &seeds,
+            &plan.layer_seeds[l],
             Some(&layer.contained_radius),
-            seed_mix(config.seed, 0x7A9E),
+            plan.private_seed,
         );
-        total_rounds += t_rounds as u64; // alone, one round per engine round
         layer_outputs.push(outputs);
     }
 
@@ -183,7 +227,7 @@ pub fn derandomize(
     let mut outputs: Vec<Option<Vec<u8>>> = vec![None; n];
     let mut covered = 0usize;
     for v in g.nodes() {
-        let covering = clustering.covering_layers(v, t_rounds);
+        let covering = plan.clustering.covering_layers(v, t_rounds);
         if covering.is_empty() {
             continue;
         }
@@ -204,8 +248,18 @@ pub fn derandomize(
         outputs,
         layer_outputs,
         coverage: covered as f64 / n as f64,
-        total_rounds,
+        total_rounds: plan.total_rounds,
     }
+}
+
+/// Derandomizes a Bellagio family per Meta-Theorem A.1: plans, then
+/// executes.
+pub fn derandomize(
+    g: &Graph,
+    family: &dyn SeededFamily,
+    config: &BellagioConfig,
+) -> BellagioOutcome {
+    execute_derandomization(g, family, &plan_derandomization(g, family, config))
 }
 
 #[cfg(test)]
@@ -363,6 +417,21 @@ mod tests {
             "majority vote canonical at only {ok}/{total} nodes"
         );
         assert!(outcome.total_rounds > 0);
+    }
+
+    #[test]
+    fn staged_derandomization_matches_fused() {
+        let g = generators::grid(5, 5);
+        let inputs: Vec<u64> = (0..25).map(|v| seed_mix(3, (v % 12) as u64)).collect();
+        let fam = ThresholdTest::new(&g, inputs, 2, 4.0);
+        let cfg = BellagioConfig::default();
+        let plan = plan_derandomization(&g, &fam, &cfg);
+        let staged = execute_derandomization(&g, &fam, &plan);
+        let fused = derandomize(&g, &fam, &cfg);
+        assert_eq!(staged.outputs, fused.outputs);
+        assert_eq!(staged.layer_outputs, fused.layer_outputs);
+        assert_eq!(staged.total_rounds, fused.total_rounds);
+        assert!(plan.total_rounds > 0);
     }
 
     #[test]

@@ -3,12 +3,21 @@
 //! The paper assumes nodes know constant-factor approximations of
 //! `congestion` and `dilation` and defers the removal of that assumption
 //! to "standard doubling techniques". This module implements the standard
-//! technique: guess `(C̃, D̃)`, run the schedule sized for the guess, check
-//! whether it succeeded (no message arrived late — in a real deployment
+//! technique: guess `(C̃, D̃)`, size a schedule plan for the guess, check
+//! whether it succeeds (no message arrives late — in a real deployment
 //! this is an `O(D)` convergecast of a success flag, which we charge), and
 //! double the guess otherwise. The total cost is dominated by the last,
 //! successful attempt, so the asymptotics are unchanged.
+//!
+//! Failed guesses are detected by [`crate::plan::analysis::predict`] on
+//! the *plan*, without running the engine: the prediction of "no late
+//! messages" is exact (see the analysis module docs), so the pre-check
+//! never rejects a guess that would have succeeded and the engine executes
+//! exactly once — on the final, successful plan. The charged round costs
+//! are unchanged: every rejected guess still pays its predicted schedule
+//! length plus the detection convergecast.
 
+use crate::plan::{analysis, execute_plan};
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
@@ -24,15 +33,20 @@ pub struct DoublingOutcome {
     pub final_guess: u64,
     /// Number of attempts (including the successful one).
     pub attempts: u32,
+    /// Attempts rejected by the plan-level load prediction, without an
+    /// engine run. Every failed attempt is rejected this way, so this is
+    /// `attempts − 1` unless the search fell back to the baseline.
+    pub rejected_by_precheck: u32,
     /// Rounds burnt across all failed attempts (also charged into
     /// `outcome.precompute_rounds`).
     pub wasted_rounds: u64,
 }
 
 /// Runs the Theorem 1.1 scheduler without knowing `congestion`: doubles a
-/// congestion guess until the schedule has no late messages. Gives up
-/// (falling back to the always-correct interleave baseline) once the guess
-/// exceeds `k · dilation · max-degree` — a trivial congestion upper bound.
+/// congestion guess until the planned schedule has no (predicted, hence
+/// actual) late messages. Gives up (falling back to the always-correct
+/// interleave baseline) once the guess exceeds
+/// `k · dilation · max-degree` — a trivial congestion upper bound.
 ///
 /// # Errors
 /// Propagates a [`ReferenceError`] from the underlying scheduler.
@@ -45,6 +59,7 @@ pub fn uniform_with_doubling(
     let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
     let mut guess = 1u64;
     let mut attempts = 0u32;
+    let mut rejected = 0u32;
     let mut wasted = 0u64;
     loop {
         attempts += 1;
@@ -54,24 +69,35 @@ pub fn uniform_with_doubling(
         let real_c = params.congestion.max(1);
         let mut sched = base.clone();
         sched.range_factor = guess as f64 / real_c as f64;
-        let outcome = sched.run(problem)?;
-        let ok = outcome.stats.late_messages == 0;
-        if ok || guess > cap {
-            let mut outcome = if ok {
-                outcome
-            } else {
-                wasted += outcome.schedule_rounds() + detection_cost(problem);
-                InterleaveScheduler.run(problem)?
-            };
+        let plan = sched.plan(problem, sched.default_sched_seed())?;
+        let prediction = analysis::predict(problem, &plan)?;
+        if prediction.feasible() {
+            let mut outcome = execute_plan(problem, &plan);
+            debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds += wasted;
             return Ok(DoublingOutcome {
                 outcome,
                 final_guess: guess,
                 attempts,
+                rejected_by_precheck: rejected,
                 wasted_rounds: wasted,
             });
         }
-        wasted += outcome.schedule_rounds() + detection_cost(problem);
+        // rejected on the plan alone; charge what the failed attempt
+        // would have cost
+        rejected += 1;
+        wasted += prediction.predicted_engine_rounds + detection_cost(problem);
+        if guess > cap {
+            let mut outcome = InterleaveScheduler.run(problem)?;
+            outcome.precompute_rounds += wasted;
+            return Ok(DoublingOutcome {
+                outcome,
+                final_guess: guess,
+                attempts,
+                rejected_by_precheck: rejected,
+                wasted_rounds: wasted,
+            });
+        }
         guess *= 2;
     }
 }
@@ -93,6 +119,7 @@ pub fn private_with_doubling(
     let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
     let mut guess = 1u64;
     let mut attempts = 0u32;
+    let mut rejected = 0u32;
     let mut wasted = 0u64;
     let mut precompute_once: Option<u64> = None;
     loop {
@@ -101,30 +128,36 @@ pub fn private_with_doubling(
         let real_c = params.congestion.max(1);
         let mut sched = base.clone();
         sched.block_factor = guess as f64 / real_c as f64;
-        let mut outcome = sched.run(problem)?;
+        let plan = sched.plan(problem, sched.default_sched_seed())?;
         // pre-computation is independent of the congestion guess: charge it
         // once across attempts
-        let pre = *precompute_once.get_or_insert(outcome.precompute_rounds);
-        outcome.precompute_rounds = pre;
-        let ok = outcome.stats.late_messages == 0;
-        if ok || guess > cap {
-            let mut outcome = if ok {
-                outcome
-            } else {
-                wasted += outcome.schedule_rounds() + detection_cost(problem);
-                let mut fallback = InterleaveScheduler.run(problem)?;
-                fallback.precompute_rounds = pre;
-                fallback
-            };
-            outcome.precompute_rounds += wasted;
+        let pre = *precompute_once.get_or_insert(plan.precompute_rounds);
+        let prediction = analysis::predict(problem, &plan)?;
+        if prediction.feasible() {
+            let mut outcome = execute_plan(problem, &plan);
+            debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
+            outcome.precompute_rounds = pre + wasted;
             return Ok(DoublingOutcome {
                 outcome,
                 final_guess: guess,
                 attempts,
+                rejected_by_precheck: rejected,
                 wasted_rounds: wasted,
             });
         }
-        wasted += outcome.schedule_rounds() + detection_cost(problem);
+        rejected += 1;
+        wasted += prediction.predicted_engine_rounds + detection_cost(problem);
+        if guess > cap {
+            let mut fallback = InterleaveScheduler.run(problem)?;
+            fallback.precompute_rounds = pre + wasted;
+            return Ok(DoublingOutcome {
+                outcome: fallback,
+                final_guess: guess,
+                attempts,
+                rejected_by_precheck: rejected,
+                wasted_rounds: wasted,
+            });
+        }
         guess *= 2;
     }
 }
@@ -163,6 +196,25 @@ mod tests {
     }
 
     #[test]
+    fn precheck_rejects_every_failed_guess_without_an_engine_run() {
+        let g = generators::path(10);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..8)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 3);
+        let result = uniform_with_doubling(&p, &UniformScheduler::default()).unwrap();
+        // the successful attempt is the only one that executed: everything
+        // before it was rejected on the plan alone, and the final outcome
+        // is clean (the pre-check accepted it, exactly)
+        assert_eq!(result.rejected_by_precheck, result.attempts - 1);
+        assert_eq!(result.outcome.stats.late_messages, 0);
+        // failed attempts still charge rounds
+        if result.attempts > 1 {
+            assert!(result.wasted_rounds > 0);
+        }
+    }
+
+    #[test]
     fn private_doubling_finds_a_working_guess() {
         let g = generators::path(10);
         let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..6)
@@ -173,6 +225,7 @@ mod tests {
         let report = verify::against_references(&p, &result.outcome).unwrap();
         assert!(report.all_correct());
         assert!(result.outcome.precompute_rounds > 0);
+        assert_eq!(result.rejected_by_precheck, result.attempts - 1);
     }
 
     #[test]

@@ -26,9 +26,13 @@ use crate::algorithm::BlackBoxAlgorithm;
 use crate::schedule::ScheduleOutcome;
 use das_graph::{Graph, NodeId};
 use das_pattern::{SimulationMap, TimedArc};
+use serde::{Deserialize, Serialize};
 
 /// One scheduled execution of an algorithm: who runs it, when, how far.
-#[derive(Clone, Debug)]
+///
+/// Units are the atoms of a [`crate::plan::SchedulePlan`] and serialize as
+/// part of the plan's JSON form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Unit {
     /// Index of the algorithm in the problem.
     pub algo: usize,

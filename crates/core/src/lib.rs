@@ -29,6 +29,18 @@
 //! ([`AlgoNode::step`]). Schedulers never read payloads; they only add a
 //! small header (algorithm id + round) as the paper allows.
 //!
+//! ## The pipeline: plan → execute → verify
+//!
+//! Scheduling is staged. [`Scheduler::plan`] maps `(problem, sched_seed)`
+//! to a serializable [`SchedulePlan`]; the shared [`execute_plan`] realizes
+//! any plan on the engine; [`verify::against_references`] checks the
+//! outcome. [`Scheduler::run`] fuses the first two for convenience. The
+//! problem's `tape_seed` fixes only the algorithms' random tapes (and so
+//! the reference runs), while scheduler randomness comes from the per-plan
+//! `sched_seed` — a trial sweep varying only scheduler randomness reuses
+//! one cached set of reference runs. [`plan::analysis`] predicts a plan's
+//! per-edge traffic without executing it.
+//!
 //! ```
 //! use das_core::{DasProblem, SequentialScheduler, UniformScheduler, Scheduler, verify};
 //! use das_core::synthetic::RelayChain;
@@ -56,12 +68,14 @@ mod schedule;
 pub mod bellagio;
 pub mod doubling;
 pub mod newman;
+pub mod plan;
 pub mod schedulers;
 pub mod synthetic;
 pub mod verify;
 
 pub use algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
 pub use exec::{ExecStats, Executor, ExecutorConfig, StepPlan, Unit};
+pub use plan::{execute_plan, SchedulePlan};
 pub use problem::DasProblem;
 pub use reference::{run_alone, ReferenceError, ReferenceRun};
 pub use schedule::ScheduleOutcome;

@@ -1,0 +1,244 @@
+//! The `SchedulePlan` intermediate representation: what a scheduler
+//! *decides*, separated from the honest execution that *realizes* it.
+//!
+//! Every scheduler in the paper — Theorem 1.1's uniform random delays, the
+//! §3 remark variant, and Theorem 4.1's private-randomness construction —
+//! is really a *plan* (per-unit delays, truncations, a phase length)
+//! followed by one shared execution style. This module makes that split
+//! first-class:
+//!
+//! 1. **plan** — [`crate::Scheduler::plan`] turns a problem and a
+//!    `sched_seed` into a [`SchedulePlan`]: a serializable value that can
+//!    be inspected, diffed, stored, re-executed, or analyzed *without*
+//!    paying for an engine run.
+//! 2. **execute** — [`execute_plan`] realizes any plan on the CONGEST
+//!    engine. All schedulers share this single honest executor.
+//! 3. **verify** — [`crate::verify::against_references`] checks the
+//!    outcome against the alone runs, as before.
+//!
+//! The [`analysis`] submodule composes a plan with the problem's cached
+//! reference communication patterns to predict per-edge loads and late
+//! messages without executing — [`crate::doubling`] uses it to reject
+//! infeasible congestion guesses before paying for an engine run.
+
+pub mod analysis;
+
+use crate::exec::{Executor, ExecutorConfig, StepPlan, Unit};
+use crate::problem::DasProblem;
+use crate::schedule::ScheduleOutcome;
+use serde::{Deserialize, Serialize};
+
+/// A complete scheduling decision, decoupled from execution.
+///
+/// A plan is a pure function of `(problem, sched_seed)` for every scheduler
+/// in this crate: planning twice with the same inputs yields an identical
+/// (byte-identical once serialized) plan. Executing a plan with
+/// [`execute_plan`] on the problem it was planned for reproduces exactly
+/// the outcome of the fused [`crate::Scheduler::run`] path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    /// Name of the scheduler that produced the plan (provenance).
+    pub scheduler: String,
+    /// The scheduler-randomness seed the plan was drawn from.
+    pub sched_seed: u64,
+    /// Engine rounds per big-round.
+    pub phase_len: u64,
+    /// CONGEST rounds charged for pre-computation (clustering + randomness
+    /// sharing for the private scheduler; 0 otherwise).
+    pub precompute_rounds: u64,
+    /// Predicted schedule length in engine rounds: the last step big-round
+    /// boundary, `(last_step + 1) · phase_len`. The measured length equals
+    /// this unless messages spill past the last step (see
+    /// [`analysis::predict`] for the exact prediction).
+    pub predicted_rounds: u64,
+    /// The scheduled units: per-node delays, strides, truncations.
+    pub units: Vec<Unit>,
+}
+
+impl SchedulePlan {
+    /// Assembles a plan, deriving `predicted_rounds` from the merged step
+    /// plan of `units` (earliest-wins deduplication included).
+    ///
+    /// # Panics
+    /// Panics if `units` is malformed for the problem (wrong vector sizes
+    /// or out-of-range algorithm indices).
+    pub fn assemble(
+        scheduler: &str,
+        sched_seed: u64,
+        phase_len: u64,
+        precompute_rounds: u64,
+        problem: &DasProblem<'_>,
+        units: Vec<Unit>,
+    ) -> Self {
+        let phase_len = phase_len.max(1);
+        let steps = StepPlan::build(problem.graph(), problem.algorithms(), &units);
+        let predicted_rounds = steps
+            .last_big_round()
+            .map_or(0, |b| (b + 1).saturating_mul(phase_len));
+        SchedulePlan {
+            scheduler: scheduler.to_string(),
+            sched_seed,
+            phase_len,
+            precompute_rounds,
+            predicted_rounds,
+            units,
+        }
+    }
+
+    /// Total units in the plan.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The plan's canonical JSON form (pretty-printed, keys in declaration
+    /// order): equal plans serialize byte-identically.
+    ///
+    /// # Panics
+    /// Never in practice — all plan fields are JSON-representable.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan is JSON-representable")
+    }
+
+    /// Parses a plan from its JSON form.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Executes a plan on the problem's algorithms: the single shared stage 2
+/// of the plan → execute → verify pipeline.
+///
+/// The execution is honest — per-arc FIFO queues at CONGEST bandwidth,
+/// canonical machines, late messages dropped and counted — and depends
+/// only on `(problem.tape_seed, plan)`: re-executing a stored plan
+/// reproduces the original [`ScheduleOutcome`] exactly.
+///
+/// # Panics
+/// Panics if the plan is malformed for this problem (missized delay or
+/// truncation vectors, out-of-range algorithm indices) or if the
+/// engine-round cap is hit.
+pub fn execute_plan(problem: &DasProblem<'_>, plan: &SchedulePlan) -> ScheduleOutcome {
+    let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+    let mut outcome = Executor::run(
+        problem.graph(),
+        problem.algorithms(),
+        &seeds,
+        &plan.units,
+        &ExecutorConfig::default().with_phase_len(plan.phase_len),
+    );
+    outcome.precompute_rounds = plan.precompute_rounds;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedulers::Scheduler;
+    use crate::synthetic::{FloodBall, RelayChain};
+    use crate::{
+        InterleaveScheduler, PrivateScheduler, SequentialScheduler, TunedUniformScheduler,
+        UniformScheduler,
+    };
+    use das_graph::{generators, NodeId};
+
+    fn mixed_problem(g: &das_graph::Graph) -> DasProblem<'_> {
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = vec![
+            Box::new(RelayChain::new(0, g)),
+            Box::new(RelayChain::new(1, g)),
+            Box::new(FloodBall::new(2, g, NodeId(0), 4)),
+        ];
+        DasProblem::new(g, algos, 17)
+    }
+
+    fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+        vec![
+            Box::new(SequentialScheduler),
+            Box::new(InterleaveScheduler),
+            Box::new(UniformScheduler::default()),
+            Box::new(TunedUniformScheduler::default()),
+            Box::new(PrivateScheduler::default()),
+        ]
+    }
+
+    #[test]
+    fn plan_then_execute_matches_fused_run_for_every_scheduler() {
+        let g = generators::path(10);
+        let p = mixed_problem(&g);
+        for sched in all_schedulers() {
+            let fused = sched.run(&p).unwrap();
+            let plan = sched.plan(&p, sched.default_sched_seed()).unwrap();
+            let staged = execute_plan(&p, &plan);
+            assert_eq!(fused.outputs, staged.outputs, "{}", sched.name());
+            assert_eq!(fused.stats, staged.stats, "{}", sched.name());
+            assert_eq!(fused.departures, staged.departures, "{}", sched.name());
+            assert_eq!(
+                fused.precompute_rounds,
+                staged.precompute_rounds,
+                "{}",
+                sched.name()
+            );
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic_and_json_stable() {
+        let g = generators::path(12);
+        let p = mixed_problem(&g);
+        for sched in all_schedulers() {
+            let a = sched.plan(&p, 12345).unwrap();
+            let b = sched.plan(&p, 12345).unwrap();
+            assert_eq!(a, b, "{}", sched.name());
+            assert_eq!(a.to_json(), b.to_json(), "{}", sched.name());
+            assert_eq!(a.scheduler, sched.name());
+            assert_eq!(a.sched_seed, 12345);
+        }
+    }
+
+    #[test]
+    fn plan_json_roundtrips_to_the_same_outcome() {
+        let g = generators::path(10);
+        let p = mixed_problem(&g);
+        for sched in all_schedulers() {
+            let plan = sched.plan(&p, 7).unwrap();
+            let revived = SchedulePlan::from_json(&plan.to_json()).unwrap();
+            assert_eq!(plan, revived, "{}", sched.name());
+            let a = execute_plan(&p, &plan);
+            let b = execute_plan(&p, &revived);
+            assert_eq!(a.outputs, b.outputs, "{}", sched.name());
+            assert_eq!(a.stats, b.stats, "{}", sched.name());
+        }
+    }
+
+    #[test]
+    fn predicted_rounds_matches_clean_execution_length() {
+        let g = generators::path(8);
+        let p = mixed_problem(&g);
+        // sequential never spills: the predicted boundary is the measured
+        // schedule length
+        let plan = SequentialScheduler.plan(&p, 0).unwrap();
+        let outcome = execute_plan(&p, &plan);
+        assert_eq!(outcome.stats.late_messages, 0);
+        assert_eq!(plan.predicted_rounds, outcome.schedule_rounds());
+    }
+
+    #[test]
+    fn different_sched_seeds_change_the_plan_but_not_the_references() {
+        let g = generators::path(12);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..6)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 5);
+        let sched = UniformScheduler::default();
+        let a = sched.plan(&p, 1).unwrap();
+        let b = sched.plan(&p, 2).unwrap();
+        assert_ne!(a.units, b.units, "sched_seed drives the delays");
+        assert_eq!(
+            p.reference_runs_computed(),
+            6,
+            "replanning reuses the cached reference runs"
+        );
+    }
+}

@@ -2,10 +2,10 @@
 //! multiplexing. Both are deterministic, interference-free, and slow —
 //! the yardsticks the paper's schedulers are measured against.
 
-use crate::exec::{Executor, ExecutorConfig, Unit};
+use crate::exec::Unit;
+use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
-use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 
 /// Runs the algorithms one after another: algorithm `i` starts when
@@ -18,7 +18,11 @@ impl Scheduler for SequentialScheduler {
         "sequential"
     }
 
-    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+    fn plan(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
         let n = problem.graph().node_count();
         let mut units = Vec::with_capacity(problem.k());
         let mut start = 0u64;
@@ -26,13 +30,13 @@ impl Scheduler for SequentialScheduler {
             units.push(Unit::global(i, start, n));
             start += algo.rounds() as u64;
         }
-        let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
-        Ok(Executor::run(
-            problem.graph(),
-            problem.algorithms(),
-            &seeds,
-            &units,
-            &ExecutorConfig::default(),
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            1,
+            0,
+            problem,
+            units,
         ))
     }
 }
@@ -48,7 +52,11 @@ impl Scheduler for InterleaveScheduler {
         "interleave"
     }
 
-    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+    fn plan(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
         let n = problem.graph().node_count();
         let k = problem.k() as u64;
         let units = (0..problem.k())
@@ -59,13 +67,13 @@ impl Scheduler for InterleaveScheduler {
                 trunc: vec![u32::MAX; n],
             })
             .collect::<Vec<_>>();
-        let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
-        Ok(Executor::run(
-            problem.graph(),
-            problem.algorithms(),
-            &seeds,
-            &units,
-            &ExecutorConfig::default(),
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            1,
+            0,
+            problem,
+            units,
         ))
     }
 }
@@ -97,6 +105,17 @@ mod tests {
         assert_eq!(outcome.stats.late_messages, 0);
         // 7 + 7 + 5 rounds
         assert_eq!(outcome.schedule_rounds(), 19);
+    }
+
+    #[test]
+    fn sequential_plan_predicts_its_length() {
+        let g = generators::path(8);
+        let p = mixed_problem(&g);
+        let plan = SequentialScheduler.plan(&p, 0).unwrap();
+        assert_eq!(plan.phase_len, 1);
+        assert_eq!(plan.precompute_rounds, 0);
+        assert_eq!(plan.predicted_rounds, 19);
+        assert_eq!(plan.unit_count(), 3);
     }
 
     #[test]

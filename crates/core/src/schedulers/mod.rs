@@ -1,5 +1,11 @@
 //! The scheduling algorithms: baselines, Theorem 1.1, the §3 remark
 //! variant, and the private-randomness scheduler of Theorem 4.1.
+//!
+//! Every scheduler is a *planner*: [`Scheduler::plan`] maps `(problem,
+//! sched_seed)` to a [`SchedulePlan`], and the shared
+//! [`crate::plan::execute_plan`] realizes any plan on the engine.
+//! [`Scheduler::run`] is the fused convenience path — plan with the
+//! scheduler's default seed, then execute.
 
 mod baseline;
 mod private;
@@ -11,11 +17,13 @@ pub use uniform::{
     prime_range_overhead, uniform_length_bound, TunedUniformScheduler, UniformScheduler,
 };
 
+use crate::plan::{execute_plan, SchedulePlan};
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
 
-/// A DAS scheduler: turns a problem instance into a scheduled execution.
+/// A DAS scheduler: turns a problem instance into a [`SchedulePlan`] (and,
+/// through [`Scheduler::run`], into a scheduled execution).
 ///
 /// Schedulers are `Send + Sync` so a trial harness can share one across
 /// worker threads.
@@ -23,11 +31,36 @@ pub trait Scheduler: Send + Sync {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 
-    /// Schedules and executes all algorithms of `problem`.
+    /// The `sched_seed` that [`Scheduler::run`] plans with — the
+    /// scheduler's own configured seed, so the fused path stays
+    /// reproducible from the scheduler value alone. Deterministic
+    /// schedulers ignore the seed and return 0.
+    fn default_sched_seed(&self) -> u64 {
+        0
+    }
+
+    /// Plans the schedule: delays, truncations, and phase length for all
+    /// algorithms of `problem`, drawing any scheduler randomness from
+    /// `sched_seed`. Pure: same `(problem, sched_seed)`, same plan.
     ///
     /// # Errors
     /// Propagates a [`ReferenceError`] if an algorithm violates the
     /// CONGEST model in its alone run (the measured congestion/dilation
     /// parameters come from there).
-    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError>;
+    fn plan(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError>;
+
+    /// Schedules and executes all algorithms of `problem`: plans with
+    /// [`Scheduler::default_sched_seed`] and hands the plan to
+    /// [`crate::plan::execute_plan`].
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`] from planning.
+    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+        let plan = self.plan(problem, self.default_sched_seed())?;
+        Ok(execute_plan(problem, &plan))
+    }
 }

@@ -20,10 +20,10 @@
 //! Cost: `O(dilation · log² n)` rounds of pre-computation, then a schedule
 //! of `O(congestion + dilation · log n)` rounds.
 
-use crate::exec::{Executor, ExecutorConfig, Unit};
+use crate::exec::Unit;
+use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
-use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 use das_cluster::{share_layer_centralized, CarveConfig, Clustering, ShareConfig};
 use das_congest::util::seed_mix;
@@ -58,7 +58,8 @@ pub enum PrivateDelayLaw {
 /// the result.
 #[derive(Clone, Debug)]
 pub struct PrivateScheduler {
-    /// Base seed for all private draws (radii, labels, cluster chunks).
+    /// Base seed for all private draws (radii, labels, cluster chunks);
+    /// used as the `sched_seed` by the fused [`Scheduler::run`] path.
     pub seed: u64,
     /// Phase length multiplier: `phase_len = ⌈phase_factor · ln n⌉`.
     pub phase_factor: f64,
@@ -119,7 +120,15 @@ impl Scheduler for PrivateScheduler {
         "private"
     }
 
-    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+    fn default_sched_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn plan(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
         let g = problem.graph();
         let n = g.node_count();
         let params = problem.parameters()?;
@@ -131,15 +140,15 @@ impl Scheduler for PrivateScheduler {
             carve_cfg = carve_cfg.with_num_layers(l);
         }
         let clustering = if self.distributed_precompute {
-            Clustering::carve_distributed(g, &carve_cfg, self.seed)
+            Clustering::carve_distributed(g, &carve_cfg, sched_seed)
         } else {
-            Clustering::carve_centralized(g, &carve_cfg, self.seed)
+            Clustering::carve_centralized(g, &carve_cfg, sched_seed)
         };
         let mut precompute_rounds = clustering.precompute_rounds();
 
         // 2. In-cluster randomness sharing (Lemma 4.3).
         let share_cfg = ShareConfig::for_graph(g, carve_cfg.horizon);
-        let chunk_seed = seed_mix(self.seed, 0xC0FFEE);
+        let chunk_seed = seed_mix(sched_seed, 0xC0FFEE);
         let chunks = das_cluster::share::center_chunks(n, share_cfg.chunks, chunk_seed);
         let mut layer_seeds: Vec<Vec<Vec<u64>>> = Vec::with_capacity(clustering.layers().len());
         for layer in clustering.layers() {
@@ -149,7 +158,7 @@ impl Scheduler for PrivateScheduler {
                     layer,
                     &chunks,
                     &share_cfg,
-                    seed_mix(self.seed, 0x5A),
+                    seed_mix(sched_seed, 0x5A),
                 );
                 assert!(delivered, "sharing under-provisioned: raise the slack");
                 precompute_rounds += rounds;
@@ -226,16 +235,14 @@ impl Scheduler for PrivateScheduler {
         }
 
         let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
-        let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
-        let mut outcome = Executor::run(
-            g,
-            problem.algorithms(),
-            &seeds,
-            &units,
-            &ExecutorConfig::default().with_phase_len(phase_len),
-        );
-        outcome.precompute_rounds = precompute_rounds;
-        Ok(outcome)
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            phase_len,
+            precompute_rounds,
+            problem,
+            units,
+        ))
     }
 }
 
@@ -297,6 +304,30 @@ mod tests {
         assert_eq!(central.outputs, dist.outputs);
         assert_eq!(central.schedule_rounds(), dist.schedule_rounds());
         assert_eq!(central.precompute_rounds, dist.precompute_rounds);
+    }
+
+    #[test]
+    fn plan_carries_precompute_layers_and_truncations() {
+        let g = generators::path(12);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..4)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 2);
+        let sched = PrivateScheduler::default();
+        let plan = sched.plan(&p, sched.default_sched_seed()).unwrap();
+        assert!(plan.precompute_rounds > 0, "pre-computation is in the plan");
+        assert_eq!(
+            plan.unit_count() % p.k(),
+            0,
+            "one unit per (layer, algorithm)"
+        );
+        assert!(plan.unit_count() > p.k(), "more than one layer");
+        assert!(
+            plan.units
+                .iter()
+                .any(|u| u.trunc.iter().any(|&t| t != u32::MAX)),
+            "layers truncate at contained radii"
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Shared-randomness random-delay schedulers: Theorem 1.1 and the §3
 //! remark variant.
 
-use crate::exec::{Executor, ExecutorConfig, Unit};
+use crate::exec::Unit;
+use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
-use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 use das_prg::{primes, DelayLaw, KWiseGenerator, Uniform};
 
@@ -19,14 +19,16 @@ const BUCKET_WIDTH: u64 = 4;
 /// `O(congestion + dilation · log n)` rounds.
 ///
 /// The shared randomness is modeled explicitly: all delay draws come from
-/// one `Θ(log n)`-wise independent generator seeded with `shared_seed`,
-/// which every node is assumed to know. (The paper notes `Θ(log n)`-wise
-/// independence suffices for the Chernoff argument, so `O(log² n)` shared
-/// bits are enough — exactly what [`PrivateScheduler`](super::PrivateScheduler)
-/// later distributes per cluster.)
+/// one `Θ(log n)`-wise independent generator seeded with the plan's
+/// `sched_seed`, which every node is assumed to know. (The paper notes
+/// `Θ(log n)`-wise independence suffices for the Chernoff argument, so
+/// `O(log² n)` shared bits are enough — exactly what
+/// [`PrivateScheduler`](super::PrivateScheduler) later distributes per
+/// cluster.)
 #[derive(Clone, Debug)]
 pub struct UniformScheduler {
-    /// The shared random seed (the model assumption of Theorem 1.1).
+    /// The shared random seed (the model assumption of Theorem 1.1); used
+    /// as the `sched_seed` by the fused [`Scheduler::run`] path.
     pub shared_seed: u64,
     /// Phase length multiplier: `phase_len = ⌈phase_factor · ln n⌉`.
     pub phase_factor: f64,
@@ -76,7 +78,15 @@ impl Scheduler for UniformScheduler {
         "uniform-shared"
     }
 
-    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+    fn default_sched_seed(&self) -> u64 {
+        self.shared_seed
+    }
+
+    fn plan(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
         let params = problem.parameters()?;
         let n = problem.graph().node_count();
         let ln_n = (n.max(2) as f64).ln();
@@ -85,15 +95,15 @@ impl Scheduler for UniformScheduler {
             .ceil()
             .max(1.0) as u64;
         let law = Uniform::prime_at_least(range);
-        let gen = kwise_from_shared(self.shared_seed, n, law.range());
+        let gen = kwise_from_shared(sched_seed, n, law.range());
         let units = delayed_units(problem, &gen, &law);
-        let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
-        Ok(Executor::run(
-            problem.graph(),
-            problem.algorithms(),
-            &seeds,
-            &units,
-            &ExecutorConfig::default().with_phase_len(phase_len),
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            phase_len,
+            0,
+            problem,
+            units,
         ))
     }
 }
@@ -106,7 +116,8 @@ impl Scheduler for UniformScheduler {
 /// against the Theorem 3.1 lower bound.
 #[derive(Clone, Debug)]
 pub struct TunedUniformScheduler {
-    /// The shared random seed.
+    /// The shared random seed; used as the `sched_seed` by the fused
+    /// [`Scheduler::run`] path.
     pub shared_seed: u64,
     /// Phase length multiplier:
     /// `phase_len = ⌈phase_factor · ln n / ln ln n⌉`.
@@ -130,7 +141,15 @@ impl Scheduler for TunedUniformScheduler {
         "tuned-shared"
     }
 
-    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+    fn default_sched_seed(&self) -> u64 {
+        self.shared_seed
+    }
+
+    fn plan(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
         let params = problem.parameters()?;
         let n = problem.graph().node_count();
         let ln_n = (n.max(3) as f64).ln();
@@ -140,15 +159,15 @@ impl Scheduler for TunedUniformScheduler {
             .ceil()
             .max(1.0) as u64;
         let law = Uniform::prime_at_least(range);
-        let gen = kwise_from_shared(self.shared_seed, n, law.range());
+        let gen = kwise_from_shared(sched_seed, n, law.range());
         let units = delayed_units(problem, &gen, &law);
-        let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
-        Ok(Executor::run(
-            problem.graph(),
-            problem.algorithms(),
-            &seeds,
-            &units,
-            &ExecutorConfig::default().with_phase_len(phase_len),
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            phase_len,
+            0,
+            problem,
+            units,
         ))
     }
 }
@@ -256,6 +275,18 @@ mod tests {
             c.schedule_rounds() != a.schedule_rounds() || c.departures != a.departures,
             "seed change should alter the schedule"
         );
+    }
+
+    #[test]
+    fn run_uses_the_configured_shared_seed_as_sched_seed() {
+        let g = generators::path(10);
+        let p = stacked_relays(&g, 6);
+        let sched = UniformScheduler::default().with_seed(99);
+        assert_eq!(sched.default_sched_seed(), 99);
+        let via_run = sched.run(&p).unwrap();
+        let via_plan = crate::plan::execute_plan(&p, &sched.plan(&p, 99).unwrap());
+        assert_eq!(via_run.outputs, via_plan.outputs);
+        assert_eq!(via_run.stats, via_plan.stats);
     }
 
     #[test]

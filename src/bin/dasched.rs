@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dasched run        --graph grid:8x8 --workload mixed:18 --scheduler private [--seed 42]
+//! dasched plan       --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7] [--out plan.json]
 //! dasched compare    --graph path:100 --workload segments:32:14 [--seed 42]
 //! dasched carve      --graph grid:10x10 --dilation 3 [--layers 20] [--seed 42]
 //! dasched lowerbound --layers 6 --eta 64 --k 32 --p 0.12 [--seed 42]
@@ -18,6 +19,7 @@ use dasched::algos::broadcast::SingleBroadcast;
 use dasched::algos::mst::{EdgeWeights, MstAlgorithm};
 use dasched::algos::routing::RoutingInstance;
 use dasched::cluster::{quality, CarveConfig, Clustering};
+use dasched::core::plan::analysis as plan_analysis;
 use dasched::core::synthetic::{FloodBall, RelayChain};
 use dasched::core::{
     verify, BlackBoxAlgorithm, DasProblem, InterleaveScheduler, PrivateScheduler, Scheduler,
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dasched run        --graph SPEC --workload SPEC --scheduler NAME [--seed N]
+  dasched plan       --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N] [--out FILE]
   dasched compare    --graph SPEC --workload SPEC [--seed N]
   dasched carve      --graph SPEC --dilation D [--layers L] [--seed N]
   dasched lowerbound --layers L --eta E --k K --p P [--seed N]
@@ -60,6 +63,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let seed = opt_u64(&opts, "seed")?.unwrap_or(42);
     match cmd.as_str() {
         "run" => cmd_run(&opts, seed),
+        "plan" => cmd_plan(&opts, seed),
         "compare" => cmd_compare(&opts, seed),
         "carve" => cmd_carve(&opts, seed),
         "lowerbound" => cmd_lowerbound(&opts, seed),
@@ -249,6 +253,48 @@ fn cmd_run(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     report_one(sched.name(), &problem, sched.as_ref())
 }
 
+fn cmd_plan(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
+    let sched = parse_scheduler(req(opts, "scheduler")?)?;
+    let problem = DasProblem::new(&g, algos, seed);
+    let sched_seed = opt_u64(opts, "sched-seed")?.unwrap_or_else(|| sched.default_sched_seed());
+    let plan = sched
+        .plan(&problem, sched_seed)
+        .map_err(|e| e.to_string())?;
+    println!("{}", describe(&problem)?);
+    println!(
+        "plan: scheduler={} sched_seed={} phase_len={} units={} precompute={} predicted={} rounds",
+        plan.scheduler,
+        plan.sched_seed,
+        plan.phase_len,
+        plan.unit_count(),
+        plan.precompute_rounds,
+        plan.predicted_rounds
+    );
+    let load = plan_analysis::predict(&problem, &plan).map_err(|e| e.to_string())?;
+    println!(
+        "load: delivered={} late={} peak arc load/big-round={} max queue={} -> {}",
+        load.predicted_delivered,
+        load.predicted_late,
+        load.peak_big_round_arc_load,
+        load.predicted_max_arc_queue,
+        if load.feasible() {
+            "feasible"
+        } else {
+            "infeasible"
+        }
+    );
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, plan.to_json()).map_err(|e| e.to_string())?;
+            println!("wrote plan JSON to {path}");
+        }
+        None => println!("{}", plan.to_json()),
+    }
+    Ok(())
+}
+
 fn cmd_compare(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     let g = parse_graph(req(opts, "graph")?, seed)?;
     let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
@@ -416,6 +462,47 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         run(&args).unwrap();
+    }
+
+    #[test]
+    fn plan_command_dumps_json_that_round_trips() {
+        use dasched::core::{execute_plan, SchedulePlan};
+        let dir = std::env::temp_dir().join("dasched_plan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("plan.json");
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "path:16",
+            "--workload",
+            "relays:3",
+            "--scheduler",
+            "uniform",
+            "--sched-seed",
+            "9",
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+
+        // the dumped JSON re-executes to the same outcome as the fused path
+        let json = std::fs::read_to_string(&out).unwrap();
+        let plan = SchedulePlan::from_json(&json).unwrap();
+        assert_eq!(plan.scheduler, "uniform-shared");
+        assert_eq!(plan.sched_seed, 9);
+        let g = parse_graph("path:16", 42).unwrap();
+        let algos = parse_workload("relays:3", &g, 42).unwrap();
+        let problem = DasProblem::new(&g, algos, 42);
+        let replayed = execute_plan(&problem, &plan);
+        let fused = UniformScheduler::default()
+            .with_seed(9)
+            .run(&problem)
+            .unwrap();
+        assert_eq!(format!("{replayed:?}"), format!("{fused:?}"));
+        std::fs::remove_file(out).unwrap();
     }
 
     #[test]
