@@ -94,6 +94,7 @@ fn phase_factor_ablation() {
             shared_seed: 9,
             phase_factor: pf,
             range_factor: 1.0,
+            delay_range: None,
         };
         let (m, _, _) = measure(&sched, &problem);
         t.row_owned(vec![

@@ -1,13 +1,19 @@
 //! Reduced-trial smoke experiment for CI: E1's representative
 //! configuration with a handful of seeds through [`TrialRunner`], writing
-//! `BENCH_e01_smoke.json` into the current directory.
+//! `BENCH_e01_smoke.json` (fused) and `BENCH_e01_smoke_sharded.json`
+//! (sharded executor) into the current directory, and printing a
+//! sharded-vs-fused wall-clock comparison.
 //!
 //! Usage: `bench_smoke [trials] [base_seed]` (defaults: 8 trials, seed 42).
 
-use das_bench::{run_trial, workloads, TrialRunner};
+use das_bench::{run_trial, run_trial_sharded, workloads, TrialRunner};
 use das_core::UniformScheduler;
 use das_graph::generators;
 use std::path::Path;
+use std::time::Instant;
+
+/// Shard count for the sharded leg of the smoke run.
+const SMOKE_SHARDS: usize = 4;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -23,9 +29,11 @@ fn main() {
     problem.parameters().expect("workload is model-valid");
 
     let runner = TrialRunner::new(base_seed, trials);
+    let fused_clock = Instant::now();
     let agg = runner.aggregate("e01_smoke", "uniform", |seed| {
         run_trial(&UniformScheduler::default(), &problem, seed)
     });
+    let fused_ms = fused_clock.elapsed().as_secs_f64() * 1e3;
     let path = agg.write(Path::new(".")).expect("write BENCH artifact");
     let predicted = agg
         .predicted_schedule
@@ -47,5 +55,30 @@ fn main() {
         agg.mean_correctness > 0.99,
         "smoke run produced wrong outputs (correctness {})",
         agg.mean_correctness
+    );
+
+    // Same trials again through the sharded executor: the schedule-quality
+    // numbers must not move (byte-identical outcomes), only wall-clock and
+    // the per-shard fields may differ.
+    let sharded_clock = Instant::now();
+    let sharded = runner.aggregate("e01_smoke_sharded", "uniform", |seed| {
+        run_trial_sharded(&UniformScheduler::default(), &problem, seed, SMOKE_SHARDS)
+    });
+    let sharded_ms = sharded_clock.elapsed().as_secs_f64() * 1e3;
+    let sharded_path = sharded
+        .write(Path::new("."))
+        .expect("write sharded BENCH artifact");
+    assert_eq!(
+        (agg.schedule.max, agg.late.max, agg.success_rate),
+        (sharded.schedule.max, sharded.late.max, sharded.success_rate),
+        "sharded execution changed schedule statistics"
+    );
+    println!(
+        "wrote {} ({} shards, sharded wall {:.1} ms vs fused {:.1} ms, ratio {:.2}x)",
+        sharded_path.display(),
+        SMOKE_SHARDS,
+        sharded_ms,
+        fused_ms,
+        sharded_ms / fused_ms.max(f64::EPSILON),
     );
 }

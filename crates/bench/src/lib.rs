@@ -21,11 +21,14 @@ pub mod runner;
 pub mod table;
 pub mod workloads;
 
-pub use runner::{SummaryStats, TrialAggregate, TrialRecord, TrialRunner};
+pub use runner::{ShardSummary, SummaryStats, TrialAggregate, TrialRecord, TrialRunner};
 pub use table::Table;
 
 use das_core::verify::{self, VerifyReport};
-use das_core::{execute_plan, DasProblem, ScheduleOutcome, Scheduler};
+use das_core::{
+    execute_plan, execute_plan_sharded, DasProblem, ExecError, SchedError, ScheduleOutcome,
+    SchedulePlan, Scheduler, ShardReport,
+};
 
 /// One measured scheduler run.
 #[derive(Clone, Debug)]
@@ -91,12 +94,17 @@ pub fn record_trial(
         precompute: outcome.precompute_rounds,
         late: outcome.stats.late_messages,
         correctness: report.correctness_rate(),
+        truncated: false,
+        shard: None,
     }
 }
 
 /// One full trial through the staged pipeline: plan with `sched_seed`,
 /// execute the plan, verify exactly once, and record — with the plan's
 /// predicted length threaded into the record.
+///
+/// An execution that hits the engine-round cap is recorded as a
+/// `truncated` (failed) trial instead of crashing the sweep.
 ///
 /// All trials of a sweep share the problem's cached reference runs: only
 /// the scheduler randomness varies.
@@ -111,9 +119,60 @@ pub fn run_trial(
     let plan = scheduler
         .plan(problem, sched_seed)
         .expect("workload is model-valid");
-    let outcome = execute_plan(problem, &plan);
-    let report = verify::against_references(problem, &outcome).expect("references computable");
-    record_trial(sched_seed, &outcome, &report, Some(plan.predicted_rounds))
+    let result = execute_plan(problem, &plan).map(|o| (o, None));
+    finish_trial(problem, &plan, sched_seed, result)
+}
+
+/// [`run_trial`], executed on the sharded executor with `shards` workers.
+/// The recorded outcome fields are byte-identical to [`run_trial`]'s; the
+/// record additionally carries the partition-dependent [`ShardSummary`]
+/// (per-shard wall-clock, cross-shard message counts).
+///
+/// # Panics
+/// Panics if the workload violates the CONGEST model.
+pub fn run_trial_sharded(
+    scheduler: &dyn Scheduler,
+    problem: &DasProblem<'_>,
+    sched_seed: u64,
+    shards: usize,
+) -> TrialRecord {
+    let plan = scheduler
+        .plan(problem, sched_seed)
+        .expect("workload is model-valid");
+    let result = execute_plan_sharded(problem, &plan, shards).map(|(o, r)| (o, Some(r)));
+    finish_trial(problem, &plan, sched_seed, result)
+}
+
+/// Turns an execution result into the trial record: verify-and-record on
+/// success, a `truncated` failure record when the engine-round cap was
+/// hit. Split out so the cap path is unit-testable without building a
+/// diverging schedule.
+fn finish_trial(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    sched_seed: u64,
+    result: Result<(ScheduleOutcome, Option<ShardReport>), SchedError>,
+) -> TrialRecord {
+    match result {
+        Ok((outcome, shard_report)) => {
+            let report =
+                verify::against_references(problem, &outcome).expect("references computable");
+            let mut rec = record_trial(sched_seed, &outcome, &report, Some(plan.predicted_rounds));
+            rec.shard = shard_report.map(|r| ShardSummary::of(&r));
+            rec
+        }
+        Err(SchedError::Exec(ExecError::RoundCapExceeded { cap, .. })) => TrialRecord {
+            seed: sched_seed,
+            schedule: cap,
+            predicted: Some(plan.predicted_rounds),
+            precompute: plan.precompute_rounds,
+            late: 0,
+            correctness: 0.0,
+            truncated: true,
+            shard: None,
+        },
+        Err(e) => panic!("trial failed to execute: {e}"),
+    }
 }
 
 /// Success rate of a scheduler over repeated trials: the empirical version
@@ -170,6 +229,49 @@ mod tests {
         if rec.late == 0 {
             assert!(predicted <= rec.schedule, "prediction is the step boundary");
         }
+    }
+
+    #[test]
+    fn sharded_trial_matches_sequential_and_records_shard_fields() {
+        let g = generators::path(12);
+        let p = workloads::stacked_relays(&g, 6, 1);
+        let seq = run_trial(&UniformScheduler::default(), &p, 7);
+        let sharded = run_trial_sharded(&UniformScheduler::default(), &p, 7, 3);
+        // outcome fields are partition-independent
+        assert_eq!(seq.schedule, sharded.schedule);
+        assert_eq!(seq.late, sharded.late);
+        assert_eq!(seq.correctness, sharded.correctness);
+        let summary = sharded.shard.expect("sharded trials carry shard data");
+        assert_eq!(summary.shards, 3);
+        assert_eq!(summary.per_shard_ms.len(), 3);
+        assert!(
+            summary.per_shard_delivered.iter().sum::<u64>() > 0,
+            "relays deliver messages"
+        );
+        assert!(seq.shard.is_none());
+    }
+
+    #[test]
+    fn round_cap_records_a_truncated_trial_instead_of_crashing() {
+        use das_core::{ExecError, SchedError, Scheduler};
+        let g = generators::path(8);
+        let p = workloads::stacked_relays(&g, 3, 1);
+        let plan = SequentialScheduler.plan(&p, 0).unwrap();
+        let rec = finish_trial(
+            &p,
+            &plan,
+            5,
+            Err(SchedError::Exec(ExecError::RoundCapExceeded {
+                cap: 4,
+                big_round: 4,
+            })),
+        );
+        assert!(rec.truncated);
+        assert!(!rec.success());
+        assert_eq!(rec.schedule, 4);
+        assert_eq!(rec.correctness, 0.0);
+        assert_eq!(rec.late, 0);
+        assert_eq!(rec.seed, 5);
     }
 
     #[test]

@@ -112,13 +112,55 @@ pub struct TrialRecord {
     pub late: u64,
     /// Fraction of (algorithm, node) outputs matching the alone runs.
     pub correctness: f64,
+    /// Whether the execution hit the engine-round cap and was cut short
+    /// (the schedule never drained; nothing was verified).
+    #[serde(default)]
+    pub truncated: bool,
+    /// Per-shard timing and cross-shard traffic, when the trial ran on the
+    /// sharded executor. Partition-dependent measurements only — the
+    /// outcome itself is byte-identical to the sequential path.
+    #[serde(default)]
+    pub shard: Option<ShardSummary>,
 }
 
 impl TrialRecord {
-    /// Whether the trial succeeded: nothing arrived late (the empirical
-    /// version of the paper's w.h.p. event).
+    /// Whether the trial succeeded: it drained within the round budget and
+    /// nothing arrived late (the empirical version of the paper's w.h.p.
+    /// event).
     pub fn success(&self) -> bool {
-        self.late == 0
+        self.late == 0 && !self.truncated
+    }
+}
+
+/// Partition-dependent measurements of one sharded execution, recorded
+/// into the artifact alongside the (partition-independent) outcome fields.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Number of shard workers (after clamping to the node count).
+    pub shards: usize,
+    /// Messages that crossed a shard boundary (exchanged at big-round
+    /// boundaries through the per-(shard, shard) outboxes).
+    pub cross_shard_messages: u64,
+    /// Per-shard wall-clock (step + drain phases), milliseconds.
+    pub per_shard_ms: Vec<f64>,
+    /// Per-shard delivered-message counts.
+    pub per_shard_delivered: Vec<u64>,
+}
+
+impl ShardSummary {
+    /// Condenses an executor [`das_core::ShardReport`] into the artifact
+    /// form.
+    pub fn of(report: &das_core::ShardReport) -> Self {
+        ShardSummary {
+            shards: report.shards,
+            cross_shard_messages: report.cross_shard_messages,
+            per_shard_ms: report
+                .per_shard
+                .iter()
+                .map(|s| (s.step_nanos + s.drain_nanos) as f64 / 1e6)
+                .collect(),
+            per_shard_delivered: report.per_shard.iter().map(|s| s.delivered).collect(),
+        }
     }
 }
 
@@ -261,6 +303,8 @@ mod tests {
             precompute: 0,
             late,
             correctness: 1.0,
+            truncated: false,
+            shard: None,
         }
     }
 
@@ -304,6 +348,25 @@ mod tests {
         assert_eq!(agg.schedule.max, 30);
         assert_eq!(agg.late.max, 3);
         assert_eq!(agg.mean_correctness, 1.0);
+    }
+
+    #[test]
+    fn truncated_trials_do_not_count_as_successes() {
+        let mut cut = record(2, 10, 0);
+        cut.truncated = true;
+        assert!(!cut.success());
+        let agg = TrialAggregate::from_records("t", "s", 0, vec![record(1, 10, 0), cut]);
+        assert_eq!(agg.success_rate, 0.5);
+    }
+
+    #[test]
+    fn pre_shard_artifacts_still_deserialize() {
+        // records written before the truncated/shard fields existed
+        let json = r#"{"seed":1,"schedule":10,"predicted":null,"precompute":0,"late":0,"correctness":1.0}"#;
+        let r: TrialRecord = serde_json::from_str(json).unwrap();
+        assert!(!r.truncated);
+        assert!(r.shard.is_none());
+        assert!(r.success());
     }
 
     #[test]

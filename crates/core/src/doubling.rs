@@ -3,11 +3,20 @@
 //! The paper assumes nodes know constant-factor approximations of
 //! `congestion` and `dilation` and defers the removal of that assumption
 //! to "standard doubling techniques". This module implements the standard
-//! technique: guess `(C̃, D̃)`, size a schedule plan for the guess, check
-//! whether it succeeds (no message arrives late — in a real deployment
-//! this is an `O(D)` convergecast of a success flag, which we charge), and
-//! double the guess otherwise. The total cost is dominated by the last,
-//! successful attempt, so the asymptotics are unchanged.
+//! technique: guess a congestion budget, size a schedule plan for the
+//! guess, check whether it succeeds (no message arrives late — in a real
+//! deployment this is an `O(D)` convergecast of a success flag, which we
+//! charge), and double the guess otherwise. The total cost is dominated by
+//! the last, successful attempt, so the asymptotics are unchanged.
+//!
+//! The guess is applied as an exact **integer delay range in big-rounds**
+//! ([`UniformScheduler::delay_range`] / [`PrivateScheduler::block_override`]),
+//! not as a float multiplier of the true congestion: the float route
+//! rounded consecutive guesses to the same range on small instances (and
+//! leaked the true congestion into the sizing, which the doubling search
+//! is not supposed to know), so attempts were silently repeated instead of
+//! widened. Every attempt now strictly widens the delay span — see
+//! [`DoublingOutcome::attempted_ranges`].
 //!
 //! Failed guesses are detected by [`crate::plan::analysis::predict`] on
 //! the *plan*, without running the engine: the prediction of "no late
@@ -17,9 +26,8 @@
 //! are unchanged: every rejected guess still pays its predicted schedule
 //! length plus the detection convergecast.
 
-use crate::plan::{analysis, execute_plan};
+use crate::plan::{analysis, execute_plan, SchedError};
 use crate::problem::DasProblem;
-use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 use crate::{InterleaveScheduler, PrivateScheduler, UniformScheduler};
@@ -29,7 +37,9 @@ use crate::{InterleaveScheduler, PrivateScheduler, UniformScheduler};
 pub struct DoublingOutcome {
     /// The final (successful) schedule.
     pub outcome: ScheduleOutcome,
-    /// The congestion guess that succeeded.
+    /// The congestion guess that succeeded (the big-round span of the last
+    /// attempt, scaled back to engine rounds — comparable to the true
+    /// congestion the search does not know).
     pub final_guess: u64,
     /// Number of attempts (including the successful one).
     pub attempts: u32,
@@ -40,39 +50,52 @@ pub struct DoublingOutcome {
     /// Rounds burnt across all failed attempts (also charged into
     /// `outcome.precompute_rounds`).
     pub wasted_rounds: u64,
+    /// The delay span (in big-rounds) each attempt actually used: the
+    /// uniform law's prime range, or the private law's first-block size.
+    /// Strictly increasing — the doubling regression guard.
+    pub attempted_ranges: Vec<u64>,
 }
 
-/// Runs the Theorem 1.1 scheduler without knowing `congestion`: doubles a
-/// congestion guess until the planned schedule has no (predicted, hence
+/// First delay span tried, in big-rounds. Starting at 2 (not 1) keeps the
+/// prime-range steps strictly increasing from the very first doubling
+/// (`next_prime(1) = next_prime(2) = 2`), and matches the old float
+/// sizing's first attempt exactly.
+const INITIAL_RANGE: u64 = 2;
+
+/// Runs the Theorem 1.1 scheduler without knowing `congestion`: doubles an
+/// integer delay range until the planned schedule has no (predicted, hence
 /// actual) late messages. Gives up (falling back to the always-correct
-/// interleave baseline) once the guess exceeds
+/// interleave baseline) once the implied congestion guess exceeds
 /// `k · dilation · max-degree` — a trivial congestion upper bound.
 ///
 /// # Errors
-/// Propagates a [`ReferenceError`] from the underlying scheduler.
+/// Propagates a [`SchedError`] from planning or the final execution.
 pub fn uniform_with_doubling(
     problem: &DasProblem<'_>,
     base: &UniformScheduler,
-) -> Result<DoublingOutcome, ReferenceError> {
+) -> Result<DoublingOutcome, SchedError> {
     let k = problem.k() as u64;
     let dilation = problem.dilation() as u64;
     let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
-    let mut guess = 1u64;
+    let ln_n = (problem.graph().node_count().max(2) as f64).ln();
+    let mut range = INITIAL_RANGE;
     let mut attempts = 0u32;
     let mut rejected = 0u32;
     let mut wasted = 0u64;
+    let mut attempted_ranges = Vec::new();
     loop {
         attempts += 1;
-        // Sizing the scheduler for guessed congestion: the range factor
-        // scales the delay range, which is what the guess controls.
-        let params = problem.parameters()?;
-        let real_c = params.congestion.max(1);
+        // Sizing the scheduler for the guess: the delay range (in
+        // big-rounds) is what a congestion budget controls — range · ln n
+        // engine rounds of spread for a budget of that many messages.
         let mut sched = base.clone();
-        sched.range_factor = guess as f64 / real_c as f64;
+        sched.delay_range = Some(range);
+        attempted_ranges.push(das_prg::primes::next_prime(range));
+        let guess = implied_congestion(range, ln_n);
         let plan = sched.plan(problem, sched.default_sched_seed())?;
         let prediction = analysis::predict(problem, &plan)?;
         if prediction.feasible() {
-            let mut outcome = execute_plan(problem, &plan);
+            let mut outcome = execute_plan(problem, &plan)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds += wasted;
             return Ok(DoublingOutcome {
@@ -81,6 +104,7 @@ pub fn uniform_with_doubling(
                 attempts,
                 rejected_by_precheck: rejected,
                 wasted_rounds: wasted,
+                attempted_ranges,
             });
         }
         // rejected on the plan alone; charge what the failed attempt
@@ -96,9 +120,10 @@ pub fn uniform_with_doubling(
                 attempts,
                 rejected_by_precheck: rejected,
                 wasted_rounds: wasted,
+                attempted_ranges,
             });
         }
-        guess *= 2;
+        range *= 2;
     }
 }
 
@@ -109,32 +134,34 @@ pub fn uniform_with_doubling(
 /// pre-computation is charged once.
 ///
 /// # Errors
-/// Propagates a [`ReferenceError`] from the underlying scheduler.
+/// Propagates a [`SchedError`] from planning or the final execution.
 pub fn private_with_doubling(
     problem: &DasProblem<'_>,
     base: &PrivateScheduler,
-) -> Result<DoublingOutcome, ReferenceError> {
+) -> Result<DoublingOutcome, SchedError> {
     let k = problem.k() as u64;
     let dilation = problem.dilation() as u64;
     let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
-    let mut guess = 1u64;
+    let ln_n = (problem.graph().node_count().max(2) as f64).ln();
+    let mut block = INITIAL_RANGE;
     let mut attempts = 0u32;
     let mut rejected = 0u32;
     let mut wasted = 0u64;
+    let mut attempted_ranges = Vec::new();
     let mut precompute_once: Option<u64> = None;
     loop {
         attempts += 1;
-        let params = problem.parameters()?;
-        let real_c = params.congestion.max(1);
         let mut sched = base.clone();
-        sched.block_factor = guess as f64 / real_c as f64;
+        sched.block_override = Some(block);
+        attempted_ranges.push(block);
+        let guess = implied_congestion(block, ln_n);
         let plan = sched.plan(problem, sched.default_sched_seed())?;
         // pre-computation is independent of the congestion guess: charge it
         // once across attempts
         let pre = *precompute_once.get_or_insert(plan.precompute_rounds);
         let prediction = analysis::predict(problem, &plan)?;
         if prediction.feasible() {
-            let mut outcome = execute_plan(problem, &plan);
+            let mut outcome = execute_plan(problem, &plan)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds = pre + wasted;
             return Ok(DoublingOutcome {
@@ -143,6 +170,7 @@ pub fn private_with_doubling(
                 attempts,
                 rejected_by_precheck: rejected,
                 wasted_rounds: wasted,
+                attempted_ranges,
             });
         }
         rejected += 1;
@@ -156,10 +184,19 @@ pub fn private_with_doubling(
                 attempts,
                 rejected_by_precheck: rejected,
                 wasted_rounds: wasted,
+                attempted_ranges,
             });
         }
-        guess *= 2;
+        block *= 2;
     }
+}
+
+/// The congestion a delay span of `range` big-rounds budgets for:
+/// `range · ln n` messages per edge spread over `range` big-rounds of
+/// `Θ(ln n)` rounds each. Used for the give-up cap and reporting only —
+/// the sizing itself is exact-integer.
+fn implied_congestion(range: u64, ln_n: f64) -> u64 {
+    range.saturating_mul(ln_n.ceil().max(1.0) as u64)
 }
 
 /// The charged cost of detecting a failed attempt: an `O(diameter)`
@@ -243,5 +280,45 @@ mod tests {
             "wasted {} vs final {final_len}",
             result.wasted_rounds
         );
+    }
+
+    #[test]
+    fn every_attempt_strictly_widens_the_delay_range() {
+        // regression for the float-factor sizing: on a small graph
+        // (ln n ≈ 2.3) the old `range_factor = guess / real_c` sizing
+        // mapped several consecutive guesses to the same integer range, so
+        // "doubling" re-tried an identical plan. The integer sizing must
+        // produce strictly increasing spans on an instance congested
+        // enough to force several attempts.
+        let g = generators::path(12);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..16)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 3);
+        let result = uniform_with_doubling(&p, &UniformScheduler::default()).unwrap();
+        assert!(
+            result.attempts > 1,
+            "instance must force the search to actually double"
+        );
+        assert_eq!(result.attempted_ranges.len(), result.attempts as usize);
+        for w in result.attempted_ranges.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "attempt ranges must strictly widen: {:?}",
+                result.attempted_ranges
+            );
+        }
+        let report = verify::against_references(&p, &result.outcome).unwrap();
+        assert!(report.all_correct());
+
+        let private = private_with_doubling(&p, &crate::PrivateScheduler::default()).unwrap();
+        assert_eq!(private.attempted_ranges.len(), private.attempts as usize);
+        for w in private.attempted_ranges.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "private attempt blocks must strictly widen: {:?}",
+                private.attempted_ranges
+            );
+        }
     }
 }

@@ -24,9 +24,43 @@
 
 use crate::algorithm::BlackBoxAlgorithm;
 use crate::schedule::ScheduleOutcome;
+use crate::shard::Partition;
 use das_graph::{Graph, NodeId};
 use das_pattern::{SimulationMap, TimedArc};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// Ways an execution can fail outright (as opposed to producing wrong
+/// outputs, which [`crate::verify`] catches after the fact).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The engine-round cap was reached before all arc queues drained: the
+    /// schedule is overloaded (or malformed) beyond what the configured
+    /// budget tolerates. Surfaced as a typed error so a trial sweep can
+    /// record the truncated attempt and move on instead of aborting.
+    RoundCapExceeded {
+        /// The configured cap ([`ExecutorConfig::max_engine_rounds`]).
+        cap: u64,
+        /// The big-round that was draining when the cap was hit.
+        big_round: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::RoundCapExceeded { cap, big_round } => write!(
+                f,
+                "engine round cap {cap} exceeded while draining big-round \
+                 {big_round}; the schedule does not drain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// One scheduled execution of an algorithm: who runs it, when, how far.
 ///
@@ -72,6 +106,10 @@ pub struct ExecutorConfig {
     /// Record message departures to build a causality-checkable
     /// [`SimulationMap`] per algorithm.
     pub record_departures: bool,
+    /// Number of shards for [`Executor::run_sharded`] (clamped to the node
+    /// count; [`Executor::run`] ignores it). The outcome is byte-identical
+    /// for every shard count — sharding changes only the parallel layout.
+    pub shards: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -81,6 +119,7 @@ impl Default for ExecutorConfig {
             message_bytes: 40,
             max_engine_rounds: 10_000_000,
             record_departures: true,
+            shards: 1,
         }
     }
 }
@@ -95,6 +134,12 @@ impl ExecutorConfig {
     /// Enables or disables departure recording.
     pub fn with_record_departures(mut self, record: bool) -> Self {
         self.record_departures = record;
+        self
+    }
+
+    /// Sets the shard count for [`Executor::run_sharded`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -327,15 +372,21 @@ impl Executor {
     /// configuration, returning outputs, stats, and (optionally) the
     /// per-algorithm simulation maps.
     ///
+    /// # Errors
+    /// Returns [`ExecError::RoundCapExceeded`] if the queues have not
+    /// drained by `config.max_engine_rounds`.
+    ///
     /// # Panics
-    /// Panics if the plan is malformed or the engine-round cap is hit.
+    /// Panics if the plan is malformed (missized vectors, zero stride,
+    /// unknown algorithm) — plans from untrusted sources go through
+    /// [`crate::SchedulePlan::validate`] first.
     pub fn run(
         g: &Graph,
         algos: &[Box<dyn BlackBoxAlgorithm>],
         seeds: &[u64],
         units: &[Unit],
         config: &ExecutorConfig,
-    ) -> ScheduleOutcome {
+    ) -> Result<ScheduleOutcome, ExecError> {
         let n = g.node_count();
         let k = algos.len();
         assert_eq!(seeds.len(), k, "one seed per algorithm");
@@ -460,10 +511,12 @@ impl Executor {
                     last_activity_round = engine_round + 1;
                 }
                 engine_round += 1;
-                assert!(
-                    engine_round <= config.max_engine_rounds,
-                    "engine round cap exceeded; the schedule does not drain"
-                );
+                if engine_round > config.max_engine_rounds {
+                    return Err(ExecError::RoundCapExceeded {
+                        cap: config.max_engine_rounds,
+                        big_round: b,
+                    });
+                }
             }
 
             b += 1;
@@ -483,13 +536,453 @@ impl Executor {
             .iter()
             .map(|per_node| per_node.iter().map(|m| m.output()).collect())
             .collect();
-        ScheduleOutcome {
+        Ok(ScheduleOutcome {
             outputs,
             stats,
             departures: config.record_departures.then_some(departures),
             precompute_rounds: 0,
+        })
+    }
+
+    /// Executes `units` sharded: nodes are partitioned into
+    /// `config.shards` degree-balanced shards (see [`Partition`]), each
+    /// driven by its own worker thread. Workers step their own nodes and
+    /// drain the arcs they own (an arc belongs to the shard of its
+    /// *destination* node) freely within a big-round; cross-shard messages
+    /// travel through per-(shard, shard) outboxes and enter the owner's
+    /// queues only at the big-round boundary.
+    ///
+    /// The returned [`ScheduleOutcome`] is **byte-identical** to
+    /// [`Executor::run`] for every plan and shard count: per-arc FIFO order
+    /// is preserved (each arc has a unique source node, and each worker
+    /// steps its nodes in the same order the sequential executor does),
+    /// lateness checks read only owner-local progress, inboxes are sorted
+    /// before every machine step, and departures merge into an ordered map.
+    /// Wall-clock and traffic measurements that *do* depend on the
+    /// partition are returned separately in the [`ShardReport`].
+    ///
+    /// One dedicated thread per shard is spawned (independent of any rayon
+    /// pool and of `RAYON_NUM_THREADS`), so big-round barriers cannot
+    /// starve.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::RoundCapExceeded`] if the queues have not
+    /// drained by `config.max_engine_rounds` — all workers observe the
+    /// identical engine-round counter, so they abandon the run in lockstep.
+    ///
+    /// # Panics
+    /// Panics if the plan is malformed (missized vectors, zero stride,
+    /// unknown algorithm) or a worker thread panics.
+    pub fn run_sharded(
+        g: &Graph,
+        algos: &[Box<dyn BlackBoxAlgorithm>],
+        seeds: &[u64],
+        units: &[Unit],
+        config: &ExecutorConfig,
+    ) -> Result<(ScheduleOutcome, ShardReport), ExecError> {
+        let n = g.node_count();
+        let k = algos.len();
+        assert_eq!(seeds.len(), k, "one seed per algorithm");
+        let part = Partition::degree_balanced(g, config.shards);
+        let s = part.shards();
+        let plan = StepPlan::build(g, algos, units);
+        let last_step_round = plan.last_big_round().unwrap_or(0);
+        let mut by_big_round: Vec<Vec<(u32, u32, u32)>> =
+            vec![Vec::new(); last_step_round as usize + 1];
+        for a in 0..k {
+            for v in 0..n {
+                for (r, &b) in plan.plan[a][v].iter().enumerate() {
+                    by_big_round[b as usize].push((a as u32, v as u32, r as u32));
+                }
+            }
+        }
+        // An arc is owned by the shard of its destination node: deliveries
+        // and lateness checks then touch only owner-local state.
+        let arc_owner: Vec<u32> = (0..g.arc_count())
+            .map(|i| {
+                let (_, dst) = g.arc_endpoints(das_graph::Arc::from_index(i));
+                part.of_node()[dst.index()]
+            })
+            .collect();
+        let outboxes: Vec<Mutex<Vec<(usize, Flight)>>> =
+            (0..s * s).map(|_| Mutex::new(Vec::new())).collect();
+        let ctx = ShardCtx {
+            g,
+            algos,
+            seeds,
+            config,
+            by_big_round: &by_big_round,
+            last_step_round,
+            part: &part,
+            arc_owner: &arc_owner,
+            outboxes: &outboxes,
+            barrier: &Barrier::new(s),
+            active_workers: &AtomicU64::new(0),
+        };
+        let results: Vec<Result<ShardOutput, ExecError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..s)
+                .map(|me| {
+                    let ctx = &ctx;
+                    scope.spawn(move || shard_worker(me, ctx))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut workers = Vec::with_capacity(s);
+        for r in results {
+            workers.push(r?);
+        }
+
+        let mut outputs: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; n]; k];
+        let mut departures: Vec<SimulationMap> = vec![SimulationMap::new(); k];
+        let mut stats = ExecStats {
+            phase_len: config.phase_len,
+            ..ExecStats::default()
+        };
+        let mut last_activity_round = 0u64;
+        let mut report = ShardReport {
+            shards: s,
+            cross_shard_messages: 0,
+            per_shard: Vec::with_capacity(s),
+        };
+        for w in workers {
+            let ShardOutput {
+                own,
+                outputs: w_outputs,
+                departures: w_departures,
+                stats: w_stats,
+                last_activity_round: w_last,
+                big_rounds,
+                shard,
+            } = w;
+            stats.delivered += w_stats.delivered;
+            stats.late_messages += w_stats.late_messages;
+            stats.invalid_sends += w_stats.invalid_sends;
+            stats.max_arc_queue = stats.max_arc_queue.max(w_stats.max_arc_queue);
+            // every worker leaves the lockstep loop at the same big-round
+            stats.big_rounds = big_rounds;
+            last_activity_round = last_activity_round.max(w_last);
+            for (a, (outs, maps)) in w_outputs.into_iter().zip(w_departures).enumerate() {
+                for (li, out) in outs.into_iter().enumerate() {
+                    outputs[a][own[li]] = out;
+                }
+                departures[a].extend(maps);
+            }
+            report.cross_shard_messages += shard.cross_sent;
+            report.per_shard.push(shard);
+        }
+        stats.engine_rounds = (last_step_round + 1)
+            .saturating_mul(config.phase_len)
+            .max(last_activity_round);
+        Ok((
+            ScheduleOutcome {
+                outputs,
+                stats,
+                departures: config.record_departures.then_some(departures),
+                precompute_rounds: 0,
+            },
+            report,
+        ))
+    }
+}
+
+/// Per-shard measurements from a sharded execution.
+///
+/// Wall-clock and traffic-split fields depend on the partition and the
+/// machine, which is exactly why they live here and not in [`ExecStats`]:
+/// the [`ScheduleOutcome`] stays byte-identical across shard counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Nodes owned by this shard.
+    pub nodes: usize,
+    /// Total degree owned by this shard (the balance target).
+    pub degree: usize,
+    /// Machine steps executed by this shard's worker.
+    pub steps: u64,
+    /// Messages delivered on arcs owned by this shard.
+    pub delivered: u64,
+    /// Messages this shard sent to other shards (through an outbox).
+    pub cross_sent: u64,
+    /// Wall-clock nanoseconds spent in step phases (nondeterministic).
+    pub step_nanos: u64,
+    /// Wall-clock nanoseconds spent in merge + drain phases
+    /// (nondeterministic).
+    pub drain_nanos: u64,
+}
+
+/// What a sharded execution reports beyond the (partition-independent)
+/// [`ScheduleOutcome`]: the partition shape, cross-shard traffic, and
+/// per-shard timing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardReport {
+    /// Number of shards actually used (requested count clamped to `n`).
+    pub shards: usize,
+    /// Total messages that crossed a shard boundary (sum of
+    /// [`ShardStats::cross_sent`]).
+    pub cross_shard_messages: u64,
+    /// Per-shard measurements, in shard order.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// Read-only state shared by all shard workers.
+struct ShardCtx<'e> {
+    g: &'e Graph,
+    algos: &'e [Box<dyn BlackBoxAlgorithm>],
+    seeds: &'e [u64],
+    config: &'e ExecutorConfig,
+    by_big_round: &'e [Vec<(u32, u32, u32)>],
+    last_step_round: u64,
+    part: &'e Partition,
+    arc_owner: &'e [u32],
+    /// `outboxes[src * shards + dst]`: messages from shard `src` to arcs
+    /// owned by shard `dst`, staged during the step phase of a big-round.
+    outboxes: &'e [Mutex<Vec<(usize, Flight)>>],
+    barrier: &'e Barrier,
+    /// How many workers still have active arcs after the current
+    /// big-round's drain (reset by worker 0 between rounds).
+    active_workers: &'e AtomicU64,
+}
+
+/// What one shard worker hands back to be merged.
+struct ShardOutput {
+    /// Owned nodes, ascending (the local index space).
+    own: Vec<usize>,
+    /// `outputs[a][local]` for the owned nodes.
+    outputs: Vec<Vec<Option<Vec<u8>>>>,
+    departures: Vec<SimulationMap>,
+    stats: ExecStats,
+    last_activity_round: u64,
+    big_rounds: u64,
+    shard: ShardStats,
+}
+
+/// The big-round-synchronous shard worker: mirrors [`Executor::run`]'s
+/// loop restricted to one shard's nodes and owned arcs, with three barriers
+/// per big-round (outboxes complete / activity posted / decision read).
+fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError> {
+    let g = ctx.g;
+    let config = ctx.config;
+    let n = g.node_count();
+    let k = ctx.algos.len();
+    let s = ctx.part.shards();
+    let own: Vec<usize> = (0..n)
+        .filter(|&v| ctx.part.of_node()[v] == me as u32)
+        .collect();
+    let own_n = own.len();
+    let mut local_of = vec![usize::MAX; n];
+    for (li, &v) in own.iter().enumerate() {
+        local_of[v] = li;
+    }
+    // Machines get the same per-node seed mix as the sequential path, so
+    // machine state is independent of the partition.
+    let mut machines: Vec<Vec<Box<dyn crate::algorithm::AlgoNode>>> = (0..k)
+        .map(|a| {
+            own.iter()
+                .map(|&v| {
+                    ctx.algos[a].create_node(
+                        NodeId(v as u32),
+                        n,
+                        das_congest::util::seed_mix(ctx.seeds[a], v as u64),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut steps_done = vec![vec![0u32; own_n]; k];
+    let mut buffers: Vec<TagWindow> = Vec::with_capacity(k * own_n);
+    buffers.resize_with(k * own_n, TagWindow::default);
+    let mut inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    // Full-width arc array for global indexing; this worker only ever
+    // touches the arcs it owns.
+    let mut queues: Vec<ArcFifo> = Vec::with_capacity(g.arc_count());
+    queues.resize_with(g.arc_count(), ArcFifo::default);
+    let mut active_arcs: Vec<usize> = Vec::new();
+    let mut stats = ExecStats {
+        phase_len: config.phase_len,
+        ..ExecStats::default()
+    };
+    let mut departures: Vec<SimulationMap> = vec![SimulationMap::new(); k];
+    let mut shard = ShardStats {
+        shard: me,
+        nodes: own_n,
+        degree: own.iter().map(|&v| g.degree(NodeId(v as u32))).sum(),
+        ..ShardStats::default()
+    };
+    let mut engine_round: u64 = 0;
+    let mut last_activity_round: u64 = 0;
+    let mut b: u64 = 0;
+    loop {
+        // 1. Step phase: this shard's share of big-round b's steps, in the
+        // same (algorithm, node, round) order the sequential executor uses
+        // — per-arc push order is therefore identical (each arc has one
+        // source node, owned by one shard).
+        let t_step = Instant::now();
+        if let Some(steps) = ctx.by_big_round.get(b as usize) {
+            for &(a, v, r) in steps {
+                let (a, v) = (a as usize, v as usize);
+                let li = local_of[v];
+                if li == usize::MAX {
+                    continue;
+                }
+                debug_assert_eq!(steps_done[a][li], r, "steps execute in order");
+                if r == 0 {
+                    inbox.clear();
+                } else {
+                    buffers[a * own_n + li].take(r - 1, &mut inbox);
+                }
+                // canonical inbox order, matching the reference runner
+                inbox.sort();
+                let sends = machines[a][li].step(&inbox);
+                steps_done[a][li] = r + 1;
+                shard.steps += 1;
+                let me_node = NodeId(v as u32);
+                let mut sent_to: Vec<NodeId> = Vec::new();
+                for snd in sends {
+                    let valid = g.find_edge(me_node, snd.to).is_some()
+                        && snd.payload.len() <= config.message_bytes
+                        && !sent_to.contains(&snd.to);
+                    if !valid {
+                        stats.invalid_sends += 1;
+                        continue;
+                    }
+                    sent_to.push(snd.to);
+                    let edge = g.find_edge(me_node, snd.to).expect("validated");
+                    let arc = g.arc_from(edge, me_node);
+                    let idx = arc.index();
+                    let flight = Flight {
+                        dst: snd.to,
+                        algo: a as u32,
+                        round: r,
+                        from: me_node,
+                        payload: snd.payload,
+                    };
+                    let owner = ctx.arc_owner[idx] as usize;
+                    if owner == me {
+                        let q = &mut queues[idx];
+                        if q.is_empty() {
+                            active_arcs.push(idx);
+                        }
+                        q.push_back(flight);
+                        stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                    } else {
+                        shard.cross_sent += 1;
+                        ctx.outboxes[me * s + owner]
+                            .lock()
+                            .expect("outbox lock")
+                            .push((idx, flight));
+                    }
+                }
+            }
+        }
+        shard.step_nanos += t_step.elapsed().as_nanos() as u64;
+
+        // All outboxes for big-round b are complete.
+        ctx.barrier.wait();
+
+        let t_drain = Instant::now();
+        // 2. Merge cross-shard arrivals into the owned queues — the shard
+        // boundary crossing, once per big-round. Within a big-round the
+        // queue's push set (and per-arc order) equals the sequential one.
+        for src in 0..s {
+            if src == me {
+                continue;
+            }
+            let incoming =
+                std::mem::take(&mut *ctx.outboxes[src * s + me].lock().expect("outbox lock"));
+            for (idx, flight) in incoming {
+                let q = &mut queues[idx];
+                if q.is_empty() {
+                    active_arcs.push(idx);
+                }
+                q.push_back(flight);
+                stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+            }
+        }
+
+        // 3. Drain the owned queues for phase_len engine rounds, exactly as
+        // the sequential executor does. Lateness checks read steps_done of
+        // the destination node, which this shard owns — no cross-shard
+        // progress is ever consulted.
+        for _ in 0..config.phase_len {
+            let arcs = std::mem::take(&mut active_arcs);
+            for arc_idx in arcs {
+                let Some(f) = queues[arc_idx].pop_front() else {
+                    continue;
+                };
+                if !queues[arc_idx].is_empty() {
+                    active_arcs.push(arc_idx);
+                }
+                let (a, li) = (f.algo as usize, local_of[f.dst.index()]);
+                debug_assert_ne!(li, usize::MAX, "arc delivered to a foreign shard");
+                if config.record_departures {
+                    departures[a].insert(
+                        TimedArc {
+                            round: f.round,
+                            arc: das_graph::Arc::from_index(arc_idx),
+                        },
+                        engine_round as u32,
+                    );
+                }
+                if steps_done[a][li] >= f.round + 2 {
+                    stats.late_messages += 1;
+                } else {
+                    buffers[a * own_n + li].push(f.round, f.from, f.payload);
+                    stats.delivered += 1;
+                }
+                last_activity_round = engine_round + 1;
+            }
+            engine_round += 1;
+            if engine_round > config.max_engine_rounds {
+                // every worker's engine-round counter is identical, so all
+                // workers take this branch in lockstep — nobody is left
+                // waiting at a barrier
+                return Err(ExecError::RoundCapExceeded {
+                    cap: config.max_engine_rounds,
+                    big_round: b,
+                });
+            }
+        }
+        shard.drain_nanos += t_drain.elapsed().as_nanos() as u64;
+
+        // 4. Termination: post activity, agree on it, and let worker 0
+        // reset the counter strictly after everyone has read it (barrier)
+        // and strictly before anyone can post again (the next step-phase
+        // barrier).
+        if !active_arcs.is_empty() {
+            ctx.active_workers.fetch_add(1, Ordering::SeqCst);
+        }
+        ctx.barrier.wait();
+        let any_active = ctx.active_workers.load(Ordering::SeqCst) > 0;
+        b += 1;
+        let done = b > ctx.last_step_round && !any_active;
+        ctx.barrier.wait();
+        if me == 0 {
+            ctx.active_workers.store(0, Ordering::SeqCst);
+        }
+        if done {
+            break;
         }
     }
+
+    shard.delivered = stats.delivered;
+    let outputs = machines
+        .iter()
+        .map(|per_node| per_node.iter().map(|m| m.output()).collect())
+        .collect();
+    Ok(ShardOutput {
+        own,
+        outputs,
+        departures,
+        stats,
+        last_activity_round,
+        big_rounds: b,
+        shard,
+    })
 }
 
 #[cfg(test)]
@@ -510,7 +1003,8 @@ mod tests {
             &[p.algo_seed(0)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         let reference = &p.references().unwrap()[0];
         assert_eq!(outcome.outputs[0], reference.outputs);
         assert_eq!(outcome.stats.late_messages, 0);
@@ -538,7 +1032,8 @@ mod tests {
             &[p.algo_seed(0), p.algo_seed(1)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(outcome.stats.late_messages > 0, "collision must surface");
     }
 
@@ -561,7 +1056,8 @@ mod tests {
             &[p.algo_seed(0), p.algo_seed(1)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.stats.late_messages, 0);
         let refs = p.references().unwrap();
         assert_eq!(outcome.outputs[0], refs[0].outputs);
@@ -581,7 +1077,8 @@ mod tests {
             &[p.algo_seed(0)],
             &units,
             &ExecutorConfig::default().with_phase_len(3),
-        );
+        )
+        .unwrap();
         let map = &outcome.departures.as_ref().unwrap()[0];
         let pattern = &p.references().unwrap()[0].pattern;
         das_pattern::verify_simulation(&g, pattern, map).unwrap();
@@ -604,7 +1101,8 @@ mod tests {
             &[p.algo_seed(0)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         // nodes 0..3 heard (they step rounds 0..3), beyond never stepped
         let out = &outcome.outputs[0];
         assert_eq!(out[2].as_ref().unwrap()[0], 1);
@@ -625,9 +1123,97 @@ mod tests {
             &[p.algo_seed(0)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.stats.delivered, 4, "one copy of each message");
         assert_eq!(outcome.outputs[0], p.references().unwrap()[0].outputs);
+    }
+
+    #[test]
+    fn round_cap_surfaces_as_typed_error_not_panic() {
+        // two colliding relays need ~10 engine rounds; cap at 3
+        let g = generators::path(6);
+        let p = DasProblem::new(
+            &g,
+            vec![
+                Box::new(RelayChain::new(0, &g)),
+                Box::new(RelayChain::new(1, &g)),
+            ],
+            3,
+        );
+        let units = vec![Unit::global(0, 0, 6), Unit::global(1, 0, 6)];
+        let config = ExecutorConfig {
+            max_engine_rounds: 3,
+            ..ExecutorConfig::default()
+        };
+        let seeds = [p.algo_seed(0), p.algo_seed(1)];
+        let err = Executor::run(&g, p.algorithms(), &seeds, &units, &config).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::RoundCapExceeded {
+                cap: 3,
+                big_round: 3
+            }
+        );
+        assert!(err.to_string().contains("cap 3"));
+        // the sharded path reports the identical error
+        let sharded_err =
+            Executor::run_sharded(&g, p.algorithms(), &seeds, &units, &config.with_shards(3))
+                .unwrap_err();
+        assert_eq!(sharded_err, err);
+    }
+
+    #[test]
+    fn sharded_outcome_matches_sequential_byte_for_byte() {
+        let g = generators::grid(4, 4);
+        // snake route over the grid: left-to-right on even rows,
+        // right-to-left on odd (consecutive hops are grid edges)
+        let route: Vec<NodeId> = (0..4)
+            .flat_map(|row: u32| {
+                let cols: Vec<u32> = if row.is_multiple_of(2) {
+                    (0..4).collect()
+                } else {
+                    (0..4).rev().collect()
+                };
+                cols.into_iter().map(move |c| NodeId(row * 4 + c))
+            })
+            .collect();
+        let p = DasProblem::new(
+            &g,
+            vec![
+                Box::new(RelayChain::along(0, &g, route)) as Box<dyn BlackBoxAlgorithm>,
+                Box::new(FloodBall::new(1, &g, NodeId(5), 3)),
+            ],
+            9,
+        );
+        let seeds = [p.algo_seed(0), p.algo_seed(1)];
+        let units = vec![Unit::global(0, 0, 16), Unit::global(1, 1, 16)];
+        let config = ExecutorConfig::default().with_phase_len(2);
+        let fused = Executor::run(&g, p.algorithms(), &seeds, &units, &config).unwrap();
+        for shards in [1, 2, 5, 16, 64] {
+            let (sharded, report) = Executor::run_sharded(
+                &g,
+                p.algorithms(),
+                &seeds,
+                &units,
+                &config.clone().with_shards(shards),
+            )
+            .unwrap();
+            assert_eq!(
+                format!("{fused:?}"),
+                format!("{sharded:?}"),
+                "shards = {shards}"
+            );
+            assert_eq!(report.shards, shards.min(16));
+            assert_eq!(report.per_shard.len(), report.shards);
+            let sent: u64 = report.per_shard.iter().map(|s| s.cross_sent).sum();
+            assert_eq!(sent, report.cross_shard_messages);
+            if shards == 1 {
+                assert_eq!(report.cross_shard_messages, 0);
+            }
+            let steps: u64 = report.per_shard.iter().map(|s| s.steps).sum();
+            assert!(steps > 0, "workers actually stepped machines");
+        }
     }
 
     #[test]
@@ -648,7 +1234,8 @@ mod tests {
             &[p.algo_seed(0)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.outputs[0], p.references().unwrap()[0].outputs);
     }
 }

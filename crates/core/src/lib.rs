@@ -70,12 +70,15 @@ pub mod doubling;
 pub mod newman;
 pub mod plan;
 pub mod schedulers;
+pub mod shard;
 pub mod synthetic;
 pub mod verify;
 
 pub use algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
-pub use exec::{ExecStats, Executor, ExecutorConfig, StepPlan, Unit};
-pub use plan::{execute_plan, SchedulePlan};
+pub use exec::{
+    ExecError, ExecStats, Executor, ExecutorConfig, ShardReport, ShardStats, StepPlan, Unit,
+};
+pub use plan::{execute_plan, execute_plan_sharded, PlanError, SchedError, SchedulePlan};
 pub use problem::DasProblem;
 pub use reference::{run_alone, ReferenceError, ReferenceRun};
 pub use schedule::ScheduleOutcome;
@@ -83,3 +86,4 @@ pub use schedulers::{
     prime_range_overhead, uniform_length_bound, InterleaveScheduler, PrivateDelayLaw,
     PrivateScheduler, Scheduler, SequentialScheduler, TunedUniformScheduler, UniformScheduler,
 };
+pub use shard::Partition;

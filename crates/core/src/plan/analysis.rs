@@ -255,7 +255,7 @@ mod tests {
         ] {
             let plan = sched.plan(&p, sched.default_sched_seed()).unwrap();
             let pred = predict(&p, &plan).unwrap();
-            let outcome = execute_plan(&p, &plan);
+            let outcome = execute_plan(&p, &plan).unwrap();
             assert_eq!(
                 pred.arc_load,
                 measured_arc_load(&g, &outcome),
@@ -305,7 +305,7 @@ mod tests {
             vec![crate::Unit::global(0, 0, 6), crate::Unit::global(1, 0, 6)],
         );
         let pred = predict(&p, &plan).unwrap();
-        let outcome = execute_plan(&p, &plan);
+        let outcome = execute_plan(&p, &plan).unwrap();
         assert!(outcome.stats.late_messages > 0);
         assert!(!pred.feasible());
     }
@@ -353,7 +353,7 @@ mod tests {
             }
             let plan = crate::SchedulePlan::assemble("prop", case, 1, 0, &p, units);
             let pred = predict(&p, &plan).unwrap();
-            let outcome = execute_plan(&p, &plan);
+            let outcome = execute_plan(&p, &plan).unwrap();
             assert_eq!(
                 pred.feasible(),
                 outcome.stats.late_messages == 0,

@@ -23,10 +23,149 @@
 
 pub mod analysis;
 
-use crate::exec::{Executor, ExecutorConfig, StepPlan, Unit};
+use crate::exec::{ExecError, Executor, ExecutorConfig, ShardReport, StepPlan, Unit};
 use crate::problem::DasProblem;
+use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Ways a [`SchedulePlan`] can be malformed for a given problem. Plans
+/// produced by the in-crate schedulers are valid by construction; this
+/// protects the deserialize/execute entry points (`dasched plan` round
+/// trips, hand-edited JSON) from panics, hangs, and allocation blowups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// `phase_len` is zero: no engine rounds would ever drain, so the
+    /// executor would loop forever.
+    ZeroPhaseLen,
+    /// A unit's `stride` is zero: its step plan would not be strictly
+    /// increasing.
+    ZeroStride {
+        /// Index of the offending unit.
+        unit: usize,
+    },
+    /// A unit references an algorithm the problem does not have.
+    UnknownAlgorithm {
+        /// Index of the offending unit.
+        unit: usize,
+        /// The referenced algorithm index.
+        algo: usize,
+        /// How many algorithms the problem has.
+        known: usize,
+    },
+    /// A unit's per-node delay vector has the wrong length.
+    DelayLength {
+        /// Index of the offending unit.
+        unit: usize,
+        /// Expected length (the node count).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A unit's per-node truncation vector has the wrong length.
+    TruncLength {
+        /// Index of the offending unit.
+        unit: usize,
+        /// Expected length (the node count).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A unit schedules a step beyond the executor's engine-round budget
+    /// (or past `u64` altogether): building its step table would exhaust
+    /// memory before the round cap could even trigger.
+    Oversized {
+        /// Index of the offending unit.
+        unit: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ZeroPhaseLen => write!(f, "plan has phase_len 0"),
+            PlanError::ZeroStride { unit } => write!(f, "unit {unit} has stride 0"),
+            PlanError::UnknownAlgorithm { unit, algo, known } => write!(
+                f,
+                "unit {unit} references algorithm {algo}, but the problem has {known}"
+            ),
+            PlanError::DelayLength {
+                unit,
+                expected,
+                got,
+            } => write!(
+                f,
+                "unit {unit} delay vector has length {got}, expected {expected}"
+            ),
+            PlanError::TruncLength {
+                unit,
+                expected,
+                got,
+            } => write!(
+                f,
+                "unit {unit} truncation vector has length {got}, expected {expected}"
+            ),
+            PlanError::Oversized { unit } => write!(
+                f,
+                "unit {unit} schedules steps beyond the engine-round budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Any failure on the plan → execute path: a model violation in a
+/// reference run, a malformed plan, or an execution that exceeded its
+/// round budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// An algorithm violated the CONGEST model in its alone run.
+    Reference(ReferenceError),
+    /// The plan is malformed for the problem (see [`PlanError`]).
+    InvalidPlan(PlanError),
+    /// The execution failed (see [`ExecError`]).
+    Exec(ExecError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Reference(e) => write!(f, "reference run failed: {e}"),
+            SchedError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            SchedError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Reference(e) => Some(e),
+            SchedError::InvalidPlan(e) => Some(e),
+            SchedError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ReferenceError> for SchedError {
+    fn from(e: ReferenceError) -> Self {
+        SchedError::Reference(e)
+    }
+}
+
+impl From<PlanError> for SchedError {
+    fn from(e: PlanError) -> Self {
+        SchedError::InvalidPlan(e)
+    }
+}
+
+impl From<ExecError> for SchedError {
+    fn from(e: ExecError) -> Self {
+        SchedError::Exec(e)
+    }
+}
 
 /// A complete scheduling decision, decoupled from execution.
 ///
@@ -101,10 +240,81 @@ impl SchedulePlan {
 
     /// Parses a plan from its JSON form.
     ///
+    /// JSON well-formedness is not plan well-formedness: callers that will
+    /// execute the parsed plan should also run
+    /// [`SchedulePlan::validate`] against the target problem (the
+    /// [`execute_plan`] entry points do so automatically).
+    ///
     /// # Errors
     /// Returns the underlying JSON error on malformed input.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// Checks that the plan is well-formed *for this problem*: nonzero
+    /// `phase_len`, and per unit a known algorithm, full-length delay and
+    /// truncation vectors, nonzero stride, and a step table that fits the
+    /// default engine-round budget (a deserialized delay of `2^40` would
+    /// otherwise exhaust memory building the big-round table, and a zero
+    /// `phase_len` or stride would hang or panic the executor).
+    ///
+    /// Every deserialize/execute entry point calls this; plans assembled
+    /// by the in-crate schedulers pass by construction.
+    ///
+    /// # Errors
+    /// Returns the first [`PlanError`] found.
+    pub fn validate(&self, problem: &DasProblem<'_>) -> Result<(), PlanError> {
+        if self.phase_len == 0 {
+            return Err(PlanError::ZeroPhaseLen);
+        }
+        let n = problem.graph().node_count();
+        let k = problem.k();
+        let budget = ExecutorConfig::default().max_engine_rounds;
+        for (i, u) in self.units.iter().enumerate() {
+            if u.algo >= k {
+                return Err(PlanError::UnknownAlgorithm {
+                    unit: i,
+                    algo: u.algo,
+                    known: k,
+                });
+            }
+            if u.delay.len() != n {
+                return Err(PlanError::DelayLength {
+                    unit: i,
+                    expected: n,
+                    got: u.delay.len(),
+                });
+            }
+            if u.trunc.len() != n {
+                return Err(PlanError::TruncLength {
+                    unit: i,
+                    expected: n,
+                    got: u.trunc.len(),
+                });
+            }
+            if u.stride == 0 {
+                return Err(PlanError::ZeroStride { unit: i });
+            }
+            let rounds = problem.algorithms()[u.algo].rounds();
+            for v in 0..n {
+                let lim = rounds.min(u.trunc[v]) as u64;
+                if lim == 0 {
+                    continue;
+                }
+                // last big-round of this unit at v, then its engine-round
+                // boundary — both with overflow checks
+                let fits = (lim - 1)
+                    .checked_mul(u.stride)
+                    .and_then(|x| x.checked_add(u.delay[v]))
+                    .and_then(|last| last.checked_add(1))
+                    .and_then(|bigs| bigs.checked_mul(self.phase_len))
+                    .is_some_and(|engine| engine <= budget);
+                if !fits {
+                    return Err(PlanError::Oversized { unit: i });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -116,21 +326,70 @@ impl SchedulePlan {
 /// only on `(problem.tape_seed, plan)`: re-executing a stored plan
 /// reproduces the original [`ScheduleOutcome`] exactly.
 ///
-/// # Panics
-/// Panics if the plan is malformed for this problem (missized delay or
-/// truncation vectors, out-of-range algorithm indices) or if the
-/// engine-round cap is hit.
-pub fn execute_plan(problem: &DasProblem<'_>, plan: &SchedulePlan) -> ScheduleOutcome {
+/// # Errors
+/// Returns [`SchedError::InvalidPlan`] if the plan fails
+/// [`SchedulePlan::validate`], or [`SchedError::Exec`] if the engine-round
+/// cap is hit.
+pub fn execute_plan(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+) -> Result<ScheduleOutcome, SchedError> {
+    execute_plan_with(
+        problem,
+        plan,
+        &ExecutorConfig::default().with_phase_len(plan.phase_len),
+    )
+}
+
+/// [`execute_plan`] with an explicit executor configuration (custom round
+/// budget, message size, departure recording).
+///
+/// # Errors
+/// As [`execute_plan`].
+pub fn execute_plan_with(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    config: &ExecutorConfig,
+) -> Result<ScheduleOutcome, SchedError> {
+    plan.validate(problem)?;
     let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
     let mut outcome = Executor::run(
         problem.graph(),
         problem.algorithms(),
         &seeds,
         &plan.units,
-        &ExecutorConfig::default().with_phase_len(plan.phase_len),
-    );
+        config,
+    )?;
     outcome.precompute_rounds = plan.precompute_rounds;
-    outcome
+    Ok(outcome)
+}
+
+/// Executes a plan on the sharded executor with `shards` worker threads
+/// (see [`Executor::run_sharded`]): the outcome is byte-identical to
+/// [`execute_plan`], and the returned [`ShardReport`] carries the
+/// partition-dependent measurements (per-shard wall-clock, cross-shard
+/// message counts).
+///
+/// # Errors
+/// As [`execute_plan`].
+pub fn execute_plan_sharded(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    shards: usize,
+) -> Result<(ScheduleOutcome, ShardReport), SchedError> {
+    plan.validate(problem)?;
+    let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+    let (mut outcome, report) = Executor::run_sharded(
+        problem.graph(),
+        problem.algorithms(),
+        &seeds,
+        &plan.units,
+        &ExecutorConfig::default()
+            .with_phase_len(plan.phase_len)
+            .with_shards(shards),
+    )?;
+    outcome.precompute_rounds = plan.precompute_rounds;
+    Ok((outcome, report))
 }
 
 #[cfg(test)]
@@ -170,7 +429,7 @@ mod tests {
         for sched in all_schedulers() {
             let fused = sched.run(&p).unwrap();
             let plan = sched.plan(&p, sched.default_sched_seed()).unwrap();
-            let staged = execute_plan(&p, &plan);
+            let staged = execute_plan(&p, &plan).unwrap();
             assert_eq!(fused.outputs, staged.outputs, "{}", sched.name());
             assert_eq!(fused.stats, staged.stats, "{}", sched.name());
             assert_eq!(fused.departures, staged.departures, "{}", sched.name());
@@ -205,8 +464,8 @@ mod tests {
             let plan = sched.plan(&p, 7).unwrap();
             let revived = SchedulePlan::from_json(&plan.to_json()).unwrap();
             assert_eq!(plan, revived, "{}", sched.name());
-            let a = execute_plan(&p, &plan);
-            let b = execute_plan(&p, &revived);
+            let a = execute_plan(&p, &plan).unwrap();
+            let b = execute_plan(&p, &revived).unwrap();
             assert_eq!(a.outputs, b.outputs, "{}", sched.name());
             assert_eq!(a.stats, b.stats, "{}", sched.name());
         }
@@ -219,9 +478,144 @@ mod tests {
         // sequential never spills: the predicted boundary is the measured
         // schedule length
         let plan = SequentialScheduler.plan(&p, 0).unwrap();
-        let outcome = execute_plan(&p, &plan);
+        let outcome = execute_plan(&p, &plan).unwrap();
         assert_eq!(outcome.stats.late_messages, 0);
         assert_eq!(plan.predicted_rounds, outcome.schedule_rounds());
+    }
+
+    #[test]
+    fn validate_rejects_each_malformed_plan_shape() {
+        let g = generators::path(6);
+        let p = mixed_problem(&g);
+        let good = SequentialScheduler.plan(&p, 0).unwrap();
+        assert_eq!(good.validate(&p), Ok(()));
+
+        // phase_len 0 would make the drain loop a no-op: an infinite hang
+        let mut bad = good.clone();
+        bad.phase_len = 0;
+        assert_eq!(bad.validate(&p), Err(PlanError::ZeroPhaseLen));
+        assert!(matches!(
+            execute_plan(&p, &bad),
+            Err(SchedError::InvalidPlan(PlanError::ZeroPhaseLen))
+        ));
+
+        // stride 0 would trip the StepPlan strictly-increasing assert
+        let mut bad = good.clone();
+        bad.units[1].stride = 0;
+        assert_eq!(bad.validate(&p), Err(PlanError::ZeroStride { unit: 1 }));
+
+        // unknown algorithm index
+        let mut bad = good.clone();
+        bad.units[2].algo = 9;
+        assert_eq!(
+            bad.validate(&p),
+            Err(PlanError::UnknownAlgorithm {
+                unit: 2,
+                algo: 9,
+                known: 3
+            })
+        );
+
+        // missized delay / truncation vectors
+        let mut bad = good.clone();
+        bad.units[0].delay.pop();
+        assert_eq!(
+            bad.validate(&p),
+            Err(PlanError::DelayLength {
+                unit: 0,
+                expected: 6,
+                got: 5
+            })
+        );
+        let mut bad = good.clone();
+        bad.units[0].trunc.push(1);
+        assert_eq!(
+            bad.validate(&p),
+            Err(PlanError::TruncLength {
+                unit: 0,
+                expected: 6,
+                got: 7
+            })
+        );
+
+        // a 2^40 delay from hand-edited JSON: building the big-round table
+        // would exhaust memory, so validate must reject it up front
+        let mut bad = good.clone();
+        bad.units[0].delay[3] = 1 << 40;
+        assert_eq!(bad.validate(&p), Err(PlanError::Oversized { unit: 0 }));
+        // ... and near-u64 values must not overflow the check itself
+        let mut bad = good.clone();
+        bad.units[0].delay[0] = u64::MAX - 1;
+        bad.units[0].stride = u64::MAX / 2;
+        assert_eq!(bad.validate(&p), Err(PlanError::Oversized { unit: 0 }));
+    }
+
+    #[test]
+    fn malformed_json_plan_is_rejected_before_execution() {
+        let g = generators::path(6);
+        let p = mixed_problem(&g);
+        let mut plan = UniformScheduler::default().plan(&p, 3).unwrap();
+        plan.units[0].delay[2] = 1 << 50;
+        let revived = SchedulePlan::from_json(&plan.to_json()).unwrap();
+        let err = execute_plan(&p, &revived).unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::InvalidPlan(PlanError::Oversized { unit: 0 })
+        ));
+        assert!(err.to_string().contains("invalid plan"));
+    }
+
+    #[test]
+    fn sharded_execution_matches_staged_for_every_scheduler() {
+        let g = generators::grid(3, 4);
+        // snake route: consecutive hops are grid edges
+        let route: Vec<NodeId> = (0..3u32)
+            .flat_map(|row| {
+                let cols: Vec<u32> = if row.is_multiple_of(2) {
+                    (0..4).collect()
+                } else {
+                    (0..4).rev().collect()
+                };
+                cols.into_iter().map(move |c| NodeId(row * 4 + c))
+            })
+            .collect();
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = vec![
+            Box::new(RelayChain::along(0, &g, route.clone())),
+            Box::new(RelayChain::along(1, &g, route)),
+            Box::new(FloodBall::new(2, &g, NodeId(0), 4)),
+        ];
+        let p = DasProblem::new(&g, algos, 17);
+        for sched in all_schedulers() {
+            let plan = sched.plan(&p, 11).unwrap();
+            let fused = execute_plan(&p, &plan).unwrap();
+            for shards in [1, 2, 5] {
+                let (sharded, report) = execute_plan_sharded(&p, &plan, shards).unwrap();
+                assert_eq!(
+                    format!("{fused:?}"),
+                    format!("{sharded:?}"),
+                    "{} with {shards} shards",
+                    sched.name()
+                );
+                assert_eq!(report.shards, shards.min(g.node_count()));
+            }
+        }
+    }
+
+    #[test]
+    fn round_cap_surfaces_through_execute_plan_with() {
+        let g = generators::path(8);
+        let p = mixed_problem(&g);
+        let plan = SequentialScheduler.plan(&p, 0).unwrap();
+        let config = ExecutorConfig {
+            max_engine_rounds: 2,
+            ..ExecutorConfig::default()
+        }
+        .with_phase_len(plan.phase_len);
+        let err = execute_plan_with(&p, &plan, &config).unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::Exec(ExecError::RoundCapExceeded { cap: 2, .. })
+        ));
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub use uniform::{
     prime_range_overhead, uniform_length_bound, TunedUniformScheduler, UniformScheduler,
 };
 
-use crate::plan::{execute_plan, SchedulePlan};
+use crate::plan::{execute_plan, SchedError, SchedulePlan};
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
@@ -58,9 +58,10 @@ pub trait Scheduler: Send + Sync {
     /// [`crate::plan::execute_plan`].
     ///
     /// # Errors
-    /// Propagates a [`ReferenceError`] from planning.
-    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, ReferenceError> {
+    /// Propagates a [`SchedError`]: a [`ReferenceError`] from planning, or
+    /// an execution failure (e.g. the engine-round cap).
+    fn run(&self, problem: &DasProblem<'_>) -> Result<ScheduleOutcome, SchedError> {
         let plan = self.plan(problem, self.default_sched_seed())?;
-        Ok(execute_plan(problem, &plan))
+        execute_plan(problem, &plan)
     }
 }

@@ -65,6 +65,12 @@ pub struct PrivateScheduler {
     pub phase_factor: f64,
     /// First-block-size multiplier: `L = ⌈block_factor · C / ln n⌉`.
     pub block_factor: f64,
+    /// Exact first-block size in big-rounds, overriding the
+    /// `block_factor`-derived sizing when set (the `UniformWide` ablation
+    /// law scales it by the layer count, keeping the laws' relative spans).
+    /// [`crate::doubling`] uses this to double the span in exact integer
+    /// steps instead of going through a lossy float factor.
+    pub block_override: Option<u64>,
     /// Override the number of clustering layers (default `⌈3 log₂ n⌉`).
     pub layers: Option<usize>,
     /// Run the honest distributed pre-computation protocols on the CONGEST
@@ -82,6 +88,7 @@ impl Default for PrivateScheduler {
             seed: 0x9417A7E,
             phase_factor: 2.0,
             block_factor: 1.0,
+            block_override: None,
             layers: None,
             distributed_precompute: false,
             delay_law: PrivateDelayLaw::BlockDecay,
@@ -175,9 +182,11 @@ impl Scheduler for PrivateScheduler {
         let num_layers = clustering.layers().len();
         let law: Box<dyn DelayLaw> = match self.delay_law {
             PrivateDelayLaw::BlockDecay => {
-                let block_l = ((self.block_factor * params.congestion as f64) / ln_n)
-                    .ceil()
-                    .max(1.0) as u64;
+                let block_l = self.block_override.unwrap_or_else(|| {
+                    ((self.block_factor * params.congestion as f64) / ln_n)
+                        .ceil()
+                        .max(1.0) as u64
+                });
                 let beta = num_layers.max(2);
                 let alpha = (1.0 - 1.0 / beta as f64)
                     .powi(num_layers as i32)
@@ -189,10 +198,13 @@ impl Scheduler for PrivateScheduler {
                 // per-layer draws keeps per-big-round loads at O(log n):
                 // range = C·(#layers)/ln n big-rounds, i.e. the simple
                 // solution's Θ(C log n) span
-                let range = ((self.block_factor * params.congestion as f64 * num_layers as f64)
-                    / ln_n)
-                    .ceil()
-                    .max(1.0) as u64;
+                let range = match self.block_override {
+                    Some(block) => block.saturating_mul(num_layers as u64).max(1),
+                    None => ((self.block_factor * params.congestion as f64 * num_layers as f64)
+                        / ln_n)
+                        .ceil()
+                        .max(1.0) as u64,
+                };
                 Box::new(das_prg::Uniform::new(range))
             }
         };

@@ -34,6 +34,11 @@ pub struct UniformScheduler {
     pub phase_factor: f64,
     /// Delay range multiplier: range `= ⌈range_factor · C / ln n⌉` phases.
     pub range_factor: f64,
+    /// Exact delay range in big-rounds, overriding the
+    /// `range_factor`-derived sizing when set. [`crate::doubling`] uses
+    /// this to double the range in exact integer steps instead of going
+    /// through a lossy float factor.
+    pub delay_range: Option<u64>,
 }
 
 impl Default for UniformScheduler {
@@ -42,6 +47,7 @@ impl Default for UniformScheduler {
             shared_seed: 0xDA5C0DE,
             phase_factor: 3.0,
             range_factor: 1.0,
+            delay_range: None,
         }
     }
 }
@@ -91,9 +97,11 @@ impl Scheduler for UniformScheduler {
         let n = problem.graph().node_count();
         let ln_n = (n.max(2) as f64).ln();
         let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
-        let range = ((self.range_factor * params.congestion as f64) / ln_n)
-            .ceil()
-            .max(1.0) as u64;
+        let range = self.delay_range.unwrap_or_else(|| {
+            ((self.range_factor * params.congestion as f64) / ln_n)
+                .ceil()
+                .max(1.0) as u64
+        });
         let law = Uniform::prime_at_least(range);
         let gen = kwise_from_shared(sched_seed, n, law.range());
         let units = delayed_units(problem, &gen, &law);
@@ -284,7 +292,7 @@ mod tests {
         let sched = UniformScheduler::default().with_seed(99);
         assert_eq!(sched.default_sched_seed(), 99);
         let via_run = sched.run(&p).unwrap();
-        let via_plan = crate::plan::execute_plan(&p, &sched.plan(&p, 99).unwrap());
+        let via_plan = crate::plan::execute_plan(&p, &sched.plan(&p, 99).unwrap()).unwrap();
         assert_eq!(via_run.outputs, via_plan.outputs);
         assert_eq!(via_run.stats, via_plan.stats);
     }

@@ -93,7 +93,8 @@ mod tests {
             &[p.algo_seed(0), p.algo_seed(1)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         let report = against_references(&p, &outcome).unwrap();
         assert!(report.all_correct());
         assert_eq!(report.correctness_rate(), 1.0);
@@ -117,7 +118,8 @@ mod tests {
             &[p.algo_seed(0), p.algo_seed(1)],
             &units,
             &ExecutorConfig::default(),
-        );
+        )
+        .unwrap();
         let report = against_references(&p, &outcome).unwrap();
         assert!(!report.all_correct());
         assert!(report.total_mismatches() > 0);

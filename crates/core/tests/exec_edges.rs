@@ -20,7 +20,8 @@ fn single_message_algorithm_executes() {
         &[p.algo_seed(0)],
         &units,
         &ExecutorConfig::default(),
-    );
+    )
+    .unwrap();
     assert_eq!(outcome.stats.delivered, 1);
     assert_eq!(outcome.stats.late_messages, 0);
     assert_eq!(outcome.outputs[0], p.references().unwrap()[0].outputs);
@@ -42,7 +43,8 @@ fn fully_truncated_unit_executes_nothing() {
         &[p.algo_seed(0)],
         &units,
         &ExecutorConfig::default(),
-    );
+    )
+    .unwrap();
     assert_eq!(outcome.stats.delivered, 0);
     // machines never stepped: outputs are the initial states, not the
     // reference — visible, not silent
@@ -80,7 +82,8 @@ fn huge_phase_len_still_counts_rounds_correctly() {
         &[p.algo_seed(0)],
         &units,
         &ExecutorConfig::default().with_phase_len(100),
-    );
+    )
+    .unwrap();
     // 2 algo rounds * 100 rounds per big-round
     assert_eq!(outcome.schedule_rounds(), 200);
     assert_eq!(outcome.stats.phase_len, 100);
@@ -97,6 +100,7 @@ fn departures_can_be_disabled() {
         &[p.algo_seed(0)],
         &units,
         &ExecutorConfig::default().with_record_departures(false),
-    );
+    )
+    .unwrap();
     assert!(outcome.departures.is_none());
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! dasched run        --graph grid:8x8 --workload mixed:18 --scheduler private [--seed 42]
 //! dasched plan       --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7] [--out plan.json]
+//!                    [--in plan.json] [--execute] [--shards N] [--dump-outcome FILE]
 //! dasched compare    --graph path:100 --workload segments:32:14 [--seed 42]
 //! dasched carve      --graph grid:10x10 --dilation 3 [--layers 20] [--seed 42]
 //! dasched lowerbound --layers 6 --eta 64 --k 32 --p 0.12 [--seed 42]
@@ -22,8 +23,9 @@ use dasched::cluster::{quality, CarveConfig, Clustering};
 use dasched::core::plan::analysis as plan_analysis;
 use dasched::core::synthetic::{FloodBall, RelayChain};
 use dasched::core::{
-    verify, BlackBoxAlgorithm, DasProblem, InterleaveScheduler, PrivateScheduler, Scheduler,
-    SequentialScheduler, TunedUniformScheduler, UniformScheduler,
+    execute_plan, execute_plan_sharded, verify, BlackBoxAlgorithm, DasProblem, InterleaveScheduler,
+    PrivateScheduler, SchedulePlan, Scheduler, SequentialScheduler, TunedUniformScheduler,
+    UniformScheduler,
 };
 use dasched::graph::{generators, Graph, NodeId};
 use dasched::lowerbound::{analysis, search, HardInstance, HardInstanceParams};
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   dasched run        --graph SPEC --workload SPEC --scheduler NAME [--seed N]
   dasched plan       --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N] [--out FILE]
+                     [--in FILE] [--execute] [--shards N] [--dump-outcome FILE]
   dasched compare    --graph SPEC --workload SPEC [--seed N]
   dasched carve      --graph SPEC --dilation D [--layers L] [--seed N]
   dasched lowerbound --layers L --eta E --k K --p P [--seed N]
@@ -74,6 +77,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
 // ---------------------------------------------------------------- parsing
 
+/// Flags that take no value (present = set).
+const BOOLEAN_FLAGS: &[&str] = &["execute"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
@@ -81,6 +87,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        if BOOLEAN_FLAGS.contains(&name) {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -256,12 +266,25 @@ fn cmd_run(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
 fn cmd_plan(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     let g = parse_graph(req(opts, "graph")?, seed)?;
     let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
-    let sched = parse_scheduler(req(opts, "scheduler")?)?;
     let problem = DasProblem::new(&g, algos, seed);
-    let sched_seed = opt_u64(opts, "sched-seed")?.unwrap_or_else(|| sched.default_sched_seed());
-    let plan = sched
-        .plan(&problem, sched_seed)
-        .map_err(|e| e.to_string())?;
+    let plan = match opts.get("in") {
+        Some(path) => {
+            // deserialized plans are untrusted: validate before executing
+            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let plan = SchedulePlan::from_json(&json).map_err(|e| e.to_string())?;
+            plan.validate(&problem).map_err(|e| e.to_string())?;
+            println!("loaded plan from {path}");
+            plan
+        }
+        None => {
+            let sched = parse_scheduler(req(opts, "scheduler")?)?;
+            let sched_seed =
+                opt_u64(opts, "sched-seed")?.unwrap_or_else(|| sched.default_sched_seed());
+            sched
+                .plan(&problem, sched_seed)
+                .map_err(|e| e.to_string())?
+        }
+    };
     println!("{}", describe(&problem)?);
     println!(
         "plan: scheduler={} sched_seed={} phase_len={} units={} precompute={} predicted={} rounds",
@@ -285,12 +308,73 @@ fn cmd_plan(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
             "infeasible"
         }
     );
+    if opts.contains_key("execute") {
+        execute_planned(opts, &problem, &plan)?;
+    }
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, plan.to_json()).map_err(|e| e.to_string())?;
             println!("wrote plan JSON to {path}");
         }
         None => println!("{}", plan.to_json()),
+    }
+    Ok(())
+}
+
+/// The `plan --execute` tail: run the plan (sharded when `--shards N > 1`,
+/// with a fused-identity check and per-shard report), verify, and honor
+/// `--dump-outcome`.
+fn execute_planned(
+    opts: &HashMap<String, String>,
+    problem: &DasProblem<'_>,
+    plan: &dasched::core::SchedulePlan,
+) -> Result<(), String> {
+    let shards = opt_u64(opts, "shards")?.unwrap_or(1) as usize;
+    let t0 = std::time::Instant::now();
+    let fused = execute_plan(problem, plan).map_err(|e| e.to_string())?;
+    let fused_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let outcome = if shards > 1 {
+        let t1 = std::time::Instant::now();
+        let (sharded, report) =
+            execute_plan_sharded(problem, plan, shards).map_err(|e| e.to_string())?;
+        let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "sharded: {} shards, {} cross-shard messages, wall {sharded_ms:.1} ms (fused {fused_ms:.1} ms)",
+            report.shards, report.cross_shard_messages
+        );
+        for s in &report.per_shard {
+            println!(
+                "  shard {}: {} nodes (degree {}), steps {}, delivered {}, cross-sent {}, step {:.1} ms, drain {:.1} ms",
+                s.shard,
+                s.nodes,
+                s.degree,
+                s.steps,
+                s.delivered,
+                s.cross_sent,
+                s.step_nanos as f64 / 1e6,
+                s.drain_nanos as f64 / 1e6
+            );
+        }
+        if format!("{fused:?}") != format!("{sharded:?}") {
+            return Err("sharded outcome diverged from the fused execution".into());
+        }
+        println!("sharded outcome is byte-identical to the fused execution");
+        sharded
+    } else {
+        println!("executed fused in {fused_ms:.1} ms");
+        fused
+    };
+    let rep = verify::against_references(problem, &outcome).map_err(|e| e.to_string())?;
+    println!(
+        "executed: schedule {} rounds, precompute {}, late {}, correct {:.1}%",
+        outcome.schedule_rounds(),
+        outcome.precompute_rounds,
+        outcome.stats.late_messages,
+        rep.correctness_rate() * 100.0
+    );
+    if let Some(path) = opts.get("dump-outcome") {
+        std::fs::write(path, format!("{outcome:?}")).map_err(|e| e.to_string())?;
+        println!("wrote outcome debug dump to {path}");
     }
     Ok(())
 }
@@ -412,6 +496,14 @@ mod tests {
         assert_eq!(opt_u64(&opts, "nope").unwrap(), None);
         assert!(parse_flags(&["--x".to_string()]).is_err());
         assert!(parse_flags(&["y".to_string()]).is_err());
+        // --execute is boolean: it consumes no value
+        let args: Vec<String> = ["--execute", "--shards", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_flags(&args).unwrap();
+        assert_eq!(opts["execute"], "true");
+        assert_eq!(opt_u64(&opts, "shards").unwrap(), Some(3));
     }
 
     #[test]
@@ -496,13 +588,113 @@ mod tests {
         let g = parse_graph("path:16", 42).unwrap();
         let algos = parse_workload("relays:3", &g, 42).unwrap();
         let problem = DasProblem::new(&g, algos, 42);
-        let replayed = execute_plan(&problem, &plan);
+        let replayed = execute_plan(&problem, &plan).unwrap();
         let fused = UniformScheduler::default()
             .with_seed(9)
             .run(&problem)
             .unwrap();
         assert_eq!(format!("{replayed:?}"), format!("{fused:?}"));
         std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn plan_execute_sharded_round_trips_through_files() {
+        let dir = std::env::temp_dir().join("dasched_sharded_plan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan_file = dir.join("plan.json");
+        let fused_dump = dir.join("fused.txt");
+        let sharded_dump = dir.join("sharded.txt");
+
+        // plan + execute fused (shards 1), dumping plan and outcome
+        let base = [
+            "plan",
+            "--graph",
+            "path:14",
+            "--workload",
+            "relays:4",
+            "--scheduler",
+            "uniform",
+            "--sched-seed",
+            "5",
+        ];
+        let args: Vec<String> = base
+            .iter()
+            .copied()
+            .chain([
+                "--execute",
+                "--out",
+                plan_file.to_str().unwrap(),
+                "--dump-outcome",
+                fused_dump.to_str().unwrap(),
+            ])
+            .map(|s| s.to_string())
+            .collect();
+        run(&args).unwrap();
+
+        // re-load the plan with --in and execute on 3 shards
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "path:14",
+            "--workload",
+            "relays:4",
+            "--in",
+            plan_file.to_str().unwrap(),
+            "--execute",
+            "--shards",
+            "3",
+            "--dump-outcome",
+            sharded_dump.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+
+        let fused = std::fs::read_to_string(&fused_dump).unwrap();
+        let sharded = std::fs::read_to_string(&sharded_dump).unwrap();
+        assert_eq!(fused, sharded, "sharded dump must match the fused dump");
+        for f in [plan_file, fused_dump, sharded_dump] {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn malformed_plan_file_is_rejected() {
+        let dir = std::env::temp_dir().join("dasched_bad_plan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan_file = dir.join("bad_plan.json");
+        // a plan for a 5-node path cannot execute on a 14-node path
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "path:5",
+            "--workload",
+            "relays:2",
+            "--scheduler",
+            "sequential",
+            "--out",
+            plan_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "path:14",
+            "--workload",
+            "relays:2",
+            "--in",
+            plan_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("delay vector"), "got: {err}");
+        std::fs::remove_file(plan_file).unwrap();
     }
 
     #[test]

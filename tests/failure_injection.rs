@@ -29,7 +29,8 @@ fn zero_delays_collide_and_are_detected() {
         &seeds,
         &units,
         &ExecutorConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(outcome.stats.late_messages > 0);
     let report = verify::against_references(&p, &outcome).unwrap();
     assert!(!report.all_correct(), "collisions must corrupt outputs");
@@ -44,6 +45,7 @@ fn too_short_phases_degrade_gracefully_and_visibly() {
         shared_seed: 1,
         phase_factor: 0.2,
         range_factor: 0.2,
+        delay_range: None,
     };
     let outcome = starved.run(&p).unwrap();
     let report = verify::against_references(&p, &outcome).unwrap();
@@ -97,7 +99,8 @@ fn late_messages_never_reach_machines() {
         &seeds,
         &units,
         &ExecutorConfig::default(),
-    );
+    )
+    .unwrap();
     let refs = p.references().unwrap();
     let total_expected: u64 = refs.iter().map(|r| r.pattern.message_count() as u64).sum();
     // every reference message was either delivered in time or counted late

@@ -318,6 +318,21 @@ pub mod de {
         }
     }
 
+    /// Extracts and deserializes field `name` of struct `ty`, falling back
+    /// to `T::default()` when the field is absent — the shim's
+    /// `#[serde(default)]`, used for fields added after artifacts of the
+    /// type were already written.
+    pub fn field_or_default<T: Deserialize + Default>(
+        obj: &[(String, Value)],
+        name: &str,
+        _ty: &str,
+    ) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Ok(T::default()),
+        }
+    }
+
     /// Extracts and deserializes element `i` of tuple struct `ty`.
     pub fn elem<T: Deserialize>(items: &[Value], i: usize, ty: &str) -> Result<T, Error> {
         match items.get(i) {

@@ -10,13 +10,21 @@
 //! * unit structs → `null`,
 //! * enums whose variants are all unit variants → the variant name string.
 //!
-//! Generics, data-carrying enum variants, and `#[serde(...)]` attributes are
+//! The only `#[serde(...)]` attribute supported is `#[serde(default)]` on a
+//! named field: a missing field deserializes to `Default::default()` (for
+//! fields added after artifacts of the type were written). Generics,
+//! data-carrying enum variants, and any other `#[serde(...)]` attribute are
 //! rejected with a compile-time panic so a mismatch is loud, not silent.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
     UnitEnum(Vec<String>),
@@ -28,7 +36,7 @@ struct Input {
 }
 
 /// Derives the shim's `serde::Serialize` for a supported type.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse(input);
     let name = &input.name;
@@ -36,7 +44,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Named(fields) => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| {
+                .map(|Field { name: f, .. }| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -75,7 +83,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the shim's `serde::Deserialize` for a supported type.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse(input);
     let name = &input.name;
@@ -83,7 +91,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Named(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de::field(__obj, \"{f}\", \"{name}\")?"))
+                .map(|Field { name: f, default }| {
+                    let getter = if *default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!("{f}: ::serde::de::{getter}(__obj, \"{f}\", \"{name}\")?")
+                })
                 .collect();
             format!(
                 "let __obj = ::serde::de::as_object(v, \"{name}\")?;\n\
@@ -226,16 +241,19 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
-fn named_fields(stream: TokenStream) -> Vec<String> {
+fn named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level(stream)
         .into_iter()
         .map(|chunk| {
             let mut iter = chunk.into_iter().peekable();
+            let mut default = false;
             loop {
                 match iter.peek() {
                     Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                         iter.next();
-                        iter.next();
+                        if let Some(TokenTree::Group(g)) = iter.next() {
+                            default |= is_serde_default(&g);
+                        }
                     }
                     Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                         iter.next();
@@ -249,11 +267,40 @@ fn named_fields(stream: TokenStream) -> Vec<String> {
                 }
             }
             match iter.next() {
-                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(TokenTree::Ident(id)) => Field {
+                    name: id.to_string(),
+                    default,
+                },
                 other => panic!("serde shim derive: expected field name, got {other:?}"),
             }
         })
         .collect()
+}
+
+/// Whether an attribute's `[...]` group is exactly `serde(default)`. Any
+/// other `serde(...)` attribute is rejected loudly — the shim would
+/// silently ignore it otherwise.
+fn is_serde_default(attr: &proc_macro::Group) -> bool {
+    let mut iter = attr.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false, // a non-serde attribute (e.g. doc): skip it
+    }
+    match iter.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+            if inner == ["default"] {
+                true
+            } else {
+                panic!(
+                    "serde shim derive: unsupported serde attribute `serde({})`; \
+                     only `serde(default)` is supported",
+                    inner.join("")
+                );
+            }
+        }
+        other => panic!("serde shim derive: malformed serde attribute {other:?}"),
+    }
 }
 
 fn unit_variants(stream: TokenStream) -> Vec<String> {
