@@ -4,34 +4,109 @@
 //! (sharded executor) into the current directory, and printing a
 //! sharded-vs-fused wall-clock comparison.
 //!
-//! Usage: `bench_smoke [trials] [base_seed]` (defaults: 8 trials, seed 42).
+//! Usage: `bench_smoke [trials] [base_seed] [--obs off|metrics|full]
+//! [--dump-outcome FILE]` (defaults: 8 trials, seed 42, obs off).
+//!
+//! `--obs` sets the observability level for the fused trials; their
+//! per-trial [`das_obs::ObsSummary`] is persisted into the BENCH artifact.
+//! `--dump-outcome` writes every fused trial's `ScheduleOutcome` debug
+//! dump to FILE — CI diffs those dumps between `--obs full` and
+//! `--obs off` runs to enforce that recording never perturbs outcomes.
 
-use das_bench::{run_trial, run_trial_sharded, workloads, TrialRunner};
-use das_core::UniformScheduler;
-use das_graph::generators;
+use das_bench::{run_trial_observed, run_trial_sharded, workloads, TrialRunner};
+use das_core::{execute_plan_observed, DasProblem, Scheduler, UniformScheduler};
+use das_obs::ObsConfig;
 use std::path::Path;
 use std::time::Instant;
 
 /// Shard count for the sharded leg of the smoke run.
 const SMOKE_SHARDS: usize = 4;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let trials: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
-    let base_seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
-    if trials == 0 {
-        eprintln!("error: trials must be at least 1 (usage: bench_smoke [trials] [base_seed])");
-        std::process::exit(2);
-    }
+const USAGE: &str = "usage: bench_smoke [trials] [base_seed] \
+                     [--obs off|metrics|full] [--dump-outcome FILE]";
 
-    let g = generators::path(120);
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    trials: u64,
+    base_seed: u64,
+    obs: ObsConfig,
+    dump_outcome: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trials: 8,
+        base_seed: 42,
+        obs: ObsConfig::off(),
+        dump_outcome: None,
+    };
+    let mut positional = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--obs" => {
+                let v = it.next().unwrap_or_else(|| fail("--obs needs a value"));
+                args.obs = ObsConfig::parse(&v)
+                    .unwrap_or_else(|| fail("--obs must be off, metrics, or full"));
+            }
+            "--dump-outcome" => {
+                args.dump_outcome = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--dump-outcome needs a value")),
+                );
+            }
+            other => {
+                let n: u64 = other
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("unexpected argument `{other}`")));
+                match positional {
+                    0 => args.trials = n,
+                    1 => args.base_seed = n,
+                    _ => fail("too many positional arguments"),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if args.trials == 0 {
+        fail("trials must be at least 1");
+    }
+    args
+}
+
+/// Executes every fused trial once more and writes the concatenated
+/// `ScheduleOutcome` debug dumps — the artifact the obs-neutrality CI job
+/// diffs between `--obs full` and `--obs off`.
+fn dump_outcomes(path: &str, runner: &TrialRunner, problem: &DasProblem<'_>, obs: &ObsConfig) {
+    let sched = UniformScheduler::default();
+    let mut dump = String::new();
+    for t in 0..runner.trials() {
+        let seed = runner.trial_seed(t);
+        let plan = sched.plan(problem, seed).expect("workload is model-valid");
+        let (outcome, _) =
+            execute_plan_observed(problem, &plan, obs).expect("smoke trials stay under the cap");
+        dump.push_str(&format!("{outcome:?}\n"));
+    }
+    std::fs::write(path, dump).expect("write outcome dump");
+    println!("wrote outcome dumps to {path}");
+}
+
+fn main() {
+    let args = parse_args();
+
+    let g = das_graph::generators::path(120);
     let problem = workloads::segment_relays(&g, 40, 16, 2, 7);
     problem.parameters().expect("workload is model-valid");
 
-    let runner = TrialRunner::new(base_seed, trials);
+    let runner = TrialRunner::new(args.base_seed, args.trials);
     let fused_clock = Instant::now();
     let agg = runner.aggregate("e01_smoke", "uniform", |seed| {
-        run_trial(&UniformScheduler::default(), &problem, seed)
+        run_trial_observed(&UniformScheduler::default(), &problem, seed, &args.obs).0
     });
     let fused_ms = fused_clock.elapsed().as_secs_f64() * 1e3;
     let path = agg.write(Path::new(".")).expect("write BENCH artifact");
@@ -51,11 +126,26 @@ fn main() {
         predicted.mean,
         predicted.max,
     );
+    if let Some(obs) = agg.records.first().and_then(|r| r.obs.as_ref()) {
+        println!(
+            "obs (trial 0): {} messages, peak round {} ({} msgs), max arc load {}, congestion p95 {}, {} events",
+            obs.messages,
+            obs.peak_round,
+            obs.peak_round_messages,
+            obs.max_arc_load,
+            obs.congestion_p95,
+            obs.events,
+        );
+    }
     assert!(
         agg.mean_correctness > 0.99,
         "smoke run produced wrong outputs (correctness {})",
         agg.mean_correctness
     );
+
+    if let Some(dump) = &args.dump_outcome {
+        dump_outcomes(dump, &runner, &problem, &args.obs);
+    }
 
     // Same trials again through the sharded executor: the schedule-quality
     // numbers must not move (byte-identical outcomes), only wall-clock and

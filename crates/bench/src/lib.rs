@@ -26,9 +26,10 @@ pub use table::Table;
 
 use das_core::verify::{self, VerifyReport};
 use das_core::{
-    execute_plan, execute_plan_sharded, DasProblem, ExecError, SchedError, ScheduleOutcome,
-    SchedulePlan, Scheduler, ShardReport,
+    execute_plan, execute_plan_observed, execute_plan_sharded, DasProblem, ExecError, SchedError,
+    ScheduleOutcome, SchedulePlan, Scheduler, ShardReport,
 };
+use das_obs::{ObsConfig, ObsReport};
 
 /// One measured scheduler run.
 #[derive(Clone, Debug)]
@@ -96,6 +97,7 @@ pub fn record_trial(
         correctness: report.correctness_rate(),
         truncated: false,
         shard: None,
+        obs: None,
     }
 }
 
@@ -121,6 +123,34 @@ pub fn run_trial(
         .expect("workload is model-valid");
     let result = execute_plan(problem, &plan).map(|o| (o, None));
     finish_trial(problem, &plan, sched_seed, result)
+}
+
+/// [`run_trial`] with observability: the execution runs through
+/// [`execute_plan_observed`] at the level `obs` asks for, the record
+/// carries the deterministic [`das_obs::ObsSummary`] (persisted into the
+/// `BENCH_*.json` artifact), and the full [`ObsReport`] is returned for
+/// export. With `obs` off this is exactly [`run_trial`]: the recorded
+/// outcome fields are byte-identical either way.
+///
+/// # Panics
+/// Panics if the workload violates the CONGEST model.
+pub fn run_trial_observed(
+    scheduler: &dyn Scheduler,
+    problem: &DasProblem<'_>,
+    sched_seed: u64,
+    obs: &ObsConfig,
+) -> (TrialRecord, Option<ObsReport>) {
+    let plan = scheduler
+        .plan(problem, sched_seed)
+        .expect("workload is model-valid");
+    match execute_plan_observed(problem, &plan, obs) {
+        Ok((outcome, report)) => {
+            let mut rec = finish_trial(problem, &plan, sched_seed, Ok((outcome, None)));
+            rec.obs = report.as_ref().map(|r| r.summary());
+            (rec, report)
+        }
+        Err(e) => (finish_trial(problem, &plan, sched_seed, Err(e)), None),
+    }
 }
 
 /// [`run_trial`], executed on the sharded executor with `shards` workers.
@@ -170,6 +200,7 @@ fn finish_trial(
             correctness: 0.0,
             truncated: true,
             shard: None,
+            obs: None,
         },
         Err(e) => panic!("trial failed to execute: {e}"),
     }
@@ -249,6 +280,31 @@ mod tests {
             "relays deliver messages"
         );
         assert!(seq.shard.is_none());
+    }
+
+    #[test]
+    fn observed_trial_is_neutral_and_persists_the_summary() {
+        let g = generators::path(12);
+        let p = workloads::stacked_relays(&g, 6, 1);
+        let plain = run_trial(&UniformScheduler::default(), &p, 13);
+        let (off, off_report) =
+            run_trial_observed(&UniformScheduler::default(), &p, 13, &ObsConfig::off());
+        assert!(off_report.is_none());
+        assert_eq!(plain, off, "obs-off trials are exactly unobserved trials");
+        let (full, full_report) =
+            run_trial_observed(&UniformScheduler::default(), &p, 13, &ObsConfig::full());
+        // outcome fields never move; only the obs summary is added
+        assert_eq!(plain.schedule, full.schedule);
+        assert_eq!(plain.late, full.late);
+        assert_eq!(plain.correctness, full.correctness);
+        match full_report {
+            Some(r) => {
+                let summary = full.obs.expect("recording enabled");
+                assert_eq!(summary, r.summary());
+                assert!(summary.messages > 0, "relays deliver messages");
+            }
+            None => assert!(full.obs.is_none(), "recording compiled out"),
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! assert_eq!(lengths, TrialRunner::new(42, 8).run_trials(|seed| seed % 10));
 //! ```
 
+use das_obs::ObsSummary;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -121,6 +122,12 @@ pub struct TrialRecord {
     /// outcome itself is byte-identical to the sequential path.
     #[serde(default)]
     pub shard: Option<ShardSummary>,
+    /// Per-trial observability summary, when the trial ran with recording
+    /// enabled. All fields are deterministic integers on the big-round
+    /// clock, so artifacts stay byte-identical across thread counts.
+    /// Absent in older artifacts and in unobserved trials.
+    #[serde(default)]
+    pub obs: Option<ObsSummary>,
 }
 
 impl TrialRecord {
@@ -305,6 +312,7 @@ mod tests {
             correctness: 1.0,
             truncated: false,
             shard: None,
+            obs: None,
         }
     }
 
@@ -366,7 +374,37 @@ mod tests {
         let r: TrialRecord = serde_json::from_str(json).unwrap();
         assert!(!r.truncated);
         assert!(r.shard.is_none());
+        assert!(r.obs.is_none());
         assert!(r.success());
+    }
+
+    #[test]
+    fn pre_obs_artifacts_still_deserialize() {
+        // a record written before the obs field existed, including the
+        // shard block — exactly the shape of older sharded BENCH artifacts
+        let json = r#"{"seed":3,"schedule":12,"predicted":12,"precompute":0,"late":0,
+            "correctness":1.0,"truncated":false,
+            "shard":{"shards":2,"cross_shard_messages":4,
+                     "per_shard_ms":[0.5,0.5],"per_shard_delivered":[3,3]}}"#;
+        let r: TrialRecord = serde_json::from_str(json).unwrap();
+        assert!(r.obs.is_none());
+        assert_eq!(r.shard.as_ref().map(|s| s.shards), Some(2));
+        assert!(r.success());
+    }
+
+    #[test]
+    fn obs_summary_roundtrips_in_records() {
+        let mut rec = record(1, 10, 0);
+        rec.obs = Some(ObsSummary {
+            messages: 40,
+            peak_round: 2,
+            ..ObsSummary::default()
+        });
+        let agg = TrialAggregate::from_records("t", "s", 0, vec![rec]);
+        let json = agg.to_json();
+        let back: TrialAggregate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, agg);
+        assert_eq!(back.records[0].obs.as_ref().map(|o| o.messages), Some(40));
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Execution traces: human-readable summaries of a recording, for
 //! debugging protocols and eyeballing load shapes.
+//!
+//! [`TraceSummary`] is a thin view over [`das_obs::LoadProfile`]: the
+//! recording's per-round and per-edge counts are folded into a profile
+//! and the peak/top-K/sparkline logic lives in `das-obs`, shared with the
+//! scheduler-level hot-spot reports.
 
 use crate::recorder::Recording;
+use das_obs::LoadProfile;
 use std::fmt::Write as _;
 
 /// Summary statistics of a run derived from its [`Recording`].
@@ -10,48 +16,39 @@ pub struct TraceSummary {
     /// Messages per round.
     pub per_round: Vec<u64>,
     /// The busiest round (index, message count), if any message was sent.
+    /// Ties resolve to the earliest such round; an all-zero recording (or
+    /// an empty one) has no peak.
     pub peak: Option<(usize, u64)>,
     /// Edges ranked by total load, heaviest first: `(edge index, load)`.
+    /// Unloaded edges are never listed, so this can be shorter than `top`.
     pub heaviest_edges: Vec<(usize, u64)>,
 }
 
 impl TraceSummary {
-    /// Builds the summary, keeping the `top` heaviest edges.
+    /// Builds the summary, keeping the `top` heaviest edges (`top = 0`
+    /// keeps none).
     pub fn new(rec: &Recording, top: usize) -> Self {
         let per_round: Vec<u64> = rec
             .round_records()
             .iter()
             .map(|r| r.arcs.len() as u64)
             .collect();
-        let peak = per_round
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .filter(|&(_, &c)| c > 0)
-            .map(|(i, &c)| (i, c));
-        let mut loads: Vec<(usize, u64)> = rec
-            .edge_loads()
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, l)| l > 0)
-            .collect();
-        loads.sort_by_key(|&(e, l)| (std::cmp::Reverse(l), e));
-        loads.truncate(top);
+        let profile = LoadProfile::from_parts(per_round, rec.edge_loads());
+        Self::from_profile(&profile, top)
+    }
+
+    /// Builds the summary from an already-assembled load profile.
+    pub fn from_profile(profile: &LoadProfile, top: usize) -> Self {
         TraceSummary {
-            per_round,
-            peak,
-            heaviest_edges: loads,
+            per_round: profile.per_round.clone(),
+            peak: profile.peak_round(),
+            heaviest_edges: profile.top_edges(top),
         }
     }
 
     /// Renders a one-line unicode sparkline of per-round message counts.
     pub fn sparkline(&self) -> String {
-        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-        let max = self.per_round.iter().copied().max().unwrap_or(0).max(1);
-        self.per_round
-            .iter()
-            .map(|&c| BARS[((c * 7) / max) as usize])
-            .collect()
+        das_obs::sparkline(&self.per_round)
     }
 
     /// Renders a multi-line report.
@@ -132,5 +129,45 @@ mod tests {
         assert!(s.peak.is_none());
         assert!(s.heaviest_edges.is_empty());
         assert_eq!(s.sparkline(), "");
+    }
+
+    #[test]
+    fn all_zero_recording_has_no_peak() {
+        // rounds happened but nothing was sent: `peak` must be None, not
+        // `Some((_, 0))`, and the render must not claim a peak
+        let rec = Recording::new(
+            2,
+            vec![RoundRecord { arcs: vec![] }, RoundRecord { arcs: vec![] }],
+        );
+        let s = TraceSummary::new(&rec, 5);
+        assert_eq!(s.per_round, vec![0, 0]);
+        assert_eq!(s.peak, None);
+        assert!(s.heaviest_edges.is_empty());
+        assert!(!s.render().contains("peak:"));
+    }
+
+    #[test]
+    fn top_zero_keeps_no_edges() {
+        let s = TraceSummary::new(&sample(), 0);
+        assert!(s.heaviest_edges.is_empty());
+        // the rest of the summary is unaffected
+        assert_eq!(s.peak, Some((2, 3)));
+    }
+
+    #[test]
+    fn peak_tie_resolves_to_earliest_round() {
+        let rec = Recording::new(
+            2,
+            vec![
+                RoundRecord {
+                    arcs: vec![arc(0), arc(1)],
+                },
+                RoundRecord {
+                    arcs: vec![arc(0), arc(1)],
+                },
+            ],
+        );
+        let s = TraceSummary::new(&rec, 5);
+        assert_eq!(s.peak, Some((0, 2)));
     }
 }

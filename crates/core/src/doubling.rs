@@ -26,11 +26,12 @@
 //! are unchanged: every rejected guess still pays its predicted schedule
 //! length plus the detection convergecast.
 
-use crate::plan::{analysis, execute_plan, SchedError};
+use crate::plan::{analysis, execute_plan_observed, SchedError};
 use crate::problem::DasProblem;
 use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 use crate::{InterleaveScheduler, PrivateScheduler, UniformScheduler};
+use das_obs::{ObsConfig, ObsReport, Stage, TraceEvent};
 
 /// The outcome of a doubling search.
 #[derive(Debug)]
@@ -62,6 +63,63 @@ pub struct DoublingOutcome {
 /// sizing's first attempt exactly.
 const INITIAL_RANGE: u64 = 2;
 
+/// Records one doubling attempt into the report: accept/reject counters
+/// with the reason, plus (in full mode) a `Plan`-track span whose
+/// deterministic timestamp is the rounds already burnt by earlier failed
+/// attempts and whose duration is the attempt's charged cost.
+fn record_attempt(
+    report: &mut Option<ObsReport>,
+    obs: &ObsConfig,
+    attempt: u32,
+    delay_span: u64,
+    guess: u64,
+    prediction: &analysis::LoadPrediction,
+    wasted_before: u64,
+) {
+    let Some(r) = report.as_mut() else { return };
+    r.metrics.inc("doubling.attempts", 1);
+    let name = if prediction.feasible() {
+        r.metrics.inc("doubling.accepted", 1);
+        "attempt accepted"
+    } else {
+        r.metrics.inc("doubling.rejected_precheck", 1);
+        "attempt rejected: predicted late"
+    };
+    if obs.events_enabled() {
+        r.push_event(
+            TraceEvent::span(
+                Stage::Plan,
+                0,
+                name,
+                wasted_before,
+                prediction.predicted_engine_rounds,
+            )
+            .arg("attempt", u64::from(attempt))
+            .arg("delay_span", delay_span)
+            .arg("congestion_guess", guess)
+            .arg("predicted_late", prediction.predicted_late),
+        );
+    }
+}
+
+/// Folds the final execution's recording and the search totals into the
+/// report once the search terminates.
+fn finish_report(
+    report: &mut Option<ObsReport>,
+    exec_report: Option<ObsReport>,
+    wasted: u64,
+    fell_back: bool,
+) {
+    let Some(r) = report.as_mut() else { return };
+    if let Some(er) = exec_report {
+        r.merge(&er);
+    }
+    r.metrics.inc("doubling.wasted_rounds", wasted);
+    if fell_back {
+        r.metrics.inc("doubling.fallback", 1);
+    }
+}
+
 /// Runs the Theorem 1.1 scheduler without knowing `congestion`: doubles an
 /// integer delay range until the planned schedule has no (predicted, hence
 /// actual) late messages. Gives up (falling back to the always-correct
@@ -74,6 +132,22 @@ pub fn uniform_with_doubling(
     problem: &DasProblem<'_>,
     base: &UniformScheduler,
 ) -> Result<DoublingOutcome, SchedError> {
+    uniform_with_doubling_observed(problem, base, &ObsConfig::off()).map(|(o, _)| o)
+}
+
+/// [`uniform_with_doubling`] with observability: additionally returns an
+/// [`ObsReport`] (when recording is enabled) carrying
+/// `doubling.*` accept/reject counters, one `Plan`-track span per attempt
+/// clocked on the cumulative charged rounds, and the final execution's
+/// recording.
+///
+/// # Errors
+/// Propagates a [`SchedError`] from planning or the final execution.
+pub fn uniform_with_doubling_observed(
+    problem: &DasProblem<'_>,
+    base: &UniformScheduler,
+    obs: &ObsConfig,
+) -> Result<(DoublingOutcome, Option<ObsReport>), SchedError> {
     let k = problem.k() as u64;
     let dilation = problem.dilation() as u64;
     let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
@@ -83,6 +157,7 @@ pub fn uniform_with_doubling(
     let mut rejected = 0u32;
     let mut wasted = 0u64;
     let mut attempted_ranges = Vec::new();
+    let mut report = obs.enabled().then(ObsReport::new);
     loop {
         attempts += 1;
         // Sizing the scheduler for the guess: the delay range (in
@@ -90,38 +165,50 @@ pub fn uniform_with_doubling(
         // engine rounds of spread for a budget of that many messages.
         let mut sched = base.clone();
         sched.delay_range = Some(range);
-        attempted_ranges.push(das_prg::primes::next_prime(range));
+        let span = das_prg::primes::next_prime(range);
+        attempted_ranges.push(span);
         let guess = implied_congestion(range, ln_n);
         let plan = sched.plan(problem, sched.default_sched_seed())?;
         let prediction = analysis::predict(problem, &plan)?;
+        record_attempt(&mut report, obs, attempts, span, guess, &prediction, wasted);
         if prediction.feasible() {
-            let mut outcome = execute_plan(problem, &plan)?;
+            let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds += wasted;
-            return Ok(DoublingOutcome {
-                outcome,
-                final_guess: guess,
-                attempts,
-                rejected_by_precheck: rejected,
-                wasted_rounds: wasted,
-                attempted_ranges,
-            });
+            finish_report(&mut report, exec_report, wasted, false);
+            return Ok((
+                DoublingOutcome {
+                    outcome,
+                    final_guess: guess,
+                    attempts,
+                    rejected_by_precheck: rejected,
+                    wasted_rounds: wasted,
+                    attempted_ranges,
+                },
+                report,
+            ));
         }
         // rejected on the plan alone; charge what the failed attempt
         // would have cost
         rejected += 1;
         wasted += prediction.predicted_engine_rounds + detection_cost(problem);
         if guess > cap {
-            let mut outcome = InterleaveScheduler.run(problem)?;
+            let fallback = InterleaveScheduler;
+            let plan = fallback.plan(problem, fallback.default_sched_seed())?;
+            let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             outcome.precompute_rounds += wasted;
-            return Ok(DoublingOutcome {
-                outcome,
-                final_guess: guess,
-                attempts,
-                rejected_by_precheck: rejected,
-                wasted_rounds: wasted,
-                attempted_ranges,
-            });
+            finish_report(&mut report, exec_report, wasted, true);
+            return Ok((
+                DoublingOutcome {
+                    outcome,
+                    final_guess: guess,
+                    attempts,
+                    rejected_by_precheck: rejected,
+                    wasted_rounds: wasted,
+                    attempted_ranges,
+                },
+                report,
+            ));
         }
         range *= 2;
     }
@@ -139,6 +226,19 @@ pub fn private_with_doubling(
     problem: &DasProblem<'_>,
     base: &PrivateScheduler,
 ) -> Result<DoublingOutcome, SchedError> {
+    private_with_doubling_observed(problem, base, &ObsConfig::off()).map(|(o, _)| o)
+}
+
+/// [`private_with_doubling`] with observability — same recording contract
+/// as [`uniform_with_doubling_observed`].
+///
+/// # Errors
+/// Propagates a [`SchedError`] from planning or the final execution.
+pub fn private_with_doubling_observed(
+    problem: &DasProblem<'_>,
+    base: &PrivateScheduler,
+    obs: &ObsConfig,
+) -> Result<(DoublingOutcome, Option<ObsReport>), SchedError> {
     let k = problem.k() as u64;
     let dilation = problem.dilation() as u64;
     let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
@@ -149,6 +249,7 @@ pub fn private_with_doubling(
     let mut wasted = 0u64;
     let mut attempted_ranges = Vec::new();
     let mut precompute_once: Option<u64> = None;
+    let mut report = obs.enabled().then(ObsReport::new);
     loop {
         attempts += 1;
         let mut sched = base.clone();
@@ -160,32 +261,51 @@ pub fn private_with_doubling(
         // once across attempts
         let pre = *precompute_once.get_or_insert(plan.precompute_rounds);
         let prediction = analysis::predict(problem, &plan)?;
+        record_attempt(
+            &mut report,
+            obs,
+            attempts,
+            block,
+            guess,
+            &prediction,
+            wasted,
+        );
         if prediction.feasible() {
-            let mut outcome = execute_plan(problem, &plan)?;
+            let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds = pre + wasted;
-            return Ok(DoublingOutcome {
-                outcome,
-                final_guess: guess,
-                attempts,
-                rejected_by_precheck: rejected,
-                wasted_rounds: wasted,
-                attempted_ranges,
-            });
+            finish_report(&mut report, exec_report, wasted, false);
+            return Ok((
+                DoublingOutcome {
+                    outcome,
+                    final_guess: guess,
+                    attempts,
+                    rejected_by_precheck: rejected,
+                    wasted_rounds: wasted,
+                    attempted_ranges,
+                },
+                report,
+            ));
         }
         rejected += 1;
         wasted += prediction.predicted_engine_rounds + detection_cost(problem);
         if guess > cap {
-            let mut fallback = InterleaveScheduler.run(problem)?;
+            let fb = InterleaveScheduler;
+            let plan = fb.plan(problem, fb.default_sched_seed())?;
+            let (mut fallback, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             fallback.precompute_rounds = pre + wasted;
-            return Ok(DoublingOutcome {
-                outcome: fallback,
-                final_guess: guess,
-                attempts,
-                rejected_by_precheck: rejected,
-                wasted_rounds: wasted,
-                attempted_ranges,
-            });
+            finish_report(&mut report, exec_report, wasted, true);
+            return Ok((
+                DoublingOutcome {
+                    outcome: fallback,
+                    final_guess: guess,
+                    attempts,
+                    rejected_by_precheck: rejected,
+                    wasted_rounds: wasted,
+                    attempted_ranges,
+                },
+                report,
+            ));
         }
         block *= 2;
     }
@@ -280,6 +400,48 @@ mod tests {
             "wasted {} vs final {final_len}",
             result.wasted_rounds
         );
+    }
+
+    #[test]
+    fn observed_doubling_matches_and_records_attempts() {
+        let g = generators::path(12);
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..16)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 3);
+        let plain = uniform_with_doubling(&p, &UniformScheduler::default()).unwrap();
+        let (observed, report) =
+            uniform_with_doubling_observed(&p, &UniformScheduler::default(), &ObsConfig::full())
+                .unwrap();
+        assert_eq!(
+            format!("{:?}", plain.outcome),
+            format!("{:?}", observed.outcome),
+            "recording must not perturb the doubling search"
+        );
+        let Some(r) = report else {
+            return; // recording compiled out
+        };
+        assert_eq!(
+            r.metrics.counter("doubling.attempts"),
+            u64::from(observed.attempts)
+        );
+        assert_eq!(
+            r.metrics.counter("doubling.rejected_precheck"),
+            u64::from(observed.rejected_by_precheck)
+        );
+        assert_eq!(r.metrics.counter("doubling.accepted"), 1);
+        assert_eq!(r.metrics.counter("doubling.fallback"), 0);
+        assert_eq!(
+            r.metrics.counter("doubling.wasted_rounds"),
+            observed.wasted_rounds
+        );
+        // one Plan-track span per attempt, plus the engine's execute events
+        let plan_spans = r
+            .events
+            .iter()
+            .filter(|e| e.stage == das_obs::Stage::Plan)
+            .count();
+        assert_eq!(plan_spans, observed.attempts as usize);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::algorithm::BlackBoxAlgorithm;
 use crate::schedule::ScheduleOutcome;
 use crate::shard::Partition;
 use das_graph::{Graph, NodeId};
+use das_obs::{ExecObs, ObsConfig, ObsReport};
 use das_pattern::{SimulationMap, TimedArc};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -387,6 +388,45 @@ impl Executor {
         units: &[Unit],
         config: &ExecutorConfig,
     ) -> Result<ScheduleOutcome, ExecError> {
+        Self::run_with(g, algos, seeds, units, config, &mut ExecObs::disabled())
+    }
+
+    /// Like [`Executor::run`], recording observability at the level `obs`
+    /// asks for. The outcome is byte-identical to [`Executor::run`] for
+    /// every `obs` setting — the probe only reads executor state and never
+    /// feeds back into it (`tests/obs_neutrality.rs` enforces this
+    /// property-style). Returns `None` for the report when recording is
+    /// disabled.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::RoundCapExceeded`] exactly as [`Executor::run`]
+    /// does.
+    ///
+    /// # Panics
+    /// Panics on malformed plans, as [`Executor::run`] does.
+    pub fn run_observed(
+        g: &Graph,
+        algos: &[Box<dyn BlackBoxAlgorithm>],
+        seeds: &[u64],
+        units: &[Unit],
+        config: &ExecutorConfig,
+        obs: &ObsConfig,
+    ) -> Result<(ScheduleOutcome, Option<ObsReport>), ExecError> {
+        let mut probe = ExecObs::new(obs, 0);
+        let outcome = Self::run_with(g, algos, seeds, units, config, &mut probe)?;
+        Ok((outcome, probe.finish()))
+    }
+
+    /// The fused executor loop; `obs` hooks are self-guarded no-ops when
+    /// recording is off, so this is also [`Executor::run`]'s body.
+    fn run_with(
+        g: &Graph,
+        algos: &[Box<dyn BlackBoxAlgorithm>],
+        seeds: &[u64],
+        units: &[Unit],
+        config: &ExecutorConfig,
+        obs: &mut ExecObs,
+    ) -> Result<ScheduleOutcome, ExecError> {
         let n = g.node_count();
         let k = algos.len();
         assert_eq!(seeds.len(), k, "one seed per algorithm");
@@ -429,6 +469,7 @@ impl Executor {
         let mut queues: Vec<ArcFifo> = Vec::with_capacity(g.arc_count());
         queues.resize_with(g.arc_count(), ArcFifo::default);
         let mut active_arcs: Vec<usize> = Vec::new();
+        obs.init(g.arc_count(), config.phase_len);
         let mut stats = ExecStats {
             phase_len: config.phase_len,
             ..ExecStats::default()
@@ -451,6 +492,7 @@ impl Executor {
                     }
                     // canonical inbox order, matching the reference runner
                     inbox.sort();
+                    obs.on_step(inbox.len());
                     let sends = machines[a][v].step(&inbox);
                     steps_done[a][v] = r + 1;
                     let me = NodeId(v as u32);
@@ -461,6 +503,7 @@ impl Executor {
                             && !sent_to.contains(&s.to);
                         if !valid {
                             stats.invalid_sends += 1;
+                            obs.on_invalid_send();
                             continue;
                         }
                         sent_to.push(s.to);
@@ -478,6 +521,7 @@ impl Executor {
                             payload: s.payload,
                         });
                         stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                        obs.on_inject(arc.index(), q.len());
                     }
                 }
             }
@@ -502,12 +546,14 @@ impl Executor {
                             engine_round as u32,
                         );
                     }
-                    if steps_done[a][v] >= f.round + 2 {
+                    let late = steps_done[a][v] >= f.round + 2;
+                    if late {
                         stats.late_messages += 1;
                     } else {
                         buffers[a * n + v].push(f.round, f.from, f.payload);
                         stats.delivered += 1;
                     }
+                    obs.on_deliver(engine_round, late);
                     last_activity_round = engine_round + 1;
                 }
                 engine_round += 1;
@@ -519,6 +565,7 @@ impl Executor {
                 }
             }
 
+            obs.end_big_round(b);
             b += 1;
             if b > last_step_round && active_arcs.is_empty() {
                 break;
@@ -580,6 +627,33 @@ impl Executor {
         units: &[Unit],
         config: &ExecutorConfig,
     ) -> Result<(ScheduleOutcome, ShardReport), ExecError> {
+        Self::run_sharded_observed(g, algos, seeds, units, config, &ObsConfig::off())
+            .map(|(outcome, report, _)| (outcome, report))
+    }
+
+    /// Like [`Executor::run_sharded`], recording observability at the level
+    /// `obs` asks for: each shard worker carries its own probe (events land
+    /// on that shard's lane/track) and the per-shard recordings merge into
+    /// one report in shard order — so the report's deterministic content is
+    /// independent of thread interleaving, and the [`ScheduleOutcome`]
+    /// stays byte-identical to [`Executor::run`] for every `obs` setting.
+    /// Returns `None` for the report when recording is disabled.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::RoundCapExceeded`] exactly as
+    /// [`Executor::run_sharded`] does.
+    ///
+    /// # Panics
+    /// Panics on malformed plans or a worker panic, as
+    /// [`Executor::run_sharded`] does.
+    pub fn run_sharded_observed(
+        g: &Graph,
+        algos: &[Box<dyn BlackBoxAlgorithm>],
+        seeds: &[u64],
+        units: &[Unit],
+        config: &ExecutorConfig,
+        obs: &ObsConfig,
+    ) -> Result<(ScheduleOutcome, ShardReport, Option<ObsReport>), ExecError> {
         let n = g.node_count();
         let k = algos.len();
         assert_eq!(seeds.len(), k, "one seed per algorithm");
@@ -618,6 +692,7 @@ impl Executor {
             outboxes: &outboxes,
             barrier: &Barrier::new(s),
             active_workers: &AtomicU64::new(0),
+            obs,
         };
         let results: Vec<Result<ShardOutput, ExecError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..s)
@@ -648,6 +723,7 @@ impl Executor {
             cross_shard_messages: 0,
             per_shard: Vec::with_capacity(s),
         };
+        let mut merged_obs: Option<ObsReport> = None;
         for w in workers {
             let ShardOutput {
                 own,
@@ -657,7 +733,16 @@ impl Executor {
                 last_activity_round: w_last,
                 big_rounds,
                 shard,
+                obs: w_obs,
             } = w;
+            // Workers are consumed in shard order, so the merged report is
+            // deterministic for a fixed shard count.
+            if let Some(r) = w_obs {
+                match &mut merged_obs {
+                    Some(m) => m.merge(&r),
+                    None => merged_obs = Some(r),
+                }
+            }
             stats.delivered += w_stats.delivered;
             stats.late_messages += w_stats.late_messages;
             stats.invalid_sends += w_stats.invalid_sends;
@@ -685,6 +770,7 @@ impl Executor {
                 precompute_rounds: 0,
             },
             report,
+            merged_obs,
         ))
     }
 }
@@ -746,6 +832,8 @@ struct ShardCtx<'e> {
     /// How many workers still have active arcs after the current
     /// big-round's drain (reset by worker 0 between rounds).
     active_workers: &'e AtomicU64,
+    /// Observability level; each worker builds its own probe from this.
+    obs: &'e ObsConfig,
 }
 
 /// What one shard worker hands back to be merged.
@@ -759,6 +847,20 @@ struct ShardOutput {
     last_activity_round: u64,
     big_rounds: u64,
     shard: ShardStats,
+    obs: Option<ObsReport>,
+}
+
+/// Waits on a shard barrier, sampling the wall-clock wait into the probe's
+/// side channel when enabled.
+#[inline]
+fn barrier_wait(barrier: &Barrier, obs: &mut ExecObs) {
+    if obs.wall_enabled() {
+        let t = Instant::now();
+        barrier.wait();
+        obs.on_barrier_wait_ns(t.elapsed().as_nanos() as u64);
+    } else {
+        barrier.wait();
+    }
 }
 
 /// The big-round-synchronous shard worker: mirrors [`Executor::run`]'s
@@ -802,6 +904,8 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
     let mut queues: Vec<ArcFifo> = Vec::with_capacity(g.arc_count());
     queues.resize_with(g.arc_count(), ArcFifo::default);
     let mut active_arcs: Vec<usize> = Vec::new();
+    let mut obs = ExecObs::new(ctx.obs, me as u32);
+    obs.init(g.arc_count(), config.phase_len);
     let mut stats = ExecStats {
         phase_len: config.phase_len,
         ..ExecStats::default()
@@ -837,6 +941,7 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
                 }
                 // canonical inbox order, matching the reference runner
                 inbox.sort();
+                obs.on_step(inbox.len());
                 let sends = machines[a][li].step(&inbox);
                 steps_done[a][li] = r + 1;
                 shard.steps += 1;
@@ -848,6 +953,7 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
                         && !sent_to.contains(&snd.to);
                     if !valid {
                         stats.invalid_sends += 1;
+                        obs.on_invalid_send();
                         continue;
                     }
                     sent_to.push(snd.to);
@@ -869,8 +975,10 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
                         }
                         q.push_back(flight);
                         stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                        obs.on_inject(idx, q.len());
                     } else {
                         shard.cross_sent += 1;
+                        obs.on_cross_send();
                         ctx.outboxes[me * s + owner]
                             .lock()
                             .expect("outbox lock")
@@ -882,7 +990,7 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
         shard.step_nanos += t_step.elapsed().as_nanos() as u64;
 
         // All outboxes for big-round b are complete.
-        ctx.barrier.wait();
+        barrier_wait(ctx.barrier, &mut obs);
 
         let t_drain = Instant::now();
         // 2. Merge cross-shard arrivals into the owned queues — the shard
@@ -901,6 +1009,7 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
                 }
                 q.push_back(flight);
                 stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                obs.on_inject(idx, q.len());
             }
         }
 
@@ -928,12 +1037,14 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
                         engine_round as u32,
                     );
                 }
-                if steps_done[a][li] >= f.round + 2 {
+                let late = steps_done[a][li] >= f.round + 2;
+                if late {
                     stats.late_messages += 1;
                 } else {
                     buffers[a * own_n + li].push(f.round, f.from, f.payload);
                     stats.delivered += 1;
                 }
+                obs.on_deliver(engine_round, late);
                 last_activity_round = engine_round + 1;
             }
             engine_round += 1;
@@ -948,6 +1059,7 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
             }
         }
         shard.drain_nanos += t_drain.elapsed().as_nanos() as u64;
+        obs.end_big_round(b);
 
         // 4. Termination: post activity, agree on it, and let worker 0
         // reset the counter strictly after everyone has read it (barrier)
@@ -956,11 +1068,11 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
         if !active_arcs.is_empty() {
             ctx.active_workers.fetch_add(1, Ordering::SeqCst);
         }
-        ctx.barrier.wait();
+        barrier_wait(ctx.barrier, &mut obs);
         let any_active = ctx.active_workers.load(Ordering::SeqCst) > 0;
         b += 1;
         let done = b > ctx.last_step_round && !any_active;
-        ctx.barrier.wait();
+        barrier_wait(ctx.barrier, &mut obs);
         if me == 0 {
             ctx.active_workers.store(0, Ordering::SeqCst);
         }
@@ -982,6 +1094,7 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
         last_activity_round,
         big_rounds: b,
         shard,
+        obs: obs.finish(),
     })
 }
 

@@ -68,6 +68,7 @@ mod schedule;
 pub mod bellagio;
 pub mod doubling;
 pub mod newman;
+pub mod obs;
 pub mod plan;
 pub mod schedulers;
 pub mod shard;
@@ -78,7 +79,11 @@ pub use algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
 pub use exec::{
     ExecError, ExecStats, Executor, ExecutorConfig, ShardReport, ShardStats, StepPlan, Unit,
 };
-pub use plan::{execute_plan, execute_plan_sharded, PlanError, SchedError, SchedulePlan};
+pub use obs::{run_traced, TracedRun};
+pub use plan::{
+    execute_plan, execute_plan_observed, execute_plan_sharded, execute_plan_sharded_observed,
+    PlanError, SchedError, SchedulePlan,
+};
 pub use problem::DasProblem;
 pub use reference::{run_alone, ReferenceError, ReferenceRun};
 pub use schedule::ScheduleOutcome;

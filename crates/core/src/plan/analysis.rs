@@ -35,6 +35,10 @@ pub struct LoadPrediction {
     /// Largest number of messages injected into a single arc within one
     /// big-round — the quantity the paper's phase-length choice bounds.
     pub peak_big_round_arc_load: u64,
+    /// Total messages predicted to be injected during each big-round
+    /// (`big_round_load[b]`), up to the last big-round with any step — the
+    /// per-phase load curve `plan --diff` compares side by side.
+    pub big_round_load: Vec<u64>,
     /// Messages predicted to arrive in time.
     pub predicted_delivered: u64,
     /// Messages predicted to arrive after their consumer stepped. Zero
@@ -105,6 +109,7 @@ pub fn predict(
             phase_len,
             arc_load: vec![0; g.arc_count()],
             peak_big_round_arc_load: 0,
+            big_round_load: Vec::new(),
             predicted_delivered: 0,
             predicted_late: 0,
             predicted_engine_rounds: 0,
@@ -132,6 +137,7 @@ pub fn predict(
     queues.resize_with(g.arc_count(), std::collections::VecDeque::new);
     let mut active_arcs: Vec<usize> = Vec::new();
     let mut arc_load = vec![0u64; g.arc_count()];
+    let mut big_round_load = vec![0u64; last_step_round as usize + 1];
     let mut round_injections = vec![0u64; g.arc_count()];
     let mut peak_big_round_arc_load = 0u64;
     let mut predicted_delivered = 0u64;
@@ -163,6 +169,7 @@ pub fn predict(
                     });
                     predicted_max_arc_queue = predicted_max_arc_queue.max(q.len());
                     arc_load[arc as usize] += 1;
+                    big_round_load[b as usize] += 1;
                     if round_injections[arc as usize] == 0 {
                         touched.push(arc as usize);
                     }
@@ -204,6 +211,7 @@ pub fn predict(
         phase_len,
         arc_load,
         peak_big_round_arc_load,
+        big_round_load,
         predicted_delivered,
         predicted_late,
         predicted_engine_rounds: (last_step_round + 1)
@@ -271,6 +279,13 @@ mod tests {
             assert_eq!(
                 pred.predicted_delivered,
                 outcome.stats.delivered,
+                "{}",
+                sched.name()
+            );
+            // every injected message shows up in exactly one big-round
+            assert_eq!(
+                pred.big_round_load.iter().sum::<u64>(),
+                pred.arc_load.iter().sum::<u64>(),
                 "{}",
                 sched.name()
             );

@@ -22,11 +22,13 @@
 //! infeasible congestion guesses before paying for an engine run.
 
 pub mod analysis;
+pub mod diff;
 
 use crate::exec::{ExecError, Executor, ExecutorConfig, ShardReport, StepPlan, Unit};
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
+use das_obs::{ObsConfig, ObsReport};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -364,6 +366,33 @@ pub fn execute_plan_with(
     Ok(outcome)
 }
 
+/// [`execute_plan`] with observability: records metrics, load profiles,
+/// and (in full mode) trace events while executing, without perturbing the
+/// outcome — the [`ScheduleOutcome`] is byte-identical to
+/// [`execute_plan`]'s for every `obs` setting. The report is `None` when
+/// recording is disabled.
+///
+/// # Errors
+/// As [`execute_plan`].
+pub fn execute_plan_observed(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    obs: &ObsConfig,
+) -> Result<(ScheduleOutcome, Option<ObsReport>), SchedError> {
+    plan.validate(problem)?;
+    let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+    let (mut outcome, report) = Executor::run_observed(
+        problem.graph(),
+        problem.algorithms(),
+        &seeds,
+        &plan.units,
+        &ExecutorConfig::default().with_phase_len(plan.phase_len),
+        obs,
+    )?;
+    outcome.precompute_rounds = plan.precompute_rounds;
+    Ok((outcome, report))
+}
+
 /// Executes a plan on the sharded executor with `shards` worker threads
 /// (see [`Executor::run_sharded`]): the outcome is byte-identical to
 /// [`execute_plan`], and the returned [`ShardReport`] carries the
@@ -390,6 +419,35 @@ pub fn execute_plan_sharded(
     )?;
     outcome.precompute_rounds = plan.precompute_rounds;
     Ok((outcome, report))
+}
+
+/// [`execute_plan_sharded`] with observability: each shard records on its
+/// own lane and the recordings merge into one report (see
+/// [`Executor::run_sharded_observed`]). The outcome stays byte-identical
+/// to [`execute_plan`] for every shard count and `obs` setting.
+///
+/// # Errors
+/// As [`execute_plan`].
+pub fn execute_plan_sharded_observed(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    shards: usize,
+    obs: &ObsConfig,
+) -> Result<(ScheduleOutcome, ShardReport, Option<ObsReport>), SchedError> {
+    plan.validate(problem)?;
+    let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+    let (mut outcome, report, obs_report) = Executor::run_sharded_observed(
+        problem.graph(),
+        problem.algorithms(),
+        &seeds,
+        &plan.units,
+        &ExecutorConfig::default()
+            .with_phase_len(plan.phase_len)
+            .with_shards(shards),
+        obs,
+    )?;
+    outcome.precompute_rounds = plan.precompute_rounds;
+    Ok((outcome, report, obs_report))
 }
 
 #[cfg(test)]

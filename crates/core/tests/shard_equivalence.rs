@@ -63,6 +63,56 @@ fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
     ]
 }
 
+/// Asserts the partition-dependent [`das_core::ShardReport`] is internally
+/// consistent and agrees with the fused outcome's totals.
+fn assert_shard_report_consistent(
+    g: &Graph,
+    fused: &das_core::ScheduleOutcome,
+    report: &das_core::ShardReport,
+    requested_shards: usize,
+    sched: &str,
+) {
+    let ctx = format!("scheduler {sched}, {requested_shards} shards");
+    assert_eq!(
+        report.shards,
+        requested_shards.min(g.node_count()),
+        "{ctx}: shard count must be the request clamped to n"
+    );
+    assert_eq!(report.per_shard.len(), report.shards, "{ctx}");
+    // every node and its degree is owned by exactly one shard
+    let nodes: usize = report.per_shard.iter().map(|s| s.nodes).sum();
+    assert_eq!(nodes, g.node_count(), "{ctx}: nodes must partition");
+    let degree: usize = report.per_shard.iter().map(|s| s.degree).sum();
+    assert_eq!(
+        degree,
+        2 * g.edge_count(),
+        "{ctx}: owned degrees must sum to the handshake total"
+    );
+    // per-shard delivery sums to the (partition-independent) fused total
+    let delivered: u64 = report.per_shard.iter().map(|s| s.delivered).sum();
+    assert_eq!(
+        delivered, fused.stats.delivered,
+        "{ctx}: per-shard delivered must sum to the fused total"
+    );
+    // the headline cross-shard figure is exactly the per-shard sends
+    let cross: u64 = report.per_shard.iter().map(|s| s.cross_sent).sum();
+    assert_eq!(
+        cross, report.cross_shard_messages,
+        "{ctx}: cross_shard_messages must equal the per-shard sum"
+    );
+    if report.shards == 1 {
+        assert_eq!(report.cross_shard_messages, 0, "{ctx}");
+    }
+    // cross-shard traffic never exceeds total traffic
+    assert!(
+        report.cross_shard_messages <= fused.stats.delivered + fused.stats.late_messages,
+        "{ctx}: cross-shard sends cannot exceed all sends"
+    );
+    for (i, s) in report.per_shard.iter().enumerate() {
+        assert_eq!(s.shard, i, "{ctx}: per_shard must be in shard order");
+    }
+}
+
 /// Asserts sharded == fused bytes for every scheduler and shard count on
 /// the given graph.
 fn assert_equivalent(g: &Graph, k: usize, seed: u64) {
@@ -81,9 +131,7 @@ fn assert_equivalent(g: &Graph, k: usize, seed: u64) {
                 sched.name(),
                 shards
             );
-            if shards == 1 {
-                assert_eq!(report.cross_shard_messages, 0);
-            }
+            assert_shard_report_consistent(g, &fused, &report, shards, sched.name());
         }
     }
 }

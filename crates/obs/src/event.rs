@@ -1,0 +1,161 @@
+//! The span/event model, clocked on the deterministic big-round clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Pipeline stage a trace event belongs to. Each stage renders as its own
+/// process (`pid`) in the Chrome trace export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Scheduler `plan()` / doubling search.
+    Plan,
+    /// Fused or sharded plan execution.
+    Execute,
+    /// Output verification against reference runs.
+    Verify,
+}
+
+impl Stage {
+    /// Chrome trace `pid` for this stage's track group.
+    pub fn pid(self) -> u64 {
+        match self {
+            Stage::Plan => 1,
+            Stage::Execute => 2,
+            Stage::Verify => 3,
+        }
+    }
+
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Plan => "plan",
+            Stage::Execute => "execute",
+            Stage::Verify => "verify",
+        }
+    }
+}
+
+/// Event flavor, mirroring the Chrome `trace_events` phases that the
+/// exporter emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventPhase {
+    /// A span with a start and duration (`ph: "X"`).
+    Complete,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A counter sample (`ph: "C"`); args are the series values.
+    Counter,
+}
+
+impl EventPhase {
+    /// The Chrome trace `ph` letter.
+    pub fn chrome_ph(self) -> &'static str {
+        match self {
+            EventPhase::Complete => "X",
+            EventPhase::Instant => "i",
+            EventPhase::Counter => "C",
+        }
+    }
+}
+
+/// One trace event.
+///
+/// `ts` and `dur` are **engine rounds on the deterministic big-round
+/// clock**, never wall time — so the event stream is a pure function of
+/// the run. Wall-clock readings may appear only as `wall_ns`-style entries
+/// in `args`, and only when [`crate::ObsConfig::wall_clock`] is set.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Pipeline stage (Chrome `pid`).
+    pub stage: Stage,
+    /// Lane within the stage (Chrome `tid`): the shard index for executor
+    /// events, 0 for single-lane stages.
+    pub lane: u32,
+    /// Event name, e.g. `big-round 3`.
+    pub name: String,
+    /// Event flavor.
+    pub phase: EventPhase,
+    /// Start time in engine rounds.
+    pub ts: u64,
+    /// Duration in engine rounds (0 for instants/counters).
+    pub dur: u64,
+    /// Deterministic numeric arguments, in insertion order.
+    pub args: Vec<(String, u64)>,
+}
+
+impl TraceEvent {
+    /// A complete span `[ts, ts + dur]` on the given stage/lane.
+    pub fn span(stage: Stage, lane: u32, name: impl Into<String>, ts: u64, dur: u64) -> Self {
+        TraceEvent {
+            stage,
+            lane,
+            name: name.into(),
+            phase: EventPhase::Complete,
+            ts,
+            dur,
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant marker at `ts`.
+    pub fn instant(stage: Stage, lane: u32, name: impl Into<String>, ts: u64) -> Self {
+        TraceEvent {
+            stage,
+            lane,
+            name: name.into(),
+            phase: EventPhase::Instant,
+            ts,
+            dur: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// A counter sample at `ts`; add series via [`TraceEvent::arg`].
+    pub fn counter(stage: Stage, lane: u32, name: impl Into<String>, ts: u64) -> Self {
+        TraceEvent {
+            stage,
+            lane,
+            name: name.into(),
+            phase: EventPhase::Counter,
+            ts,
+            dur: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends a named argument, builder-style.
+    pub fn arg(mut self, key: &str, value: u64) -> Self {
+        self.args.push((key.to_string(), value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fill_fields() {
+        let e = TraceEvent::span(Stage::Execute, 3, "big-round 7", 70, 10)
+            .arg("delivered", 12)
+            .arg("late", 1);
+        assert_eq!(e.stage.pid(), 2);
+        assert_eq!(e.phase.chrome_ph(), "X");
+        assert_eq!(e.lane, 3);
+        assert_eq!(e.ts, 70);
+        assert_eq!(e.dur, 10);
+        assert_eq!(e.args, vec![("delivered".into(), 12), ("late".into(), 1)]);
+
+        let i = TraceEvent::instant(Stage::Verify, 0, "verified", 100);
+        assert_eq!(i.phase.chrome_ph(), "i");
+        assert_eq!(i.dur, 0);
+
+        let c = TraceEvent::counter(Stage::Execute, 0, "messages", 10).arg("delivered", 4);
+        assert_eq!(c.phase.chrome_ph(), "C");
+    }
+
+    #[test]
+    fn stage_pids_are_distinct() {
+        let pids = [Stage::Plan.pid(), Stage::Execute.pid(), Stage::Verify.pid()];
+        assert_eq!(pids, [1, 2, 3]);
+    }
+}

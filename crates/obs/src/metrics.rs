@@ -1,0 +1,246 @@
+//! Counters and fixed-bucket histograms.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `v <= bounds[i]` (and greater than
+/// the previous bound); the final slot of `counts` is the overflow bucket
+/// for samples above every bound. Bounds are fixed at construction so two
+/// histograms with the same shape merge exactly — which is how per-shard
+/// recordings combine into one report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; `counts.len() == bounds.len() + 1`, the
+    /// last entry being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of recorded samples.
+    pub total: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+}
+
+/// Number of power-of-two buckets used by [`Histogram::default`]: bounds
+/// `1, 2, 4, …, 2^19`, overflow above half a million.
+pub(crate) const DEFAULT_POW2_BUCKETS: usize = 20;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::pow2(DEFAULT_POW2_BUCKETS)
+    }
+}
+
+impl Histogram {
+    /// A histogram with `buckets` power-of-two bounds `1, 2, 4, …`.
+    pub fn pow2(buckets: usize) -> Self {
+        let bounds: Vec<u64> = (0..buckets as u32).map(|i| 1u64 << i).collect();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let slot = self
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.counts.len() - 1);
+        self.counts[slot] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram of the same shape into this one.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ — merging histograms of different
+    /// shapes would silently misattribute samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank quantile, resolved to the matched bucket's upper bound
+    /// (or [`Histogram::max`] for the overflow bucket). Returns 0 for an
+    /// empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&b) => b.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Keys are dot-namespaced (`exec.delivered`, `doubling.attempts`,
+/// `wall.barrier_wait_ns`); the `wall.` prefix marks the nondeterministic
+/// wall-clock side channel. `BTreeMap` keeps serialization order
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name`, creating it at zero first.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Inserts a fully-recorded histogram under `name`, merging into any
+    /// existing histogram of the same shape.
+    pub fn put_histogram(&mut self, name: &str, h: Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(existing) => existing.merge(&h),
+            None => {
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// The histogram under `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds another registry into this one: counters add, histograms of
+    /// the same name merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.put_histogram(k, h.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_pow2_buckets() {
+        let mut h = Histogram::pow2(4); // bounds 1 2 4 8
+        for v in [0, 1, 2, 3, 4, 9, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.bounds, vec![1, 2, 4, 8]);
+        // 0,1 -> ≤1 | 2 -> ≤2 | 3,4 -> ≤4 | (none ≤8) | 9,100 overflow
+        assert_eq!(h.counts, vec![2, 1, 2, 0, 2]);
+        assert_eq!(h.total, 7);
+        assert_eq!(h.sum, 119);
+        assert_eq!(h.max, 100);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let mut h = Histogram::pow2(8);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        // rank 50 falls in the ≤64 bucket.
+        assert_eq!(h.quantile(0.5), 64);
+        // rank 100 falls in the ≤128 bucket, clamped to the observed max.
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::pow2(4);
+        let mut b = Histogram::pow2(4);
+        a.record(3);
+        b.record(5);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.sum, 15);
+        assert_eq!(a.max, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::pow2(4);
+        a.merge(&Histogram::pow2(5));
+    }
+
+    #[test]
+    fn registry_counters_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("exec.delivered", 10);
+        let mut h = Histogram::pow2(4);
+        h.record(2);
+        a.put_histogram("exec.queue_depth", h);
+
+        let mut b = MetricsRegistry::new();
+        b.inc("exec.delivered", 5);
+        b.inc("exec.late_messages", 1);
+        let mut h2 = Histogram::pow2(4);
+        h2.record(4);
+        b.put_histogram("exec.queue_depth", h2);
+
+        a.merge(&b);
+        assert_eq!(a.counter("exec.delivered"), 15);
+        assert_eq!(a.counter("exec.late_messages"), 1);
+        assert_eq!(a.counter("exec.absent"), 0);
+        assert_eq!(a.histogram("exec.queue_depth").unwrap().total, 2);
+    }
+}

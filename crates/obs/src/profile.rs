@@ -1,0 +1,176 @@
+//! Per-round and per-edge load profiles.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+
+/// Load observed per engine round and per edge (arc), the measured
+/// counterpart of the paper's congestion/dilation quantities.
+///
+/// Indices are engine rounds / arc indices; both vectors grow on demand so
+/// a profile can be built incrementally while a run executes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// Messages delivered in each engine round.
+    pub per_round: Vec<u64>,
+    /// Messages injected onto each arc over the whole run.
+    pub per_edge: Vec<u64>,
+}
+
+impl LoadProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        LoadProfile::default()
+    }
+
+    /// Builds a profile from already-collected vectors.
+    pub fn from_parts(per_round: Vec<u64>, per_edge: Vec<u64>) -> Self {
+        LoadProfile {
+            per_round,
+            per_edge,
+        }
+    }
+
+    /// Adds `by` to round `round`, growing the vector as needed.
+    #[inline]
+    pub fn add_round(&mut self, round: usize, by: u64) {
+        if round >= self.per_round.len() {
+            self.per_round.resize(round + 1, 0);
+        }
+        self.per_round[round] += by;
+    }
+
+    /// Adds `by` to edge `edge`, growing the vector as needed.
+    #[inline]
+    pub fn add_edge(&mut self, edge: usize, by: u64) {
+        if edge >= self.per_edge.len() {
+            self.per_edge.resize(edge + 1, 0);
+        }
+        self.per_edge[edge] += by;
+    }
+
+    /// Total load across all rounds.
+    pub fn total(&self) -> u64 {
+        self.per_round.iter().sum()
+    }
+
+    /// The **earliest** round with the maximum load, or `None` when every
+    /// round is zero (including the empty profile). The earliest-max
+    /// tie-break makes the peak deterministic and stable under appending
+    /// trailing rounds.
+    pub fn peak_round(&self) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (r, &c) in self.per_round.iter().enumerate() {
+            if c > 0 && best.is_none_or(|(_, m)| c > m) {
+                best = Some((r, c));
+            }
+        }
+        best
+    }
+
+    /// The `k` heaviest edges as `(edge, load)`, heaviest first, ties
+    /// broken by lower edge index; zero-load edges are never reported.
+    pub fn top_edges(&self, k: usize) -> Vec<(usize, u64)> {
+        Self::top_k(&self.per_edge, k)
+    }
+
+    /// The `k` heaviest rounds as `(round, load)`, heaviest first, ties
+    /// broken by earlier round; zero-load rounds are never reported.
+    pub fn top_rounds(&self, k: usize) -> Vec<(usize, u64)> {
+        Self::top_k(&self.per_round, k)
+    }
+
+    fn top_k(values: &[u64], k: usize) -> Vec<(usize, u64)> {
+        let mut loaded: Vec<(usize, u64)> = values
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        loaded.sort_by_key(|&(i, v)| (Reverse(v), i));
+        loaded.truncate(k);
+        loaded
+    }
+
+    /// Adds another profile element-wise (vectors grow to the longer one).
+    pub fn merge(&mut self, other: &LoadProfile) {
+        for (r, &c) in other.per_round.iter().enumerate() {
+            if c > 0 {
+                self.add_round(r, c);
+            }
+        }
+        for (e, &c) in other.per_edge.iter().enumerate() {
+            if c > 0 {
+                self.add_edge(e, c);
+            }
+        }
+    }
+
+    /// One-line unicode sparkline of the per-round load.
+    pub fn sparkline(&self) -> String {
+        sparkline(&self.per_round)
+    }
+}
+
+/// Renders `values` as a unicode sparkline, one glyph per entry, scaled to
+/// the maximum value (an all-zero slice renders as all-minimum glyphs).
+pub fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&c| BARS[((c * 7) / max) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_earliest_max() {
+        let p = LoadProfile::from_parts(vec![1, 3, 2, 3], vec![]);
+        assert_eq!(p.peak_round(), Some((1, 3)));
+    }
+
+    #[test]
+    fn all_zero_profile_has_no_peak() {
+        assert_eq!(LoadProfile::new().peak_round(), None);
+        let p = LoadProfile::from_parts(vec![0, 0, 0], vec![]);
+        assert_eq!(p.peak_round(), None);
+    }
+
+    #[test]
+    fn top_edges_orders_and_filters() {
+        let p = LoadProfile::from_parts(vec![], vec![0, 5, 3, 5, 0, 1]);
+        assert_eq!(p.top_edges(10), vec![(1, 5), (3, 5), (2, 3), (5, 1)]);
+        assert_eq!(p.top_edges(2), vec![(1, 5), (3, 5)]);
+        assert!(p.top_edges(0).is_empty());
+    }
+
+    #[test]
+    fn incremental_adds_grow() {
+        let mut p = LoadProfile::new();
+        p.add_round(2, 1);
+        p.add_round(2, 1);
+        p.add_edge(4, 3);
+        assert_eq!(p.per_round, vec![0, 0, 2]);
+        assert_eq!(p.per_edge, vec![0, 0, 0, 0, 3]);
+        assert_eq!(p.total(), 2);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = LoadProfile::from_parts(vec![1, 2], vec![1]);
+        let b = LoadProfile::from_parts(vec![0, 1, 4], vec![0, 2]);
+        a.merge(&b);
+        assert_eq!(a.per_round, vec![1, 3, 4]);
+        assert_eq!(a.per_edge, vec![1, 2]);
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        assert_eq!(sparkline(&[0, 7, 14]), "▁▄█");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+}

@@ -1,0 +1,327 @@
+//! The assembled observability report and its exporters.
+
+use crate::event::{EventPhase, Stage, TraceEvent};
+use crate::metrics::MetricsRegistry;
+use crate::profile::LoadProfile;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Everything one observed run recorded: metrics, load profile, events.
+///
+/// Per-shard recordings merge into a single report (counters add,
+/// histograms of the same shape merge, profiles add element-wise, events
+/// concatenate in shard order), so the report's deterministic content is
+/// independent of thread interleaving.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsReport {
+    /// Counters and histograms.
+    pub metrics: MetricsRegistry,
+    /// Per-round / per-edge load.
+    pub profile: LoadProfile,
+    /// Trace events on the deterministic big-round clock.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ObsReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        ObsReport::default()
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: &ObsReport) {
+        self.metrics.merge(&other.metrics);
+        self.profile.merge(&other.profile);
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Appends one event.
+    pub fn push_event(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// Condenses the report into the small deterministic summary persisted
+    /// in bench artifacts.
+    pub fn summary(&self) -> ObsSummary {
+        let (peak_round, peak_round_messages) = self
+            .profile
+            .peak_round()
+            .map_or((0, 0), |(r, c)| (r as u64, c));
+        ObsSummary {
+            messages: self.metrics.counter("exec.delivered"),
+            late_messages: self.metrics.counter("exec.late_messages"),
+            peak_round,
+            peak_round_messages,
+            max_arc_load: self.profile.per_edge.iter().copied().max().unwrap_or(0),
+            congestion_p95: self
+                .metrics
+                .histogram("exec.arc_congestion_per_phase")
+                .map_or(0, |h| h.quantile(0.95)),
+            max_queue_depth: self
+                .metrics
+                .histogram("exec.queue_depth")
+                .map_or(0, |h| h.max),
+            events: self.events.len() as u64,
+        }
+    }
+
+    /// Renders the event stream as Chrome `trace_events` JSON, loadable in
+    /// Perfetto / `chrome://tracing`: one process per pipeline stage, one
+    /// thread track per shard lane, timestamps in engine rounds.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out: Vec<Value> = Vec::new();
+        let stages: BTreeSet<u64> = self.events.iter().map(|e| e.stage.pid()).collect();
+        let lanes: BTreeSet<(u64, u32)> = self
+            .events
+            .iter()
+            .map(|e| (e.stage.pid(), e.lane))
+            .collect();
+        for stage in [Stage::Plan, Stage::Execute, Stage::Verify] {
+            if stages.contains(&stage.pid()) {
+                out.push(metadata_event("process_name", stage.pid(), 0, stage.name()));
+            }
+        }
+        for &(pid, lane) in &lanes {
+            let name = if pid == Stage::Execute.pid() {
+                format!("shard-{lane}")
+            } else {
+                format!("lane-{lane}")
+            };
+            out.push(metadata_event("thread_name", pid, lane, &name));
+        }
+        for e in &self.events {
+            let mut fields: Vec<(String, Value)> = vec![
+                ("name".into(), Value::Str(e.name.clone())),
+                ("ph".into(), Value::Str(e.phase.chrome_ph().into())),
+                ("pid".into(), Value::U64(e.stage.pid())),
+                ("tid".into(), Value::U64(e.lane as u64)),
+                ("ts".into(), Value::U64(e.ts)),
+            ];
+            if e.phase == EventPhase::Complete {
+                fields.push(("dur".into(), Value::U64(e.dur)));
+            }
+            if e.phase == EventPhase::Instant {
+                fields.push(("s".into(), Value::Str("t".into())));
+            }
+            fields.push((
+                "args".into(),
+                Value::Object(
+                    e.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::U64(*v)))
+                        .collect(),
+                ),
+            ));
+            out.push(Value::Object(fields));
+        }
+        let doc = Value::Object(vec![
+            ("traceEvents".into(), Value::Array(out)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+            (
+                "otherData".into(),
+                Value::Object(vec![(
+                    "clock".into(),
+                    Value::Str("deterministic engine rounds".into()),
+                )]),
+            ),
+        ]);
+        serde_json::to_string(&doc).expect("trace values are finite")
+    }
+
+    /// Renders the event stream as JSONL: one JSON object per line, in
+    /// recording order.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&serde_json::to_string(e).expect("event values are finite"));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Plain-text top-`top` "hot edges / hot phases" report.
+    pub fn hot_text(&self, top: usize) -> String {
+        let mut s = String::new();
+        let summary = self.summary();
+        let _ = writeln!(s, "hot report (top {top})");
+        let _ = writeln!(
+            s,
+            "  messages: {} delivered, {} late",
+            summary.messages, summary.late_messages
+        );
+        match self.profile.peak_round() {
+            Some((r, c)) => {
+                let _ = writeln!(s, "  peak round: {r} ({c} messages)");
+            }
+            None => {
+                let _ = writeln!(s, "  peak round: none (no load recorded)");
+            }
+        }
+        if !self.profile.per_round.is_empty() {
+            let _ = writeln!(s, "  per-round load: {}", self.profile.sparkline());
+        }
+        let _ = writeln!(s, "  hot rounds:");
+        for (r, c) in self.profile.top_rounds(top) {
+            let _ = writeln!(s, "    round {r:>6}: {c}");
+        }
+        let _ = writeln!(s, "  hot edges:");
+        for (e, c) in self.profile.top_edges(top) {
+            let _ = writeln!(s, "    arc {e:>6}: {c}");
+        }
+        let _ = writeln!(s, "  counters:");
+        for (k, v) in &self.metrics.counters {
+            let _ = writeln!(s, "    {k}: {v}");
+        }
+        let _ = writeln!(s, "  histograms (p50 / p95 / max over n):");
+        for (k, h) in &self.metrics.histograms {
+            let _ = writeln!(
+                s,
+                "    {k}: {} / {} / {} over {}",
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.max,
+                h.total
+            );
+        }
+        s
+    }
+}
+
+fn metadata_event(kind: &str, pid: u64, tid: u32, name: &str) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::Str(kind.into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::U64(pid)),
+        ("tid".into(), Value::U64(tid as u64)),
+        (
+            "args".into(),
+            Value::Object(vec![("name".into(), Value::Str(name.into()))]),
+        ),
+    ])
+}
+
+/// The deterministic per-trial metric summary persisted into
+/// `BENCH_*.json` records.
+///
+/// Every field is a pure function of the schedule (no wall clocks), so
+/// bench artifacts stay byte-identical across thread counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsSummary {
+    /// Messages delivered on time.
+    pub messages: u64,
+    /// Late (dropped) messages.
+    pub late_messages: u64,
+    /// Earliest engine round with peak load (0 when no load).
+    pub peak_round: u64,
+    /// Messages delivered in the peak round.
+    pub peak_round_messages: u64,
+    /// Heaviest total load on a single arc.
+    pub max_arc_load: u64,
+    /// 95th percentile of per-arc per-phase congestion.
+    pub congestion_p95: u64,
+    /// Deepest arc queue observed.
+    pub max_queue_depth: u64,
+    /// Number of trace events recorded.
+    pub events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample_report() -> ObsReport {
+        let mut r = ObsReport::new();
+        r.metrics.inc("exec.delivered", 5);
+        r.metrics.inc("exec.late_messages", 1);
+        let mut h = Histogram::default();
+        h.record(3);
+        r.metrics.put_histogram("exec.queue_depth", h);
+        r.profile = LoadProfile::from_parts(vec![0, 2, 4], vec![1, 0, 5]);
+        r.push_event(TraceEvent::span(Stage::Execute, 0, "big-round 0", 0, 10).arg("delivered", 2));
+        r.push_event(TraceEvent::span(Stage::Execute, 1, "big-round 0", 0, 10));
+        r.push_event(TraceEvent::instant(Stage::Verify, 0, "verified", 20));
+        r
+    }
+
+    #[test]
+    fn summary_extracts_deterministic_fields() {
+        let s = sample_report().summary();
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.late_messages, 1);
+        assert_eq!(s.peak_round, 2);
+        assert_eq!(s.peak_round_messages, 4);
+        assert_eq!(s.max_arc_load, 5);
+        assert_eq!(s.max_queue_depth, 3);
+        assert_eq!(s.events, 3);
+    }
+
+    #[test]
+    fn merge_combines_shard_reports() {
+        let mut a = sample_report();
+        let b = sample_report();
+        a.merge(&b);
+        assert_eq!(a.metrics.counter("exec.delivered"), 10);
+        assert_eq!(a.profile.per_round, vec![0, 4, 8]);
+        assert_eq!(a.events.len(), 6);
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_and_spans() {
+        let json = sample_report().to_chrome_trace();
+        let v = serde_json::from_str::<Value>(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process_name (execute, verify) + 3 thread_name (2 shards + verify
+        // lane) + 3 events.
+        assert_eq!(events.len(), 8);
+        let shard_tracks: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(shard_tracks.contains(&"shard-0"));
+        assert!(shard_tracks.contains(&"shard-1"));
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("dur").and_then(Value::as_u64), Some(10));
+        assert_eq!(
+            span.get("args")
+                .unwrap()
+                .get("delivered")
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let jsonl = sample_report().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let v = serde_json::from_str::<Value>(line).unwrap();
+            assert!(v.get("name").is_some());
+        }
+    }
+
+    #[test]
+    fn hot_text_lists_hot_rounds_and_edges() {
+        let text = sample_report().hot_text(2);
+        assert!(text.contains("hot report (top 2)"));
+        assert!(text.contains("round      2: 4"));
+        assert!(text.contains("arc      2: 5"));
+        assert!(text.contains("exec.delivered: 5"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = ObsReport::new();
+        assert!(r.hot_text(3).contains("peak round: none"));
+        let v = serde_json::from_str::<Value>(&r.to_chrome_trace()).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(r.summary(), ObsSummary::default());
+    }
+}

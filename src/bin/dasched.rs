@@ -4,6 +4,9 @@
 //! dasched run        --graph grid:8x8 --workload mixed:18 --scheduler private [--seed 42]
 //! dasched plan       --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7] [--out plan.json]
 //!                    [--in plan.json] [--execute] [--shards N] [--dump-outcome FILE]
+//! dasched plan       --graph grid:8x8 --workload mixed:18 --diff a.json b.json
+//! dasched trace      --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7]
+//!                    [--shards N] [--export chrome|jsonl|text] [--top K] [--out trace.json]
 //! dasched compare    --graph path:100 --workload segments:32:14 [--seed 42]
 //! dasched carve      --graph grid:10x10 --dilation 3 [--layers 20] [--seed 42]
 //! dasched lowerbound --layers 6 --eta 64 --k 32 --p 0.12 [--seed 42]
@@ -21,11 +24,12 @@ use dasched::algos::mst::{EdgeWeights, MstAlgorithm};
 use dasched::algos::routing::RoutingInstance;
 use dasched::cluster::{quality, CarveConfig, Clustering};
 use dasched::core::plan::analysis as plan_analysis;
+use dasched::core::plan::diff::PlanDiff;
 use dasched::core::synthetic::{FloodBall, RelayChain};
 use dasched::core::{
-    execute_plan, execute_plan_sharded, verify, BlackBoxAlgorithm, DasProblem, InterleaveScheduler,
-    PrivateScheduler, SchedulePlan, Scheduler, SequentialScheduler, TunedUniformScheduler,
-    UniformScheduler,
+    execute_plan, execute_plan_sharded, run_traced, verify, BlackBoxAlgorithm, DasProblem,
+    InterleaveScheduler, PrivateScheduler, SchedulePlan, Scheduler, SequentialScheduler,
+    TunedUniformScheduler, UniformScheduler,
 };
 use dasched::graph::{generators, Graph, NodeId};
 use dasched::lowerbound::{analysis, search, HardInstance, HardInstanceParams};
@@ -49,6 +53,9 @@ const USAGE: &str = "usage:
   dasched run        --graph SPEC --workload SPEC --scheduler NAME [--seed N]
   dasched plan       --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N] [--out FILE]
                      [--in FILE] [--execute] [--shards N] [--dump-outcome FILE]
+  dasched plan       --graph SPEC --workload SPEC --diff A.json B.json
+  dasched trace      --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N]
+                     [--shards N] [--export chrome|jsonl|text] [--top K] [--out FILE]
   dasched compare    --graph SPEC --workload SPEC [--seed N]
   dasched carve      --graph SPEC --dilation D [--layers L] [--seed N]
   dasched lowerbound --layers L --eta E --k K --p P [--seed N]
@@ -67,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "run" => cmd_run(&opts, seed),
         "plan" => cmd_plan(&opts, seed),
+        "trace" => cmd_trace(&opts, seed),
         "compare" => cmd_compare(&opts, seed),
         "carve" => cmd_carve(&opts, seed),
         "lowerbound" => cmd_lowerbound(&opts, seed),
@@ -89,6 +97,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
         if BOOLEAN_FLAGS.contains(&name) {
             out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        // --diff is the one flag taking two values: the plan files A and B
+        if name == "diff" {
+            let a = it.next().ok_or("flag --diff needs two plan files")?;
+            let b = it.next().ok_or("flag --diff needs two plan files")?;
+            out.insert("diff-a".to_string(), a.clone());
+            out.insert("diff-b".to_string(), b.clone());
             continue;
         }
         let value = it
@@ -267,6 +283,10 @@ fn cmd_plan(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     let g = parse_graph(req(opts, "graph")?, seed)?;
     let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
     let problem = DasProblem::new(&g, algos, seed);
+    if let Some(path_a) = opts.get("diff-a") {
+        let path_b = opts.get("diff-b").expect("--diff parses both files");
+        return diff_plans(&problem, path_a, path_b);
+    }
     let plan = match opts.get("in") {
         Some(path) => {
             // deserialized plans are untrusted: validate before executing
@@ -318,6 +338,21 @@ fn cmd_plan(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
         }
         None => println!("{}", plan.to_json()),
     }
+    Ok(())
+}
+
+/// The `plan --diff A.json B.json` tail: load both plans, diff them
+/// unit-by-unit, and print the per-phase predicted-load comparison.
+fn diff_plans(problem: &DasProblem<'_>, path_a: &str, path_b: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<SchedulePlan, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        SchedulePlan::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    // validation happens inside `between`: deserialized plans are untrusted
+    let diff = PlanDiff::between(problem, &a, &b).map_err(|e| e.to_string())?;
+    print!("{}", diff.render());
     Ok(())
 }
 
@@ -375,6 +410,57 @@ fn execute_planned(
     if let Some(path) = opts.get("dump-outcome") {
         std::fs::write(path, format!("{outcome:?}")).map_err(|e| e.to_string())?;
         println!("wrote outcome debug dump to {path}");
+    }
+    Ok(())
+}
+
+/// `dasched trace`: one fully observed plan → execute → verify run, with
+/// the assembled report exported as a Chrome `trace_events` JSON (load it
+/// at <https://ui.perfetto.dev>), a JSONL event stream, or a plain-text
+/// hot-spot report. Status goes to stderr so stdout stays a clean export
+/// when `--out` is not given.
+fn cmd_trace(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
+    let problem = DasProblem::new(&g, algos, seed);
+    let sched = parse_scheduler(req(opts, "scheduler")?)?;
+    let sched_seed = opt_u64(opts, "sched-seed")?.unwrap_or_else(|| sched.default_sched_seed());
+    let shards = opt_u64(opts, "shards")?.unwrap_or(1) as usize;
+    let top = opt_u64(opts, "top")?.unwrap_or(10) as usize;
+    let export = opts.get("export").map(String::as_str).unwrap_or("chrome");
+
+    let obs = dasched::obs::ObsConfig::full();
+    if !obs.enabled() {
+        return Err("das-obs was built without the `record` feature".into());
+    }
+    let traced = run_traced(&problem, sched.as_ref(), sched_seed, shards, &obs)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "traced {} on {} shard(s): schedule {} rounds, precompute {}, late {}, correct {:.1}%, {} events",
+        sched.name(),
+        traced.shard_report.as_ref().map_or(1, |r| r.shards),
+        traced.outcome.schedule_rounds(),
+        traced.outcome.precompute_rounds,
+        traced.outcome.stats.late_messages,
+        traced.verify.correctness_rate() * 100.0,
+        traced.report.events.len(),
+    );
+    let body = match export {
+        "chrome" => traced.report.to_chrome_trace(),
+        "jsonl" => traced.report.to_jsonl(),
+        "text" => traced.report.hot_text(top),
+        other => {
+            return Err(format!(
+                "unknown export format `{other}` (chrome|jsonl|text)"
+            ))
+        }
+    };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| e.to_string())?;
+            eprintln!("wrote {export} export to {path}");
+        }
+        None => print!("{body}"),
     }
     Ok(())
 }
@@ -695,6 +781,143 @@ mod tests {
         let err = run(&args).unwrap_err();
         assert!(err.contains("delay vector"), "got: {err}");
         std::fs::remove_file(plan_file).unwrap();
+    }
+
+    #[test]
+    fn diff_flag_consumes_two_values() {
+        let args: Vec<String> = ["--diff", "a.json", "b.json", "--seed", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_flags(&args).unwrap();
+        assert_eq!(opts["diff-a"], "a.json");
+        assert_eq!(opts["diff-b"], "b.json");
+        assert_eq!(opt_u64(&opts, "seed").unwrap(), Some(3));
+        assert!(parse_flags(&["--diff".to_string(), "a.json".to_string()]).is_err());
+    }
+
+    #[test]
+    fn plan_diff_command_diffs_two_plan_files() {
+        let dir = std::env::temp_dir().join("dasched_plan_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        for (path, sched_seed) in [(&a, "1"), (&b, "2")] {
+            let args: Vec<String> = [
+                "plan",
+                "--graph",
+                "path:14",
+                "--workload",
+                "relays:4",
+                "--scheduler",
+                "uniform",
+                "--sched-seed",
+                sched_seed,
+                "--out",
+                path.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            run(&args).unwrap();
+        }
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "path:14",
+            "--workload",
+            "relays:4",
+            "--diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        // diffing a plan against itself also works (and reports identity)
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "path:14",
+            "--workload",
+            "relays:4",
+            "--diff",
+            a.to_str().unwrap(),
+            a.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        for f in [a, b] {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_command_exports_all_formats() {
+        let dir = std::env::temp_dir().join("dasched_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (export, shards) in [
+            ("chrome", "1"),
+            ("chrome", "3"),
+            ("jsonl", "2"),
+            ("text", "1"),
+        ] {
+            let out = dir.join(format!("trace_{export}_{shards}.out"));
+            let args: Vec<String> = [
+                "trace",
+                "--graph",
+                "path:14",
+                "--workload",
+                "relays:4",
+                "--scheduler",
+                "uniform",
+                "--shards",
+                shards,
+                "--export",
+                export,
+                "--top",
+                "5",
+                "--out",
+                out.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            run(&args).unwrap();
+            let body = std::fs::read_to_string(&out).unwrap();
+            assert!(!body.is_empty());
+            if export == "chrome" {
+                let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+                assert!(
+                    !doc.get("traceEvents")
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .is_empty(),
+                    "chrome export must carry events"
+                );
+            }
+            std::fs::remove_file(out).unwrap();
+        }
+        // unknown formats are rejected
+        let args: Vec<String> = [
+            "trace",
+            "--graph",
+            "path:8",
+            "--workload",
+            "relays:2",
+            "--scheduler",
+            "uniform",
+            "--export",
+            "svg",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&args).unwrap_err().contains("unknown export format"));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`prg`] | `das-prg` | `GF(p)`, `k`-wise independence, delay laws |
 //! | [`cluster`] | `das-cluster` | ball carving + in-cluster randomness sharing |
 //! | [`core`] | `das-core` | the schedulers (Thm 1.1, §3 remark, Thm 4.1, baselines) |
+//! | [`obs`] | `das-obs` | deterministic tracing, metrics, Perfetto/JSONL export |
 //! | [`algos`] | `das-algos` | workloads: broadcast, BFS, routing, MST, distinct elements |
 //! | [`lowerbound`] | `das-lowerbound` | the §3 hard-instance family and certificates |
 //!
@@ -56,5 +57,6 @@ pub use das_congest as congest;
 pub use das_core as core;
 pub use das_graph as graph;
 pub use das_lowerbound as lowerbound;
+pub use das_obs as obs;
 pub use das_pattern as pattern;
 pub use das_prg as prg;

@@ -42,6 +42,41 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` when `self` is an object; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Views `self` as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Views `self` as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Views `self` as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+}
+
 /// Error produced when a [`Value`] does not match the requested type.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Error(pub String);
@@ -67,6 +102,18 @@ pub trait Deserialize: Sized {
     /// # Errors
     /// Returns [`Error`] if the value's shape does not match.
     fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
