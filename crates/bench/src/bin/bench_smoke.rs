@@ -13,8 +13,12 @@
 //! dump to FILE — CI diffs those dumps between `--obs full` and
 //! `--obs off` runs to enforce that recording never perturbs outcomes.
 
-use das_bench::{run_trial_observed, run_trial_sharded, workloads, TrialRunner};
-use das_core::{execute_plan_observed, DasProblem, Scheduler, UniformScheduler};
+use das_bench::{
+    run_trial_doubling, run_trial_observed, run_trial_sharded, workloads, TrialRunner,
+};
+use das_core::{
+    doubling, execute_plan_observed, DasProblem, DoublingConfig, Scheduler, UniformScheduler,
+};
 use das_obs::ObsConfig;
 use std::path::Path;
 use std::time::Instant;
@@ -23,7 +27,8 @@ use std::time::Instant;
 const SMOKE_SHARDS: usize = 4;
 
 const USAGE: &str = "usage: bench_smoke [trials] [base_seed] \
-                     [--obs off|metrics|full] [--dump-outcome FILE]";
+                     [--obs off|metrics|full] [--dump-outcome FILE] \
+                     [--plan-cache on|off] [--dump-doubling FILE]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -36,6 +41,8 @@ struct Args {
     base_seed: u64,
     obs: ObsConfig,
     dump_outcome: Option<String>,
+    plan_cache: bool,
+    dump_doubling: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +51,8 @@ fn parse_args() -> Args {
         base_seed: 42,
         obs: ObsConfig::off(),
         dump_outcome: None,
+        plan_cache: true,
+        dump_doubling: None,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -58,6 +67,22 @@ fn parse_args() -> Args {
                 args.dump_outcome = Some(
                     it.next()
                         .unwrap_or_else(|| fail("--dump-outcome needs a value")),
+                );
+            }
+            "--plan-cache" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--plan-cache needs a value"));
+                args.plan_cache = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => fail("--plan-cache must be on or off"),
+                };
+            }
+            "--dump-doubling" => {
+                args.dump_doubling = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--dump-doubling needs a value")),
                 );
             }
             other => {
@@ -94,6 +119,39 @@ fn dump_outcomes(path: &str, runner: &TrialRunner, problem: &DasProblem<'_>, obs
     }
     std::fs::write(path, dump).expect("write outcome dump");
     println!("wrote outcome dumps to {path}");
+}
+
+/// Runs every doubling trial once more and writes the search's full
+/// deterministic state — outcome bytes plus the search shape, but *not*
+/// the wall-clocked cache stats — so CI can diff `--plan-cache on`
+/// against `--plan-cache off` byte-for-byte, the same discipline as the
+/// obs-neutrality dump.
+fn dump_doubling_outcomes(
+    path: &str,
+    runner: &TrialRunner,
+    problem: &DasProblem<'_>,
+    cfg: &DoublingConfig,
+) {
+    let mut dump = String::new();
+    for t in 0..runner.trials() {
+        let seed = runner.trial_seed(t);
+        let sched = UniformScheduler::default().with_seed(seed);
+        let (r, _) =
+            doubling::uniform_with_doubling_configured(problem, &sched, &ObsConfig::off(), cfg)
+                .expect("workload is model-valid");
+        dump.push_str(&format!(
+            "guess={} attempts={} rejected={} wasted={} ranges={:?} fell_back={} {:?}\n",
+            r.final_guess,
+            r.attempts,
+            r.rejected_by_precheck,
+            r.wasted_rounds,
+            r.attempted_ranges,
+            r.fell_back,
+            r.outcome,
+        ));
+    }
+    std::fs::write(path, dump).expect("write doubling dump");
+    println!("wrote doubling dumps to {path}");
 }
 
 fn main() {
@@ -171,4 +229,86 @@ fn main() {
         fused_ms,
         sharded_ms / fused_ms.max(f64::EPSILON),
     );
+
+    // Doubling leg: a congested instance (16 relays stacked on one short
+    // path) that forces a multi-attempt search, so the plan-artifact cache
+    // has attempts to save planning work on.
+    let dg = das_graph::generators::path(24);
+    let dbl_problem = workloads::stacked_relays(&dg, 16, 7);
+    let cfg = DoublingConfig {
+        reuse_artifact: args.plan_cache,
+        ..DoublingConfig::default()
+    };
+    let dbl_clock = Instant::now();
+    let dbl = runner.aggregate("e01_smoke_doubling", "uniform+doubling", |seed| {
+        run_trial_doubling(&UniformScheduler::default(), &dbl_problem, seed, &cfg)
+    });
+    let dbl_ms = dbl_clock.elapsed().as_secs_f64() * 1e3;
+    let dbl_path = dbl
+        .write(Path::new("."))
+        .expect("write doubling BENCH artifact");
+    assert!(
+        dbl.mean_correctness > 0.99,
+        "doubling smoke run produced wrong outputs (correctness {})",
+        dbl.mean_correctness
+    );
+    let summaries: Vec<_> = dbl
+        .records
+        .iter()
+        .map(|r| {
+            r.doubling
+                .as_ref()
+                .expect("doubling trials carry a summary")
+        })
+        .collect();
+    let hits: u64 = summaries.iter().map(|d| d.replan_cache_hits).sum();
+    let builds: u64 = summaries.iter().map(|d| d.artifact_builds).sum();
+    let max_attempts = summaries.iter().map(|d| d.attempts).max().unwrap_or(0);
+    if args.plan_cache {
+        assert!(
+            max_attempts > 1,
+            "the doubling smoke instance must force a multi-attempt search"
+        );
+        assert!(
+            hits > 0,
+            "a multi-attempt search with the cache on must record cache hits"
+        );
+        for d in &summaries {
+            assert_eq!(d.artifact_builds, 1, "the artifact is built exactly once");
+        }
+    } else {
+        assert_eq!(hits, 0, "the cache-off path must not report hits");
+        assert_eq!(builds, 0, "the cache-off path replans from scratch");
+    }
+    println!(
+        "wrote {} (plan cache {}, {} artifact builds, {} re-size hits, max attempts {}, wall {:.1} ms)",
+        dbl_path.display(),
+        if args.plan_cache { "on" } else { "off" },
+        builds,
+        hits,
+        max_attempts,
+        dbl_ms,
+    );
+    // one extra search at the base seed to surface the planning wall-time
+    // split the deterministic artifact deliberately omits
+    let probe_sched = UniformScheduler::default().with_seed(args.base_seed);
+    let (probe, _) = doubling::uniform_with_doubling_configured(
+        &dbl_problem,
+        &probe_sched,
+        &ObsConfig::off(),
+        &cfg,
+    )
+    .expect("workload is model-valid");
+    println!(
+        "doubling planning wall (seed {}): {:.1} µs over {} build(s), {:.1} µs over {} re-size(s)",
+        args.base_seed,
+        probe.cache.build_nanos as f64 / 1e3,
+        probe.cache.artifact_builds,
+        probe.cache.size_nanos as f64 / 1e3,
+        probe.cache.replan_cache_hits,
+    );
+
+    if let Some(dump) = &args.dump_doubling {
+        dump_doubling_outcomes(dump, &runner, &dbl_problem, &cfg);
+    }
 }

@@ -21,13 +21,16 @@ pub mod runner;
 pub mod table;
 pub mod workloads;
 
-pub use runner::{ShardSummary, SummaryStats, TrialAggregate, TrialRecord, TrialRunner};
+pub use runner::{
+    DoublingSummary, ShardSummary, SummaryStats, TrialAggregate, TrialRecord, TrialRunner,
+};
 pub use table::Table;
 
 use das_core::verify::{self, VerifyReport};
 use das_core::{
-    execute_plan, execute_plan_observed, execute_plan_sharded, DasProblem, ExecError, SchedError,
-    ScheduleOutcome, SchedulePlan, Scheduler, ShardReport,
+    doubling, execute_plan, execute_plan_observed, execute_plan_sharded, DasProblem,
+    DoublingConfig, ExecError, SchedError, ScheduleOutcome, SchedulePlan, Scheduler, ShardReport,
+    UniformScheduler,
 };
 use das_obs::{ObsConfig, ObsReport};
 
@@ -98,6 +101,7 @@ pub fn record_trial(
         truncated: false,
         shard: None,
         obs: None,
+        doubling: None,
     }
 }
 
@@ -153,6 +157,33 @@ pub fn run_trial_observed(
     }
 }
 
+/// One full trial of the congestion-*oblivious* pipeline: run the uniform
+/// scheduler through the doubling search (the trial's `sched_seed`
+/// becoming the shared seed), verify the final outcome exactly once, and
+/// record — with the search's [`DoublingSummary`] (attempts, fallback,
+/// plan-cache counters) threaded into the record. `cfg` selects the
+/// artifact-cache mode; the recorded outcome fields are byte-identical
+/// across modes, which CI enforces by diffing artifacts.
+///
+/// # Panics
+/// Panics if the workload violates the CONGEST model.
+pub fn run_trial_doubling(
+    scheduler: &UniformScheduler,
+    problem: &DasProblem<'_>,
+    sched_seed: u64,
+    cfg: &DoublingConfig,
+) -> TrialRecord {
+    let sched = scheduler.clone().with_seed(sched_seed);
+    let (result, _) =
+        doubling::uniform_with_doubling_configured(problem, &sched, &ObsConfig::off(), cfg)
+            .expect("workload is model-valid");
+    let report =
+        verify::against_references(problem, &result.outcome).expect("references computable");
+    let mut rec = record_trial(sched_seed, &result.outcome, &report, None);
+    rec.doubling = Some(DoublingSummary::of(&result));
+    rec
+}
+
 /// [`run_trial`], executed on the sharded executor with `shards` workers.
 /// The recorded outcome fields are byte-identical to [`run_trial`]'s; the
 /// record additionally carries the partition-dependent [`ShardSummary`]
@@ -201,6 +232,7 @@ fn finish_trial(
             truncated: true,
             shard: None,
             obs: None,
+            doubling: None,
         },
         Err(e) => panic!("trial failed to execute: {e}"),
     }
@@ -305,6 +337,47 @@ mod tests {
             }
             None => assert!(full.obs.is_none(), "recording compiled out"),
         }
+    }
+
+    #[test]
+    fn doubling_trial_records_the_search_and_is_cache_neutral() {
+        let g = generators::path(12);
+        let p = workloads::stacked_relays(&g, 16, 1); // forces several attempts
+        let on = run_trial_doubling(
+            &UniformScheduler::default(),
+            &p,
+            5,
+            &DoublingConfig::default(),
+        );
+        let off_cfg = DoublingConfig {
+            reuse_artifact: false,
+            ..DoublingConfig::default()
+        };
+        let off = run_trial_doubling(&UniformScheduler::default(), &p, 5, &off_cfg);
+        let d_on = on
+            .doubling
+            .clone()
+            .expect("doubling trials carry a summary");
+        let d_off = off
+            .doubling
+            .clone()
+            .expect("doubling trials carry a summary");
+        assert!(
+            d_on.attempts > 1,
+            "instance must force the search to double"
+        );
+        assert_eq!(d_on.artifact_builds, 1);
+        assert_eq!(d_on.replan_cache_hits, u64::from(d_on.attempts) - 1);
+        assert_eq!(d_off.artifact_builds, 0);
+        assert_eq!(d_off.replan_cache_hits, 0);
+        // the cache counters are the ONLY fields allowed to differ
+        let mut off_masked = off.clone();
+        off_masked.doubling = Some(DoublingSummary {
+            artifact_builds: d_on.artifact_builds,
+            replan_cache_hits: d_on.replan_cache_hits,
+            ..d_off
+        });
+        assert_eq!(on, off_masked, "cache mode must not move any outcome field");
     }
 
     #[test]

@@ -128,6 +128,12 @@ pub struct TrialRecord {
     /// Absent in older artifacts and in unobserved trials.
     #[serde(default)]
     pub obs: Option<ObsSummary>,
+    /// Doubling-search summary, when the trial ran a congestion-doubling
+    /// search instead of a single plan. Deterministic counters only (the
+    /// cache's wall clocks stay out of the artifact). Absent in older
+    /// artifacts and in non-doubling trials.
+    #[serde(default)]
+    pub doubling: Option<DoublingSummary>,
 }
 
 impl TrialRecord {
@@ -136,6 +142,46 @@ impl TrialRecord {
     /// event).
     pub fn success(&self) -> bool {
         self.late == 0 && !self.truncated
+    }
+}
+
+/// What one doubling search did, recorded into the artifact: the search
+/// shape (attempts, the final guess, whether it gave up) and the plan
+/// artifact cache's deterministic counters. Every field is a pure function
+/// of the schedule — no wall clocks — so artifacts stay byte-identical
+/// across thread counts and cache on/off runs stay diffable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DoublingSummary {
+    /// Attempts made (including the successful or given-up one).
+    pub attempts: u32,
+    /// Attempts rejected by the plan-level precheck.
+    pub rejected_by_precheck: u32,
+    /// The last attempt's implied congestion guess.
+    pub final_guess: u64,
+    /// Rounds charged to failed attempts.
+    pub wasted_rounds: u64,
+    /// Whether the search gave up and fell back to the interleave
+    /// baseline.
+    pub fell_back: bool,
+    /// Guess-independent plan artifact builds (1 with the cache on, 0
+    /// off).
+    pub artifact_builds: u64,
+    /// Attempts planned by re-sizing the cached artifact.
+    pub replan_cache_hits: u64,
+}
+
+impl DoublingSummary {
+    /// Condenses a [`das_core::DoublingOutcome`] into the artifact form.
+    pub fn of(outcome: &das_core::DoublingOutcome) -> Self {
+        DoublingSummary {
+            attempts: outcome.attempts,
+            rejected_by_precheck: outcome.rejected_by_precheck,
+            final_guess: outcome.final_guess,
+            wasted_rounds: outcome.wasted_rounds,
+            fell_back: outcome.fell_back,
+            artifact_builds: outcome.cache.artifact_builds,
+            replan_cache_hits: outcome.cache.replan_cache_hits,
+        }
     }
 }
 
@@ -313,6 +359,7 @@ mod tests {
             truncated: false,
             shard: None,
             obs: None,
+            doubling: None,
         }
     }
 
@@ -375,7 +422,32 @@ mod tests {
         assert!(!r.truncated);
         assert!(r.shard.is_none());
         assert!(r.obs.is_none());
+        assert!(r.doubling.is_none());
         assert!(r.success());
+    }
+
+    #[test]
+    fn doubling_summary_roundtrips_in_records() {
+        let mut rec = record(1, 10, 0);
+        rec.doubling = Some(DoublingSummary {
+            attempts: 3,
+            rejected_by_precheck: 2,
+            final_guess: 24,
+            wasted_rounds: 90,
+            fell_back: false,
+            artifact_builds: 1,
+            replan_cache_hits: 2,
+        });
+        let agg = TrialAggregate::from_records("t", "s", 0, vec![rec]);
+        let back: TrialAggregate = serde_json::from_str(&agg.to_json()).unwrap();
+        assert_eq!(back, agg);
+        assert_eq!(
+            back.records[0]
+                .doubling
+                .as_ref()
+                .map(|d| d.replan_cache_hits),
+            Some(2)
+        );
     }
 
     #[test]

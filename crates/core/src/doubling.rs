@@ -25,22 +25,39 @@
 //! exactly once — on the final, successful plan. The charged round costs
 //! are unchanged: every rejected guess still pays its predicted schedule
 //! length plus the detection convergecast.
+//!
+//! Planning work is **not** repeated per guess: both searches build the
+//! guess-independent [`PlanArtifact`] once ([`crate::Scheduler::build_artifact`])
+//! and re-size it per attempt ([`crate::Scheduler::size_plan`]), which is
+//! provably invisible — sized plans are byte-identical to from-scratch
+//! ones — and turns each failed attempt's planning cost from a full
+//! carve/share/draw pass into a cheap re-sampling.
+//! [`DoublingOutcome::cache`] and the `doubling.replan_cache_hits` /
+//! `doubling.artifact_builds` counters record the reuse;
+//! [`DoublingConfig::reuse_artifact`] turns it off for A/B neutrality
+//! checks.
 
+use crate::plan::cache::PlanArtifact;
 use crate::plan::{analysis, execute_plan_observed, SchedError};
 use crate::problem::DasProblem;
+use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 use crate::{InterleaveScheduler, PrivateScheduler, UniformScheduler};
 use das_obs::{ObsConfig, ObsReport, Stage, TraceEvent};
+use std::time::Instant;
 
 /// The outcome of a doubling search.
 #[derive(Debug)]
 pub struct DoublingOutcome {
-    /// The final (successful) schedule.
+    /// The final schedule (the fallback baseline's when
+    /// [`DoublingOutcome::fell_back`] is set).
     pub outcome: ScheduleOutcome,
-    /// The congestion guess that succeeded (the big-round span of the last
-    /// attempt, scaled back to engine rounds — comparable to the true
-    /// congestion the search does not know).
+    /// The congestion guess of the last attempt, scaled back to engine
+    /// rounds — comparable to the true congestion the search does not
+    /// know. On the fallback path this is the guess that *failed* and
+    /// tripped the give-up cap, not a successful budget; check
+    /// [`DoublingOutcome::fell_back`] before reading it as one.
     pub final_guess: u64,
     /// Number of attempts (including the successful one).
     pub attempts: u32,
@@ -51,10 +68,61 @@ pub struct DoublingOutcome {
     /// Rounds burnt across all failed attempts (also charged into
     /// `outcome.precompute_rounds`).
     pub wasted_rounds: u64,
-    /// The delay span (in big-rounds) each attempt actually used: the
-    /// uniform law's prime range, or the private law's first-block size.
-    /// Strictly increasing — the doubling regression guard.
+    /// The full span (in big-rounds) of the delay law each attempt
+    /// actually drew from: the uniform law's prime range, or the private
+    /// law's total span (all decaying blocks). Strictly increasing — the
+    /// doubling regression guard.
     pub attempted_ranges: Vec<u64>,
+    /// Whether the search gave up and fell back to the always-correct
+    /// interleave baseline. Mirrored by the `doubling.fallback` obs
+    /// counter, but available to [`ObsConfig::off`] callers and bench
+    /// records too.
+    pub fell_back: bool,
+    /// How much planning work the artifact cache saved.
+    pub cache: PlanCacheStats,
+}
+
+/// Knobs for the doubling searches — everything defaults to the production
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct DoublingConfig {
+    /// Build the guess-independent [`PlanArtifact`] once and re-size it
+    /// per attempt (default). Off replans every attempt from scratch —
+    /// the outcome is byte-identical either way (CI diffs the two), only
+    /// slower.
+    pub reuse_artifact: bool,
+    /// Overrides the give-up cap (default `k · dilation · max-degree`, a
+    /// trivial congestion upper bound). Tests and experiments use a tiny
+    /// cap to force the fallback path deterministically.
+    pub cap_override: Option<u64>,
+}
+
+impl Default for DoublingConfig {
+    fn default() -> Self {
+        DoublingConfig {
+            reuse_artifact: true,
+            cap_override: None,
+        }
+    }
+}
+
+/// Planning-work accounting for one doubling search: how often the
+/// guess-independent artifact was built vs re-sized, and the wall time
+/// each side took. The counters are deterministic; the `*_nanos` fields
+/// are wall clocks (reported only through the opt-in `wall.*` metrics and
+/// never persisted into deterministic artifacts).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Guess-independent artifact builds (1 with the cache on, 0 off).
+    pub artifact_builds: u64,
+    /// Attempts planned by re-sizing an already-built artifact —
+    /// `attempts − 1` with the cache on, 0 off.
+    pub replan_cache_hits: u64,
+    /// Wall nanoseconds building artifacts (with the cache off: running
+    /// the full `plan()` per attempt).
+    pub build_nanos: u64,
+    /// Wall nanoseconds sizing plans from the artifact.
+    pub size_nanos: u64,
 }
 
 /// First delay span tried, in big-rounds. Starting at 2 (not 1) keeps the
@@ -63,60 +131,119 @@ pub struct DoublingOutcome {
 /// sizing's first attempt exactly.
 const INITIAL_RANGE: u64 = 2;
 
+/// Plans one doubling attempt: re-sizes the cached artifact (building it
+/// on first use), or — with the cache disabled — replans from scratch
+/// through `set_override`. Returns the plan and whether an existing
+/// artifact was reused.
+fn plan_attempt<S: Scheduler + Clone>(
+    problem: &DasProblem<'_>,
+    base: &S,
+    set_override: impl Fn(&mut S, u64),
+    guess_span: u64,
+    cfg: &DoublingConfig,
+    artifact: &mut Option<PlanArtifact>,
+    cache: &mut PlanCacheStats,
+) -> Result<(crate::SchedulePlan, bool), ReferenceError> {
+    if cfg.reuse_artifact {
+        let reused = artifact.is_some();
+        if reused {
+            cache.replan_cache_hits += 1;
+        } else {
+            let t = Instant::now();
+            *artifact = Some(base.build_artifact(problem, base.default_sched_seed())?);
+            cache.build_nanos += t.elapsed().as_nanos() as u64;
+            cache.artifact_builds += 1;
+        }
+        let art = artifact.as_ref().expect("built above");
+        let t = Instant::now();
+        let plan = base.size_plan(problem, art, Some(guess_span))?;
+        cache.size_nanos += t.elapsed().as_nanos() as u64;
+        Ok((plan, reused))
+    } else {
+        let t = Instant::now();
+        let mut sched = base.clone();
+        set_override(&mut sched, guess_span);
+        let plan = sched.plan(problem, sched.default_sched_seed())?;
+        cache.build_nanos += t.elapsed().as_nanos() as u64;
+        Ok((plan, false))
+    }
+}
+
+/// One attempt's facts for the observability report.
+struct AttemptRecord<'a> {
+    attempt: u32,
+    /// The full span of the delay law the attempt drew from — the same
+    /// convention for both searches (prime range / total block span).
+    delay_span: u64,
+    guess: u64,
+    prediction: &'a analysis::LoadPrediction,
+    wasted_before: u64,
+    /// The planning (pre-computation) charge of the attempt's plan — the
+    /// accepted attempt's span duration.
+    planning_rounds: u64,
+    reused_artifact: bool,
+}
+
 /// Records one doubling attempt into the report: accept/reject counters
 /// with the reason, plus (in full mode) a `Plan`-track span whose
 /// deterministic timestamp is the rounds already burnt by earlier failed
-/// attempts and whose duration is the attempt's charged cost.
-fn record_attempt(
-    report: &mut Option<ObsReport>,
-    obs: &ObsConfig,
-    attempt: u32,
-    delay_span: u64,
-    guess: u64,
-    prediction: &analysis::LoadPrediction,
-    wasted_before: u64,
-) {
+/// attempts. A *rejected* attempt's span lasts its charged (predicted)
+/// cost; an *accepted* attempt's span covers only the planning charge —
+/// its engine rounds land on the `Execute` tracks when the final plan
+/// runs, so they appear exactly once on the timeline.
+fn record_attempt(report: &mut Option<ObsReport>, obs: &ObsConfig, rec: AttemptRecord<'_>) {
     let Some(r) = report.as_mut() else { return };
     r.metrics.inc("doubling.attempts", 1);
-    let name = if prediction.feasible() {
+    let (name, dur) = if rec.prediction.feasible() {
         r.metrics.inc("doubling.accepted", 1);
-        "attempt accepted"
+        ("attempt accepted", rec.planning_rounds)
     } else {
         r.metrics.inc("doubling.rejected_precheck", 1);
-        "attempt rejected: predicted late"
+        (
+            "attempt rejected: predicted late",
+            rec.prediction.predicted_engine_rounds,
+        )
     };
     if obs.events_enabled() {
         r.push_event(
-            TraceEvent::span(
-                Stage::Plan,
-                0,
-                name,
-                wasted_before,
-                prediction.predicted_engine_rounds,
-            )
-            .arg("attempt", u64::from(attempt))
-            .arg("delay_span", delay_span)
-            .arg("congestion_guess", guess)
-            .arg("predicted_late", prediction.predicted_late),
+            TraceEvent::span(Stage::Plan, 0, name, rec.wasted_before, dur)
+                .arg("attempt", u64::from(rec.attempt))
+                .arg("delay_span", rec.delay_span)
+                .arg("congestion_guess", rec.guess)
+                .arg("predicted_late", rec.prediction.predicted_late)
+                .arg("reused_artifact", u64::from(rec.reused_artifact)),
         );
     }
 }
 
-/// Folds the final execution's recording and the search totals into the
-/// report once the search terminates.
+/// Folds the final execution's recording, the search totals, and the
+/// plan-cache accounting into the report once the search terminates.
 fn finish_report(
     report: &mut Option<ObsReport>,
+    obs: &ObsConfig,
     exec_report: Option<ObsReport>,
     wasted: u64,
     fell_back: bool,
+    cache: &PlanCacheStats,
 ) {
     let Some(r) = report.as_mut() else { return };
     if let Some(er) = exec_report {
         r.merge(&er);
     }
     r.metrics.inc("doubling.wasted_rounds", wasted);
+    r.metrics
+        .inc("doubling.artifact_builds", cache.artifact_builds);
+    r.metrics
+        .inc("doubling.replan_cache_hits", cache.replan_cache_hits);
     if fell_back {
         r.metrics.inc("doubling.fallback", 1);
+    }
+    if obs.wall_clock {
+        // Wall clocks stay quarantined behind the explicit opt-in, like
+        // the pipeline's other wall.* counters.
+        r.metrics
+            .inc("wall.artifact_build_us", cache.build_nanos / 1_000);
+        r.metrics.inc("wall.plan_size_us", cache.size_nanos / 1_000);
     }
 }
 
@@ -148,34 +275,74 @@ pub fn uniform_with_doubling_observed(
     base: &UniformScheduler,
     obs: &ObsConfig,
 ) -> Result<(DoublingOutcome, Option<ObsReport>), SchedError> {
+    uniform_with_doubling_configured(problem, base, obs, &DoublingConfig::default())
+}
+
+/// [`uniform_with_doubling_observed`] with explicit [`DoublingConfig`]
+/// knobs (artifact reuse, cap override).
+///
+/// # Errors
+/// Propagates a [`SchedError`] from planning or the final execution.
+pub fn uniform_with_doubling_configured(
+    problem: &DasProblem<'_>,
+    base: &UniformScheduler,
+    obs: &ObsConfig,
+    cfg: &DoublingConfig,
+) -> Result<(DoublingOutcome, Option<ObsReport>), SchedError> {
     let k = problem.k() as u64;
     let dilation = problem.dilation() as u64;
-    let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
+    let cap = cfg
+        .cap_override
+        .unwrap_or_else(|| (k * dilation * problem.graph().max_degree().max(1) as u64).max(1));
     let ln_n = (problem.graph().node_count().max(2) as f64).ln();
     let mut range = INITIAL_RANGE;
     let mut attempts = 0u32;
     let mut rejected = 0u32;
     let mut wasted = 0u64;
     let mut attempted_ranges = Vec::new();
+    let mut artifact: Option<PlanArtifact> = None;
+    let mut cache = PlanCacheStats::default();
     let mut report = obs.enabled().then(ObsReport::new);
     loop {
         attempts += 1;
         // Sizing the scheduler for the guess: the delay range (in
         // big-rounds) is what a congestion budget controls — range · ln n
         // engine rounds of spread for a budget of that many messages.
-        let mut sched = base.clone();
-        sched.delay_range = Some(range);
         let span = das_prg::primes::next_prime(range);
         attempted_ranges.push(span);
-        let guess = implied_congestion(range, ln_n);
-        let plan = sched.plan(problem, sched.default_sched_seed())?;
+        // The law draws from the *prime* span, which next_prime rounds up
+        // from the requested range — the reported guess and the give-up
+        // check must use the span actually in force, or both under-report
+        // the real delay budget.
+        let guess = implied_congestion(span, ln_n);
+        let (plan, reused) = plan_attempt(
+            problem,
+            base,
+            |s, g| s.delay_range = Some(g),
+            range,
+            cfg,
+            &mut artifact,
+            &mut cache,
+        )?;
         let prediction = analysis::predict(problem, &plan)?;
-        record_attempt(&mut report, obs, attempts, span, guess, &prediction, wasted);
+        record_attempt(
+            &mut report,
+            obs,
+            AttemptRecord {
+                attempt: attempts,
+                delay_span: span,
+                guess,
+                prediction: &prediction,
+                wasted_before: wasted,
+                planning_rounds: plan.precompute_rounds,
+                reused_artifact: reused,
+            },
+        );
         if prediction.feasible() {
             let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds += wasted;
-            finish_report(&mut report, exec_report, wasted, false);
+            finish_report(&mut report, obs, exec_report, wasted, false, &cache);
             return Ok((
                 DoublingOutcome {
                     outcome,
@@ -184,6 +351,8 @@ pub fn uniform_with_doubling_observed(
                     rejected_by_precheck: rejected,
                     wasted_rounds: wasted,
                     attempted_ranges,
+                    fell_back: false,
+                    cache,
                 },
                 report,
             ));
@@ -197,7 +366,7 @@ pub fn uniform_with_doubling_observed(
             let plan = fallback.plan(problem, fallback.default_sched_seed())?;
             let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             outcome.precompute_rounds += wasted;
-            finish_report(&mut report, exec_report, wasted, true);
+            finish_report(&mut report, obs, exec_report, wasted, true, &cache);
             return Ok((
                 DoublingOutcome {
                     outcome,
@@ -206,6 +375,8 @@ pub fn uniform_with_doubling_observed(
                     rejected_by_precheck: rejected,
                     wasted_rounds: wasted,
                     attempted_ranges,
+                    fell_back: true,
+                    cache,
                 },
                 report,
             ));
@@ -218,7 +389,8 @@ pub fn uniform_with_doubling_observed(
 /// by the same doubling discipline. The clustering and sharing
 /// pre-computation depend only on `dilation` (which nodes can read off
 /// their own algorithms), so only the *execution* attempts repeat; the
-/// pre-computation is charged once.
+/// pre-computation is charged once — and, through the plan artifact,
+/// *computed* once too.
 ///
 /// # Errors
 /// Propagates a [`SchedError`] from planning or the final execution.
@@ -239,9 +411,25 @@ pub fn private_with_doubling_observed(
     base: &PrivateScheduler,
     obs: &ObsConfig,
 ) -> Result<(DoublingOutcome, Option<ObsReport>), SchedError> {
+    private_with_doubling_configured(problem, base, obs, &DoublingConfig::default())
+}
+
+/// [`private_with_doubling_observed`] with explicit [`DoublingConfig`]
+/// knobs (artifact reuse, cap override).
+///
+/// # Errors
+/// Propagates a [`SchedError`] from planning or the final execution.
+pub fn private_with_doubling_configured(
+    problem: &DasProblem<'_>,
+    base: &PrivateScheduler,
+    obs: &ObsConfig,
+    cfg: &DoublingConfig,
+) -> Result<(DoublingOutcome, Option<ObsReport>), SchedError> {
     let k = problem.k() as u64;
     let dilation = problem.dilation() as u64;
-    let cap = (k * dilation * problem.graph().max_degree().max(1) as u64).max(1);
+    let cap = cfg
+        .cap_override
+        .unwrap_or_else(|| (k * dilation * problem.graph().max_degree().max(1) as u64).max(1));
     let ln_n = (problem.graph().node_count().max(2) as f64).ln();
     let mut block = INITIAL_RANGE;
     let mut attempts = 0u32;
@@ -249,14 +437,29 @@ pub fn private_with_doubling_observed(
     let mut wasted = 0u64;
     let mut attempted_ranges = Vec::new();
     let mut precompute_once: Option<u64> = None;
+    let mut artifact: Option<PlanArtifact> = None;
+    let mut cache = PlanCacheStats::default();
     let mut report = obs.enabled().then(ObsReport::new);
     loop {
         attempts += 1;
-        let mut sched = base.clone();
-        sched.block_override = Some(block);
-        attempted_ranges.push(block);
+        let (plan, reused) = plan_attempt(
+            problem,
+            base,
+            |s, g| s.block_override = Some(g),
+            block,
+            cfg,
+            &mut artifact,
+            &mut cache,
+        )?;
+        let num_layers = (plan.unit_count() / problem.k()).max(1);
+        // Report the full span of the sized law (all decaying blocks) —
+        // the same delay_span convention as the uniform search's prime
+        // range. The congestion guess itself stays on the first block:
+        // only first-scheduled copies pay bandwidth (Lemma 4.4), so the
+        // first block is what a congestion budget controls.
+        let span = base.doubling_delay_span(block, num_layers);
+        attempted_ranges.push(span);
         let guess = implied_congestion(block, ln_n);
-        let plan = sched.plan(problem, sched.default_sched_seed())?;
         // pre-computation is independent of the congestion guess: charge it
         // once across attempts
         let pre = *precompute_once.get_or_insert(plan.precompute_rounds);
@@ -264,17 +467,21 @@ pub fn private_with_doubling_observed(
         record_attempt(
             &mut report,
             obs,
-            attempts,
-            block,
-            guess,
-            &prediction,
-            wasted,
+            AttemptRecord {
+                attempt: attempts,
+                delay_span: span,
+                guess,
+                prediction: &prediction,
+                wasted_before: wasted,
+                planning_rounds: pre,
+                reused_artifact: reused,
+            },
         );
         if prediction.feasible() {
             let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds = pre + wasted;
-            finish_report(&mut report, exec_report, wasted, false);
+            finish_report(&mut report, obs, exec_report, wasted, false, &cache);
             return Ok((
                 DoublingOutcome {
                     outcome,
@@ -283,6 +490,8 @@ pub fn private_with_doubling_observed(
                     rejected_by_precheck: rejected,
                     wasted_rounds: wasted,
                     attempted_ranges,
+                    fell_back: false,
+                    cache,
                 },
                 report,
             ));
@@ -294,7 +503,7 @@ pub fn private_with_doubling_observed(
             let plan = fb.plan(problem, fb.default_sched_seed())?;
             let (mut fallback, exec_report) = execute_plan_observed(problem, &plan, obs)?;
             fallback.precompute_rounds = pre + wasted;
-            finish_report(&mut report, exec_report, wasted, true);
+            finish_report(&mut report, obs, exec_report, wasted, true, &cache);
             return Ok((
                 DoublingOutcome {
                     outcome: fallback,
@@ -303,6 +512,8 @@ pub fn private_with_doubling_observed(
                     rejected_by_precheck: rejected,
                     wasted_rounds: wasted,
                     attempted_ranges,
+                    fell_back: true,
+                    cache,
                 },
                 report,
             ));
@@ -334,6 +545,15 @@ mod tests {
     use crate::verify;
     use das_graph::generators;
 
+    /// A path instance congested enough to force several doubling
+    /// attempts (16 relays stacked on 11 edges).
+    fn congested_problem(g: &das_graph::Graph) -> DasProblem<'_> {
+        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..16)
+            .map(|i| Box::new(RelayChain::new(i, g)) as Box<dyn crate::BlackBoxAlgorithm>)
+            .collect();
+        DasProblem::new(g, algos, 3)
+    }
+
     #[test]
     fn doubling_finds_a_working_guess() {
         let g = generators::path(10);
@@ -345,6 +565,7 @@ mod tests {
         let report = verify::against_references(&p, &result.outcome).unwrap();
         assert!(report.all_correct());
         assert!(result.attempts >= 1);
+        assert!(!result.fell_back, "a working guess exists");
         // wasted rounds are charged
         assert_eq!(
             result.outcome.total_rounds(),
@@ -383,6 +604,7 @@ mod tests {
         assert!(report.all_correct());
         assert!(result.outcome.precompute_rounds > 0);
         assert_eq!(result.rejected_by_precheck, result.attempts - 1);
+        assert!(!result.fell_back);
     }
 
     #[test]
@@ -405,10 +627,7 @@ mod tests {
     #[test]
     fn observed_doubling_matches_and_records_attempts() {
         let g = generators::path(12);
-        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..16)
-            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
-            .collect();
-        let p = DasProblem::new(&g, algos, 3);
+        let p = congested_problem(&g);
         let plain = uniform_with_doubling(&p, &UniformScheduler::default()).unwrap();
         let (observed, report) =
             uniform_with_doubling_observed(&p, &UniformScheduler::default(), &ObsConfig::full())
@@ -435,6 +654,17 @@ mod tests {
             r.metrics.counter("doubling.wasted_rounds"),
             observed.wasted_rounds
         );
+        // the cache counters mirror DoublingOutcome.cache
+        assert_eq!(
+            r.metrics.counter("doubling.artifact_builds"),
+            observed.cache.artifact_builds
+        );
+        assert_eq!(
+            r.metrics.counter("doubling.replan_cache_hits"),
+            observed.cache.replan_cache_hits
+        );
+        // wall clocks stay out of the deterministic report by default
+        assert!(r.metrics.counters.keys().all(|k| !k.starts_with("wall.")));
         // one Plan-track span per attempt, plus the engine's execute events
         let plan_spans = r
             .events
@@ -453,10 +683,7 @@ mod tests {
         // produce strictly increasing spans on an instance congested
         // enough to force several attempts.
         let g = generators::path(12);
-        let algos: Vec<Box<dyn crate::BlackBoxAlgorithm>> = (0..16)
-            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn crate::BlackBoxAlgorithm>)
-            .collect();
-        let p = DasProblem::new(&g, algos, 3);
+        let p = congested_problem(&g);
         let result = uniform_with_doubling(&p, &UniformScheduler::default()).unwrap();
         assert!(
             result.attempts > 1,
@@ -478,9 +705,103 @@ mod tests {
         for w in private.attempted_ranges.windows(2) {
             assert!(
                 w[1] > w[0],
-                "private attempt blocks must strictly widen: {:?}",
+                "private attempt spans must strictly widen: {:?}",
                 private.attempted_ranges
             );
         }
+    }
+
+    #[test]
+    fn uniform_guess_derives_from_the_prime_span_actually_used() {
+        // regression: the second attempt requests range 4 but draws from
+        // next_prime(4) = 5 big-rounds; the reported guess (and the cap
+        // check) must reflect the 5, not the 4.
+        let g = generators::path(12);
+        let p = congested_problem(&g);
+        let ln_n = (g.node_count().max(2) as f64).ln();
+        let result = uniform_with_doubling(&p, &UniformScheduler::default()).unwrap();
+        assert!(result.attempts > 1, "need a doubled attempt");
+        assert_eq!(
+            result.attempted_ranges[1], 5,
+            "second attempt must use the prime span above range 4"
+        );
+        let last_span = *result.attempted_ranges.last().unwrap();
+        assert_eq!(
+            result.final_guess,
+            implied_congestion(last_span, ln_n),
+            "final_guess must be derived from the prime span in force"
+        );
+    }
+
+    #[test]
+    fn forced_fallback_sets_fell_back_and_stays_correct() {
+        let g = generators::path(12);
+        let p = congested_problem(&g);
+        let cfg = DoublingConfig {
+            cap_override: Some(1),
+            ..DoublingConfig::default()
+        };
+        let (result, _) = uniform_with_doubling_configured(
+            &p,
+            &UniformScheduler::default(),
+            &ObsConfig::off(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(result.fell_back, "a cap of 1 must force the fallback");
+        assert_eq!(
+            result.rejected_by_precheck, result.attempts,
+            "every attempt failed on the fallback path"
+        );
+        assert!(
+            result.final_guess > 1,
+            "final_guess records the guess that tripped the cap"
+        );
+        let report = verify::against_references(&p, &result.outcome).unwrap();
+        assert!(report.all_correct(), "the interleave fallback is exact");
+
+        let (private, _) = private_with_doubling_configured(
+            &p,
+            &crate::PrivateScheduler::default(),
+            &ObsConfig::off(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(private.fell_back);
+        assert!(verify::against_references(&p, &private.outcome)
+            .unwrap()
+            .all_correct());
+    }
+
+    #[test]
+    fn artifact_cache_hits_every_attempt_after_the_first() {
+        let g = generators::path(12);
+        let p = congested_problem(&g);
+        let uni = uniform_with_doubling(&p, &UniformScheduler::default()).unwrap();
+        assert!(uni.attempts > 1);
+        assert_eq!(uni.cache.artifact_builds, 1, "artifact built exactly once");
+        assert_eq!(
+            uni.cache.replan_cache_hits,
+            u64::from(uni.attempts) - 1,
+            "every later attempt re-sizes the cached artifact"
+        );
+        let prv = private_with_doubling(&p, &crate::PrivateScheduler::default()).unwrap();
+        assert_eq!(prv.cache.artifact_builds, 1);
+        assert_eq!(prv.cache.replan_cache_hits, u64::from(prv.attempts) - 1);
+
+        // cache off: every attempt replans from scratch
+        let cfg = DoublingConfig {
+            reuse_artifact: false,
+            ..DoublingConfig::default()
+        };
+        let (off, _) = uniform_with_doubling_configured(
+            &p,
+            &UniformScheduler::default(),
+            &ObsConfig::off(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(off.cache.artifact_builds, 0);
+        assert_eq!(off.cache.replan_cache_hits, 0);
     }
 }

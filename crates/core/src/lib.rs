@@ -76,10 +76,12 @@ pub mod synthetic;
 pub mod verify;
 
 pub use algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
+pub use doubling::{DoublingConfig, DoublingOutcome, PlanCacheStats};
 pub use exec::{
     ExecError, ExecStats, Executor, ExecutorConfig, ShardReport, ShardStats, StepPlan, Unit,
 };
 pub use obs::{run_traced, TracedRun};
+pub use plan::cache::PlanArtifact;
 pub use plan::{
     execute_plan, execute_plan_observed, execute_plan_sharded, execute_plan_sharded_observed,
     PlanError, SchedError, SchedulePlan,

@@ -22,6 +22,7 @@
 //! infeasible congestion guesses before paying for an engine run.
 
 pub mod analysis;
+pub mod cache;
 pub mod diff;
 
 use crate::exec::{ExecError, Executor, ExecutorConfig, ShardReport, StepPlan, Unit};

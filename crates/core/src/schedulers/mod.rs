@@ -17,6 +17,7 @@ pub use uniform::{
     prime_range_overhead, uniform_length_bound, TunedUniformScheduler, UniformScheduler,
 };
 
+use crate::plan::cache::{ArtifactData, PlanArtifact};
 use crate::plan::{execute_plan, SchedError, SchedulePlan};
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
@@ -52,6 +53,60 @@ pub trait Scheduler: Send + Sync {
         problem: &DasProblem<'_>,
         sched_seed: u64,
     ) -> Result<SchedulePlan, ReferenceError>;
+
+    /// Builds the cached, guess-independent planning artifact for
+    /// `(problem, sched_seed)` — everything [`Scheduler::plan`] computes
+    /// that does not depend on a congestion guess. [`crate::doubling`]
+    /// builds it once and re-sizes it per guess via
+    /// [`Scheduler::size_plan`].
+    ///
+    /// The default implementation caches the finished plan outright,
+    /// which is exact for schedulers whose plans ignore the guess
+    /// entirely (sequential, interleave, tuned).
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`], as [`Scheduler::plan`] does.
+    fn build_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<PlanArtifact, ReferenceError> {
+        Ok(PlanArtifact::fixed(
+            self.name(),
+            sched_seed,
+            self.plan(problem, sched_seed)?,
+        ))
+    }
+
+    /// Sizes a [`SchedulePlan`] from a cached artifact for a concrete
+    /// congestion `guess` (an exact delay-span override in big-rounds;
+    /// `None` keeps the scheduler's own default sizing). The result is
+    /// **byte-identical** to [`Scheduler::plan`] run from scratch with
+    /// the corresponding override set — the artifact split must be
+    /// invisible in the plan bytes. Schedulers without a span override
+    /// (sequential, interleave, tuned) ignore `guess`.
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`], as [`Scheduler::plan`] does.
+    ///
+    /// # Panics
+    /// Panics if `artifact` was built by a different scheduler.
+    fn size_plan(
+        &self,
+        problem: &DasProblem<'_>,
+        artifact: &PlanArtifact,
+        guess: Option<u64>,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        let _ = (problem, guess);
+        artifact.expect_scheduler(self.name());
+        match &artifact.data {
+            ArtifactData::Fixed(plan) => Ok(plan.clone()),
+            _ => unreachable!(
+                "scheduler `{}` uses the default fixed-plan artifact",
+                self.name()
+            ),
+        }
+    }
 
     /// Schedules and executes all algorithms of `problem`: plans with
     /// [`Scheduler::default_sched_seed`] and hands the plan to

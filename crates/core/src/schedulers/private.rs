@@ -21,11 +21,12 @@
 //! of `O(congestion + dilation · log n)` rounds.
 
 use crate::exec::Unit;
+use crate::plan::cache::{ArtifactData, PlanArtifact, PrivateArtifact};
 use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedulers::Scheduler;
-use das_cluster::{share_layer_centralized, CarveConfig, Clustering, ShareConfig};
+use das_cluster::{share_layer_centralized, CarveConfig, Clustering, Layer, ShareConfig};
 use das_congest::util::seed_mix;
 use das_prg::{BlockDecay, DelayLaw, KWiseGenerator};
 
@@ -96,6 +97,10 @@ impl Default for PrivateScheduler {
     }
 }
 
+/// Carved clustering, per-layer shared seeds, and the charged
+/// pre-computation rounds — the guess-independent prefix of planning.
+type Precomputed = (Clustering, Vec<Vec<Vec<u64>>>, u64);
+
 impl PrivateScheduler {
     /// Sets the base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -120,28 +125,20 @@ impl PrivateScheduler {
         self.delay_law = law;
         self
     }
-}
 
-impl Scheduler for PrivateScheduler {
-    fn name(&self) -> &'static str {
-        "private"
-    }
-
-    fn default_sched_seed(&self) -> u64 {
-        self.seed
-    }
-
-    fn plan(
+    /// Steps 1–2 of the pipeline — carving (Lemma 4.2) and in-cluster
+    /// randomness sharing (Lemma 4.3). Everything here depends only on
+    /// `(problem, sched_seed)`, never on a congestion guess, which is why
+    /// the doubling search can charge it once.
+    fn precompute(
         &self,
         problem: &DasProblem<'_>,
         sched_seed: u64,
-    ) -> Result<SchedulePlan, ReferenceError> {
+    ) -> Result<Precomputed, ReferenceError> {
         let g = problem.graph();
         let n = g.node_count();
         let params = problem.parameters()?;
-        let ln_n = (n.max(2) as f64).ln();
 
-        // 1. Carving (Lemma 4.2).
         let mut carve_cfg = CarveConfig::for_dilation(g, params.dilation);
         if let Some(l) = self.layers {
             carve_cfg = carve_cfg.with_num_layers(l);
@@ -153,7 +150,6 @@ impl Scheduler for PrivateScheduler {
         };
         let mut precompute_rounds = clustering.precompute_rounds();
 
-        // 2. In-cluster randomness sharing (Lemma 4.3).
         let share_cfg = ShareConfig::for_graph(g, carve_cfg.horizon);
         let chunk_seed = seed_mix(sched_seed, 0xC0FFEE);
         let chunks = das_cluster::share::center_chunks(n, share_cfg.chunks, chunk_seed);
@@ -176,14 +172,24 @@ impl Scheduler for PrivateScheduler {
             };
             layer_seeds.push(seeds);
         }
+        Ok((clustering, layer_seeds, precompute_rounds))
+    }
 
-        // 3. The delay law: Lemma 4.4's block-decay, or (ablation) the
-        // "simpler solution" uniform over Theta(congestion) big-rounds.
-        let num_layers = clustering.layers().len();
-        let law: Box<dyn DelayLaw> = match self.delay_law {
+    /// Step 3 — the delay law sized for `override_` (an exact first-block
+    /// size in big-rounds) or, when `None`, for the measured congestion.
+    /// `congestion` and `ln_n` feed only the default sizing and are
+    /// ignored when `override_` is set.
+    fn sized_delay_law(
+        &self,
+        congestion: u64,
+        ln_n: f64,
+        num_layers: usize,
+        override_: Option<u64>,
+    ) -> Box<dyn DelayLaw> {
+        match self.delay_law {
             PrivateDelayLaw::BlockDecay => {
-                let block_l = self.block_override.unwrap_or_else(|| {
-                    ((self.block_factor * params.congestion as f64) / ln_n)
+                let block_l = override_.unwrap_or_else(|| {
+                    ((self.block_factor * congestion as f64) / ln_n)
                         .ceil()
                         .max(1.0) as u64
                 });
@@ -198,52 +204,126 @@ impl Scheduler for PrivateScheduler {
                 // per-layer draws keeps per-big-round loads at O(log n):
                 // range = C·(#layers)/ln n big-rounds, i.e. the simple
                 // solution's Θ(C log n) span
-                let range = match self.block_override {
+                let range = match override_ {
                     Some(block) => block.saturating_mul(num_layers as u64).max(1),
-                    None => ((self.block_factor * params.congestion as f64 * num_layers as f64)
-                        / ln_n)
+                    None => ((self.block_factor * congestion as f64 * num_layers as f64) / ln_n)
                         .ceil()
                         .max(1.0) as u64,
                 };
                 Box::new(das_prg::Uniform::new(range))
             }
-        };
+        }
+    }
+
+    /// The full span (in big-rounds) of the delay law sized for an exact
+    /// first block of `block` over `num_layers` layers. The doubling
+    /// search reports this as each attempt's `delay_span`, unifying the
+    /// convention with the uniform search's prime range: both report the
+    /// span the attempt's law actually draws from.
+    pub fn doubling_delay_span(&self, block: u64, num_layers: usize) -> u64 {
+        self.sized_delay_law(0, 1.0, num_layers, Some(block))
+            .support()
+    }
+}
+
+/// The raw `(r1, r2)` generator words of one layer, indexed
+/// `algo · n + node`: each cluster's shared seed feeds a `Θ(log n)`-wise
+/// generator over the fixed Mersenne field, so these words are the same
+/// for every congestion guess — the cacheable half of step 3/4.
+fn layer_draws(problem: &DasProblem<'_>, layer: &Layer, seeds: &[Vec<u64>]) -> Vec<(u64, u64)> {
+    let n = problem.graph().node_count();
+    // Build each cluster's generator once (every member holds the same
+    // seed bytes — that is what sharing bought us).
+    let mut gens: std::collections::HashMap<das_graph::NodeId, KWiseGenerator> =
+        std::collections::HashMap::new();
+    for &c in &layer.centers() {
+        let bytes: Vec<u8> = seeds[c.index()]
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
+        let kk = (2.0 * (n.max(2) as f64).log2()).ceil() as usize;
+        gens.insert(c, KWiseGenerator::from_seed_bytes(&bytes, kk, PRG_PRIME));
+    }
+    let mut draws = Vec::with_capacity(problem.k() * n);
+    for algo in problem.algorithms() {
+        let aid = algo.aid().0;
+        for v in 0..n {
+            let gen = &gens[&layer.center[v]];
+            draws.push((
+                gen.bucket_value(aid, 0, BUCKET_WIDTH),
+                gen.bucket_value(aid, 1, BUCKET_WIDTH),
+            ));
+        }
+    }
+    draws
+}
+
+/// Reduces one layer's cached raw draws into per-(algorithm) units under
+/// the sized delay law.
+fn layer_units(
+    draws: &[(u64, u64)],
+    trunc: &[u32],
+    law: &dyn DelayLaw,
+    k: usize,
+    n: usize,
+    units: &mut Vec<Unit>,
+) {
+    for i in 0..k {
+        let delay: Vec<u64> = (0..n)
+            .map(|v| {
+                let (r1, r2) = draws[i * n + v];
+                law.sample_from_pair(r1, r2)
+            })
+            .collect();
+        units.push(Unit {
+            algo: i,
+            delay,
+            stride: 1,
+            trunc: trunc.to_vec(),
+        });
+    }
+}
+
+impl Scheduler for PrivateScheduler {
+    fn name(&self) -> &'static str {
+        "private"
+    }
+
+    fn default_sched_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn plan(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        let n = problem.graph().node_count();
+        let params = problem.parameters()?;
+        let ln_n = (n.max(2) as f64).ln();
+
+        // 1–2. Carving (Lemma 4.2) + in-cluster sharing (Lemma 4.3).
+        let (clustering, layer_seeds, precompute_rounds) = self.precompute(problem, sched_seed)?;
+
+        // 3. The delay law: Lemma 4.4's block-decay, or (ablation) the
+        // "simpler solution" uniform over Theta(congestion) big-rounds.
+        let num_layers = clustering.layers().len();
+        let law = self.sized_delay_law(params.congestion, ln_n, num_layers, self.block_override);
 
         // 4. One unit per (layer, algorithm): per-cluster delays from the
         // cluster's shared seed, per-node truncation at the contained
         // radius.
         let mut units = Vec::with_capacity(num_layers * problem.k());
         for (l, layer) in clustering.layers().iter().enumerate() {
-            // Build each cluster's generator once (every member holds the
-            // same seed bytes — that is what sharing bought us).
-            let mut gens: std::collections::HashMap<das_graph::NodeId, KWiseGenerator> =
-                std::collections::HashMap::new();
-            for &c in &layer.centers() {
-                let bytes: Vec<u8> = layer_seeds[l][c.index()]
-                    .iter()
-                    .flat_map(|w| w.to_le_bytes())
-                    .collect();
-                let kk = (2.0 * (n.max(2) as f64).log2()).ceil() as usize;
-                gens.insert(c, KWiseGenerator::from_seed_bytes(&bytes, kk, PRG_PRIME));
-            }
-            for (i, algo) in problem.algorithms().iter().enumerate() {
-                let aid = algo.aid().0;
-                let delay: Vec<u64> = (0..n)
-                    .map(|v| {
-                        let c = layer.center[v];
-                        let gen = &gens[&c];
-                        let r1 = gen.bucket_value(aid, 0, BUCKET_WIDTH);
-                        let r2 = gen.bucket_value(aid, 1, BUCKET_WIDTH);
-                        law.sample_from_pair(r1, r2)
-                    })
-                    .collect();
-                units.push(Unit {
-                    algo: i,
-                    delay,
-                    stride: 1,
-                    trunc: layer.contained_radius.clone(),
-                });
-            }
+            let draws = layer_draws(problem, layer, &layer_seeds[l]);
+            layer_units(
+                &draws,
+                &layer.contained_radius,
+                law.as_ref(),
+                problem.k(),
+                n,
+                &mut units,
+            );
         }
 
         let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
@@ -252,6 +332,78 @@ impl Scheduler for PrivateScheduler {
             sched_seed,
             phase_len,
             precompute_rounds,
+            problem,
+            units,
+        ))
+    }
+
+    fn build_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<PlanArtifact, ReferenceError> {
+        let n = problem.graph().node_count();
+        let ln_n = (n.max(2) as f64).ln();
+        let (clustering, layer_seeds, precompute_rounds) = self.precompute(problem, sched_seed)?;
+        let trunc: Vec<Vec<u32>> = clustering
+            .layers()
+            .iter()
+            .map(|layer| layer.contained_radius.clone())
+            .collect();
+        let draws: Vec<Vec<(u64, u64)>> = clustering
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| layer_draws(problem, layer, &layer_seeds[l]))
+            .collect();
+        Ok(PlanArtifact::new(
+            self.name(),
+            sched_seed,
+            ArtifactData::Private(PrivateArtifact {
+                phase_len: (self.phase_factor * ln_n).ceil().max(1.0) as u64,
+                precompute_rounds,
+                num_layers: clustering.layers().len(),
+                trunc,
+                draws,
+            }),
+        ))
+    }
+
+    fn size_plan(
+        &self,
+        problem: &DasProblem<'_>,
+        artifact: &PlanArtifact,
+        guess: Option<u64>,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        artifact.expect_scheduler(self.name());
+        let ArtifactData::Private(art) = &artifact.data else {
+            unreachable!("private artifacts carry ArtifactData::Private")
+        };
+        let n = problem.graph().node_count();
+        let params = problem.parameters()?;
+        let ln_n = (n.max(2) as f64).ln();
+        let law = self.sized_delay_law(
+            params.congestion,
+            ln_n,
+            art.num_layers,
+            guess.or(self.block_override),
+        );
+        let mut units = Vec::with_capacity(art.num_layers * problem.k());
+        for l in 0..art.num_layers {
+            layer_units(
+                &art.draws[l],
+                &art.trunc[l],
+                law.as_ref(),
+                problem.k(),
+                n,
+                &mut units,
+            );
+        }
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            artifact.sched_seed(),
+            art.phase_len,
+            art.precompute_rounds,
             problem,
             units,
         ))

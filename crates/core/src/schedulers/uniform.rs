@@ -2,6 +2,7 @@
 //! remark variant.
 
 use crate::exec::Unit;
+use crate::plan::cache::{ArtifactData, PlanArtifact, UniformArtifact};
 use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
@@ -58,6 +59,17 @@ impl UniformScheduler {
         self.shared_seed = seed;
         self
     }
+
+    /// The delay range an attempt actually sizes for: an explicit `guess`
+    /// wins, then the configured [`UniformScheduler::delay_range`]
+    /// override, then the `range_factor`-derived default.
+    fn effective_range(&self, guess: Option<u64>, congestion: u64, ln_n: f64) -> u64 {
+        guess.or(self.delay_range).unwrap_or_else(|| {
+            ((self.range_factor * congestion as f64) / ln_n)
+                .ceil()
+                .max(1.0) as u64
+        })
+    }
 }
 
 fn kwise_from_shared(seed: u64, n: usize, p: u64) -> KWiseGenerator {
@@ -65,18 +77,33 @@ fn kwise_from_shared(seed: u64, n: usize, p: u64) -> KWiseGenerator {
     KWiseGenerator::from_seed_bytes(&seed.to_le_bytes(), k, p)
 }
 
-fn delayed_units(problem: &DasProblem<'_>, gen: &KWiseGenerator, law: &Uniform) -> Vec<Unit> {
-    let n = problem.graph().node_count();
+/// The per-algorithm `(r1, r2)` bucket draws, in algorithm order — the
+/// raw generator words both the direct plan path and the artifact cache
+/// reduce into delays.
+fn bucket_pairs(problem: &DasProblem<'_>, gen: &KWiseGenerator) -> Vec<(u64, u64)> {
     problem
         .algorithms()
         .iter()
-        .enumerate()
-        .map(|(i, algo)| {
+        .map(|algo| {
             let r1 = gen.bucket_value(algo.aid().0, 0, BUCKET_WIDTH);
             let r2 = gen.bucket_value(algo.aid().0, 1, BUCKET_WIDTH);
-            Unit::global(i, law.sample_from_pair(r1, r2), n)
+            (r1, r2)
         })
         .collect()
+}
+
+/// Reduces raw bucket draws into one globally-delayed unit per algorithm.
+fn units_from_pairs(pairs: &[(u64, u64)], law: &Uniform, n: usize) -> Vec<Unit> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(r1, r2))| Unit::global(i, law.sample_from_pair(r1, r2), n))
+        .collect()
+}
+
+fn delayed_units(problem: &DasProblem<'_>, gen: &KWiseGenerator, law: &Uniform) -> Vec<Unit> {
+    let n = problem.graph().node_count();
+    units_from_pairs(&bucket_pairs(problem, gen), law, n)
 }
 
 impl Scheduler for UniformScheduler {
@@ -97,11 +124,7 @@ impl Scheduler for UniformScheduler {
         let n = problem.graph().node_count();
         let ln_n = (n.max(2) as f64).ln();
         let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
-        let range = self.delay_range.unwrap_or_else(|| {
-            ((self.range_factor * params.congestion as f64) / ln_n)
-                .ceil()
-                .max(1.0) as u64
-        });
+        let range = self.effective_range(None, params.congestion, ln_n);
         let law = Uniform::prime_at_least(range);
         let gen = kwise_from_shared(sched_seed, n, law.range());
         let units = delayed_units(problem, &gen, &law);
@@ -109,6 +132,68 @@ impl Scheduler for UniformScheduler {
             self.name(),
             sched_seed,
             phase_len,
+            0,
+            problem,
+            units,
+        ))
+    }
+
+    fn build_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<PlanArtifact, ReferenceError> {
+        let params = problem.parameters()?;
+        let n = problem.graph().node_count();
+        let ln_n = (n.max(2) as f64).ln();
+        let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
+        // The generator and its draws are cached at the scheduler's own
+        // default span; sizing transfers them whenever a guess maps to
+        // the same prime modulus.
+        let range = self.effective_range(None, params.congestion, ln_n);
+        let law = Uniform::prime_at_least(range);
+        let gen = kwise_from_shared(sched_seed, n, law.range());
+        let draws = bucket_pairs(problem, &gen);
+        Ok(PlanArtifact::new(
+            self.name(),
+            sched_seed,
+            ArtifactData::Uniform(UniformArtifact {
+                phase_len,
+                gen,
+                draws,
+            }),
+        ))
+    }
+
+    fn size_plan(
+        &self,
+        problem: &DasProblem<'_>,
+        artifact: &PlanArtifact,
+        guess: Option<u64>,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        artifact.expect_scheduler(self.name());
+        let ArtifactData::Uniform(art) = &artifact.data else {
+            unreachable!("uniform artifacts carry ArtifactData::Uniform")
+        };
+        let params = problem.parameters()?;
+        let n = problem.graph().node_count();
+        let ln_n = (n.max(2) as f64).ln();
+        let range = self.effective_range(guess, params.congestion, ln_n);
+        let law = Uniform::prime_at_least(range);
+        // The uniform law's modulus *is* the prime span (footnote 6), so
+        // the cached draws transfer only when the guess lands on the
+        // cached prime; otherwise rebuild the Θ(log n)-coefficient
+        // generator — the cheap part — and redraw.
+        let units = if law.range() == art.gen.modulus() {
+            units_from_pairs(&art.draws, &law, n)
+        } else {
+            let gen = kwise_from_shared(artifact.sched_seed(), n, law.range());
+            units_from_pairs(&bucket_pairs(problem, &gen), &law, n)
+        };
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            artifact.sched_seed(),
+            art.phase_len,
             0,
             problem,
             units,

@@ -5,9 +5,9 @@
 //! metadata tracks naming each pipeline stage and each shard lane.
 
 use das_core::synthetic::RelayChain;
-use das_core::{run_traced, BlackBoxAlgorithm, DasProblem, UniformScheduler};
+use das_core::{doubling, run_traced, BlackBoxAlgorithm, DasProblem, UniformScheduler};
 use das_graph::generators;
-use das_obs::ObsConfig;
+use das_obs::{ObsConfig, Stage, TraceEvent};
 use serde_json::Value;
 use std::collections::BTreeSet;
 
@@ -124,6 +124,84 @@ fn sharded_run_exports_one_track_per_shard() {
             "shard-2".to_string()
         ]),
         "each shard gets its own named track"
+    );
+}
+
+/// The named `u64` argument of a trace event.
+fn span_arg(e: &TraceEvent, key: &str) -> u64 {
+    e.args
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("span `{}` missing arg `{key}`", e.name))
+        .1
+}
+
+/// Regression for the doubling timeline's double-count: the *accepted*
+/// attempt's `Plan`-track span must cover only the planning charge — its
+/// engine rounds land on the `Execute` track when the final plan runs, so
+/// a span of `predicted_engine_rounds` made them appear twice. Also pins
+/// the unified `delay_span` convention: every attempt's arg equals the
+/// full law span recorded in `attempted_ranges`, for both searches.
+#[test]
+fn doubling_attempt_spans_cover_planning_only_once() {
+    let g = generators::path(12);
+    let p = problem(&g, 16); // congested: forces a multi-attempt search
+    let obs = ObsConfig::full();
+    if !obs.enabled() {
+        return; // recording compiled out
+    }
+
+    let (uni, report) =
+        doubling::uniform_with_doubling_observed(&p, &UniformScheduler::default(), &obs).unwrap();
+    let r = report.expect("recording enabled");
+    let spans: Vec<&TraceEvent> = r.events.iter().filter(|e| e.stage == Stage::Plan).collect();
+    assert!(uni.attempts > 1, "instance must force the search to double");
+    assert_eq!(spans.len(), uni.attempts as usize);
+    for (i, e) in spans.iter().enumerate() {
+        assert_eq!(
+            span_arg(e, "delay_span"),
+            uni.attempted_ranges[i],
+            "attempt {i}'s delay_span must be the law span actually drawn from"
+        );
+        assert_eq!(
+            span_arg(e, "reused_artifact"),
+            u64::from(i > 0),
+            "every attempt after the first re-sizes the cached artifact"
+        );
+    }
+    let (rejected, accepted) = spans.split_at(spans.len() - 1);
+    assert_eq!(accepted[0].name, "attempt accepted");
+    assert_eq!(
+        accepted[0].dur, 0,
+        "uniform planning is free of pre-computation: the accepted span \
+         must not re-plot the engine rounds the Execute track already shows"
+    );
+    for e in rejected {
+        assert_eq!(e.name, "attempt rejected: predicted late");
+        assert!(e.dur > 0, "rejected attempts show their charged cost");
+    }
+    // the report still round-trips through the Chrome exporter
+    check_chrome_schema(&r.to_chrome_trace());
+
+    let (prv, report) =
+        doubling::private_with_doubling_observed(&p, &das_core::PrivateScheduler::default(), &obs)
+            .unwrap();
+    let r = report.expect("recording enabled");
+    let spans: Vec<&TraceEvent> = r.events.iter().filter(|e| e.stage == Stage::Plan).collect();
+    assert_eq!(spans.len(), prv.attempts as usize);
+    for (i, e) in spans.iter().enumerate() {
+        assert_eq!(
+            span_arg(e, "delay_span"),
+            prv.attempted_ranges[i],
+            "private delay_span must use the same full-span convention"
+        );
+    }
+    let accepted = spans.last().unwrap();
+    assert_eq!(accepted.name, "attempt accepted");
+    assert_eq!(
+        accepted.dur,
+        prv.outcome.precompute_rounds - prv.wasted_rounds,
+        "the accepted private span covers exactly the once-charged pre-computation"
     );
 }
 

@@ -1,0 +1,231 @@
+//! Property-based neutrality of the plan-artifact split: sizing a plan
+//! from a cached, guess-independent [`das_core::PlanArtifact`] must be
+//! **byte-identical** (canonical JSON) to running the scheduler's full
+//! `plan()` with the corresponding override — for every scheduler, graph,
+//! workload, and congestion guess. The doubling searches ride on this
+//! split, so the file also checks that a search with the artifact cache on
+//! reports exactly what the replan-from-scratch path reports.
+
+use das_core::synthetic::{FloodBall, Prescribed, RelayChain};
+use das_core::{
+    doubling, BlackBoxAlgorithm, DasProblem, DoublingConfig, DoublingOutcome, InterleaveScheduler,
+    PrivateScheduler, Scheduler, SequentialScheduler, TunedUniformScheduler, UniformScheduler,
+};
+use das_graph::{generators, Graph, NodeId};
+use das_obs::ObsConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Congestion guesses the override sweep tries: small spans around the
+/// doubling search's early attempts (including 5, a prime the uniform
+/// artifact may have cached draws for) and one far past the default.
+const GUESSES: [u64; 4] = [2, 5, 8, 64];
+
+/// A random mixed workload (prescribed / flood / relay) on `g` — the same
+/// generator the shard-equivalence property uses.
+fn build_algos(g: &Graph, k: usize, seed: u64) -> Vec<Box<dyn BlackBoxAlgorithm>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count() as u32;
+    let m = g.edge_count() as u32;
+    (0..k as u64)
+        .map(|i| match i % 3 {
+            0 => {
+                let triples: Vec<(u32, NodeId, NodeId)> = (0..4)
+                    .map(|_| {
+                        let e = das_graph::EdgeId(rng.gen_range(0..m));
+                        let (a, b) = g.endpoints(e);
+                        let (from, to) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+                        (rng.gen_range(0..5u32), from, to)
+                    })
+                    .collect();
+                Box::new(Prescribed::new(i, g, &triples)) as Box<dyn BlackBoxAlgorithm>
+            }
+            1 => Box::new(FloodBall::new(i, g, NodeId(rng.gen_range(0..n)), 3)),
+            _ => {
+                let mut route = vec![NodeId(rng.gen_range(0..n))];
+                for _ in 0..4 {
+                    let cur = *route.last().expect("non-empty");
+                    let nbrs = g.neighbors(cur);
+                    let (next, _) = nbrs[rng.gen_range(0..nbrs.len())];
+                    route.push(next);
+                }
+                Box::new(RelayChain::along(i, g, route))
+            }
+        })
+        .collect()
+}
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(SequentialScheduler),
+        Box::new(InterleaveScheduler),
+        Box::new(UniformScheduler::default()),
+        Box::new(TunedUniformScheduler::default()),
+        Box::new(PrivateScheduler::default()),
+    ]
+}
+
+/// Asserts `size_plan(build_artifact(..), ..)` == `plan()` bytes for every
+/// scheduler at the default sizing, and for the two guess-sized schedulers
+/// across the override sweep.
+fn assert_sizing_matches_scratch(g: &Graph, k: usize, seed: u64) {
+    let p = DasProblem::new(g, build_algos(g, k, seed), seed);
+    for sched in all_schedulers() {
+        let scratch = sched.plan(&p, seed).expect("model-valid workload");
+        let artifact = sched.build_artifact(&p, seed).expect("artifact build");
+        let sized = sched
+            .size_plan(&p, &artifact, None)
+            .expect("default sizing");
+        assert_eq!(
+            scratch.to_json(),
+            sized.to_json(),
+            "scheduler {} default sizing diverged from plan()",
+            sched.name()
+        );
+    }
+    // guess overrides: sizing the cached artifact for `guess` must equal a
+    // from-scratch plan with the override baked into the scheduler
+    let uni = UniformScheduler::default();
+    let uni_art = uni.build_artifact(&p, seed).expect("uniform artifact");
+    let prv = PrivateScheduler::default();
+    let prv_art = prv.build_artifact(&p, seed).expect("private artifact");
+    for guess in GUESSES {
+        let mut u = uni.clone();
+        u.delay_range = Some(guess);
+        assert_eq!(
+            u.plan(&p, seed).expect("uniform plan").to_json(),
+            uni.size_plan(&p, &uni_art, Some(guess))
+                .expect("uniform sizing")
+                .to_json(),
+            "uniform sizing diverged at guess {guess}"
+        );
+        let mut pr = prv.clone();
+        pr.block_override = Some(guess);
+        assert_eq!(
+            pr.plan(&p, seed).expect("private plan").to_json(),
+            prv.size_plan(&p, &prv_art, Some(guess))
+                .expect("private sizing")
+                .to_json(),
+            "private sizing diverged at guess {guess}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Artifact sizing is byte-identical to from-scratch planning on
+    /// random connected G(n, p) graphs.
+    #[test]
+    fn sizing_matches_scratch_on_gnp(gs in 0u64..200, ws in 0u64..200, k in 1usize..5) {
+        let g = generators::gnp_connected(12, 2.5 / 12.0, gs);
+        assert_sizing_matches_scratch(&g, k, ws);
+    }
+
+    /// Same property on layered graphs (skewed degrees stress the private
+    /// scheduler's carve differently).
+    #[test]
+    fn sizing_matches_scratch_on_layered(ws in 0u64..400, k in 1usize..5) {
+        let g = generators::layered(4, 3);
+        assert_sizing_matches_scratch(&g, k, ws);
+    }
+}
+
+/// Asserts two doubling searches reported the same thing, ignoring only
+/// the [`das_core::PlanCacheStats`] accounting (which is *supposed* to
+/// differ between cache-on and cache-off).
+fn assert_same_search(on: &DoublingOutcome, off: &DoublingOutcome, ctx: &str) {
+    assert_eq!(
+        format!("{:?}", on.outcome),
+        format!("{:?}", off.outcome),
+        "{ctx}: the final schedule must be byte-identical"
+    );
+    assert_eq!(on.final_guess, off.final_guess, "{ctx}");
+    assert_eq!(on.attempts, off.attempts, "{ctx}");
+    assert_eq!(on.rejected_by_precheck, off.rejected_by_precheck, "{ctx}");
+    assert_eq!(on.wasted_rounds, off.wasted_rounds, "{ctx}");
+    assert_eq!(on.attempted_ranges, off.attempted_ranges, "{ctx}");
+    assert_eq!(on.fell_back, off.fell_back, "{ctx}");
+}
+
+/// A path instance congested enough to force several doubling attempts.
+fn congested_problem(g: &Graph) -> DasProblem<'_> {
+    let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..16)
+        .map(|i| Box::new(RelayChain::new(i, g)) as Box<dyn BlackBoxAlgorithm>)
+        .collect();
+    DasProblem::new(g, algos, 3)
+}
+
+#[test]
+fn doubling_with_cache_matches_doubling_without() {
+    let g = generators::path(12);
+    let p = congested_problem(&g);
+    let on_cfg = DoublingConfig::default();
+    let off_cfg = DoublingConfig {
+        reuse_artifact: false,
+        ..DoublingConfig::default()
+    };
+    let obs = ObsConfig::off();
+
+    let (on, _) =
+        doubling::uniform_with_doubling_configured(&p, &UniformScheduler::default(), &obs, &on_cfg)
+            .unwrap();
+    let (off, _) = doubling::uniform_with_doubling_configured(
+        &p,
+        &UniformScheduler::default(),
+        &obs,
+        &off_cfg,
+    )
+    .unwrap();
+    assert!(
+        on.attempts > 1,
+        "instance must force a multi-attempt search"
+    );
+    assert_same_search(&on, &off, "uniform");
+    assert_eq!(on.cache.artifact_builds, 1);
+    assert_eq!(on.cache.replan_cache_hits, u64::from(on.attempts) - 1);
+    assert_eq!(off.cache.artifact_builds, 0);
+    assert_eq!(off.cache.replan_cache_hits, 0);
+
+    let (on, _) =
+        doubling::private_with_doubling_configured(&p, &PrivateScheduler::default(), &obs, &on_cfg)
+            .unwrap();
+    let (off, _) = doubling::private_with_doubling_configured(
+        &p,
+        &PrivateScheduler::default(),
+        &obs,
+        &off_cfg,
+    )
+    .unwrap();
+    assert_same_search(&on, &off, "private");
+    assert_eq!(on.cache.artifact_builds, 1);
+    assert_eq!(off.cache.replan_cache_hits, 0);
+}
+
+#[test]
+fn doubling_fallback_path_matches_too() {
+    let g = generators::path(12);
+    let p = congested_problem(&g);
+    let obs = ObsConfig::off();
+    let on_cfg = DoublingConfig {
+        cap_override: Some(1),
+        ..DoublingConfig::default()
+    };
+    let off_cfg = DoublingConfig {
+        reuse_artifact: false,
+        cap_override: Some(1),
+    };
+    let (on, _) =
+        doubling::uniform_with_doubling_configured(&p, &UniformScheduler::default(), &obs, &on_cfg)
+            .unwrap();
+    let (off, _) = doubling::uniform_with_doubling_configured(
+        &p,
+        &UniformScheduler::default(),
+        &obs,
+        &off_cfg,
+    )
+    .unwrap();
+    assert!(on.fell_back, "a cap of 1 must force the fallback");
+    assert_same_search(&on, &off, "uniform fallback");
+}
