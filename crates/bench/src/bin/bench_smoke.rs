@@ -5,16 +5,21 @@
 //! sharded-vs-fused wall-clock comparison.
 //!
 //! Usage: `bench_smoke [trials] [base_seed] [--obs off|metrics|full]
-//! [--dump-outcome FILE]` (defaults: 8 trials, seed 42, obs off).
+//! [--dump-outcome FILE] [--wall]` (defaults: 8 trials, seed 42, obs off).
 //!
 //! `--obs` sets the observability level for the fused trials; their
 //! per-trial [`das_obs::ObsSummary`] is persisted into the BENCH artifact.
 //! `--dump-outcome` writes every fused trial's `ScheduleOutcome` debug
 //! dump to FILE — CI diffs those dumps between `--obs full` and
 //! `--obs off` runs to enforce that recording never perturbs outcomes.
+//! `--wall` opts into wall-clock reporting (the `ObsConfig::wall_clock`
+//! side channel plus the printed timing splits); without it every line
+//! this binary prints is deterministic, so CI can diff whole outputs
+//! without flaking on timing noise.
 
 use das_bench::{
-    run_trial_doubling, run_trial_observed, run_trial_sharded, workloads, TrialRunner,
+    run_trial_doubling, run_trial_observed, run_trial_sharded, run_trial_swept, workloads,
+    SweepPlanner, TrialRunner,
 };
 use das_core::{
     doubling, execute_plan_observed, DasProblem, DoublingConfig, Scheduler, UniformScheduler,
@@ -28,7 +33,7 @@ const SMOKE_SHARDS: usize = 4;
 
 const USAGE: &str = "usage: bench_smoke [trials] [base_seed] \
                      [--obs off|metrics|full] [--dump-outcome FILE] \
-                     [--plan-cache on|off] [--dump-doubling FILE]";
+                     [--plan-cache on|off] [--dump-doubling FILE] [--wall]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -43,6 +48,7 @@ struct Args {
     dump_outcome: Option<String>,
     plan_cache: bool,
     dump_doubling: Option<String>,
+    wall: bool,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +59,7 @@ fn parse_args() -> Args {
         dump_outcome: None,
         plan_cache: true,
         dump_doubling: None,
+        wall: false,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -85,6 +92,7 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| fail("--dump-doubling needs a value")),
                 );
             }
+            "--wall" => args.wall = true,
             other => {
                 let n: u64 = other
                     .parse()
@@ -205,6 +213,30 @@ fn main() {
         dump_outcomes(dump, &runner, &problem, &args.obs);
     }
 
+    // Same trials again from one shared sweep artifact: the scheduler plans
+    // its seed-independent prefix once, every trial re-derives only the
+    // seed-dependent tail, and the schedule-quality numbers must not move.
+    let sweep_sched = UniformScheduler::default();
+    let planner = SweepPlanner::new(&sweep_sched, &problem);
+    let swept = runner.aggregate("e01_smoke_swept", "uniform", |seed| {
+        run_trial_swept(&planner, &problem, seed)
+    });
+    let swept_path = swept
+        .write(Path::new("."))
+        .expect("write swept BENCH artifact");
+    assert_eq!(
+        (agg.schedule.max, agg.late.max, agg.success_rate),
+        (swept.schedule.max, swept.late.max, swept.success_rate),
+        "sweep-shared planning changed schedule statistics"
+    );
+    println!(
+        "wrote {} (sweep cache: shared={}, {} plan-cache hits over {} trials)",
+        swept_path.display(),
+        planner.shares_planning(),
+        planner.cache_hits(),
+        swept.trials,
+    );
+
     // Same trials again through the sharded executor: the schedule-quality
     // numbers must not move (byte-identical outcomes), only wall-clock and
     // the per-shard fields may differ.
@@ -221,14 +253,18 @@ fn main() {
         (sharded.schedule.max, sharded.late.max, sharded.success_rate),
         "sharded execution changed schedule statistics"
     );
-    println!(
-        "wrote {} ({} shards, sharded wall {:.1} ms vs fused {:.1} ms, ratio {:.2}x)",
-        sharded_path.display(),
-        SMOKE_SHARDS,
-        sharded_ms,
-        fused_ms,
-        sharded_ms / fused_ms.max(f64::EPSILON),
-    );
+    if args.wall {
+        println!(
+            "wrote {} ({} shards, sharded wall {:.1} ms vs fused {:.1} ms, ratio {:.2}x)",
+            sharded_path.display(),
+            SMOKE_SHARDS,
+            sharded_ms,
+            fused_ms,
+            sharded_ms / fused_ms.max(f64::EPSILON),
+        );
+    } else {
+        println!("wrote {} ({} shards)", sharded_path.display(), SMOKE_SHARDS);
+    }
 
     // Doubling leg: a congested instance (16 relays stacked on one short
     // path) that forces a multi-attempt search, so the plan-artifact cache
@@ -280,33 +316,44 @@ fn main() {
         assert_eq!(hits, 0, "the cache-off path must not report hits");
         assert_eq!(builds, 0, "the cache-off path replans from scratch");
     }
-    println!(
-        "wrote {} (plan cache {}, {} artifact builds, {} re-size hits, max attempts {}, wall {:.1} ms)",
-        dbl_path.display(),
-        if args.plan_cache { "on" } else { "off" },
-        builds,
-        hits,
-        max_attempts,
-        dbl_ms,
-    );
-    // one extra search at the base seed to surface the planning wall-time
-    // split the deterministic artifact deliberately omits
-    let probe_sched = UniformScheduler::default().with_seed(args.base_seed);
-    let (probe, _) = doubling::uniform_with_doubling_configured(
-        &dbl_problem,
-        &probe_sched,
-        &ObsConfig::off(),
-        &cfg,
-    )
-    .expect("workload is model-valid");
-    println!(
-        "doubling planning wall (seed {}): {:.1} µs over {} build(s), {:.1} µs over {} re-size(s)",
-        args.base_seed,
-        probe.cache.build_nanos as f64 / 1e3,
-        probe.cache.artifact_builds,
-        probe.cache.size_nanos as f64 / 1e3,
-        probe.cache.replan_cache_hits,
-    );
+    if args.wall {
+        println!(
+            "wrote {} (plan cache {}, {} artifact builds, {} re-size hits, max attempts {}, wall {:.1} ms)",
+            dbl_path.display(),
+            if args.plan_cache { "on" } else { "off" },
+            builds,
+            hits,
+            max_attempts,
+            dbl_ms,
+        );
+        // one extra search at the base seed to surface the planning
+        // wall-time split the deterministic artifact deliberately omits
+        let probe_sched = UniformScheduler::default().with_seed(args.base_seed);
+        let (probe, _) = doubling::uniform_with_doubling_configured(
+            &dbl_problem,
+            &probe_sched,
+            &ObsConfig::off(),
+            &cfg,
+        )
+        .expect("workload is model-valid");
+        println!(
+            "doubling planning wall (seed {}): {:.1} µs over {} build(s), {:.1} µs over {} re-size(s)",
+            args.base_seed,
+            probe.cache.build_nanos as f64 / 1e3,
+            probe.cache.artifact_builds,
+            probe.cache.size_nanos as f64 / 1e3,
+            probe.cache.replan_cache_hits,
+        );
+    } else {
+        println!(
+            "wrote {} (plan cache {}, {} artifact builds, {} re-size hits, max attempts {})",
+            dbl_path.display(),
+            if args.plan_cache { "on" } else { "off" },
+            builds,
+            hits,
+            max_attempts,
+        );
+    }
 
     if let Some(dump) = &args.dump_doubling {
         dump_doubling_outcomes(dump, &runner, &dbl_problem, &cfg);

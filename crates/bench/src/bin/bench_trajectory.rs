@@ -1,0 +1,244 @@
+//! Benchmark-trajectory point for the CI `bench-trajectory` job: runs the
+//! pinned E1 and E7 configurations through the columnar engine, measures
+//! throughput (rounds/sec), sweep plan-cache hits, and peak RSS, and
+//! appends one point per configuration to `BENCH_trajectory.json` (an
+//! ever-growing JSON array — the trajectory CI plots across commits).
+//!
+//! Usage: `bench_trajectory [--out FILE] [--baseline FILE] [--budget-ms N]
+//! [--tag LABEL]`
+//!
+//! With `--baseline FILE` the run additionally gates: if any
+//! configuration's rounds/sec lands more than 20% below the matching
+//! point in the committed baseline, the binary exits nonzero and CI
+//! fails. The committed baseline (`ci/bench_baseline.json`) is set well
+//! below a warm local run so shared CI runners do not flake; it catches
+//! order-of-magnitude regressions, not percent-level noise.
+
+use das_bench::{workloads, SweepPlanner};
+use das_core::{
+    execute_plan_with, DasProblem, EngineKind, ExecutorConfig, Scheduler, UniformScheduler,
+};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+const USAGE: &str =
+    "usage: bench_trajectory [--out FILE] [--baseline FILE] [--budget-ms N] [--tag LABEL]";
+
+/// How far below the baseline rounds/sec may land before the gate fails.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Seeds swept per configuration to exercise the sweep plan cache.
+const SWEEP_SEEDS: u64 = 8;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    budget: Duration,
+    tag: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_trajectory.json".to_string(),
+        baseline: None,
+        budget: Duration::from_millis(300),
+        tag: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().unwrap_or_else(|| fail("--out needs a value")),
+            "--baseline" => {
+                args.baseline = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--baseline needs a value")),
+                );
+            }
+            "--budget-ms" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--budget-ms needs a value"));
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--budget-ms must be an integer"));
+                args.budget = Duration::from_millis(ms.max(1));
+            }
+            "--tag" => args.tag = Some(it.next().unwrap_or_else(|| fail("--tag needs a value"))),
+            other => fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    args
+}
+
+/// One measured point on the benchmark trajectory. The schema is append-
+/// only: new optional fields may be added, existing ones never change
+/// meaning, so old trajectory files always stay parseable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrajectoryPoint {
+    /// Pinned configuration label (e.g. `e07_path100_relays64`).
+    label: String,
+    /// Engine the throughput was measured on.
+    engine: String,
+    /// Schedule length of the measured plan, in rounds.
+    rounds: u64,
+    /// Engine throughput: schedule rounds executed per wall-clock second.
+    rounds_per_sec: f64,
+    /// Sweep plan-cache hits over the [`SWEEP_SEEDS`]-seed planning sweep.
+    plan_cache_hits: u64,
+    /// Whether the scheduler's sweep artifact actually shares planning.
+    sweep_shared: bool,
+    /// Peak resident set size of this process (kB, from `VmHWM`; 0 when
+    /// `/proc` is unavailable).
+    peak_rss_kb: u64,
+    /// Free-form provenance tag (`--tag`, e.g. a commit hash in CI).
+    #[serde(default)]
+    tag: Option<String>,
+}
+
+/// Peak resident set size in kB, from `/proc/self/status` `VmHWM`.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Measures one pinned configuration: throughput on the columnar engine
+/// plus the sweep-cache counters for a [`SWEEP_SEEDS`]-seed plan sweep.
+fn measure(
+    label: &str,
+    problem: &DasProblem<'_>,
+    budget: Duration,
+    tag: &Option<String>,
+) -> TrajectoryPoint {
+    let sched = UniformScheduler::default();
+    let planner = SweepPlanner::new(&sched, problem);
+    for s in 0..SWEEP_SEEDS {
+        let swept = planner.plan(problem, s);
+        let scratch = sched.plan(problem, s).expect("model-valid workload");
+        assert_eq!(
+            scratch.to_json(),
+            swept.to_json(),
+            "{label}: swept plan must match plan() at seed {s}"
+        );
+    }
+    let plan = planner.plan(problem, 7);
+    let cfg = ExecutorConfig::default()
+        .with_phase_len(plan.phase_len)
+        .with_engine(EngineKind::Columnar);
+
+    // One calibration run sizes a repetition count that fills the budget,
+    // then the batch is timed as a whole.
+    let t = Instant::now();
+    let out = execute_plan_with(problem, &plan, &cfg).expect("trajectory run");
+    let once = t.elapsed().max(Duration::from_nanos(1));
+    let sched_rounds = out.schedule_rounds();
+    let reps = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(execute_plan_with(problem, &plan, &cfg).expect("trajectory run"));
+    }
+    let secs = t.elapsed().as_secs_f64() / reps as f64;
+
+    TrajectoryPoint {
+        label: label.to_string(),
+        engine: "columnar".to_string(),
+        rounds: sched_rounds,
+        rounds_per_sec: sched_rounds as f64 / secs,
+        plan_cache_hits: planner.cache_hits(),
+        sweep_shared: planner.shares_planning(),
+        peak_rss_kb: peak_rss_kb(),
+        tag: tag.clone(),
+    }
+}
+
+/// Appends `points` to the JSON array in `path` (creating it if absent).
+fn append_points(path: &str, points: &[TrajectoryPoint]) {
+    let mut all: Vec<TrajectoryPoint> = match std::fs::read_to_string(path) {
+        Ok(body) => serde_json::from_str(&body)
+            .unwrap_or_else(|e| fail(&format!("{path} is not a trajectory file: {e}"))),
+        Err(_) => Vec::new(),
+    };
+    all.extend(points.iter().cloned());
+    let body = serde_json::to_string_pretty(&all).expect("points are JSON-representable");
+    std::fs::write(path, body).expect("write trajectory file");
+    println!(
+        "appended {} point(s) to {path} ({} total)",
+        points.len(),
+        all.len()
+    );
+}
+
+/// The `--baseline` gate: every measured label must stay within
+/// [`REGRESSION_TOLERANCE`] of the last matching baseline point.
+fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
+    let body = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read baseline {baseline_path}: {e}")));
+    let baseline: Vec<TrajectoryPoint> = serde_json::from_str(&body)
+        .unwrap_or_else(|e| fail(&format!("{baseline_path} is not a trajectory file: {e}")));
+    let mut ok = true;
+    for p in points {
+        let Some(base) = baseline.iter().rev().find(|b| b.label == p.label) else {
+            println!("gate: {} has no baseline point — skipped", p.label);
+            continue;
+        };
+        let floor = base.rounds_per_sec * (1.0 - REGRESSION_TOLERANCE);
+        if p.rounds_per_sec < floor {
+            eprintln!(
+                "gate FAILED: {} at {:.0} rounds/s, below {:.0} (baseline {:.0} - {:.0}%)",
+                p.label,
+                p.rounds_per_sec,
+                floor,
+                base.rounds_per_sec,
+                REGRESSION_TOLERANCE * 100.0
+            );
+            ok = false;
+        } else {
+            println!(
+                "gate ok: {} at {:.0} rounds/s (floor {:.0}, baseline {:.0})",
+                p.label, p.rounds_per_sec, floor, base.rounds_per_sec
+            );
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Pinned configurations — E1's smoke instance and the E7 shoot-out
+    // midpoint. Changing either invalidates the whole trajectory, so they
+    // are frozen here rather than taken from the command line.
+    let g1 = das_graph::generators::path(120);
+    let g7 = das_graph::generators::path(100);
+    let e01 = workloads::segment_relays(&g1, 40, 16, 2, 7);
+    let e07 = workloads::segment_relays(&g7, 64, 14, 1, 5);
+    let points = vec![
+        measure("e01_path120_relays40", &e01, args.budget, &args.tag),
+        measure("e07_path100_relays64", &e07, args.budget, &args.tag),
+    ];
+
+    for p in &points {
+        println!(
+            "{}: {:.0} rounds/s over {} rounds, {} plan-cache hits (shared={}), peak RSS {} kB",
+            p.label, p.rounds_per_sec, p.rounds, p.plan_cache_hits, p.sweep_shared, p.peak_rss_kb
+        );
+    }
+    append_points(&args.out, &points);
+
+    if let Some(baseline) = &args.baseline {
+        if !gate(baseline, &points) {
+            std::process::exit(1);
+        }
+    }
+}

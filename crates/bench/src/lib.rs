@@ -22,7 +22,8 @@ pub mod table;
 pub mod workloads;
 
 pub use runner::{
-    DoublingSummary, ShardSummary, SummaryStats, TrialAggregate, TrialRecord, TrialRunner,
+    DoublingSummary, ShardSummary, SummaryStats, SweepSummary, TrialAggregate, TrialRecord,
+    TrialRunner,
 };
 pub use table::Table;
 
@@ -30,9 +31,10 @@ use das_core::verify::{self, VerifyReport};
 use das_core::{
     doubling, execute_plan, execute_plan_observed, execute_plan_sharded, DasProblem,
     DoublingConfig, ExecError, SchedError, ScheduleOutcome, SchedulePlan, Scheduler, ShardReport,
-    UniformScheduler,
+    SweepArtifact, UniformScheduler,
 };
 use das_obs::{ObsConfig, ObsReport};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One measured scheduler run.
 #[derive(Clone, Debug)]
@@ -102,6 +104,7 @@ pub fn record_trial(
         shard: None,
         obs: None,
         doubling: None,
+        sweep: None,
     }
 }
 
@@ -184,6 +187,106 @@ pub fn run_trial_doubling(
     rec
 }
 
+/// Plans a whole seed sweep from **one** shared artifact: builds the
+/// scheduler's seed-independent planning prefix once per
+/// `(problem, scheduler)` ([`das_core::Scheduler::build_sweep_artifact`])
+/// and derives each trial's plan from it
+/// ([`das_core::Scheduler::plan_swept`]) — byte-identical to a per-seed
+/// `plan()` by the sweep-cache contract, but without repeating the shared
+/// work (for the private scheduler, the whole Lemma 4.2 carve).
+///
+/// The planner is `Sync`; [`TrialRunner`] closures can share one across
+/// the rayon pool. Cache hits are counted with a relaxed atomic — the
+/// total is thread-count-independent because every derived plan counts
+/// exactly once.
+pub struct SweepPlanner<'a> {
+    scheduler: &'a dyn Scheduler,
+    artifact: SweepArtifact,
+    hits: AtomicU64,
+}
+
+impl<'a> SweepPlanner<'a> {
+    /// Builds the shared artifact for `(problem, scheduler)` eagerly, so
+    /// every subsequent [`SweepPlanner::plan`] is a cache hit.
+    ///
+    /// # Panics
+    /// Panics if the workload violates the CONGEST model.
+    pub fn new(scheduler: &'a dyn Scheduler, problem: &DasProblem<'_>) -> Self {
+        let artifact = scheduler
+            .build_sweep_artifact(problem)
+            .expect("workload is model-valid");
+        SweepPlanner {
+            scheduler,
+            artifact,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Derives the plan for one `sched_seed` from the shared artifact.
+    ///
+    /// # Panics
+    /// Panics if the workload violates the CONGEST model.
+    pub fn plan(&self, problem: &DasProblem<'_>, sched_seed: u64) -> SchedulePlan {
+        let plan = self
+            .scheduler
+            .plan_swept(problem, &self.artifact, sched_seed)
+            .expect("workload is model-valid");
+        if self.artifact.shares_planning() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        plan
+    }
+
+    /// The scheduler the sweep plans for.
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler
+    }
+
+    /// Whether the artifact actually carries shared planning work (`false`
+    /// when the scheduler uses the conservative replan-per-seed default).
+    pub fn shares_planning(&self) -> bool {
+        self.artifact.shares_planning()
+    }
+
+    /// Plans derived from the shared artifact so far (0 when the artifact
+    /// is the replan form — those derivations redo the full planning).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Folds the sweep-cache counters into an observability metrics
+    /// registry (`sweep.plan_cache_hits`, `sweep.shared_artifacts`), so
+    /// exported [`ObsReport`]s carry the plan-sharing stats next to the
+    /// engine's `exec.*` counters.
+    pub fn export_metrics(&self, metrics: &mut das_obs::MetricsRegistry) {
+        metrics.inc("sweep.plan_cache_hits", self.cache_hits());
+        metrics.inc("sweep.shared_artifacts", u64::from(self.shares_planning()));
+    }
+}
+
+/// [`run_trial`], planned through a sweep-shared artifact: the scheduler's
+/// seed-independent planning prefix is built once by the
+/// [`SweepPlanner`] and only the per-seed remainder runs here. The
+/// recorded outcome fields are byte-identical to [`run_trial`]'s (the
+/// sweep-cache contract); the record additionally carries the
+/// [`SweepSummary`] marker.
+///
+/// # Panics
+/// Panics if the workload violates the CONGEST model.
+pub fn run_trial_swept(
+    planner: &SweepPlanner<'_>,
+    problem: &DasProblem<'_>,
+    sched_seed: u64,
+) -> TrialRecord {
+    let plan = planner.plan(problem, sched_seed);
+    let result = execute_plan(problem, &plan).map(|o| (o, None));
+    let mut rec = finish_trial(problem, &plan, sched_seed, result);
+    rec.sweep = Some(SweepSummary {
+        shared: planner.shares_planning(),
+    });
+    rec
+}
+
 /// [`run_trial`], executed on the sharded executor with `shards` workers.
 /// The recorded outcome fields are byte-identical to [`run_trial`]'s; the
 /// record additionally carries the partition-dependent [`ShardSummary`]
@@ -233,6 +336,7 @@ fn finish_trial(
             shard: None,
             obs: None,
             doubling: None,
+            sweep: None,
         },
         Err(e) => panic!("trial failed to execute: {e}"),
     }
@@ -378,6 +482,49 @@ mod tests {
             ..d_off
         });
         assert_eq!(on, off_masked, "cache mode must not move any outcome field");
+    }
+
+    #[test]
+    fn swept_trials_share_one_artifact_and_stay_byte_neutral() {
+        use das_core::PrivateScheduler;
+        let g = generators::path(16);
+        let p = workloads::stacked_relays(&g, 6, 1);
+        let schedulers: Vec<Box<dyn das_core::Scheduler>> = vec![
+            Box::new(UniformScheduler::default()),
+            Box::new(PrivateScheduler::default()),
+        ];
+        for sched in &schedulers {
+            let planner = SweepPlanner::new(sched.as_ref(), &p);
+            assert!(planner.shares_planning());
+            let runner = TrialRunner::new(42, 8);
+            let swept = runner.run_trials(|seed| run_trial_swept(&planner, &p, seed));
+            let plain = runner.run_trials(|seed| run_trial(sched.as_ref(), &p, seed));
+            assert_eq!(planner.cache_hits(), 8);
+            for (s, mut pl) in swept.into_iter().zip(plain) {
+                assert_eq!(s.sweep, Some(SweepSummary { shared: true }));
+                // the sweep marker is the ONLY field allowed to differ
+                pl.sweep = s.sweep;
+                assert_eq!(
+                    s,
+                    pl,
+                    "{}: sweep sharing moved an outcome field",
+                    sched.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_planner_exports_cache_stats_into_obs_metrics() {
+        let g = generators::path(12);
+        let p = workloads::stacked_relays(&g, 4, 1);
+        let sched = UniformScheduler::default();
+        let planner = SweepPlanner::new(&sched, &p);
+        let _ = run_trial_swept(&planner, &p, 3);
+        let mut metrics = das_obs::MetricsRegistry::new();
+        planner.export_metrics(&mut metrics);
+        assert_eq!(metrics.counter("sweep.plan_cache_hits"), 1);
+        assert_eq!(metrics.counter("sweep.shared_artifacts"), 1);
     }
 
     #[test]

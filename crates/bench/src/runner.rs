@@ -134,6 +134,11 @@ pub struct TrialRecord {
     /// artifacts and in non-doubling trials.
     #[serde(default)]
     pub doubling: Option<DoublingSummary>,
+    /// Seed-sweep plan-sharing summary, when the trial's plan was derived
+    /// from a sweep-shared artifact ([`crate::SweepPlanner`]). Absent in
+    /// older artifacts and in trials planned from scratch.
+    #[serde(default)]
+    pub sweep: Option<SweepSummary>,
 }
 
 impl TrialRecord {
@@ -183,6 +188,18 @@ impl DoublingSummary {
             replan_cache_hits: outcome.cache.replan_cache_hits,
         }
     }
+}
+
+/// Seed-sweep plan-sharing marker for one trial: set when the trial's plan
+/// was derived through a [`crate::SweepPlanner`] instead of a from-scratch
+/// `plan()`. Deterministic — whether an artifact shares work is a pure
+/// function of the scheduler, so artifacts stay byte-identical across
+/// thread counts (and across sweep-cache on/off up to this marker).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Whether the sweep artifact actually carried shared planning work
+    /// (`false` when the scheduler fell back to replanning per seed).
+    pub shared: bool,
 }
 
 /// Partition-dependent measurements of one sharded execution, recorded
@@ -360,6 +377,7 @@ mod tests {
             shard: None,
             obs: None,
             doubling: None,
+            sweep: None,
         }
     }
 
@@ -423,6 +441,7 @@ mod tests {
         assert!(r.shard.is_none());
         assert!(r.obs.is_none());
         assert!(r.doubling.is_none());
+        assert!(r.sweep.is_none());
         assert!(r.success());
     }
 

@@ -22,6 +22,8 @@
 //!   [`crate::verify`]. "With high probability" claims become measured
 //!   failure rates.
 
+mod columnar;
+
 use crate::algorithm::BlackBoxAlgorithm;
 use crate::schedule::ScheduleOutcome;
 use crate::shard::Partition;
@@ -94,6 +96,25 @@ impl Unit {
     }
 }
 
+/// Which implementation drives the engine's hot loop. Both produce
+/// byte-identical [`ScheduleOutcome`]s for every plan, shard count, and
+/// observability setting (enforced by `tests/shard_equivalence.rs`,
+/// `tests/obs_neutrality.rs`, and the `columnar-equivalence` CI job); they
+/// differ only in throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The row-at-a-time reference loop: one message per active arc per
+    /// engine round, heap-allocated payloads, per-message departure
+    /// inserts. Kept as the executable specification the columnar engine
+    /// is checked against.
+    Row,
+    /// The columnar hot path (default): per-arc arena queues drained in
+    /// contiguous per-big-round batches, bitset-indexed tag windows, and
+    /// deferred departure recording. See `exec/columnar.rs`.
+    #[default]
+    Columnar,
+}
+
 /// Executor configuration.
 #[derive(Clone, Debug)]
 pub struct ExecutorConfig {
@@ -111,6 +132,9 @@ pub struct ExecutorConfig {
     /// count; [`Executor::run`] ignores it). The outcome is byte-identical
     /// for every shard count — sharding changes only the parallel layout.
     pub shards: usize,
+    /// Which engine implementation to run; outcomes are byte-identical
+    /// either way (see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl Default for ExecutorConfig {
@@ -121,6 +145,7 @@ impl Default for ExecutorConfig {
             max_engine_rounds: 10_000_000,
             record_departures: true,
             shards: 1,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -141,6 +166,12 @@ impl ExecutorConfig {
     /// Sets the shard count for [`Executor::run_sharded`].
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Selects the engine implementation.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -418,7 +449,10 @@ impl Executor {
     }
 
     /// The fused executor loop; `obs` hooks are self-guarded no-ops when
-    /// recording is off, so this is also [`Executor::run`]'s body.
+    /// recording is off, so this is also [`Executor::run`]'s body. The body
+    /// below is the **row** engine — the executable specification; the
+    /// default [`EngineKind::Columnar`] dispatches to the batched loop in
+    /// `exec/columnar.rs`, which must match it byte-for-byte.
     fn run_with(
         g: &Graph,
         algos: &[Box<dyn BlackBoxAlgorithm>],
@@ -427,6 +461,9 @@ impl Executor {
         config: &ExecutorConfig,
         obs: &mut ExecObs,
     ) -> Result<ScheduleOutcome, ExecError> {
+        if config.engine == EngineKind::Columnar {
+            return columnar::run_fused(g, algos, seeds, units, config, obs);
+        }
         let n = g.node_count();
         let k = algos.len();
         assert_eq!(seeds.len(), k, "one seed per algorithm");
@@ -866,7 +903,12 @@ fn barrier_wait(barrier: &Barrier, obs: &mut ExecObs) {
 /// The big-round-synchronous shard worker: mirrors [`Executor::run`]'s
 /// loop restricted to one shard's nodes and owned arcs, with three barriers
 /// per big-round (outboxes complete / activity posted / decision read).
+/// This body is the row engine; [`EngineKind::Columnar`] dispatches to the
+/// batched worker in `exec/columnar.rs`, which follows the same protocol.
 fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError> {
+    if ctx.config.engine == EngineKind::Columnar {
+        return columnar::shard_worker(me, ctx);
+    }
     let g = ctx.g;
     let config = ctx.config;
     let n = g.node_count();
@@ -1327,6 +1369,97 @@ mod tests {
             let steps: u64 = report.per_shard.iter().map(|s| s.steps).sum();
             assert!(steps > 0, "workers actually stepped machines");
         }
+    }
+
+    #[test]
+    fn row_and_columnar_engines_agree_byte_for_byte() {
+        let g = generators::grid(4, 4);
+        // snake route over the grid, as in the sharded byte-identity test
+        let route: Vec<NodeId> = (0..4)
+            .flat_map(|row: u32| {
+                let cols: Vec<u32> = if row.is_multiple_of(2) {
+                    (0..4).collect()
+                } else {
+                    (0..4).rev().collect()
+                };
+                cols.into_iter().map(move |c| NodeId(row * 4 + c))
+            })
+            .collect();
+        let p = DasProblem::new(
+            &g,
+            vec![
+                Box::new(RelayChain::along(0, &g, route.clone())) as Box<dyn BlackBoxAlgorithm>,
+                Box::new(RelayChain::along(1, &g, route)),
+                Box::new(FloodBall::new(2, &g, NodeId(5), 3)),
+            ],
+            11,
+        );
+        let seeds = [p.algo_seed(0), p.algo_seed(1), p.algo_seed(2)];
+        let units = vec![
+            Unit::global(0, 0, 16),
+            Unit::global(1, 0, 16),
+            Unit::global(2, 1, 16),
+        ];
+        for phase_len in [1, 2, 5] {
+            let base = ExecutorConfig::default().with_phase_len(phase_len);
+            let row = Executor::run(
+                &g,
+                p.algorithms(),
+                &seeds,
+                &units,
+                &base.clone().with_engine(EngineKind::Row),
+            )
+            .unwrap();
+            let col = Executor::run(
+                &g,
+                p.algorithms(),
+                &seeds,
+                &units,
+                &base.clone().with_engine(EngineKind::Columnar),
+            )
+            .unwrap();
+            assert_eq!(
+                format!("{row:?}"),
+                format!("{col:?}"),
+                "phase_len = {phase_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_and_columnar_engines_agree_on_the_round_cap_error() {
+        let g = generators::path(6);
+        let p = DasProblem::new(
+            &g,
+            vec![
+                Box::new(RelayChain::new(0, &g)),
+                Box::new(RelayChain::new(1, &g)),
+            ],
+            3,
+        );
+        let units = vec![Unit::global(0, 0, 6), Unit::global(1, 0, 6)];
+        let seeds = [p.algo_seed(0), p.algo_seed(1)];
+        let config = ExecutorConfig {
+            max_engine_rounds: 3,
+            ..ExecutorConfig::default()
+        };
+        let row = Executor::run(
+            &g,
+            p.algorithms(),
+            &seeds,
+            &units,
+            &config.clone().with_engine(EngineKind::Row),
+        )
+        .unwrap_err();
+        let col = Executor::run(
+            &g,
+            p.algorithms(),
+            &seeds,
+            &units,
+            &config.with_engine(EngineKind::Columnar),
+        )
+        .unwrap_err();
+        assert_eq!(row, col);
     }
 
     #[test]

@@ -1,0 +1,945 @@
+//! The columnar hot path: the default engine behind [`super::Executor`].
+//!
+//! Semantics are identical to the row engine in `exec.rs` — same big-round
+//! clock, same per-arc FIFO order, same lateness rule — but the data layout
+//! is columnar and deliveries are batched:
+//!
+//! * **Per-arc arena queues** ([`ColFifo`]): message metadata and payload
+//!   bytes live in two flat, cache-line-aligned arenas per arc instead of a
+//!   `Vec<Flight>` of heap payloads. Pushes are appends; pops advance a
+//!   head index; arenas are recycled when the queue drains.
+//! * **Batched per-arc delivery**: the row engine touches every active arc
+//!   once per *engine* round; this engine touches it once per *big* round
+//!   and delivers `min(phase_len, queue_len)` messages as one contiguous
+//!   slice. Message `j` of the batch departs at engine round
+//!   `phase_start + j` — exactly the round the row engine would assign it,
+//!   because an arc delivers at most one message per engine round and
+//!   `steps_done` never changes during a drain (steps happen only in the
+//!   step phase). The deterministic clock is therefore preserved.
+//! * **Bitset tag windows** ([`ColWindow`]): per-(algorithm, node) arrival
+//!   buffers keep the row engine's live-tag ring discipline but store
+//!   arrivals columnar (from/len metadata plus a byte arena) and track
+//!   bucket occupancy in u64 bitset words, so the common "nothing buffered
+//!   for this tag" check is a single word test that never touches bucket
+//!   memory.
+//! * **Deferred departure recording**: the row engine pays a `BTreeMap`
+//!   insert per delivered message inside the hot loop; this engine appends
+//!   flat `(algo, round, arc, engine_round)` tuples and bulk-inserts them
+//!   after the run. Keys are unique (one canonical machine per (algorithm,
+//!   node), deduplicated sends), so insertion order cannot matter.
+//!
+//! Outcome equivalence with the row engine is enforced property-style by
+//! `tests/shard_equivalence.rs` and `tests/obs_neutrality.rs`, and
+//! end-to-end by the `columnar-equivalence` CI job.
+
+use super::{
+    barrier_wait, ExecError, ExecStats, ExecutorConfig, ShardCtx, ShardOutput, ShardStats, Unit,
+};
+use crate::algorithm::BlackBoxAlgorithm;
+use crate::schedule::ScheduleOutcome;
+use das_graph::{Graph, NodeId};
+use das_obs::ExecObs;
+use das_pattern::{SimulationMap, TimedArc};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Metadata for one queued message; its payload occupies the next `len`
+/// bytes of the owning queue's byte arena.
+#[derive(Clone, Copy)]
+struct ColMsg {
+    algo: u32,
+    round: u32,
+    len: u32,
+}
+
+/// Per-arc columnar FIFO: metadata and payload bytes in two flat arenas,
+/// aligned to a cache line so the per-round scan over active arcs never
+/// splits a queue header across lines.
+#[derive(Default)]
+#[repr(align(64))]
+struct ColFifo {
+    /// Message metadata in arrival order; `meta[head..]` is live.
+    meta: Vec<ColMsg>,
+    head: usize,
+    /// Concatenated payloads in arrival order; `bytes[bytes_head..]` is
+    /// live.
+    bytes: Vec<u8>,
+    bytes_head: usize,
+}
+
+impl ColFifo {
+    #[inline]
+    fn len(&self) -> usize {
+        self.meta.len() - self.head
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.head == self.meta.len()
+    }
+
+    #[inline]
+    fn push(&mut self, algo: u32, round: u32, payload: &[u8]) {
+        self.meta.push(ColMsg {
+            algo,
+            round,
+            len: payload.len() as u32,
+        });
+        self.bytes.extend_from_slice(payload);
+    }
+
+    /// Reclaims consumed prefixes: a cheap reset once fully drained, a
+    /// compaction when the dead prefix dominates a long-lived backlog, so
+    /// arena growth stays proportional to the live queue.
+    #[inline]
+    fn reclaim(&mut self) {
+        if self.head == self.meta.len() {
+            self.meta.clear();
+            self.bytes.clear();
+            self.head = 0;
+            self.bytes_head = 0;
+        } else if self.head > 64 && self.head * 2 > self.meta.len() {
+            let live = self.meta.len() - self.head;
+            self.meta.copy_within(self.head.., 0);
+            self.meta.truncate(live);
+            self.head = 0;
+            let live_bytes = self.bytes.len() - self.bytes_head;
+            self.bytes.copy_within(self.bytes_head.., 0);
+            self.bytes.truncate(live_bytes);
+            self.bytes_head = 0;
+        }
+    }
+}
+
+/// One tag bucket of a [`ColWindow`]: arrivals stored columnar.
+#[derive(Default)]
+struct ColBucket {
+    /// `(sender node, payload length)` per arrival, in arrival order.
+    meta: Vec<(u32, u32)>,
+    /// Concatenated payload bytes, in arrival order.
+    bytes: Vec<u8>,
+}
+
+/// Columnar arrival window for one (algorithm, node) machine: the same
+/// live-tag ring discipline as the row engine's `TagWindow` (tags are
+/// consumed strictly in order; the window starts at the consumer's next
+/// tag), with bucket occupancy mirrored into u64 bitset words.
+#[derive(Default)]
+struct ColWindow {
+    /// Smallest tag the window can currently hold.
+    base: u32,
+    /// Ring position of `base`'s bucket.
+    head: usize,
+    /// One occupancy bit per ring slot; a zero word clears 64 tags at once.
+    occupied: Vec<u64>,
+    /// Power-of-two ring of buckets (empty until the first push).
+    buckets: Vec<ColBucket>,
+}
+
+impl ColWindow {
+    /// Re-bases an **empty** window at `base`. The columnar engine skips a
+    /// window entirely (neither `take` nor bucket access) while its
+    /// buffered-arrival count is zero, which lets `base` go stale; the
+    /// first push after such a skip re-enters the ring discipline here,
+    /// using the consumer's next tag as the new base. The late-drop check
+    /// guarantees every accepted arrival's tag is `>=` that next tag.
+    #[inline]
+    fn reset_to(&mut self, base: u32) {
+        debug_assert!(self.occupied.iter().all(|w| *w == 0), "window not empty");
+        self.base = base;
+        self.head = 0;
+    }
+
+    /// Files one arrival under `tag`. Requires `tag >= base`, which the
+    /// executor's late-drop check guarantees.
+    fn push(&mut self, tag: u32, from: u32, payload: &[u8]) {
+        debug_assert!(tag >= self.base, "arrival below the live window");
+        let offset = (tag - self.base) as usize;
+        if offset >= self.buckets.len() {
+            self.grow(offset + 1);
+        }
+        let pos = (self.head + offset) & (self.buckets.len() - 1);
+        self.occupied[pos >> 6] |= 1u64 << (pos & 63);
+        let bucket = &mut self.buckets[pos];
+        bucket.meta.push((from, payload.len() as u32));
+        bucket.bytes.extend_from_slice(payload);
+    }
+
+    /// Moves the bucket for `tag` into `into` in canonical (sender-sorted)
+    /// order and advances the window past `tag`. Payload allocations are
+    /// drawn from and returned to `pool`; `scratch` is reusable sort
+    /// space. The occupancy word is consulted first, so an empty tag never
+    /// touches bucket memory.
+    ///
+    /// Sorting happens here on `(sender, offset, len)` integer triples —
+    /// senders are unique per tag (a machine sends at most one message per
+    /// round to a given target), so this is exactly the canonical
+    /// `(NodeId, payload)` order without ever comparing payload bytes.
+    fn take(
+        &mut self,
+        tag: u32,
+        into: &mut Vec<(NodeId, Vec<u8>)>,
+        pool: &mut Vec<Vec<u8>>,
+        scratch: &mut Vec<(u32, u32, u32)>,
+    ) {
+        if !into.is_empty() {
+            recycle(into, pool);
+        }
+        debug_assert!(tag >= self.base, "tags are consumed in order");
+        if self.buckets.is_empty() {
+            self.base = tag + 1;
+            return;
+        }
+        let len = self.buckets.len();
+        let offset = (tag - self.base) as usize;
+        if offset >= len {
+            // the window never stretched to this tag: nothing is stored
+            debug_assert!(self.occupied.iter().all(|w| *w == 0));
+            self.base = tag + 1;
+            self.head = 0;
+            return;
+        }
+        let mask = len - 1;
+        for i in 0..offset {
+            debug_assert!(
+                self.buckets[(self.head + i) & mask].meta.is_empty(),
+                "skipped a live tag"
+            );
+        }
+        let pos = (self.head + offset) & mask;
+        if self.occupied[pos >> 6] & (1u64 << (pos & 63)) != 0 {
+            self.occupied[pos >> 6] &= !(1u64 << (pos & 63));
+            let bucket = &mut self.buckets[pos];
+            scratch.clear();
+            let mut off = 0u32;
+            for &(from, plen) in &bucket.meta {
+                scratch.push((from, off, plen));
+                off += plen;
+            }
+            scratch.sort_unstable();
+            for &(from, off, plen) in scratch.iter() {
+                let mut buf = pool.pop().unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(&bucket.bytes[off as usize..(off + plen) as usize]);
+                into.push((NodeId(from), buf));
+            }
+            bucket.meta.clear();
+            bucket.bytes.clear();
+        }
+        self.head = (self.head + offset + 1) & mask;
+        self.base = tag + 1;
+    }
+
+    fn grow(&mut self, min_len: usize) {
+        let new_len = min_len.next_power_of_two().max(4);
+        let mut new_buckets: Vec<ColBucket> = Vec::with_capacity(new_len);
+        new_buckets.resize_with(new_len, ColBucket::default);
+        let old_len = self.buckets.len();
+        for (i, slot) in new_buckets.iter_mut().enumerate().take(old_len) {
+            *slot = std::mem::take(&mut self.buckets[(self.head + i) & (old_len - 1)]);
+        }
+        self.buckets = new_buckets;
+        self.head = 0;
+        self.occupied = vec![0u64; new_len.div_ceil(64)];
+        for (i, b) in self.buckets.iter().enumerate() {
+            if !b.meta.is_empty() {
+                self.occupied[i >> 6] |= 1u64 << (i & 63);
+            }
+        }
+    }
+}
+
+/// Returns an inbox's payload allocations to the pool instead of dropping
+/// them — the columnar engine's replacement for `inbox.clear()`.
+#[inline]
+fn recycle(inbox: &mut Vec<(NodeId, Vec<u8>)>, pool: &mut Vec<Vec<u8>>) {
+    for (_, buf) in inbox.drain(..) {
+        pool.push(buf);
+    }
+}
+
+/// The flat step table: `(algo, node, round)` triples grouped by big-round
+/// through a counting sort over two flat arrays — the columnar replacement
+/// for [`super::StepPlan::build`] plus the per-engine `by_big_round`
+/// regroup, whose nested `Vec<Vec<Vec<..>>>` structure costs more
+/// allocations than the entire drain loop on step-dense plans.
+///
+/// Semantics are identical to the row builder: round `r` of algorithm `a`
+/// at node `v` executes at the earliest big-round over all eligible units,
+/// only the contiguous prefix of scheduled rounds is kept, the same
+/// malformed-plan panics fire, and triples within a big-round appear in
+/// the same ascending `(a, v, r)` order (the counting sort is stable).
+struct FlatSteps {
+    /// All step triples, grouped by big-round.
+    steps: Vec<(u32, u32, u32)>,
+    /// `steps[offsets[b]..offsets[b + 1]]` holds big-round `b`'s triples.
+    offsets: Vec<usize>,
+    /// The last big-round with any step (0 for an empty plan).
+    last_step_round: u64,
+}
+
+impl FlatSteps {
+    fn build(n: usize, algos: &[Box<dyn BlackBoxAlgorithm>], units: &[Unit]) -> Self {
+        let k = algos.len();
+        let mut unit_of = vec![usize::MAX; k];
+        let mut single = true;
+        for (i, u) in units.iter().enumerate() {
+            assert!(u.algo < k, "unit for unknown algorithm");
+            assert_eq!(u.delay.len(), n, "delay vector missized");
+            assert_eq!(u.trunc.len(), n, "truncation vector missized");
+            assert!(u.stride >= 1, "stride must be at least 1");
+            if unit_of[u.algo] != usize::MAX {
+                single = false;
+            }
+            unit_of[u.algo] = i;
+        }
+        if single {
+            // Fast path for the dominant case (every scheduler here emits
+            // at most one unit per algorithm): `earliest` is just
+            // `delay[v] + r * stride`, always strictly increasing, with a
+            // hole-free prefix of length `min(rounds, trunc[v])` — no
+            // per-(a, v, r) scratch array needed.
+            return Self::build_single_unit(n, algos, units, &unit_of);
+        }
+        // earliest[algo_off[a] + v * rounds_a + r] = earliest big-round
+        let mut algo_off = vec![0usize; k + 1];
+        for a in 0..k {
+            algo_off[a + 1] = algo_off[a] + n * algos[a].rounds() as usize;
+        }
+        let mut earliest = vec![u64::MAX; algo_off[k]];
+        for u in units {
+            let rounds = algos[u.algo].rounds() as usize;
+            let base = algo_off[u.algo];
+            for v in 0..n {
+                let lim = (rounds as u32).min(u.trunc[v]) as usize;
+                let row = &mut earliest[base + v * rounds..][..rounds];
+                for (r, slot) in row.iter_mut().take(lim).enumerate() {
+                    let b = u.delay[v] + r as u64 * u.stride;
+                    if b < *slot {
+                        *slot = b;
+                    }
+                }
+            }
+        }
+        // Contiguous-prefix scan per (a, v): length, monotonicity, extent.
+        let mut prefix_len = vec![0u32; k * n];
+        let mut last_step_round = 0u64;
+        let mut total = 0usize;
+        for a in 0..k {
+            let rounds = algos[a].rounds() as usize;
+            let base = algo_off[a];
+            for v in 0..n {
+                let row = &earliest[base + v * rounds..][..rounds];
+                let mut prev = 0u64;
+                let mut len = 0usize;
+                for (r, &b) in row.iter().enumerate() {
+                    if b == u64::MAX {
+                        break;
+                    }
+                    assert!(r == 0 || b > prev, "step plan must be strictly increasing");
+                    prev = b;
+                    len = r + 1;
+                }
+                prefix_len[a * n + v] = len as u32;
+                if len > 0 {
+                    last_step_round = last_step_round.max(prev);
+                    total += len;
+                }
+            }
+        }
+        // Counting sort by big-round, stable in (a, v, r) order.
+        let mut offsets = vec![0usize; last_step_round as usize + 2];
+        for a in 0..k {
+            let rounds = algos[a].rounds() as usize;
+            let base = algo_off[a];
+            for v in 0..n {
+                for r in 0..prefix_len[a * n + v] as usize {
+                    offsets[earliest[base + v * rounds + r] as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut steps = vec![(0u32, 0u32, 0u32); total];
+        for a in 0..k {
+            let rounds = algos[a].rounds() as usize;
+            let base = algo_off[a];
+            for v in 0..n {
+                for r in 0..prefix_len[a * n + v] as usize {
+                    let b = earliest[base + v * rounds + r] as usize;
+                    steps[cursor[b]] = (a as u32, v as u32, r as u32);
+                    cursor[b] += 1;
+                }
+            }
+        }
+        FlatSteps {
+            steps,
+            offsets,
+            last_step_round,
+        }
+    }
+
+    /// The one-unit-per-algorithm case of [`FlatSteps::build`]: identical
+    /// output (same triples, same stable order, same extent), computed
+    /// straight from each unit's `(delay, stride, trunc)` arithmetic.
+    fn build_single_unit(
+        n: usize,
+        algos: &[Box<dyn BlackBoxAlgorithm>],
+        units: &[Unit],
+        unit_of: &[usize],
+    ) -> Self {
+        let k = algos.len();
+        let mut last_step_round = 0u64;
+        let mut total = 0usize;
+        for a in 0..k {
+            if unit_of[a] == usize::MAX {
+                continue;
+            }
+            let u = &units[unit_of[a]];
+            let rounds = algos[a].rounds();
+            for v in 0..n {
+                let len = rounds.min(u.trunc[v]) as u64;
+                if len > 0 {
+                    last_step_round = last_step_round.max(u.delay[v] + (len - 1) * u.stride);
+                    total += len as usize;
+                }
+            }
+        }
+        let mut offsets = vec![0usize; last_step_round as usize + 2];
+        for a in 0..k {
+            if unit_of[a] == usize::MAX {
+                continue;
+            }
+            let u = &units[unit_of[a]];
+            let rounds = algos[a].rounds();
+            for v in 0..n {
+                let len = rounds.min(u.trunc[v]) as u64;
+                for r in 0..len {
+                    offsets[(u.delay[v] + r * u.stride) as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut steps = vec![(0u32, 0u32, 0u32); total];
+        for a in 0..k {
+            if unit_of[a] == usize::MAX {
+                continue;
+            }
+            let u = &units[unit_of[a]];
+            let rounds = algos[a].rounds();
+            for v in 0..n {
+                let len = rounds.min(u.trunc[v]) as u64;
+                for r in 0..len {
+                    let b = (u.delay[v] + r * u.stride) as usize;
+                    steps[cursor[b]] = (a as u32, v as u32, r as u32);
+                    cursor[b] += 1;
+                }
+            }
+        }
+        FlatSteps {
+            steps,
+            offsets,
+            last_step_round,
+        }
+    }
+
+    /// Big-round `b`'s step triples (empty past the last step round).
+    #[inline]
+    fn at(&self, b: u64) -> &[(u32, u32, u32)] {
+        let b = b as usize;
+        if b + 1 >= self.offsets.len() {
+            &[]
+        } else {
+            &self.steps[self.offsets[b]..self.offsets[b + 1]]
+        }
+    }
+}
+
+/// Bulk-builds the per-algorithm departure maps from the deferred flat
+/// tuples. `BTreeMap`'s `FromIterator` sorts the pairs once and
+/// bulk-builds each tree bottom-up — far cheaper than the row engine's
+/// per-message tree insert, and exact because departure keys are unique
+/// (one canonical machine per (algorithm, node), deduplicated sends).
+fn build_departures(k: usize, deferred: &[(u32, u32, u32, u32)]) -> Vec<SimulationMap> {
+    let mut per_algo: Vec<Vec<(TimedArc, u32)>> = vec![Vec::new(); k];
+    for &(a, round, arc, eng) in deferred {
+        per_algo[a as usize].push((
+            TimedArc {
+                round,
+                arc: das_graph::Arc::from_index(arc as usize),
+            },
+            eng,
+        ));
+    }
+    per_algo
+        .into_iter()
+        .map(|pairs| pairs.into_iter().collect())
+        .collect()
+}
+
+/// Flat `(src, dst)` node indices per arc, precomputed once so the drain
+/// loop never consults the graph.
+fn arc_endpoint_table(g: &Graph) -> (Vec<u32>, Vec<u32>) {
+    let arcs = g.arc_count();
+    let mut src = vec![0u32; arcs];
+    let mut dst = vec![0u32; arcs];
+    for i in 0..arcs {
+        let (s, d) = g.arc_endpoints(das_graph::Arc::from_index(i));
+        src[i] = s.index() as u32;
+        dst[i] = d.index() as u32;
+    }
+    (src, dst)
+}
+
+/// The columnar fused executor loop; mirrors the row engine's `run_with`
+/// byte-for-byte in observable outcome.
+pub(super) fn run_fused(
+    g: &Graph,
+    algos: &[Box<dyn BlackBoxAlgorithm>],
+    seeds: &[u64],
+    units: &[Unit],
+    config: &ExecutorConfig,
+    obs: &mut ExecObs,
+) -> Result<ScheduleOutcome, ExecError> {
+    let n = g.node_count();
+    let k = algos.len();
+    assert_eq!(seeds.len(), k, "one seed per algorithm");
+    let flat = FlatSteps::build(n, algos, units);
+
+    // All hot-loop per-machine state is flat and indexed `a * n + v`: one
+    // contiguous machine array, one steps-done array, one buffered-arrival
+    // counter per window so machines with nothing buffered never touch
+    // window memory at all.
+    let mut machines: Vec<Box<dyn crate::algorithm::AlgoNode>> = Vec::with_capacity(k * n);
+    for (a, algo) in algos.iter().enumerate() {
+        for v in 0..n {
+            machines.push(algo.create_node(
+                NodeId(v as u32),
+                n,
+                das_congest::util::seed_mix(seeds[a], v as u64),
+            ));
+        }
+    }
+    let mut steps_done = vec![0u32; k * n];
+    let mut windows: Vec<ColWindow> = Vec::with_capacity(k * n);
+    windows.resize_with(k * n, ColWindow::default);
+    let mut buffered = vec![0u32; k * n];
+    let mut inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let mut sort_scratch: Vec<(u32, u32, u32)> = Vec::new();
+    // Duplicate-send detection via generation stamps: O(1) per send where
+    // the row engine scans its sent-to list, which is quadratic in the
+    // fan-out of a broadcast step.
+    let mut sent_gen = vec![0u64; n];
+    let mut gen: u64 = 0;
+
+    let last_step_round = flat.last_step_round;
+
+    let (arc_src, arc_dst) = arc_endpoint_table(g);
+    let mut queues: Vec<ColFifo> = Vec::with_capacity(g.arc_count());
+    queues.resize_with(g.arc_count(), ColFifo::default);
+    let mut active_arcs: Vec<usize> = Vec::new();
+    let mut scratch_arcs: Vec<usize> = Vec::new();
+    obs.init(g.arc_count(), config.phase_len);
+    let mut stats = ExecStats {
+        phase_len: config.phase_len,
+        ..ExecStats::default()
+    };
+    // Departures deferred as flat tuples; bulk-inserted after the run.
+    let mut deferred: Vec<(u32, u32, u32, u32)> = Vec::new();
+    let mut engine_round: u64 = 0;
+    let mut last_activity_round: u64 = 0;
+
+    let mut b: u64 = 0;
+    loop {
+        // 1. Execute the steps scheduled at big-round b (identical to the
+        // row engine, with pooled inbox payloads). A machine with zero
+        // buffered arrivals skips its window entirely — `reset_to` on the
+        // next push restores the ring discipline.
+        for &(a, v, r) in flat.at(b) {
+            let idx = a as usize * n + v as usize;
+            debug_assert_eq!(steps_done[idx], r, "steps execute in order");
+            if r > 0 && buffered[idx] > 0 {
+                // take() materializes the inbox already in canonical
+                // sender-sorted order
+                windows[idx].take(r - 1, &mut inbox, &mut pool, &mut sort_scratch);
+                buffered[idx] -= inbox.len() as u32;
+            } else if !inbox.is_empty() {
+                recycle(&mut inbox, &mut pool);
+            }
+            obs.on_step(inbox.len());
+            let sends = machines[idx].step(&inbox);
+            steps_done[idx] = r + 1;
+            let me = NodeId(v);
+            gen += 1;
+            for s in sends {
+                let Some(edge) = g.find_edge(me, s.to) else {
+                    stats.invalid_sends += 1;
+                    obs.on_invalid_send();
+                    continue;
+                };
+                if s.payload.len() > config.message_bytes || sent_gen[s.to.index()] == gen {
+                    stats.invalid_sends += 1;
+                    obs.on_invalid_send();
+                    continue;
+                }
+                sent_gen[s.to.index()] = gen;
+                let arc = g.arc_from(edge, me).index();
+                let q = &mut queues[arc];
+                if q.is_empty() {
+                    active_arcs.push(arc);
+                }
+                q.push(a, r, &s.payload);
+                stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                obs.on_inject(arc, q.len());
+            }
+        }
+
+        // 2. Columnar drain: each active arc is visited once per big-round
+        // and delivers up to phase_len queued messages as one contiguous
+        // batch; message j of the batch departs at engine round
+        // `phase_start + j`, exactly the round the row engine assigns it.
+        let phase_start = engine_round;
+        std::mem::swap(&mut active_arcs, &mut scratch_arcs);
+        for &arc_idx in &scratch_arcs {
+            let q = &mut queues[arc_idx];
+            let cnt = (q.len() as u64).min(config.phase_len) as usize;
+            if cnt == 0 {
+                continue;
+            }
+            let from = arc_src[arc_idx];
+            let dst = arc_dst[arc_idx] as usize;
+            let mut off = q.bytes_head;
+            for j in 0..cnt {
+                let m = q.meta[q.head + j];
+                let payload = &q.bytes[off..off + m.len as usize];
+                off += m.len as usize;
+                let eng = phase_start + j as u64;
+                let a = m.algo as usize;
+                if config.record_departures {
+                    deferred.push((m.algo, m.round, arc_idx as u32, eng as u32));
+                }
+                let idx = a * n + dst;
+                let late = steps_done[idx] >= m.round + 2;
+                if late {
+                    stats.late_messages += 1;
+                } else {
+                    if buffered[idx] == 0 {
+                        // first arrival since the window went idle: re-base
+                        // at the consumer's next tag (late-drop guarantees
+                        // m.round >= that tag)
+                        windows[idx].reset_to(steps_done[idx].max(1) - 1);
+                    }
+                    windows[idx].push(m.round, from, payload);
+                    buffered[idx] += 1;
+                    stats.delivered += 1;
+                }
+                obs.on_deliver(eng, late);
+            }
+            q.head += cnt;
+            q.bytes_head = off;
+            q.reclaim();
+            if !q.is_empty() {
+                active_arcs.push(arc_idx);
+            }
+            last_activity_round = last_activity_round.max(phase_start + cnt as u64);
+        }
+        scratch_arcs.clear();
+        engine_round += config.phase_len;
+        if engine_round > config.max_engine_rounds {
+            return Err(ExecError::RoundCapExceeded {
+                cap: config.max_engine_rounds,
+                big_round: b,
+            });
+        }
+
+        obs.end_big_round(b);
+        b += 1;
+        if b > last_step_round && active_arcs.is_empty() {
+            break;
+        }
+    }
+
+    stats.big_rounds = b;
+    stats.engine_rounds = (last_step_round + 1)
+        .saturating_mul(config.phase_len)
+        .max(last_activity_round);
+
+    let departures = build_departures(k, &deferred);
+
+    let outputs = (0..k)
+        .map(|a| {
+            machines[a * n..(a + 1) * n]
+                .iter()
+                .map(|m| m.output())
+                .collect()
+        })
+        .collect();
+    Ok(ScheduleOutcome {
+        outputs,
+        stats,
+        departures: config.record_departures.then_some(departures),
+        precompute_rounds: 0,
+    })
+}
+
+/// The columnar shard worker: the row `shard_worker` with columnar queues,
+/// windows, and batched drains. Protocol (three barriers per big-round) and
+/// every deterministic output are identical.
+pub(super) fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError> {
+    let g = ctx.g;
+    let config = ctx.config;
+    let n = g.node_count();
+    let k = ctx.algos.len();
+    let s = ctx.part.shards();
+    let own: Vec<usize> = (0..n)
+        .filter(|&v| ctx.part.of_node()[v] == me as u32)
+        .collect();
+    let own_n = own.len();
+    let mut local_of = vec![usize::MAX; n];
+    for (li, &v) in own.iter().enumerate() {
+        local_of[v] = li;
+    }
+    // Flat per-machine state indexed `a * own_n + li`, mirroring the fused
+    // engine's layout on this shard's local node indices.
+    let mut machines: Vec<Box<dyn crate::algorithm::AlgoNode>> = Vec::with_capacity(k * own_n);
+    for (a, algo) in ctx.algos.iter().enumerate() {
+        for &v in &own {
+            machines.push(algo.create_node(
+                NodeId(v as u32),
+                n,
+                das_congest::util::seed_mix(ctx.seeds[a], v as u64),
+            ));
+        }
+    }
+    let mut steps_done = vec![0u32; k * own_n];
+    let mut windows: Vec<ColWindow> = Vec::with_capacity(k * own_n);
+    windows.resize_with(k * own_n, ColWindow::default);
+    let mut buffered = vec![0u32; k * own_n];
+    let mut inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let mut sort_scratch: Vec<(u32, u32, u32)> = Vec::new();
+    let mut sent_gen = vec![0u64; n];
+    let mut gen: u64 = 0;
+    let (arc_src, arc_dst) = arc_endpoint_table(g);
+    // Full-width arc array for global indexing; this worker only ever
+    // touches the arcs it owns.
+    let mut queues: Vec<ColFifo> = Vec::with_capacity(g.arc_count());
+    queues.resize_with(g.arc_count(), ColFifo::default);
+    let mut active_arcs: Vec<usize> = Vec::new();
+    let mut scratch_arcs: Vec<usize> = Vec::new();
+    let mut obs = ExecObs::new(ctx.obs, me as u32);
+    obs.init(g.arc_count(), config.phase_len);
+    let mut stats = ExecStats {
+        phase_len: config.phase_len,
+        ..ExecStats::default()
+    };
+    let mut deferred: Vec<(u32, u32, u32, u32)> = Vec::new();
+    let mut shard = ShardStats {
+        shard: me,
+        nodes: own_n,
+        degree: own.iter().map(|&v| g.degree(NodeId(v as u32))).sum(),
+        ..ShardStats::default()
+    };
+    let mut engine_round: u64 = 0;
+    let mut last_activity_round: u64 = 0;
+    let mut b: u64 = 0;
+    loop {
+        // 1. Step phase: this shard's share of big-round b's steps, in the
+        // same (algorithm, node, round) order the sequential executor uses.
+        let t_step = Instant::now();
+        if let Some(steps) = ctx.by_big_round.get(b as usize) {
+            for &(a, v, r) in steps {
+                let li = local_of[v as usize];
+                if li == usize::MAX {
+                    continue;
+                }
+                let idx = a as usize * own_n + li;
+                debug_assert_eq!(steps_done[idx], r, "steps execute in order");
+                if r > 0 && buffered[idx] > 0 {
+                    // take() materializes the inbox already in canonical
+                    // sender-sorted order
+                    windows[idx].take(r - 1, &mut inbox, &mut pool, &mut sort_scratch);
+                    buffered[idx] -= inbox.len() as u32;
+                } else if !inbox.is_empty() {
+                    recycle(&mut inbox, &mut pool);
+                }
+                obs.on_step(inbox.len());
+                let sends = machines[idx].step(&inbox);
+                steps_done[idx] = r + 1;
+                shard.steps += 1;
+                let me_node = NodeId(v);
+                gen += 1;
+                for snd in sends {
+                    let Some(edge) = g.find_edge(me_node, snd.to) else {
+                        stats.invalid_sends += 1;
+                        obs.on_invalid_send();
+                        continue;
+                    };
+                    if snd.payload.len() > config.message_bytes || sent_gen[snd.to.index()] == gen {
+                        stats.invalid_sends += 1;
+                        obs.on_invalid_send();
+                        continue;
+                    }
+                    sent_gen[snd.to.index()] = gen;
+                    let idx = g.arc_from(edge, me_node).index();
+                    let owner = ctx.arc_owner[idx] as usize;
+                    if owner == me {
+                        let q = &mut queues[idx];
+                        if q.is_empty() {
+                            active_arcs.push(idx);
+                        }
+                        q.push(a, r, &snd.payload);
+                        stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                        obs.on_inject(idx, q.len());
+                    } else {
+                        shard.cross_sent += 1;
+                        obs.on_cross_send();
+                        ctx.outboxes[me * s + owner]
+                            .lock()
+                            .expect("outbox lock")
+                            .push((
+                                idx,
+                                super::Flight {
+                                    dst: snd.to,
+                                    algo: a,
+                                    round: r,
+                                    from: me_node,
+                                    payload: snd.payload,
+                                },
+                            ));
+                    }
+                }
+            }
+        }
+        shard.step_nanos += t_step.elapsed().as_nanos() as u64;
+
+        // All outboxes for big-round b are complete.
+        barrier_wait(ctx.barrier, &mut obs);
+
+        let t_drain = Instant::now();
+        // 2. Merge cross-shard arrivals into the owned queues, in source-
+        // shard order — per-arc order equals the sequential one because
+        // each arc's source node lives on exactly one shard.
+        for src in 0..s {
+            if src == me {
+                continue;
+            }
+            let incoming =
+                std::mem::take(&mut *ctx.outboxes[src * s + me].lock().expect("outbox lock"));
+            for (idx, flight) in incoming {
+                let q = &mut queues[idx];
+                if q.is_empty() {
+                    active_arcs.push(idx);
+                }
+                q.push(flight.algo, flight.round, &flight.payload);
+                stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                obs.on_inject(idx, q.len());
+            }
+        }
+
+        // 3. Columnar drain of the owned queues: one batched visit per
+        // active arc, up to phase_len messages at engine rounds
+        // `phase_start + j` — the rounds the row engine assigns.
+        let phase_start = engine_round;
+        std::mem::swap(&mut active_arcs, &mut scratch_arcs);
+        for &arc_idx in &scratch_arcs {
+            let q = &mut queues[arc_idx];
+            let cnt = (q.len() as u64).min(config.phase_len) as usize;
+            if cnt == 0 {
+                continue;
+            }
+            let from = arc_src[arc_idx];
+            let li = local_of[arc_dst[arc_idx] as usize];
+            debug_assert_ne!(li, usize::MAX, "arc delivered to a foreign shard");
+            let mut off = q.bytes_head;
+            for j in 0..cnt {
+                let m = q.meta[q.head + j];
+                let payload = &q.bytes[off..off + m.len as usize];
+                off += m.len as usize;
+                let eng = phase_start + j as u64;
+                let a = m.algo as usize;
+                if config.record_departures {
+                    deferred.push((m.algo, m.round, arc_idx as u32, eng as u32));
+                }
+                let idx = a * own_n + li;
+                let late = steps_done[idx] >= m.round + 2;
+                if late {
+                    stats.late_messages += 1;
+                } else {
+                    if buffered[idx] == 0 {
+                        windows[idx].reset_to(steps_done[idx].max(1) - 1);
+                    }
+                    windows[idx].push(m.round, from, payload);
+                    buffered[idx] += 1;
+                    stats.delivered += 1;
+                }
+                obs.on_deliver(eng, late);
+            }
+            q.head += cnt;
+            q.bytes_head = off;
+            q.reclaim();
+            if !q.is_empty() {
+                active_arcs.push(arc_idx);
+            }
+            last_activity_round = last_activity_round.max(phase_start + cnt as u64);
+        }
+        scratch_arcs.clear();
+        engine_round += config.phase_len;
+        if engine_round > config.max_engine_rounds {
+            // every worker's engine-round counter is identical, so all
+            // workers take this branch in lockstep — nobody is left
+            // waiting at a barrier
+            return Err(ExecError::RoundCapExceeded {
+                cap: config.max_engine_rounds,
+                big_round: b,
+            });
+        }
+        shard.drain_nanos += t_drain.elapsed().as_nanos() as u64;
+        obs.end_big_round(b);
+
+        // 4. Termination: post activity, agree on it, and let worker 0
+        // reset the counter strictly after everyone has read it (barrier)
+        // and strictly before anyone can post again.
+        if !active_arcs.is_empty() {
+            ctx.active_workers.fetch_add(1, Ordering::SeqCst);
+        }
+        barrier_wait(ctx.barrier, &mut obs);
+        let any_active = ctx.active_workers.load(Ordering::SeqCst) > 0;
+        b += 1;
+        let done = b > ctx.last_step_round && !any_active;
+        barrier_wait(ctx.barrier, &mut obs);
+        if me == 0 {
+            ctx.active_workers.store(0, Ordering::SeqCst);
+        }
+        if done {
+            break;
+        }
+    }
+
+    shard.delivered = stats.delivered;
+    let departures = build_departures(k, &deferred);
+    let outputs = (0..k)
+        .map(|a| {
+            machines[a * own_n..(a + 1) * own_n]
+                .iter()
+                .map(|m| m.output())
+                .collect()
+        })
+        .collect();
+    Ok(ShardOutput {
+        own,
+        outputs,
+        departures,
+        stats,
+        last_activity_round,
+        big_rounds: b,
+        shard,
+        obs: obs.finish(),
+    })
+}

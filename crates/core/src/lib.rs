@@ -78,13 +78,15 @@ pub mod verify;
 pub use algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
 pub use doubling::{DoublingConfig, DoublingOutcome, PlanCacheStats};
 pub use exec::{
-    ExecError, ExecStats, Executor, ExecutorConfig, ShardReport, ShardStats, StepPlan, Unit,
+    EngineKind, ExecError, ExecStats, Executor, ExecutorConfig, ShardReport, ShardStats, StepPlan,
+    Unit,
 };
 pub use obs::{run_traced, TracedRun};
-pub use plan::cache::PlanArtifact;
+pub use plan::cache::{PlanArtifact, SweepArtifact};
 pub use plan::{
-    execute_plan, execute_plan_observed, execute_plan_sharded, execute_plan_sharded_observed,
-    PlanError, SchedError, SchedulePlan,
+    execute_plan, execute_plan_observed, execute_plan_observed_with, execute_plan_sharded,
+    execute_plan_sharded_observed, execute_plan_sharded_with, execute_plan_with, PlanError,
+    SchedError, SchedulePlan,
 };
 pub use problem::DasProblem;
 pub use reference::{run_alone, ReferenceError, ReferenceRun};

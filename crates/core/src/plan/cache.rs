@@ -43,6 +43,7 @@
 //!   and sizing is a clone.
 
 use crate::plan::SchedulePlan;
+use das_cluster::Clustering;
 use das_prg::KWiseGenerator;
 
 /// The cached, guess-independent prefix of one scheduler's planning work
@@ -149,4 +150,107 @@ pub(crate) struct PrivateArtifact {
     /// Raw generator word pairs per layer, indexed `algo · n + node`,
     /// drawn over the fixed Mersenne field (guess-independent).
     pub(crate) draws: Vec<Vec<(u64, u64)>>,
+}
+
+/// The *seed-independent* prefix of one scheduler's planning work for a
+/// fixed problem, shared across a whole **sched-seed sweep**.
+///
+/// Where [`PlanArtifact`] freezes the guess-independent prefix for one
+/// `(problem, sched_seed)` pair, a `SweepArtifact` freezes the part of
+/// planning that does not depend on the seed at all. A trial sweep builds
+/// it once per `(problem, scheduler)` via
+/// [`crate::Scheduler::build_sweep_artifact`] and derives every per-seed
+/// plan via [`crate::Scheduler::plan_swept`]. The split is byte-invisible:
+/// `plan_swept(problem, art, s)` equals `plan(problem, s)` in canonical
+/// JSON for every seed `s` — `tests/plan_cache_equivalence.rs` enforces it
+/// for all five schedulers.
+///
+/// Per-scheduler contents:
+///
+/// * **sequential / interleave** — the finished plan; the seed is pure
+///   provenance, so re-seeding rewrites the `sched_seed` tag.
+/// * **uniform / tuned** — the phase length and the delay range; the
+///   `Θ(log n)`-coefficient generator and its draws are seed-dependent and
+///   cheap, so each seed rebuilds them.
+/// * **private** — the carved [`Clustering`] (Lemma 4.2), which draws from
+///   the scheduler's *own* seed and is therefore sched-seed-independent;
+///   each seed redoes only the in-cluster sharing (Lemma 4.3) and the
+///   delay draws.
+#[derive(Clone, Debug)]
+pub struct SweepArtifact {
+    scheduler: &'static str,
+    pub(crate) data: SweepData,
+}
+
+impl SweepArtifact {
+    /// Wraps scheduler-specific sweep data (crate-internal: scheduler
+    /// impls construct sweep artifacts through `build_sweep_artifact`).
+    pub(crate) fn new(scheduler: &'static str, data: SweepData) -> Self {
+        SweepArtifact { scheduler, data }
+    }
+
+    /// An artifact holding a finished plan whose seed is pure provenance —
+    /// re-seeding is a clone plus a `sched_seed` rewrite.
+    pub(crate) fn seed_tagged(scheduler: &'static str, plan: SchedulePlan) -> Self {
+        SweepArtifact::new(scheduler, SweepData::SeedTagged(plan))
+    }
+
+    /// The conservative no-cache artifact: `plan_swept` re-plans from
+    /// scratch per seed, which is trivially byte-identical.
+    pub(crate) fn replan(scheduler: &'static str) -> Self {
+        SweepArtifact::new(scheduler, SweepData::Replan)
+    }
+
+    /// Name of the scheduler this artifact was built by.
+    pub fn scheduler(&self) -> &'static str {
+        self.scheduler
+    }
+
+    /// Whether the artifact actually carries shared planning work (`false`
+    /// for the conservative replan form) — what a sweep harness should
+    /// count as a cache hit per derived plan.
+    pub fn shares_planning(&self) -> bool {
+        !matches!(self.data, SweepData::Replan)
+    }
+
+    /// Panics with a uniform message when a scheduler is handed a sweep
+    /// artifact it did not build.
+    pub(crate) fn expect_scheduler(&self, name: &str) {
+        assert_eq!(
+            self.scheduler, name,
+            "SweepArtifact built by `{}` cannot derive plans for `{}`",
+            self.scheduler, name
+        );
+    }
+}
+
+/// Scheduler-specific sweep-artifact payloads.
+#[derive(Clone, Debug)]
+pub(crate) enum SweepData {
+    /// Nothing cached: derive each seed's plan from scratch.
+    Replan,
+    /// A finished plan whose `sched_seed` is pure provenance.
+    SeedTagged(SchedulePlan),
+    /// [`crate::UniformScheduler`] / [`crate::TunedUniformScheduler`]
+    /// payload: the seed-independent sizing.
+    Uniform(UniformSweep),
+    /// [`crate::PrivateScheduler`] payload: the carved clustering.
+    Private(PrivateSweep),
+}
+
+/// Seed-independent sizing for the shared-randomness schedulers.
+#[derive(Clone, Debug)]
+pub(crate) struct UniformSweep {
+    /// Big-round length.
+    pub(crate) phase_len: u64,
+    /// Requested delay range (pre-prime-rounding) in big-rounds.
+    pub(crate) range: u64,
+}
+
+/// Seed-independent prefix for the private-randomness scheduler.
+#[derive(Clone, Debug)]
+pub(crate) struct PrivateSweep {
+    /// The carved clustering (Lemma 4.2), drawn from the scheduler's own
+    /// seed — identical for every plan of the sweep.
+    pub(crate) clustering: Clustering,
 }

@@ -394,6 +394,33 @@ pub fn execute_plan_observed(
     Ok((outcome, report))
 }
 
+/// [`execute_plan_observed`] with an explicit executor configuration
+/// (engine selection, custom round budget). `config.phase_len` is
+/// overridden by the plan's own phase length, which the plan semantics
+/// require.
+///
+/// # Errors
+/// As [`execute_plan`].
+pub fn execute_plan_observed_with(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    obs: &ObsConfig,
+    config: &ExecutorConfig,
+) -> Result<(ScheduleOutcome, Option<ObsReport>), SchedError> {
+    plan.validate(problem)?;
+    let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+    let (mut outcome, report) = Executor::run_observed(
+        problem.graph(),
+        problem.algorithms(),
+        &seeds,
+        &plan.units,
+        &config.clone().with_phase_len(plan.phase_len),
+        obs,
+    )?;
+    outcome.precompute_rounds = plan.precompute_rounds;
+    Ok((outcome, report))
+}
+
 /// Executes a plan on the sharded executor with `shards` worker threads
 /// (see [`Executor::run_sharded`]): the outcome is byte-identical to
 /// [`execute_plan`], and the returned [`ShardReport`] carries the
@@ -417,6 +444,30 @@ pub fn execute_plan_sharded(
         &ExecutorConfig::default()
             .with_phase_len(plan.phase_len)
             .with_shards(shards),
+    )?;
+    outcome.precompute_rounds = plan.precompute_rounds;
+    Ok((outcome, report))
+}
+
+/// [`execute_plan_sharded`] with an explicit executor configuration
+/// (engine selection, custom round budget); the shard count comes from
+/// `config.shards` and the phase length from the plan.
+///
+/// # Errors
+/// As [`execute_plan`].
+pub fn execute_plan_sharded_with(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    config: &ExecutorConfig,
+) -> Result<(ScheduleOutcome, ShardReport), SchedError> {
+    plan.validate(problem)?;
+    let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+    let (mut outcome, report) = Executor::run_sharded(
+        problem.graph(),
+        problem.algorithms(),
+        &seeds,
+        &plan.units,
+        &config.clone().with_phase_len(plan.phase_len),
     )?;
     outcome.precompute_rounds = plan.precompute_rounds;
     Ok((outcome, report))

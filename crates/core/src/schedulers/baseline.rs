@@ -3,6 +3,7 @@
 //! the yardsticks the paper's schedulers are measured against.
 
 use crate::exec::Unit;
+use crate::plan::cache::SweepArtifact;
 use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
@@ -37,6 +38,18 @@ impl Scheduler for SequentialScheduler {
             0,
             problem,
             units,
+        ))
+    }
+
+    fn build_sweep_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+    ) -> Result<SweepArtifact, ReferenceError> {
+        // The plan ignores `sched_seed` except as provenance: cache it
+        // finished and let re-seeding rewrite the tag.
+        Ok(SweepArtifact::seed_tagged(
+            self.name(),
+            self.plan(problem, self.default_sched_seed())?,
         ))
     }
 }
@@ -74,6 +87,16 @@ impl Scheduler for InterleaveScheduler {
             0,
             problem,
             units,
+        ))
+    }
+
+    fn build_sweep_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+    ) -> Result<SweepArtifact, ReferenceError> {
+        Ok(SweepArtifact::seed_tagged(
+            self.name(),
+            self.plan(problem, self.default_sched_seed())?,
         ))
     }
 }

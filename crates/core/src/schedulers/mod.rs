@@ -17,7 +17,7 @@ pub use uniform::{
     prime_range_overhead, uniform_length_bound, TunedUniformScheduler, UniformScheduler,
 };
 
-use crate::plan::cache::{ArtifactData, PlanArtifact};
+use crate::plan::cache::{ArtifactData, PlanArtifact, SweepArtifact, SweepData};
 use crate::plan::{execute_plan, SchedError, SchedulePlan};
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
@@ -103,6 +103,59 @@ pub trait Scheduler: Send + Sync {
             ArtifactData::Fixed(plan) => Ok(plan.clone()),
             _ => unreachable!(
                 "scheduler `{}` uses the default fixed-plan artifact",
+                self.name()
+            ),
+        }
+    }
+
+    /// Builds the *seed-sweep* artifact for `problem` — everything
+    /// [`Scheduler::plan`] computes that does not depend on `sched_seed`.
+    /// A trial sweep builds this once per `(problem, scheduler)` and
+    /// derives each seed's plan with [`Scheduler::plan_swept`].
+    ///
+    /// The default implementation caches nothing (the replan form of
+    /// [`SweepArtifact`]): `plan_swept` then falls back to a from-scratch
+    /// [`Scheduler::plan`], which is trivially byte-identical. Schedulers
+    /// override this when part of their planning is genuinely
+    /// seed-independent — all five built-ins do.
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`], as [`Scheduler::plan`] does.
+    fn build_sweep_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+    ) -> Result<SweepArtifact, ReferenceError> {
+        let _ = problem;
+        Ok(SweepArtifact::replan(self.name()))
+    }
+
+    /// Derives the plan for one `sched_seed` of a sweep from a cached
+    /// [`SweepArtifact`]. The result is **byte-identical** to
+    /// [`Scheduler::plan`]`(problem, sched_seed)` run from scratch — the
+    /// sweep split must be invisible in the plan bytes
+    /// (`tests/plan_cache_equivalence.rs` enforces it).
+    ///
+    /// # Errors
+    /// Propagates a [`ReferenceError`], as [`Scheduler::plan`] does.
+    ///
+    /// # Panics
+    /// Panics if `artifact` was built by a different scheduler.
+    fn plan_swept(
+        &self,
+        problem: &DasProblem<'_>,
+        artifact: &SweepArtifact,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        artifact.expect_scheduler(self.name());
+        match &artifact.data {
+            SweepData::Replan => self.plan(problem, sched_seed),
+            SweepData::SeedTagged(plan) => {
+                let mut plan = plan.clone();
+                plan.sched_seed = sched_seed;
+                Ok(plan)
+            }
+            _ => unreachable!(
+                "scheduler `{}` must override plan_swept for its sweep payload",
                 self.name()
             ),
         }

@@ -21,7 +21,9 @@
 //! of `O(congestion + dilation · log n)` rounds.
 
 use crate::exec::Unit;
-use crate::plan::cache::{ArtifactData, PlanArtifact, PrivateArtifact};
+use crate::plan::cache::{
+    ArtifactData, PlanArtifact, PrivateArtifact, PrivateSweep, SweepArtifact, SweepData,
+};
 use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
@@ -97,9 +99,13 @@ impl Default for PrivateScheduler {
     }
 }
 
+/// Per-layer, per-cluster shared seed words from the Lemma 4.3 sharing
+/// step: `layer_seeds[layer][cluster]` is that cluster's seed vector.
+type LayerSeeds = Vec<Vec<Vec<u64>>>;
+
 /// Carved clustering, per-layer shared seeds, and the charged
 /// pre-computation rounds — the guess-independent prefix of planning.
-type Precomputed = (Clustering, Vec<Vec<Vec<u64>>>, u64);
+type Precomputed = (Clustering, LayerSeeds, u64);
 
 impl PrivateScheduler {
     /// Sets the base seed.
@@ -126,31 +132,48 @@ impl PrivateScheduler {
         self
     }
 
-    /// Steps 1–2 of the pipeline — carving (Lemma 4.2) and in-cluster
-    /// randomness sharing (Lemma 4.3). Everything here depends only on
-    /// `(problem, sched_seed)`, never on a congestion guess, which is why
-    /// the doubling search can charge it once.
-    fn precompute(
-        &self,
-        problem: &DasProblem<'_>,
-        sched_seed: u64,
-    ) -> Result<Precomputed, ReferenceError> {
-        let g = problem.graph();
-        let n = g.node_count();
-        let params = problem.parameters()?;
-
-        let mut carve_cfg = CarveConfig::for_dilation(g, params.dilation);
+    /// The carve configuration for `problem`'s graph — deterministic
+    /// arithmetic, shared by the carve and share halves.
+    fn carve_config(&self, g: &das_graph::Graph, dilation: u32) -> CarveConfig {
+        let mut carve_cfg = CarveConfig::for_dilation(g, dilation);
         if let Some(l) = self.layers {
             carve_cfg = carve_cfg.with_num_layers(l);
         }
-        let clustering = if self.distributed_precompute {
-            Clustering::carve_distributed(g, &carve_cfg, sched_seed)
+        carve_cfg
+    }
+
+    /// Step 1 — carving (Lemma 4.2). The carve draws from the scheduler's
+    /// *own* seed, never from a plan's `sched_seed`: each node's radius
+    /// and label draws are private coins that exist before any scheduling
+    /// randomness is negotiated, so the clustering is the
+    /// sched-seed-independent half of pre-computation. That independence
+    /// is what lets a seed sweep share one carve across every plan.
+    fn carve(&self, problem: &DasProblem<'_>) -> Result<Clustering, ReferenceError> {
+        let g = problem.graph();
+        let params = problem.parameters()?;
+        let carve_cfg = self.carve_config(g, params.dilation);
+        Ok(if self.distributed_precompute {
+            Clustering::carve_distributed(g, &carve_cfg, self.seed)
         } else {
-            Clustering::carve_centralized(g, &carve_cfg, sched_seed)
-        };
+            Clustering::carve_centralized(g, &carve_cfg, self.seed)
+        })
+    }
+
+    /// Step 2 — in-cluster randomness sharing (Lemma 4.3), drawn per
+    /// `sched_seed`. Returns the per-layer shared seeds and the total
+    /// pre-computation charge (carve + sharing).
+    fn share(
+        &self,
+        problem: &DasProblem<'_>,
+        clustering: &Clustering,
+        sched_seed: u64,
+    ) -> Result<(LayerSeeds, u64), ReferenceError> {
+        let g = problem.graph();
+        let n = g.node_count();
+        let params = problem.parameters()?;
         let mut precompute_rounds = clustering.precompute_rounds();
 
-        let share_cfg = ShareConfig::for_graph(g, carve_cfg.horizon);
+        let share_cfg = ShareConfig::for_graph(g, self.carve_config(g, params.dilation).horizon);
         let chunk_seed = seed_mix(sched_seed, 0xC0FFEE);
         let chunks = das_cluster::share::center_chunks(n, share_cfg.chunks, chunk_seed);
         let mut layer_seeds: Vec<Vec<Vec<u64>>> = Vec::with_capacity(clustering.layers().len());
@@ -172,7 +195,69 @@ impl PrivateScheduler {
             };
             layer_seeds.push(seeds);
         }
+        Ok((layer_seeds, precompute_rounds))
+    }
+
+    /// Steps 1–2 of the pipeline — carving (Lemma 4.2) and in-cluster
+    /// randomness sharing (Lemma 4.3). Nothing here depends on a
+    /// congestion guess, which is why the doubling search can charge it
+    /// once; the carve half depends on the scheduler value only, which is
+    /// why a seed sweep can share it (see [`PrivateScheduler::carve`]).
+    fn precompute(
+        &self,
+        problem: &DasProblem<'_>,
+        sched_seed: u64,
+    ) -> Result<Precomputed, ReferenceError> {
+        let clustering = self.carve(problem)?;
+        let (layer_seeds, precompute_rounds) = self.share(problem, &clustering, sched_seed)?;
         Ok((clustering, layer_seeds, precompute_rounds))
+    }
+
+    /// Steps 3–4 — size the delay law and reduce each layer's shared
+    /// seeds into per-(layer, algorithm) units. Shared tail of
+    /// [`Scheduler::plan`] and [`Scheduler::plan_swept`].
+    fn finish_plan(
+        &self,
+        problem: &DasProblem<'_>,
+        clustering: &Clustering,
+        layer_seeds: &[Vec<Vec<u64>>],
+        precompute_rounds: u64,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        let n = problem.graph().node_count();
+        let params = problem.parameters()?;
+        let ln_n = (n.max(2) as f64).ln();
+
+        // 3. The delay law: Lemma 4.4's block-decay, or (ablation) the
+        // "simpler solution" uniform over Theta(congestion) big-rounds.
+        let num_layers = clustering.layers().len();
+        let law = self.sized_delay_law(params.congestion, ln_n, num_layers, self.block_override);
+
+        // 4. One unit per (layer, algorithm): per-cluster delays from the
+        // cluster's shared seed, per-node truncation at the contained
+        // radius.
+        let mut units = Vec::with_capacity(num_layers * problem.k());
+        for (l, layer) in clustering.layers().iter().enumerate() {
+            let draws = layer_draws(problem, layer, &layer_seeds[l]);
+            layer_units(
+                &draws,
+                &layer.contained_radius,
+                law.as_ref(),
+                problem.k(),
+                n,
+                &mut units,
+            );
+        }
+
+        let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            phase_len,
+            precompute_rounds,
+            problem,
+            units,
+        ))
     }
 
     /// Step 3 — the delay law sized for `override_` (an exact first-block
@@ -298,43 +383,16 @@ impl Scheduler for PrivateScheduler {
         problem: &DasProblem<'_>,
         sched_seed: u64,
     ) -> Result<SchedulePlan, ReferenceError> {
-        let n = problem.graph().node_count();
-        let params = problem.parameters()?;
-        let ln_n = (n.max(2) as f64).ln();
-
         // 1–2. Carving (Lemma 4.2) + in-cluster sharing (Lemma 4.3).
         let (clustering, layer_seeds, precompute_rounds) = self.precompute(problem, sched_seed)?;
-
-        // 3. The delay law: Lemma 4.4's block-decay, or (ablation) the
-        // "simpler solution" uniform over Theta(congestion) big-rounds.
-        let num_layers = clustering.layers().len();
-        let law = self.sized_delay_law(params.congestion, ln_n, num_layers, self.block_override);
-
-        // 4. One unit per (layer, algorithm): per-cluster delays from the
-        // cluster's shared seed, per-node truncation at the contained
-        // radius.
-        let mut units = Vec::with_capacity(num_layers * problem.k());
-        for (l, layer) in clustering.layers().iter().enumerate() {
-            let draws = layer_draws(problem, layer, &layer_seeds[l]);
-            layer_units(
-                &draws,
-                &layer.contained_radius,
-                law.as_ref(),
-                problem.k(),
-                n,
-                &mut units,
-            );
-        }
-
-        let phase_len = (self.phase_factor * ln_n).ceil().max(1.0) as u64;
-        Ok(SchedulePlan::assemble(
-            self.name(),
-            sched_seed,
-            phase_len,
-            precompute_rounds,
+        // 3–4. Delay law + per-(layer, algorithm) units.
+        self.finish_plan(
             problem,
-            units,
-        ))
+            &clustering,
+            &layer_seeds,
+            precompute_rounds,
+            sched_seed,
+        )
     }
 
     fn build_artifact(
@@ -407,6 +465,41 @@ impl Scheduler for PrivateScheduler {
             problem,
             units,
         ))
+    }
+
+    fn build_sweep_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+    ) -> Result<SweepArtifact, ReferenceError> {
+        // Only the carve is seed-independent; sharing, the chunk split,
+        // and every generator draw move with the sched_seed.
+        Ok(SweepArtifact::new(
+            self.name(),
+            SweepData::Private(PrivateSweep {
+                clustering: self.carve(problem)?,
+            }),
+        ))
+    }
+
+    fn plan_swept(
+        &self,
+        problem: &DasProblem<'_>,
+        artifact: &SweepArtifact,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        artifact.expect_scheduler(self.name());
+        let SweepData::Private(sweep) = &artifact.data else {
+            unreachable!("private sweep artifacts carry SweepData::Private")
+        };
+        let (layer_seeds, precompute_rounds) =
+            self.share(problem, &sweep.clustering, sched_seed)?;
+        self.finish_plan(
+            problem,
+            &sweep.clustering,
+            &layer_seeds,
+            precompute_rounds,
+            sched_seed,
+        )
     }
 }
 

@@ -2,7 +2,9 @@
 //! remark variant.
 
 use crate::exec::Unit;
-use crate::plan::cache::{ArtifactData, PlanArtifact, UniformArtifact};
+use crate::plan::cache::{
+    ArtifactData, PlanArtifact, SweepArtifact, SweepData, UniformArtifact, UniformSweep,
+};
 use crate::plan::SchedulePlan;
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
@@ -199,6 +201,48 @@ impl Scheduler for UniformScheduler {
             units,
         ))
     }
+
+    fn build_sweep_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+    ) -> Result<SweepArtifact, ReferenceError> {
+        // Only the sizing is seed-independent; the Θ(log n)-coefficient
+        // generator and its draws are cheap and rebuilt per seed.
+        let params = problem.parameters()?;
+        let n = problem.graph().node_count();
+        let ln_n = (n.max(2) as f64).ln();
+        Ok(SweepArtifact::new(
+            self.name(),
+            SweepData::Uniform(UniformSweep {
+                phase_len: (self.phase_factor * ln_n).ceil().max(1.0) as u64,
+                range: self.effective_range(None, params.congestion, ln_n),
+            }),
+        ))
+    }
+
+    fn plan_swept(
+        &self,
+        problem: &DasProblem<'_>,
+        artifact: &SweepArtifact,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        artifact.expect_scheduler(self.name());
+        let SweepData::Uniform(sweep) = &artifact.data else {
+            unreachable!("uniform sweep artifacts carry SweepData::Uniform")
+        };
+        let n = problem.graph().node_count();
+        let law = Uniform::prime_at_least(sweep.range);
+        let gen = kwise_from_shared(sched_seed, n, law.range());
+        let units = delayed_units(problem, &gen, &law);
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            sweep.phase_len,
+            0,
+            problem,
+            units,
+        ))
+    }
 }
 
 /// The §3-remark variant: phases of `Θ(log n / log log n)` rounds and
@@ -258,6 +302,49 @@ impl Scheduler for TunedUniformScheduler {
             self.name(),
             sched_seed,
             phase_len,
+            0,
+            problem,
+            units,
+        ))
+    }
+
+    fn build_sweep_artifact(
+        &self,
+        problem: &DasProblem<'_>,
+    ) -> Result<SweepArtifact, ReferenceError> {
+        let params = problem.parameters()?;
+        let n = problem.graph().node_count();
+        let ln_n = (n.max(3) as f64).ln();
+        let lnln = ln_n.ln().max(1.0);
+        Ok(SweepArtifact::new(
+            self.name(),
+            SweepData::Uniform(UniformSweep {
+                phase_len: (self.phase_factor * ln_n / lnln).ceil().max(1.0) as u64,
+                range: (self.range_factor * params.congestion as f64)
+                    .ceil()
+                    .max(1.0) as u64,
+            }),
+        ))
+    }
+
+    fn plan_swept(
+        &self,
+        problem: &DasProblem<'_>,
+        artifact: &SweepArtifact,
+        sched_seed: u64,
+    ) -> Result<SchedulePlan, ReferenceError> {
+        artifact.expect_scheduler(self.name());
+        let SweepData::Uniform(sweep) = &artifact.data else {
+            unreachable!("tuned sweep artifacts carry SweepData::Uniform")
+        };
+        let n = problem.graph().node_count();
+        let law = Uniform::prime_at_least(sweep.range);
+        let gen = kwise_from_shared(sched_seed, n, law.range());
+        let units = delayed_units(problem, &gen, &law);
+        Ok(SchedulePlan::assemble(
+            self.name(),
+            sched_seed,
+            sweep.phase_len,
             0,
             problem,
             units,

@@ -8,6 +8,7 @@
 
 use crate::algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
 use das_graph::{Graph, NodeId};
+use std::sync::Arc;
 
 fn mix(a: u64, b: u64) -> u64 {
     das_congest::util::seed_mix(a, b)
@@ -23,7 +24,10 @@ fn token_of(payload: &[u8]) -> u64 {
 #[derive(Clone, Debug)]
 pub struct RelayChain {
     aid: Aid,
-    route: Vec<NodeId>,
+    /// Shared with every per-node machine: routes are immutable and `n`
+    /// machines are created per run, so cloning the backing storage per
+    /// machine would dominate machine-creation cost on long routes.
+    route: Arc<[NodeId]>,
 }
 
 impl RelayChain {
@@ -53,7 +57,7 @@ impl RelayChain {
         }
         RelayChain {
             aid: Aid(aid),
-            route,
+            route: route.into(),
         }
     }
 
@@ -67,7 +71,7 @@ struct RelayNode {
     aid: u64,
     /// Positions of this node on the route (a route may revisit a node).
     positions: Vec<usize>,
-    route: Vec<NodeId>,
+    route: Arc<[NodeId]>,
     round: usize,
     state: u64,
 }
@@ -92,7 +96,7 @@ impl BlackBoxAlgorithm for RelayChain {
         Box::new(RelayNode {
             aid: self.aid.0,
             positions,
-            route: self.route.clone(),
+            route: Arc::clone(&self.route),
             round: 0,
             state: mix(seed, v.0 as u64),
         })
@@ -133,8 +137,9 @@ impl AlgoNode for RelayNode {
 pub struct Prescribed {
     aid: Aid,
     rounds: u32,
-    /// sends[r] = list of (from, to).
-    sends: Vec<Vec<(NodeId, NodeId)>>,
+    /// sends[r] = list of (from, to); shared with every per-node machine
+    /// (the pattern is immutable once built).
+    sends: Arc<Vec<Vec<(NodeId, NodeId)>>>,
 }
 
 impl Prescribed {
@@ -158,7 +163,7 @@ impl Prescribed {
         Prescribed {
             aid: Aid(aid),
             rounds,
-            sends,
+            sends: Arc::new(sends),
         }
     }
 
@@ -171,7 +176,7 @@ impl Prescribed {
 struct PrescribedNode {
     me: NodeId,
     round: usize,
-    sends: Vec<Vec<(NodeId, NodeId)>>,
+    sends: Arc<Vec<Vec<(NodeId, NodeId)>>>,
     state: u64,
 }
 
@@ -188,7 +193,7 @@ impl BlackBoxAlgorithm for Prescribed {
         Box::new(PrescribedNode {
             me: v,
             round: 0,
-            sends: self.sends.clone(),
+            sends: Arc::clone(&self.sends),
             state: mix(seed, v.0 as u64),
         })
     }
@@ -229,8 +234,9 @@ pub struct FloodBall {
     aid: Aid,
     source: NodeId,
     depth: u32,
-    /// Per-node neighbor lists (nodes know their neighbors in CONGEST).
-    neighbors: Vec<Vec<NodeId>>,
+    /// Per-node neighbor lists (nodes know their neighbors in CONGEST);
+    /// shared with every per-node machine, which indexes its own row.
+    neighbors: Arc<Vec<Vec<NodeId>>>,
 }
 
 impl FloodBall {
@@ -248,13 +254,15 @@ impl FloodBall {
             aid: Aid(aid),
             source,
             depth,
-            neighbors,
+            neighbors: Arc::new(neighbors),
         }
     }
 }
 
 struct FloodNode {
-    neighbors: Vec<NodeId>,
+    /// Whole-graph adjacency, shared; this machine reads row `me`.
+    neighbors: Arc<Vec<Vec<NodeId>>>,
+    me: usize,
     depth: u32,
     round: u32,
     heard_at: Option<u32>,
@@ -276,7 +284,8 @@ impl BlackBoxAlgorithm for FloodBall {
     fn create_node(&self, v: NodeId, _n: usize, seed: u64) -> Box<dyn AlgoNode> {
         let is_source = v == self.source;
         Box::new(FloodNode {
-            neighbors: self.neighbors[v.index()].clone(),
+            neighbors: Arc::clone(&self.neighbors),
+            me: v.index(),
             depth: self.depth,
             round: 0,
             heard_at: if is_source { Some(0) } else { None },
@@ -298,7 +307,7 @@ impl AlgoNode for FloodNode {
         let mut out = Vec::new();
         if self.pending && self.round < self.depth {
             self.pending = false;
-            for &u in &self.neighbors {
+            for &u in &self.neighbors[self.me] {
                 out.push(AlgoSend {
                     to: u,
                     payload: self.token.to_le_bytes().to_vec(),

@@ -1,6 +1,7 @@
 //! The observability neutrality property: recording must NEVER perturb
-//! outcomes. For every scheduler, every shard count, and every obs level,
-//! the `ScheduleOutcome` must be byte-identical to the unobserved fused
+//! outcomes. For every scheduler, every shard count, every engine
+//! (legacy row and columnar default), and every obs level, the
+//! `ScheduleOutcome` must be byte-identical to the unobserved fused
 //! execution — instrumentation reads the deterministic big-round clock and
 //! never feeds anything back into the engine.
 //!
@@ -10,9 +11,9 @@
 
 use das_core::synthetic::{FloodBall, Prescribed, RelayChain};
 use das_core::{
-    execute_plan, execute_plan_observed, execute_plan_sharded_observed, BlackBoxAlgorithm,
-    DasProblem, InterleaveScheduler, PrivateScheduler, Scheduler, SequentialScheduler,
-    TunedUniformScheduler, UniformScheduler,
+    execute_plan, execute_plan_observed, execute_plan_observed_with, execute_plan_sharded_observed,
+    BlackBoxAlgorithm, DasProblem, EngineKind, ExecutorConfig, InterleaveScheduler,
+    PrivateScheduler, Scheduler, SequentialScheduler, TunedUniformScheduler, UniformScheduler,
 };
 use das_graph::{generators, Graph, NodeId};
 use das_obs::ObsConfig;
@@ -82,6 +83,18 @@ fn assert_obs_neutral(g: &Graph, k: usize, seed: u64) {
                 baseline,
                 format!("{fused:?}"),
                 "scheduler {} diverged under fused obs {:?}",
+                sched.name(),
+                obs.mode
+            );
+            // The legacy row engine must match the columnar baseline under
+            // every obs level too.
+            let row_cfg = ExecutorConfig::default().with_engine(EngineKind::Row);
+            let (row, _) =
+                execute_plan_observed_with(&p, &plan, &obs, &row_cfg).expect("observed row");
+            assert_eq!(
+                baseline,
+                format!("{row:?}"),
+                "scheduler {} row engine diverged under fused obs {:?}",
                 sched.name(),
                 obs.mode
             );

@@ -112,6 +112,37 @@ fn assert_sizing_matches_scratch(g: &Graph, k: usize, seed: u64) {
     }
 }
 
+/// Asserts `plan_swept(build_sweep_artifact(..), s)` == `plan(.., s)` bytes
+/// for every scheduler across a spread of sched-seeds — one artifact, many
+/// seeds, zero byte drift (the seed-sweep half of the cache contract).
+fn assert_sweep_matches_scratch(g: &Graph, k: usize, seed: u64) {
+    let p = DasProblem::new(g, build_algos(g, k, seed), seed);
+    let sweep_seeds = [
+        seed,
+        seed ^ 0x5EED,
+        seed.wrapping_mul(31).wrapping_add(7),
+        0,
+        u64::MAX,
+    ];
+    for sched in all_schedulers() {
+        let artifact = sched.build_sweep_artifact(&p).expect("sweep artifact");
+        assert!(
+            artifact.shares_planning(),
+            "all built-in schedulers share planning work across a sweep"
+        );
+        for &s in &sweep_seeds {
+            let scratch = sched.plan(&p, s).expect("model-valid workload");
+            let swept = sched.plan_swept(&p, &artifact, s).expect("swept plan");
+            assert_eq!(
+                scratch.to_json(),
+                swept.to_json(),
+                "scheduler {} sweep-derived plan diverged at sched_seed {s}",
+                sched.name()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -129,6 +160,52 @@ proptest! {
     fn sizing_matches_scratch_on_layered(ws in 0u64..400, k in 1usize..5) {
         let g = generators::layered(4, 3);
         assert_sizing_matches_scratch(&g, k, ws);
+    }
+
+    /// One sweep artifact serves every sched-seed byte-identically on
+    /// random connected G(n, p) graphs.
+    #[test]
+    fn sweep_matches_scratch_on_gnp(gs in 0u64..200, ws in 0u64..200, k in 1usize..5) {
+        let g = generators::gnp_connected(12, 2.5 / 12.0, gs);
+        assert_sweep_matches_scratch(&g, k, ws);
+    }
+
+    /// Same sweep property on layered graphs.
+    #[test]
+    fn sweep_matches_scratch_on_layered(ws in 0u64..400, k in 1usize..5) {
+        let g = generators::layered(4, 3);
+        assert_sweep_matches_scratch(&g, k, ws);
+    }
+}
+
+/// The sweep split survives the private scheduler's honest distributed
+/// pre-computation (per-seed sharing re-runs the engine protocols) and its
+/// sizing overrides / ablation law.
+#[test]
+fn sweep_covers_distributed_precompute_and_overrides() {
+    let g = generators::path(10);
+    let p = congested_problem(&g);
+    let variants = vec![
+        PrivateScheduler::default().with_distributed_precompute(true),
+        PrivateScheduler {
+            block_override: Some(3),
+            ..PrivateScheduler::default()
+        },
+        PrivateScheduler::default().with_delay_law(das_core::PrivateDelayLaw::UniformWide),
+        PrivateScheduler::default().with_layers(4).with_seed(0xFEED),
+    ];
+    for sched in variants {
+        let artifact = sched.build_sweep_artifact(&p).expect("sweep artifact");
+        for s in [sched.default_sched_seed(), 1, 0xBEEF] {
+            assert_eq!(
+                sched.plan(&p, s).expect("plan").to_json(),
+                sched
+                    .plan_swept(&p, &artifact, s)
+                    .expect("swept plan")
+                    .to_json(),
+                "private variant {sched:?} diverged at sched_seed {s}"
+            );
+        }
     }
 }
 

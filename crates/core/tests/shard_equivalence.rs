@@ -1,6 +1,8 @@
 //! Property-based equivalence: the sharded big-round-synchronous executor
 //! must produce the *byte-identical* outcome of the sequential (fused)
-//! `execute_plan`, for every plan, every scheduler, and every shard count.
+//! `execute_plan`, for every plan, every scheduler, and every shard count —
+//! and the legacy row engine must agree with the columnar default, both
+//! fused and sharded.
 //!
 //! CI runs this file under `RAYON_NUM_THREADS=1` and `=8`; the sharded
 //! executor uses one dedicated thread per shard, so the equality must hold
@@ -8,7 +10,8 @@
 
 use das_core::synthetic::{FloodBall, Prescribed, RelayChain};
 use das_core::{
-    execute_plan, execute_plan_sharded, BlackBoxAlgorithm, DasProblem, InterleaveScheduler,
+    execute_plan, execute_plan_sharded, execute_plan_sharded_with, execute_plan_with,
+    BlackBoxAlgorithm, DasProblem, EngineKind, ExecutorConfig, InterleaveScheduler,
     PrivateScheduler, Scheduler, SequentialScheduler, TunedUniformScheduler, UniformScheduler,
 };
 use das_graph::{generators, Graph, NodeId};
@@ -113,14 +116,26 @@ fn assert_shard_report_consistent(
     }
 }
 
-/// Asserts sharded == fused bytes for every scheduler and shard count on
-/// the given graph.
+/// Asserts row == columnar == sharded bytes for every scheduler and shard
+/// count on the given graph.
 fn assert_equivalent(g: &Graph, k: usize, seed: u64) {
     let p = DasProblem::new(g, build_algos(g, k, seed), seed);
     for sched in all_schedulers() {
         let plan = sched.plan(&p, seed).expect("model-valid workload");
         let fused = execute_plan(&p, &plan).expect("fused execution");
         let fused_bytes = format!("{fused:?}");
+        // The legacy row engine is the reference semantics: the columnar
+        // default must reproduce it byte for byte.
+        let row_cfg = ExecutorConfig::default()
+            .with_phase_len(plan.phase_len)
+            .with_engine(EngineKind::Row);
+        let row = execute_plan_with(&p, &plan, &row_cfg).expect("row execution");
+        assert_eq!(
+            fused_bytes,
+            format!("{row:?}"),
+            "scheduler {}: columnar fused diverged from the row engine",
+            sched.name()
+        );
         for shards in SHARD_COUNTS {
             let (sharded, report) =
                 execute_plan_sharded(&p, &plan, shards).expect("sharded execution");
@@ -132,6 +147,19 @@ fn assert_equivalent(g: &Graph, k: usize, seed: u64) {
                 shards
             );
             assert_shard_report_consistent(g, &fused, &report, shards, sched.name());
+            // Sharded execution through the row engine must also agree.
+            let row_shard_cfg = ExecutorConfig::default()
+                .with_shards(shards)
+                .with_engine(EngineKind::Row);
+            let (row_sharded, _) =
+                execute_plan_sharded_with(&p, &plan, &row_shard_cfg).expect("row sharded");
+            assert_eq!(
+                fused_bytes,
+                format!("{row_sharded:?}"),
+                "scheduler {} row engine diverged at {} shards",
+                sched.name(),
+                shards
+            );
         }
     }
 }

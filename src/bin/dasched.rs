@@ -3,7 +3,8 @@
 //! ```text
 //! dasched run        --graph grid:8x8 --workload mixed:18 --scheduler private [--seed 42]
 //! dasched plan       --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7] [--out plan.json]
-//!                    [--in plan.json] [--execute] [--shards N] [--dump-outcome FILE] [--reuse-artifact]
+//!                    [--in plan.json] [--execute] [--shards N] [--engine row|columnar]
+//!                    [--dump-outcome FILE] [--reuse-artifact]
 //! dasched plan       --graph grid:8x8 --workload mixed:18 --diff a.json b.json
 //! dasched trace      --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7]
 //!                    [--shards N] [--export chrome|jsonl|text] [--top K] [--out trace.json]
@@ -27,9 +28,9 @@ use dasched::core::plan::analysis as plan_analysis;
 use dasched::core::plan::diff::PlanDiff;
 use dasched::core::synthetic::{FloodBall, RelayChain};
 use dasched::core::{
-    execute_plan, execute_plan_sharded, run_traced, verify, BlackBoxAlgorithm, DasProblem,
-    InterleaveScheduler, PrivateScheduler, SchedulePlan, Scheduler, SequentialScheduler,
-    TunedUniformScheduler, UniformScheduler,
+    execute_plan_sharded_with, execute_plan_with, run_traced, verify, BlackBoxAlgorithm,
+    DasProblem, EngineKind, ExecutorConfig, InterleaveScheduler, PrivateScheduler, SchedulePlan,
+    Scheduler, SequentialScheduler, TunedUniformScheduler, UniformScheduler,
 };
 use dasched::graph::{generators, Graph, NodeId};
 use dasched::lowerbound::{analysis, search, HardInstance, HardInstanceParams};
@@ -52,7 +53,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   dasched run        --graph SPEC --workload SPEC --scheduler NAME [--seed N]
   dasched plan       --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N] [--out FILE]
-                     [--in FILE] [--execute] [--shards N] [--dump-outcome FILE] [--reuse-artifact]
+                     [--in FILE] [--execute] [--shards N] [--engine row|columnar]
+                     [--dump-outcome FILE] [--reuse-artifact]
   dasched plan       --graph SPEC --workload SPEC --diff A.json B.json
   dasched trace      --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N]
                      [--shards N] [--export chrome|jsonl|text] [--top K] [--out FILE]
@@ -386,21 +388,31 @@ fn diff_plans(problem: &DasProblem<'_>, path_a: &str, path_b: &str) -> Result<()
 }
 
 /// The `plan --execute` tail: run the plan (sharded when `--shards N > 1`,
-/// with a fused-identity check and per-shard report), verify, and honor
-/// `--dump-outcome`.
+/// with a fused-identity check and per-shard report) on the selected
+/// engine (`--engine row|columnar`, columnar by default), verify, and
+/// honor `--dump-outcome`.
 fn execute_planned(
     opts: &HashMap<String, String>,
     problem: &DasProblem<'_>,
     plan: &dasched::core::SchedulePlan,
 ) -> Result<(), String> {
     let shards = opt_u64(opts, "shards")?.unwrap_or(1) as usize;
+    let engine = match opts.get("engine").map(String::as_str) {
+        None | Some("columnar") => EngineKind::Columnar,
+        Some("row") => EngineKind::Row,
+        Some(other) => return Err(format!("unknown engine `{other}` (row or columnar)")),
+    };
+    let config = ExecutorConfig::default()
+        .with_engine(engine)
+        .with_phase_len(plan.phase_len);
     let t0 = std::time::Instant::now();
-    let fused = execute_plan(problem, plan).map_err(|e| e.to_string())?;
+    let fused = execute_plan_with(problem, plan, &config).map_err(|e| e.to_string())?;
     let fused_ms = t0.elapsed().as_secs_f64() * 1e3;
     let outcome = if shards > 1 {
         let t1 = std::time::Instant::now();
         let (sharded, report) =
-            execute_plan_sharded(problem, plan, shards).map_err(|e| e.to_string())?;
+            execute_plan_sharded_with(problem, plan, &config.clone().with_shards(shards))
+                .map_err(|e| e.to_string())?;
         let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
         println!(
             "sharded: {} shards, {} cross-shard messages, wall {sharded_ms:.1} ms (fused {fused_ms:.1} ms)",

@@ -20,27 +20,65 @@ pub struct Criterion {
     measurement_time: Duration,
 }
 
+/// Sample count used by quick mode.
+const QUICK_SAMPLES: usize = 5;
+/// Measurement-time budget used by quick mode.
+const QUICK_TIME: Duration = Duration::from_millis(300);
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
+        let c = Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
+        };
+        if quick_mode() {
+            c.quick()
+        } else {
+            c
         }
     }
 }
 
+/// True when the harness was invoked with `--quick` (or `CRITERION_QUICK=1`):
+/// real criterion's quick mode, honoured here so CI can run the ablation
+/// suite on every PR without paying the full measurement budget.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v == "1")
+}
+
 impl Criterion {
     /// Sets the number of timed samples per benchmark.
+    ///
+    /// In quick mode (`--quick` / `CRITERION_QUICK=1`) explicit requests are
+    /// clamped down to the quick budget so a harness's own
+    /// `sample_size(..)` config can't silently undo the CI speed-up.
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(2);
+        if quick_mode() {
+            self.sample_size = self.sample_size.min(QUICK_SAMPLES);
+        }
         self
     }
 
-    /// Sets the measurement-time budget per benchmark.
+    /// Sets the measurement-time budget per benchmark (clamped in quick
+    /// mode, like [`Criterion::sample_size`]).
     #[must_use]
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.measurement_time = d;
+        if quick_mode() {
+            self.measurement_time = self.measurement_time.min(QUICK_TIME);
+        }
+        self
+    }
+
+    /// Shrinks the sampling budget to a PR-sized quick pass. The printed
+    /// numbers stay honest measurements — just fewer of them.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.sample_size = QUICK_SAMPLES;
+        self.measurement_time = QUICK_TIME;
         self
     }
 
@@ -175,6 +213,13 @@ mod tests {
             b.iter(|| black_box(2u64 + 2));
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn quick_shrinks_the_budget() {
+        let c = Criterion::default().quick();
+        assert_eq!(c.sample_size, QUICK_SAMPLES);
+        assert_eq!(c.measurement_time, QUICK_TIME);
     }
 
     #[test]
