@@ -9,6 +9,11 @@
 //!   shared [`das_bench::SweepPlanner`] artifact vs calling the
 //!   scheduler's full `plan()` per seed. Plans are asserted
 //!   byte-identical before timing.
+//! * **row vs columnar vs batched** (C3) — the PR-7 batched engine
+//!   (`EngineKind::ColumnarBatched`: slab construction via
+//!   `BlackBoxAlgorithm::create_nodes` plus node-block `step_block`
+//!   dispatch, one virtual call per same-algorithm run) against both
+//!   predecessors, outcomes asserted byte-identical before timing.
 //!
 //! `--quick` (or `CRITERION_QUICK=1`) shrinks both the table budgets and
 //! the criterion sampling so CI can run this on every PR.
@@ -166,6 +171,77 @@ fn row_vs_columnar_message_dense() {
     );
 }
 
+/// C3: the batched engine against both predecessors. The row engine pays
+/// one virtual call and one `Vec<AlgoSend>` allocation per black-box
+/// step; the batched engine dispatches each same-algorithm run of a
+/// big-round as a single `step_block` call into a node-contiguous slab
+/// writing one flat [`das_core::BatchedSends`] arena.
+fn row_vs_columnar_vs_batched() {
+    println!("=== C3: row vs columnar vs batched engine, rounds/sec at E7 sizes ===");
+    let g = generators::path(100);
+    let mut t = Table::new(&[
+        "k",
+        "rounds",
+        "row rounds/s",
+        "columnar rounds/s",
+        "batched rounds/s",
+        "batched/row",
+        "batched/columnar",
+    ]);
+    for k in E7_KS {
+        let problem = workloads::segment_relays(&g, k, 14, 1, 5);
+        let plan = UniformScheduler::default()
+            .plan(&problem, 7)
+            .expect("model-valid workload");
+        let base = ExecutorConfig::default().with_phase_len(plan.phase_len);
+        let row_cfg = base.clone().with_engine(EngineKind::Row);
+        let col_cfg = base.clone().with_engine(EngineKind::Columnar);
+        let bat_cfg = base.with_engine(EngineKind::ColumnarBatched);
+        let row_out = execute_plan_with(&problem, &plan, &row_cfg).expect("row run");
+        let bat_out = execute_plan_with(&problem, &plan, &bat_cfg).expect("batched run");
+        assert_eq!(
+            format!("{row_out:?}"),
+            format!("{bat_out:?}"),
+            "batched engine must agree with row at k={k} before anything is timed"
+        );
+        let rounds = bat_out.schedule_rounds();
+        let b = budget();
+        let row_s = secs_per_iter(
+            || {
+                black_box(execute_plan_with(&problem, &plan, &row_cfg).expect("row run"));
+            },
+            b,
+        );
+        let col_s = secs_per_iter(
+            || {
+                black_box(execute_plan_with(&problem, &plan, &col_cfg).expect("columnar run"));
+            },
+            b,
+        );
+        let bat_s = secs_per_iter(
+            || {
+                black_box(execute_plan_with(&problem, &plan, &bat_cfg).expect("batched run"));
+            },
+            b,
+        );
+        t.row_owned(vec![
+            k.to_string(),
+            rounds.to_string(),
+            format!("{:.0}", rounds as f64 / row_s),
+            format!("{:.0}", rounds as f64 / col_s),
+            format!("{:.0}", rounds as f64 / bat_s),
+            format!("{:.1}x", row_s / bat_s),
+            format!("{:.1}x", col_s / bat_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "(the batched engine removes the per-step virtual-call/alloc floor: machines live in
+ node-contiguous slabs and each same-algorithm run of a big-round dispatches as one
+ step_block call writing a flat send arena; outcomes are byte-identical)\n"
+    );
+}
+
 fn sweep_cache_ablation() {
     println!("=== C2: sweep-cache on vs off, planning a sched-seed sweep at E7 sizes ===");
     let g = generators::path(100);
@@ -219,6 +295,7 @@ fn sweep_cache_ablation() {
 fn bench(c: &mut Criterion) {
     row_vs_columnar();
     row_vs_columnar_message_dense();
+    row_vs_columnar_vs_batched();
     sweep_cache_ablation();
 
     // criterion samples at the E7 midpoint (k = 64) for trend tracking
@@ -229,6 +306,7 @@ fn bench(c: &mut Criterion) {
         .expect("model-valid workload");
     let base = ExecutorConfig::default().with_phase_len(plan.phase_len);
     let row_cfg = base.clone().with_engine(EngineKind::Row);
+    let bat_cfg = base.clone().with_engine(EngineKind::ColumnarBatched);
     let col_cfg = base.with_engine(EngineKind::Columnar);
     c.bench_function("columnar/e07_k64_row_engine", |b| {
         b.iter(|| {
@@ -241,6 +319,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             execute_plan_with(&problem, &plan, &col_cfg)
                 .expect("columnar run")
+                .schedule_rounds()
+        })
+    });
+    c.bench_function("columnar/e07_k64_batched_engine", |b| {
+        b.iter(|| {
+            execute_plan_with(&problem, &plan, &bat_cfg)
+                .expect("batched run")
                 .schedule_rounds()
         })
     });

@@ -5,7 +5,12 @@
 //! sharded-vs-fused wall-clock comparison.
 //!
 //! Usage: `bench_smoke [trials] [base_seed] [--obs off|metrics|full]
-//! [--dump-outcome FILE] [--wall]` (defaults: 8 trials, seed 42, obs off).
+//! [--engine row|columnar|batched] [--dump-outcome FILE] [--wall]`
+//! (defaults: 8 trials, seed 42, obs off, columnar engine).
+//!
+//! `--engine` selects the execution engine for the fused trials and the
+//! outcome dumps; schedule statistics are byte-identical across engines
+//! (CI diffs the dumps), only wall-clock may move.
 //!
 //! `--obs` sets the observability level for the fused trials; their
 //! per-trial [`das_obs::ObsSummary`] is persisted into the BENCH artifact.
@@ -18,11 +23,12 @@
 //! without flaking on timing noise.
 
 use das_bench::{
-    run_trial_doubling, run_trial_observed, run_trial_sharded, run_trial_swept, workloads,
-    SweepPlanner, TrialRunner,
+    run_trial_doubling, run_trial_observed_with_engine, run_trial_sharded, run_trial_swept,
+    workloads, SweepPlanner, TrialRunner,
 };
 use das_core::{
-    doubling, execute_plan_observed, DasProblem, DoublingConfig, Scheduler, UniformScheduler,
+    doubling, execute_plan_observed_with, DasProblem, DoublingConfig, EngineKind, ExecutorConfig,
+    Scheduler, UniformScheduler,
 };
 use das_obs::ObsConfig;
 use std::path::Path;
@@ -32,8 +38,9 @@ use std::time::Instant;
 const SMOKE_SHARDS: usize = 4;
 
 const USAGE: &str = "usage: bench_smoke [trials] [base_seed] \
-                     [--obs off|metrics|full] [--dump-outcome FILE] \
-                     [--plan-cache on|off] [--dump-doubling FILE] [--wall]";
+                     [--obs off|metrics|full] [--engine row|columnar|batched] \
+                     [--dump-outcome FILE] [--plan-cache on|off] \
+                     [--dump-doubling FILE] [--wall]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -45,6 +52,7 @@ struct Args {
     trials: u64,
     base_seed: u64,
     obs: ObsConfig,
+    engine: EngineKind,
     dump_outcome: Option<String>,
     plan_cache: bool,
     dump_doubling: Option<String>,
@@ -56,6 +64,7 @@ fn parse_args() -> Args {
         trials: 8,
         base_seed: 42,
         obs: ObsConfig::off(),
+        engine: EngineKind::Columnar,
         dump_outcome: None,
         plan_cache: true,
         dump_doubling: None,
@@ -69,6 +78,15 @@ fn parse_args() -> Args {
                 let v = it.next().unwrap_or_else(|| fail("--obs needs a value"));
                 args.obs = ObsConfig::parse(&v)
                     .unwrap_or_else(|| fail("--obs must be off, metrics, or full"));
+            }
+            "--engine" => {
+                let v = it.next().unwrap_or_else(|| fail("--engine needs a value"));
+                args.engine = match v.as_str() {
+                    "row" => EngineKind::Row,
+                    "columnar" => EngineKind::Columnar,
+                    "batched" => EngineKind::ColumnarBatched,
+                    _ => fail("--engine must be row, columnar, or batched"),
+                };
             }
             "--dump-outcome" => {
                 args.dump_outcome = Some(
@@ -115,14 +133,21 @@ fn parse_args() -> Args {
 /// Executes every fused trial once more and writes the concatenated
 /// `ScheduleOutcome` debug dumps — the artifact the obs-neutrality CI job
 /// diffs between `--obs full` and `--obs off`.
-fn dump_outcomes(path: &str, runner: &TrialRunner, problem: &DasProblem<'_>, obs: &ObsConfig) {
+fn dump_outcomes(
+    path: &str,
+    runner: &TrialRunner,
+    problem: &DasProblem<'_>,
+    obs: &ObsConfig,
+    engine: EngineKind,
+) {
     let sched = UniformScheduler::default();
+    let cfg = ExecutorConfig::default().with_engine(engine);
     let mut dump = String::new();
     for t in 0..runner.trials() {
         let seed = runner.trial_seed(t);
         let plan = sched.plan(problem, seed).expect("workload is model-valid");
-        let (outcome, _) =
-            execute_plan_observed(problem, &plan, obs).expect("smoke trials stay under the cap");
+        let (outcome, _) = execute_plan_observed_with(problem, &plan, obs, &cfg)
+            .expect("smoke trials stay under the cap");
         dump.push_str(&format!("{outcome:?}\n"));
     }
     std::fs::write(path, dump).expect("write outcome dump");
@@ -172,7 +197,14 @@ fn main() {
     let runner = TrialRunner::new(args.base_seed, args.trials);
     let fused_clock = Instant::now();
     let agg = runner.aggregate("e01_smoke", "uniform", |seed| {
-        run_trial_observed(&UniformScheduler::default(), &problem, seed, &args.obs).0
+        run_trial_observed_with_engine(
+            &UniformScheduler::default(),
+            &problem,
+            seed,
+            &args.obs,
+            args.engine,
+        )
+        .0
     });
     let fused_ms = fused_clock.elapsed().as_secs_f64() * 1e3;
     let path = agg.write(Path::new(".")).expect("write BENCH artifact");
@@ -210,7 +242,7 @@ fn main() {
     );
 
     if let Some(dump) = &args.dump_outcome {
-        dump_outcomes(dump, &runner, &problem, &args.obs);
+        dump_outcomes(dump, &runner, &problem, &args.obs, args.engine);
     }
 
     // Same trials again from one shared sweep artifact: the scheduler plans

@@ -1,8 +1,9 @@
 //! Benchmark-trajectory point for the CI `bench-trajectory` job: runs the
-//! pinned E1 and E7 configurations through the columnar engine, measures
-//! throughput (rounds/sec), sweep plan-cache hits, and peak RSS, and
-//! appends one point per configuration to `BENCH_trajectory.json` (an
-//! ever-growing JSON array — the trajectory CI plots across commits).
+//! pinned E1 and E7 configurations through the columnar and batched
+//! engines, measures throughput (rounds/sec), sweep plan-cache hits, and
+//! peak RSS, and appends one point per (configuration, engine) to
+//! `BENCH_trajectory.json` (an ever-growing JSON array — the trajectory
+//! CI plots across commits).
 //!
 //! Usage: `bench_trajectory [--out FILE] [--baseline FILE] [--budget-ms N]
 //! [--tag LABEL]`
@@ -113,13 +114,24 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-/// Measures one pinned configuration: throughput on the columnar engine
+/// The stable engine name recorded in trajectory rows and matched by the
+/// baseline gate.
+fn engine_name(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Row => "row",
+        EngineKind::Columnar => "columnar",
+        EngineKind::ColumnarBatched => "batched",
+    }
+}
+
+/// Measures one pinned configuration: throughput on the selected engine
 /// plus the sweep-cache counters for a [`SWEEP_SEEDS`]-seed plan sweep.
 fn measure(
     label: &str,
     problem: &DasProblem<'_>,
     budget: Duration,
     tag: &Option<String>,
+    engine: EngineKind,
 ) -> TrajectoryPoint {
     let sched = UniformScheduler::default();
     let planner = SweepPlanner::new(&sched, problem);
@@ -135,7 +147,7 @@ fn measure(
     let plan = planner.plan(problem, 7);
     let cfg = ExecutorConfig::default()
         .with_phase_len(plan.phase_len)
-        .with_engine(EngineKind::Columnar);
+        .with_engine(engine);
 
     // One calibration run sizes a repetition count that fills the budget,
     // then the batch is timed as a whole.
@@ -152,7 +164,7 @@ fn measure(
 
     TrajectoryPoint {
         label: label.to_string(),
-        engine: "columnar".to_string(),
+        engine: engine_name(engine).to_string(),
         rounds: sched_rounds,
         rounds_per_sec: sched_rounds as f64 / secs,
         plan_cache_hits: planner.cache_hits(),
@@ -179,8 +191,8 @@ fn append_points(path: &str, points: &[TrajectoryPoint]) {
     );
 }
 
-/// The `--baseline` gate: every measured label must stay within
-/// [`REGRESSION_TOLERANCE`] of the last matching baseline point.
+/// The `--baseline` gate: every measured (label, engine) pair must stay
+/// within [`REGRESSION_TOLERANCE`] of the last matching baseline point.
 fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
     let body = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| fail(&format!("cannot read baseline {baseline_path}: {e}")));
@@ -188,15 +200,23 @@ fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
         .unwrap_or_else(|e| fail(&format!("{baseline_path} is not a trajectory file: {e}")));
     let mut ok = true;
     for p in points {
-        let Some(base) = baseline.iter().rev().find(|b| b.label == p.label) else {
-            println!("gate: {} has no baseline point — skipped", p.label);
+        let Some(base) = baseline
+            .iter()
+            .rev()
+            .find(|b| b.label == p.label && b.engine == p.engine)
+        else {
+            println!(
+                "gate: {} ({}) has no baseline point — skipped",
+                p.label, p.engine
+            );
             continue;
         };
         let floor = base.rounds_per_sec * (1.0 - REGRESSION_TOLERANCE);
         if p.rounds_per_sec < floor {
             eprintln!(
-                "gate FAILED: {} at {:.0} rounds/s, below {:.0} (baseline {:.0} - {:.0}%)",
+                "gate FAILED: {} ({}) at {:.0} rounds/s, below {:.0} (baseline {:.0} - {:.0}%)",
                 p.label,
+                p.engine,
                 p.rounds_per_sec,
                 floor,
                 base.rounds_per_sec,
@@ -205,8 +225,8 @@ fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
             ok = false;
         } else {
             println!(
-                "gate ok: {} at {:.0} rounds/s (floor {:.0}, baseline {:.0})",
-                p.label, p.rounds_per_sec, floor, base.rounds_per_sec
+                "gate ok: {} ({}) at {:.0} rounds/s (floor {:.0}, baseline {:.0})",
+                p.label, p.engine, p.rounds_per_sec, floor, base.rounds_per_sec
             );
         }
     }
@@ -224,14 +244,46 @@ fn main() {
     let e01 = workloads::segment_relays(&g1, 40, 16, 2, 7);
     let e07 = workloads::segment_relays(&g7, 64, 14, 1, 5);
     let points = vec![
-        measure("e01_path120_relays40", &e01, args.budget, &args.tag),
-        measure("e07_path100_relays64", &e07, args.budget, &args.tag),
+        measure(
+            "e01_path120_relays40",
+            &e01,
+            args.budget,
+            &args.tag,
+            EngineKind::Columnar,
+        ),
+        measure(
+            "e01_path120_relays40",
+            &e01,
+            args.budget,
+            &args.tag,
+            EngineKind::ColumnarBatched,
+        ),
+        measure(
+            "e07_path100_relays64",
+            &e07,
+            args.budget,
+            &args.tag,
+            EngineKind::Columnar,
+        ),
+        measure(
+            "e07_path100_relays64",
+            &e07,
+            args.budget,
+            &args.tag,
+            EngineKind::ColumnarBatched,
+        ),
     ];
 
     for p in &points {
         println!(
-            "{}: {:.0} rounds/s over {} rounds, {} plan-cache hits (shared={}), peak RSS {} kB",
-            p.label, p.rounds_per_sec, p.rounds, p.plan_cache_hits, p.sweep_shared, p.peak_rss_kb
+            "{} ({}): {:.0} rounds/s over {} rounds, {} plan-cache hits (shared={}), peak RSS {} kB",
+            p.label,
+            p.engine,
+            p.rounds_per_sec,
+            p.rounds,
+            p.plan_cache_hits,
+            p.sweep_shared,
+            p.peak_rss_kb
         );
     }
     append_points(&args.out, &points);

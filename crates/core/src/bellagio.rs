@@ -21,7 +21,7 @@
 //!
 //! Cost: `O(T·log² n)` rounds total — the Meta-Theorem A.1 bound.
 
-use crate::algorithm::AlgoNode;
+use crate::algorithm::{AlgoNode, BatchedSends, NodeBatch};
 use das_cluster::{CarveConfig, Clustering, ShareConfig};
 use das_congest::util::seed_mix;
 use das_graph::{Graph, NodeId};
@@ -44,6 +44,34 @@ pub trait SeededFamily {
         shared_seed: u64,
         private_seed: u64,
     ) -> Box<dyn AlgoNode>;
+
+    /// Batched tier: builds the machines for all of `nodes` at once, with
+    /// `shared_seeds[i]` / `private_seeds[i]` the seeds of `nodes[i]`.
+    /// Slab machine `i` must behave identically to
+    /// `create_node(nodes[i], n, shared_seeds[i], private_seeds[i])`. The
+    /// default wraps a `create_node` loop; families override it to build
+    /// contiguous state in one pass.
+    fn create_nodes(
+        &self,
+        nodes: &[NodeId],
+        n: usize,
+        shared_seeds: &[u64],
+        private_seeds: &[u64],
+    ) -> NodeBatch {
+        assert_eq!(nodes.len(), shared_seeds.len(), "one shared seed per node");
+        assert_eq!(
+            nodes.len(),
+            private_seeds.len(),
+            "one private seed per node"
+        );
+        NodeBatch::from_boxed(
+            nodes
+                .iter()
+                .zip(shared_seeds.iter().zip(private_seeds))
+                .map(|(&v, (&s, &p))| self.create_node(v, n, s, p))
+                .collect(),
+        )
+    }
 }
 
 /// Runs the family alone with per-node shared-seed assignment and
@@ -58,17 +86,11 @@ fn run_truncated(
     private_seed: u64,
 ) -> Vec<Option<Vec<u8>>> {
     let n = g.node_count();
-    let mut machines: Vec<Box<dyn AlgoNode>> = (0..n)
-        .map(|v| {
-            family.create_node(
-                NodeId(v as u32),
-                n,
-                seeds[v],
-                seed_mix(private_seed, v as u64),
-            )
-        })
-        .collect();
+    let nodes: Vec<NodeId> = (0..n).map(|v| NodeId(v as u32)).collect();
+    let private_seeds: Vec<u64> = (0..n).map(|v| seed_mix(private_seed, v as u64)).collect();
+    let mut batch = family.create_nodes(&nodes, n, seeds, &private_seeds);
     let mut inboxes: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
+    let mut sends = BatchedSends::new();
     for r in 0..family.rounds() {
         let mut next: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
         for v in 0..n {
@@ -77,14 +99,16 @@ fn run_truncated(
             }
             let mut inbox = std::mem::take(&mut inboxes[v]);
             inbox.sort();
-            for s in machines[v].step(&inbox) {
-                debug_assert!(g.has_edge(NodeId(v as u32), s.to));
-                next[s.to.index()].push((NodeId(v as u32), s.payload));
+            sends.clear();
+            batch.step_into(v, &inbox, &mut sends);
+            for (to, payload) in sends.segment(0) {
+                debug_assert!(g.has_edge(NodeId(v as u32), to));
+                next[to.index()].push((NodeId(v as u32), payload.to_vec()));
             }
         }
         inboxes = next;
     }
-    machines.iter().map(|m| m.output()).collect()
+    (0..n).map(|v| batch.output(v)).collect()
 }
 
 /// Runs the family in the shared-randomness model (every node holds the

@@ -113,6 +113,14 @@ pub enum EngineKind {
     /// deferred departure recording. See `exec/columnar.rs`.
     #[default]
     Columnar,
+    /// The columnar engine plus the batched black-box tier: machines are
+    /// built as node-contiguous [`crate::NodeBatch`] slabs, each
+    /// big-round's step table is grouped into maximal same-algorithm runs,
+    /// and every run dispatches as **one** virtual
+    /// [`crate::AlgoSlab::step_block`] call with sends landing in a flat
+    /// arena. Sends are still validated and enqueued in per-step order,
+    /// which keeps the outcome byte-identical to the other engines.
+    ColumnarBatched,
 }
 
 /// Executor configuration.
@@ -461,8 +469,14 @@ impl Executor {
         config: &ExecutorConfig,
         obs: &mut ExecObs,
     ) -> Result<ScheduleOutcome, ExecError> {
-        if config.engine == EngineKind::Columnar {
-            return columnar::run_fused(g, algos, seeds, units, config, obs);
+        match config.engine {
+            EngineKind::Columnar => {
+                return columnar::run_fused(g, algos, seeds, units, config, obs)
+            }
+            EngineKind::ColumnarBatched => {
+                return columnar::run_fused_batched(g, algos, seeds, units, config, obs)
+            }
+            EngineKind::Row => {}
         }
         let n = g.node_count();
         let k = algos.len();
@@ -906,8 +920,10 @@ fn barrier_wait(barrier: &Barrier, obs: &mut ExecObs) {
 /// This body is the row engine; [`EngineKind::Columnar`] dispatches to the
 /// batched worker in `exec/columnar.rs`, which follows the same protocol.
 fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError> {
-    if ctx.config.engine == EngineKind::Columnar {
-        return columnar::shard_worker(me, ctx);
+    match ctx.config.engine {
+        EngineKind::Columnar => return columnar::shard_worker(me, ctx),
+        EngineKind::ColumnarBatched => return columnar::shard_worker_batched(me, ctx),
+        EngineKind::Row => {}
     }
     let g = ctx.g;
     let config = ctx.config;
@@ -1423,6 +1439,19 @@ mod tests {
                 format!("{col:?}"),
                 "phase_len = {phase_len}"
             );
+            let batched = Executor::run(
+                &g,
+                p.algorithms(),
+                &seeds,
+                &units,
+                &base.clone().with_engine(EngineKind::ColumnarBatched),
+            )
+            .unwrap();
+            assert_eq!(
+                format!("{row:?}"),
+                format!("{batched:?}"),
+                "phase_len = {phase_len} (batched)"
+            );
         }
     }
 
@@ -1456,10 +1485,19 @@ mod tests {
             p.algorithms(),
             &seeds,
             &units,
-            &config.with_engine(EngineKind::Columnar),
+            &config.clone().with_engine(EngineKind::Columnar),
         )
         .unwrap_err();
         assert_eq!(row, col);
+        let batched = Executor::run(
+            &g,
+            p.algorithms(),
+            &seeds,
+            &units,
+            &config.with_engine(EngineKind::ColumnarBatched),
+        )
+        .unwrap_err();
+        assert_eq!(row, batched);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use super::{
     barrier_wait, ExecError, ExecStats, ExecutorConfig, ShardCtx, ShardOutput, ShardStats, Unit,
 };
-use crate::algorithm::BlackBoxAlgorithm;
+use crate::algorithm::{BatchedSends, BlackBoxAlgorithm, BlockStep, NodeBatch};
 use crate::schedule::ScheduleOutcome;
 use das_graph::{Graph, NodeId};
 use das_obs::ExecObs;
@@ -408,21 +408,49 @@ impl FlatSteps {
             }
         }
         let mut offsets = vec![0usize; last_step_round as usize + 2];
-        for a in 0..k {
-            if unit_of[a] == usize::MAX {
-                continue;
-            }
-            let u = &units[unit_of[a]];
-            let rounds = algos[a].rounds();
-            for v in 0..n {
-                let len = rounds.min(u.trunc[v]) as u64;
-                for r in 0..len {
-                    offsets[(u.delay[v] + r * u.stride) as usize + 1] += 1;
+        if units.iter().all(|u| u.stride == 1) {
+            // Stride-1 counting via a difference array: each (a, v)
+            // contributes one step to every big-round in the contiguous
+            // range [delay[v], delay[v] + len), so per-round counts are the
+            // running sum of O(k·n) range endpoints instead of `total`
+            // individual increments.
+            let mut diff = vec![0i64; last_step_round as usize + 2];
+            for a in 0..k {
+                if unit_of[a] == usize::MAX {
+                    continue;
+                }
+                let u = &units[unit_of[a]];
+                let rounds = algos[a].rounds();
+                for v in 0..n {
+                    let len = rounds.min(u.trunc[v]) as u64;
+                    if len > 0 {
+                        diff[u.delay[v] as usize] += 1;
+                        diff[(u.delay[v] + len) as usize] -= 1;
+                    }
                 }
             }
-        }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
+            let mut run = 0i64;
+            for b in 0..=last_step_round as usize {
+                run += diff[b];
+                offsets[b + 1] = offsets[b] + run as usize;
+            }
+        } else {
+            for a in 0..k {
+                if unit_of[a] == usize::MAX {
+                    continue;
+                }
+                let u = &units[unit_of[a]];
+                let rounds = algos[a].rounds();
+                for v in 0..n {
+                    let len = rounds.min(u.trunc[v]) as u64;
+                    for r in 0..len {
+                        offsets[(u.delay[v] + r * u.stride) as usize + 1] += 1;
+                    }
+                }
+            }
+            for i in 1..offsets.len() {
+                offsets[i] += offsets[i - 1];
+            }
         }
         let mut cursor = offsets.clone();
         let mut steps = vec![(0u32, 0u32, 0u32); total];
@@ -688,6 +716,250 @@ pub(super) fn run_fused(
     })
 }
 
+/// Builds one [`NodeBatch`] slab per algorithm over `nodes`, deriving each
+/// machine's seed with the same per-(algorithm, node) mix every engine
+/// uses — machine state is therefore independent of the engine and of the
+/// partition.
+fn build_batches(
+    algos: &[Box<dyn BlackBoxAlgorithm>],
+    seeds: &[u64],
+    nodes: &[NodeId],
+    n: usize,
+) -> Vec<NodeBatch> {
+    let mut node_seeds = vec![0u64; nodes.len()];
+    algos
+        .iter()
+        .zip(seeds)
+        .map(|(algo, &seed)| {
+            for (slot, v) in node_seeds.iter_mut().zip(nodes) {
+                *slot = das_congest::util::seed_mix(seed, u64::from(v.0));
+            }
+            algo.create_nodes(nodes, n, &node_seeds)
+        })
+        .collect()
+}
+
+/// The batched fused executor loop ([`super::EngineKind::ColumnarBatched`]):
+/// the columnar engine with the black-box batched tier on top. Machines
+/// live in one [`NodeBatch`] slab per algorithm, each big-round's step
+/// triples are grouped into maximal same-algorithm runs (triples are in
+/// ascending `(a, v, r)` order, so runs are contiguous and every machine
+/// appears at most once per run — the step plan is strictly increasing),
+/// and each run executes as **one** virtual [`NodeBatch::step_block`] call.
+///
+/// Byte-identity with the per-step engines holds by construction: inboxes
+/// are only filled during drain phases, so taking a whole run's inboxes
+/// before executing any of its steps cannot change their contents; sends
+/// are validated and enqueued segment-by-segment in the run's step order,
+/// which is exactly the columnar per-step order; and the drain phase is
+/// the columnar drain verbatim.
+pub(super) fn run_fused_batched(
+    g: &Graph,
+    algos: &[Box<dyn BlackBoxAlgorithm>],
+    seeds: &[u64],
+    units: &[Unit],
+    config: &ExecutorConfig,
+    obs: &mut ExecObs,
+) -> Result<ScheduleOutcome, ExecError> {
+    let n = g.node_count();
+    let k = algos.len();
+    assert_eq!(seeds.len(), k, "one seed per algorithm");
+    let flat = FlatSteps::build(n, algos, units);
+
+    // One slab per algorithm over all nodes in id order, so the slab-local
+    // machine index of node v is exactly v.
+    let nodes: Vec<NodeId> = (0..n).map(|v| NodeId(v as u32)).collect();
+    let mut batches = build_batches(algos, seeds, &nodes, n);
+    let mut steps_done = vec![0u32; k * n];
+    let mut windows: Vec<ColWindow> = Vec::with_capacity(k * n);
+    windows.resize_with(k * n, ColWindow::default);
+    let mut buffered = vec![0u32; k * n];
+    let mut inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let mut sort_scratch: Vec<(u32, u32, u32)> = Vec::new();
+    let mut sent_gen = vec![0u64; n];
+    let mut gen: u64 = 0;
+    // Per-run scratch: the concatenated inboxes of the run's steps, their
+    // [`BlockStep`] descriptors, and the flat send arena.
+    let mut run_inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    let mut run_steps: Vec<BlockStep> = Vec::new();
+    let mut sends_buf = BatchedSends::new();
+
+    let last_step_round = flat.last_step_round;
+
+    let (arc_src, arc_dst) = arc_endpoint_table(g);
+    let mut queues: Vec<ColFifo> = Vec::with_capacity(g.arc_count());
+    queues.resize_with(g.arc_count(), ColFifo::default);
+    let mut active_arcs: Vec<usize> = Vec::new();
+    let mut scratch_arcs: Vec<usize> = Vec::new();
+    obs.init(g.arc_count(), config.phase_len);
+    let mut stats = ExecStats {
+        phase_len: config.phase_len,
+        ..ExecStats::default()
+    };
+    let mut deferred: Vec<(u32, u32, u32, u32)> = Vec::new();
+    let mut engine_round: u64 = 0;
+    let mut last_activity_round: u64 = 0;
+
+    let mut b: u64 = 0;
+    loop {
+        // 1. Step phase, one batched dispatch per same-algorithm run.
+        let steps_b = flat.at(b);
+        let mut i = 0usize;
+        while i < steps_b.len() {
+            let a = steps_b[i].0;
+            let mut j = i + 1;
+            while j < steps_b.len() && steps_b[j].0 == a {
+                j += 1;
+            }
+            // Materialize the run's inboxes up front. This is safe because
+            // no send of this big-round can reach an inbox before the next
+            // drain phase — window contents are frozen during step phases.
+            run_steps.clear();
+            debug_assert!(run_inbox.is_empty());
+            for &(_, v, r) in &steps_b[i..j] {
+                let idx = a as usize * n + v as usize;
+                debug_assert_eq!(steps_done[idx], r, "steps execute in order");
+                let start = run_inbox.len() as u32;
+                if r > 0 && buffered[idx] > 0 {
+                    // take() materializes the inbox already in canonical
+                    // sender-sorted order
+                    windows[idx].take(r - 1, &mut inbox, &mut pool, &mut sort_scratch);
+                    buffered[idx] -= inbox.len() as u32;
+                    run_inbox.append(&mut inbox);
+                }
+                let len = run_inbox.len() as u32 - start;
+                obs.on_step(len as usize);
+                steps_done[idx] = r + 1;
+                run_steps.push(BlockStep {
+                    node: v,
+                    round: r,
+                    inbox_start: start,
+                    inbox_len: len,
+                });
+            }
+            sends_buf.clear();
+            batches[a as usize].step_block(&run_steps, &run_inbox, &mut sends_buf);
+            debug_assert_eq!(
+                sends_buf.segments(),
+                run_steps.len(),
+                "one send segment per executed step"
+            );
+            // Validate and enqueue segment-by-segment, in the run's step
+            // order — exactly the columnar per-step order. Send-free
+            // segments are skipped outright: `gen` is consulted only by the
+            // duplicate-send check, so it need only be distinct per
+            // *non-empty* segment, and the plans here are send-sparse.
+            for (si, bs) in run_steps.iter().enumerate() {
+                if sends_buf.segment_is_empty(si) {
+                    continue;
+                }
+                let me = NodeId(bs.node);
+                gen += 1;
+                for (to, payload) in sends_buf.segment(si) {
+                    let Some(edge) = g.find_edge(me, to) else {
+                        stats.invalid_sends += 1;
+                        obs.on_invalid_send();
+                        continue;
+                    };
+                    if payload.len() > config.message_bytes || sent_gen[to.index()] == gen {
+                        stats.invalid_sends += 1;
+                        obs.on_invalid_send();
+                        continue;
+                    }
+                    sent_gen[to.index()] = gen;
+                    let arc = g.arc_from(edge, me).index();
+                    let q = &mut queues[arc];
+                    if q.is_empty() {
+                        active_arcs.push(arc);
+                    }
+                    q.push(a, bs.round, payload);
+                    stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                    obs.on_inject(arc, q.len());
+                }
+            }
+            recycle(&mut run_inbox, &mut pool);
+            i = j;
+        }
+
+        // 2. Columnar drain, verbatim.
+        let phase_start = engine_round;
+        std::mem::swap(&mut active_arcs, &mut scratch_arcs);
+        for &arc_idx in &scratch_arcs {
+            let q = &mut queues[arc_idx];
+            let cnt = (q.len() as u64).min(config.phase_len) as usize;
+            if cnt == 0 {
+                continue;
+            }
+            let from = arc_src[arc_idx];
+            let dst = arc_dst[arc_idx] as usize;
+            let mut off = q.bytes_head;
+            for j in 0..cnt {
+                let m = q.meta[q.head + j];
+                let payload = &q.bytes[off..off + m.len as usize];
+                off += m.len as usize;
+                let eng = phase_start + j as u64;
+                let a = m.algo as usize;
+                if config.record_departures {
+                    deferred.push((m.algo, m.round, arc_idx as u32, eng as u32));
+                }
+                let idx = a * n + dst;
+                let late = steps_done[idx] >= m.round + 2;
+                if late {
+                    stats.late_messages += 1;
+                } else {
+                    if buffered[idx] == 0 {
+                        windows[idx].reset_to(steps_done[idx].max(1) - 1);
+                    }
+                    windows[idx].push(m.round, from, payload);
+                    buffered[idx] += 1;
+                    stats.delivered += 1;
+                }
+                obs.on_deliver(eng, late);
+            }
+            q.head += cnt;
+            q.bytes_head = off;
+            q.reclaim();
+            if !q.is_empty() {
+                active_arcs.push(arc_idx);
+            }
+            last_activity_round = last_activity_round.max(phase_start + cnt as u64);
+        }
+        scratch_arcs.clear();
+        engine_round += config.phase_len;
+        if engine_round > config.max_engine_rounds {
+            return Err(ExecError::RoundCapExceeded {
+                cap: config.max_engine_rounds,
+                big_round: b,
+            });
+        }
+
+        obs.end_big_round(b);
+        b += 1;
+        if b > last_step_round && active_arcs.is_empty() {
+            break;
+        }
+    }
+
+    stats.big_rounds = b;
+    stats.engine_rounds = (last_step_round + 1)
+        .saturating_mul(config.phase_len)
+        .max(last_activity_round);
+
+    let departures = build_departures(k, &deferred);
+
+    let outputs = batches
+        .iter()
+        .map(|batch| (0..n).map(|v| batch.output(v)).collect())
+        .collect();
+    Ok(ScheduleOutcome {
+        outputs,
+        stats,
+        departures: config.record_departures.then_some(departures),
+        precompute_rounds: 0,
+    })
+}
+
 /// The columnar shard worker: the row `shard_worker` with columnar queues,
 /// windows, and batched drains. Protocol (three barriers per big-round) and
 /// every deterministic output are identical.
@@ -931,6 +1203,290 @@ pub(super) fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput,
                 .map(|m| m.output())
                 .collect()
         })
+        .collect();
+    Ok(ShardOutput {
+        own,
+        outputs,
+        departures,
+        stats,
+        last_activity_round,
+        big_rounds: b,
+        shard,
+        obs: obs.finish(),
+    })
+}
+
+/// The batched shard worker: [`run_fused_batched`]'s step phase restricted
+/// to one shard's nodes, on the columnar worker's protocol (three barriers
+/// per big-round). Runs still span the *global* step table — triples of
+/// one algorithm are contiguous whether or not this shard owns their nodes
+/// — so a run here is the owned subset of a fused run, stepped in the same
+/// relative order.
+pub(super) fn shard_worker_batched(
+    me: usize,
+    ctx: &ShardCtx<'_>,
+) -> Result<ShardOutput, ExecError> {
+    let g = ctx.g;
+    let config = ctx.config;
+    let n = g.node_count();
+    let k = ctx.algos.len();
+    let s = ctx.part.shards();
+    let own: Vec<usize> = (0..n)
+        .filter(|&v| ctx.part.of_node()[v] == me as u32)
+        .collect();
+    let own_n = own.len();
+    let mut local_of = vec![usize::MAX; n];
+    for (li, &v) in own.iter().enumerate() {
+        local_of[v] = li;
+    }
+    // One slab per algorithm over the owned nodes in id order: slab-local
+    // machine index == local node index `li`. Seeds mix exactly as in the
+    // fused engines, so machine state is partition-independent.
+    let own_nodes: Vec<NodeId> = own.iter().map(|&v| NodeId(v as u32)).collect();
+    let mut batches = build_batches(ctx.algos, ctx.seeds, &own_nodes, n);
+    let mut steps_done = vec![0u32; k * own_n];
+    let mut windows: Vec<ColWindow> = Vec::with_capacity(k * own_n);
+    windows.resize_with(k * own_n, ColWindow::default);
+    let mut buffered = vec![0u32; k * own_n];
+    let mut inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let mut sort_scratch: Vec<(u32, u32, u32)> = Vec::new();
+    let mut sent_gen = vec![0u64; n];
+    let mut gen: u64 = 0;
+    let mut run_inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    let mut run_steps: Vec<BlockStep> = Vec::new();
+    let mut sends_buf = BatchedSends::new();
+    let (arc_src, arc_dst) = arc_endpoint_table(g);
+    // Full-width arc array for global indexing; this worker only ever
+    // touches the arcs it owns.
+    let mut queues: Vec<ColFifo> = Vec::with_capacity(g.arc_count());
+    queues.resize_with(g.arc_count(), ColFifo::default);
+    let mut active_arcs: Vec<usize> = Vec::new();
+    let mut scratch_arcs: Vec<usize> = Vec::new();
+    let mut obs = ExecObs::new(ctx.obs, me as u32);
+    obs.init(g.arc_count(), config.phase_len);
+    let mut stats = ExecStats {
+        phase_len: config.phase_len,
+        ..ExecStats::default()
+    };
+    let mut deferred: Vec<(u32, u32, u32, u32)> = Vec::new();
+    let mut shard = ShardStats {
+        shard: me,
+        nodes: own_n,
+        degree: own.iter().map(|&v| g.degree(NodeId(v as u32))).sum(),
+        ..ShardStats::default()
+    };
+    let mut engine_round: u64 = 0;
+    let mut last_activity_round: u64 = 0;
+    let mut b: u64 = 0;
+    loop {
+        // 1. Step phase: this shard's share of each same-algorithm run, in
+        // the same (algorithm, node, round) order the fused engines use.
+        let t_step = Instant::now();
+        if let Some(steps) = ctx.by_big_round.get(b as usize) {
+            let mut i = 0usize;
+            while i < steps.len() {
+                let a = steps[i].0;
+                let mut j = i + 1;
+                while j < steps.len() && steps[j].0 == a {
+                    j += 1;
+                }
+                run_steps.clear();
+                debug_assert!(run_inbox.is_empty());
+                for &(_, v, r) in &steps[i..j] {
+                    let li = local_of[v as usize];
+                    if li == usize::MAX {
+                        continue;
+                    }
+                    let idx = a as usize * own_n + li;
+                    debug_assert_eq!(steps_done[idx], r, "steps execute in order");
+                    let start = run_inbox.len() as u32;
+                    if r > 0 && buffered[idx] > 0 {
+                        // take() materializes the inbox already in
+                        // canonical sender-sorted order
+                        windows[idx].take(r - 1, &mut inbox, &mut pool, &mut sort_scratch);
+                        buffered[idx] -= inbox.len() as u32;
+                        run_inbox.append(&mut inbox);
+                    }
+                    let len = run_inbox.len() as u32 - start;
+                    obs.on_step(len as usize);
+                    steps_done[idx] = r + 1;
+                    shard.steps += 1;
+                    run_steps.push(BlockStep {
+                        node: li as u32,
+                        round: r,
+                        inbox_start: start,
+                        inbox_len: len,
+                    });
+                }
+                if !run_steps.is_empty() {
+                    sends_buf.clear();
+                    batches[a as usize].step_block(&run_steps, &run_inbox, &mut sends_buf);
+                    debug_assert_eq!(
+                        sends_buf.segments(),
+                        run_steps.len(),
+                        "one send segment per executed step"
+                    );
+                    for (si, bs) in run_steps.iter().enumerate() {
+                        if sends_buf.segment_is_empty(si) {
+                            continue;
+                        }
+                        let me_node = NodeId(own[bs.node as usize] as u32);
+                        gen += 1;
+                        for (to, payload) in sends_buf.segment(si) {
+                            let Some(edge) = g.find_edge(me_node, to) else {
+                                stats.invalid_sends += 1;
+                                obs.on_invalid_send();
+                                continue;
+                            };
+                            if payload.len() > config.message_bytes || sent_gen[to.index()] == gen {
+                                stats.invalid_sends += 1;
+                                obs.on_invalid_send();
+                                continue;
+                            }
+                            sent_gen[to.index()] = gen;
+                            let idx = g.arc_from(edge, me_node).index();
+                            let owner = ctx.arc_owner[idx] as usize;
+                            if owner == me {
+                                let q = &mut queues[idx];
+                                if q.is_empty() {
+                                    active_arcs.push(idx);
+                                }
+                                q.push(a, bs.round, payload);
+                                stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                                obs.on_inject(idx, q.len());
+                            } else {
+                                shard.cross_sent += 1;
+                                obs.on_cross_send();
+                                ctx.outboxes[me * s + owner]
+                                    .lock()
+                                    .expect("outbox lock")
+                                    .push((
+                                        idx,
+                                        super::Flight {
+                                            dst: to,
+                                            algo: a,
+                                            round: bs.round,
+                                            from: me_node,
+                                            payload: payload.to_vec(),
+                                        },
+                                    ));
+                            }
+                        }
+                    }
+                    recycle(&mut run_inbox, &mut pool);
+                }
+                i = j;
+            }
+        }
+        shard.step_nanos += t_step.elapsed().as_nanos() as u64;
+
+        // All outboxes for big-round b are complete.
+        barrier_wait(ctx.barrier, &mut obs);
+
+        let t_drain = Instant::now();
+        // 2. Merge cross-shard arrivals into the owned queues, in source-
+        // shard order — per-arc order equals the sequential one because
+        // each arc's source node lives on exactly one shard.
+        for src in 0..s {
+            if src == me {
+                continue;
+            }
+            let incoming =
+                std::mem::take(&mut *ctx.outboxes[src * s + me].lock().expect("outbox lock"));
+            for (idx, flight) in incoming {
+                let q = &mut queues[idx];
+                if q.is_empty() {
+                    active_arcs.push(idx);
+                }
+                q.push(flight.algo, flight.round, &flight.payload);
+                stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                obs.on_inject(idx, q.len());
+            }
+        }
+
+        // 3. Columnar drain of the owned queues, verbatim.
+        let phase_start = engine_round;
+        std::mem::swap(&mut active_arcs, &mut scratch_arcs);
+        for &arc_idx in &scratch_arcs {
+            let q = &mut queues[arc_idx];
+            let cnt = (q.len() as u64).min(config.phase_len) as usize;
+            if cnt == 0 {
+                continue;
+            }
+            let from = arc_src[arc_idx];
+            let li = local_of[arc_dst[arc_idx] as usize];
+            debug_assert_ne!(li, usize::MAX, "arc delivered to a foreign shard");
+            let mut off = q.bytes_head;
+            for j in 0..cnt {
+                let m = q.meta[q.head + j];
+                let payload = &q.bytes[off..off + m.len as usize];
+                off += m.len as usize;
+                let eng = phase_start + j as u64;
+                let a = m.algo as usize;
+                if config.record_departures {
+                    deferred.push((m.algo, m.round, arc_idx as u32, eng as u32));
+                }
+                let idx = a * own_n + li;
+                let late = steps_done[idx] >= m.round + 2;
+                if late {
+                    stats.late_messages += 1;
+                } else {
+                    if buffered[idx] == 0 {
+                        windows[idx].reset_to(steps_done[idx].max(1) - 1);
+                    }
+                    windows[idx].push(m.round, from, payload);
+                    buffered[idx] += 1;
+                    stats.delivered += 1;
+                }
+                obs.on_deliver(eng, late);
+            }
+            q.head += cnt;
+            q.bytes_head = off;
+            q.reclaim();
+            if !q.is_empty() {
+                active_arcs.push(arc_idx);
+            }
+            last_activity_round = last_activity_round.max(phase_start + cnt as u64);
+        }
+        scratch_arcs.clear();
+        engine_round += config.phase_len;
+        if engine_round > config.max_engine_rounds {
+            // every worker's engine-round counter is identical, so all
+            // workers take this branch in lockstep — nobody is left
+            // waiting at a barrier
+            return Err(ExecError::RoundCapExceeded {
+                cap: config.max_engine_rounds,
+                big_round: b,
+            });
+        }
+        shard.drain_nanos += t_drain.elapsed().as_nanos() as u64;
+        obs.end_big_round(b);
+
+        // 4. Termination: post activity, agree on it, and let worker 0
+        // reset the counter strictly after everyone has read it (barrier)
+        // and strictly before anyone can post again.
+        if !active_arcs.is_empty() {
+            ctx.active_workers.fetch_add(1, Ordering::SeqCst);
+        }
+        barrier_wait(ctx.barrier, &mut obs);
+        let any_active = ctx.active_workers.load(Ordering::SeqCst) > 0;
+        b += 1;
+        let done = b > ctx.last_step_round && !any_active;
+        barrier_wait(ctx.barrier, &mut obs);
+        if me == 0 {
+            ctx.active_workers.store(0, Ordering::SeqCst);
+        }
+        if done {
+            break;
+        }
+    }
+
+    shard.delivered = stats.delivered;
+    let departures = build_departures(k, &deferred);
+    let outputs = batches
+        .iter()
+        .map(|batch| (0..own_n).map(|li| batch.output(li)).collect())
         .collect();
     Ok(ShardOutput {
         own,

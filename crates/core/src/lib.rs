@@ -75,7 +75,10 @@ pub mod shard;
 pub mod synthetic;
 pub mod verify;
 
-pub use algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
+pub use algorithm::{
+    Aid, AlgoNode, AlgoSend, AlgoSlab, BatchedInboxes, BatchedSends, BlackBoxAlgorithm, BlockStep,
+    NodeBatch,
+};
 pub use doubling::{DoublingConfig, DoublingOutcome, PlanCacheStats};
 pub use exec::{
     EngineKind, ExecError, ExecStats, Executor, ExecutorConfig, ShardReport, ShardStats, StepPlan,
@@ -85,8 +88,8 @@ pub use obs::{run_traced, TracedRun};
 pub use plan::cache::{PlanArtifact, SweepArtifact};
 pub use plan::{
     execute_plan, execute_plan_observed, execute_plan_observed_with, execute_plan_sharded,
-    execute_plan_sharded_observed, execute_plan_sharded_with, execute_plan_with, PlanError,
-    SchedError, SchedulePlan,
+    execute_plan_sharded_observed, execute_plan_sharded_observed_with, execute_plan_sharded_with,
+    execute_plan_with, PlanError, SchedError, SchedulePlan,
 };
 pub use problem::DasProblem;
 pub use reference::{run_alone, ReferenceError, ReferenceRun};

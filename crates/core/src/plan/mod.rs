@@ -502,6 +502,31 @@ pub fn execute_plan_sharded_observed(
     Ok((outcome, report, obs_report))
 }
 
+/// [`execute_plan_sharded_observed`] with an explicit executor
+/// configuration (custom engine, shard count, round budget).
+///
+/// # Errors
+/// As [`execute_plan`].
+pub fn execute_plan_sharded_observed_with(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    obs: &ObsConfig,
+    config: &ExecutorConfig,
+) -> Result<(ScheduleOutcome, ShardReport, Option<ObsReport>), SchedError> {
+    plan.validate(problem)?;
+    let seeds: Vec<u64> = (0..problem.k()).map(|i| problem.algo_seed(i)).collect();
+    let (mut outcome, report, obs_report) = Executor::run_sharded_observed(
+        problem.graph(),
+        problem.algorithms(),
+        &seeds,
+        &plan.units,
+        &config.clone().with_phase_len(plan.phase_len),
+        obs,
+    )?;
+    outcome.precompute_rounds = plan.precompute_rounds;
+    Ok((outcome, report, obs_report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,6 @@
 //! Alone runs: the ground truth every schedule is verified against.
 
-use crate::algorithm::BlackBoxAlgorithm;
+use crate::algorithm::{BatchedSends, BlackBoxAlgorithm};
 use das_graph::{Graph, NodeId};
 use das_pattern::{CommPattern, TimedArc};
 use std::error::Error;
@@ -68,59 +68,59 @@ pub fn run_alone(
     seed: u64,
 ) -> Result<ReferenceRun, ReferenceError> {
     let n = g.node_count();
-    let mut machines: Vec<_> = (0..n)
-        .map(|v| {
-            algo.create_node(
-                NodeId(v as u32),
-                n,
-                das_congest::util::seed_mix(seed, v as u64),
-            )
-        })
+    let nodes: Vec<NodeId> = (0..n).map(|v| NodeId(v as u32)).collect();
+    let seeds: Vec<u64> = (0..n)
+        .map(|v| das_congest::util::seed_mix(seed, v as u64))
         .collect();
+    // batched construction: synthetic families share route/topology state
+    // across the whole slab instead of cloning it per machine
+    let mut batch = algo.create_nodes(&nodes, n, &seeds);
     let mut inboxes: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
+    let mut sends = BatchedSends::new();
     let mut timed_arcs = Vec::new();
 
     for round in 0..algo.rounds() {
         let mut next: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
-        for v in 0..n {
+        for (v, slot) in inboxes.iter_mut().enumerate() {
             let me = NodeId(v as u32);
-            let mut inbox = std::mem::take(&mut inboxes[v]);
+            let mut inbox = std::mem::take(slot);
             // canonical inbox order (the scheduled executor sorts the same
             // way, so machines see identical inboxes in both runs)
             inbox.sort();
-            let sends = machines[v].step(&inbox);
-            let mut sent_to: Vec<NodeId> = Vec::with_capacity(sends.len());
-            for s in sends {
-                let edge = match g.find_edge(me, s.to) {
+            sends.clear();
+            batch.step_into(v, &inbox, &mut sends);
+            let mut sent_to: Vec<NodeId> = Vec::with_capacity(sends.total_sends());
+            for (to, payload) in sends.segment(0) {
+                let edge = match g.find_edge(me, to) {
                     Some(e) => e,
                     None => {
                         return Err(ReferenceError::NotNeighbor {
                             from: me,
-                            to: s.to,
+                            to,
                             round,
                         })
                     }
                 };
-                if sent_to.contains(&s.to) {
+                if sent_to.contains(&to) {
                     return Err(ReferenceError::DuplicateSend {
                         from: me,
-                        to: s.to,
+                        to,
                         round,
                     });
                 }
-                sent_to.push(s.to);
+                sent_to.push(to);
                 timed_arcs.push(TimedArc {
                     round,
                     arc: g.arc_from(edge, me),
                 });
-                next[s.to.index()].push((me, s.payload));
+                next[to.index()].push((me, payload.to_vec()));
             }
         }
         inboxes = next;
     }
 
     Ok(ReferenceRun {
-        outputs: machines.iter().map(|m| m.output()).collect(),
+        outputs: (0..n).map(|v| batch.output(v)).collect(),
         pattern: CommPattern::from_timed_arcs(g.edge_count(), timed_arcs),
     })
 }
@@ -128,8 +128,97 @@ pub fn run_alone(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synthetic::RelayChain;
+    use crate::synthetic::{FloodBall, Prescribed, RelayChain};
     use das_graph::generators;
+
+    /// The pre-slab reference loop: per-node boxed machines stepped through
+    /// the specification tier. Kept as the oracle the batched construction
+    /// path is pinned against.
+    fn run_alone_boxed(g: &Graph, algo: &dyn BlackBoxAlgorithm, seed: u64) -> ReferenceRun {
+        let n = g.node_count();
+        let mut machines: Vec<_> = (0..n)
+            .map(|v| {
+                algo.create_node(
+                    NodeId(v as u32),
+                    n,
+                    das_congest::util::seed_mix(seed, v as u64),
+                )
+            })
+            .collect();
+        let mut inboxes: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
+        let mut timed_arcs = Vec::new();
+        for round in 0..algo.rounds() {
+            let mut next: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
+            for v in 0..n {
+                let me = NodeId(v as u32);
+                let mut inbox = std::mem::take(&mut inboxes[v]);
+                inbox.sort();
+                for s in machines[v].step(&inbox) {
+                    let edge = g.find_edge(me, s.to).expect("synthetic sends are valid");
+                    timed_arcs.push(TimedArc {
+                        round,
+                        arc: g.arc_from(edge, me),
+                    });
+                    next[s.to.index()].push((me, s.payload));
+                }
+            }
+            inboxes = next;
+        }
+        ReferenceRun {
+            outputs: machines.iter().map(|m| m.output()).collect(),
+            pattern: CommPattern::from_timed_arcs(g.edge_count(), timed_arcs),
+        }
+    }
+
+    #[test]
+    fn slab_reference_matches_boxed_reference_for_every_family() {
+        let g = generators::path(9);
+        let algos: Vec<Box<dyn BlackBoxAlgorithm>> = vec![
+            Box::new(RelayChain::new(0, &g)),
+            Box::new(FloodBall::new(1, &g, NodeId(4), 3)),
+            Box::new(Prescribed::new(
+                2,
+                &g,
+                &[
+                    (0, NodeId(0), NodeId(1)),
+                    (0, NodeId(3), NodeId(2)),
+                    (1, NodeId(1), NodeId(2)),
+                    (2, NodeId(2), NodeId(3)),
+                ],
+            )),
+        ];
+        for (i, algo) in algos.iter().enumerate() {
+            let slab = run_alone(&g, algo.as_ref(), 77 + i as u64).unwrap();
+            let boxed = run_alone_boxed(&g, algo.as_ref(), 77 + i as u64);
+            assert_eq!(slab.outputs, boxed.outputs, "algo {i} outputs diverge");
+            assert_eq!(
+                format!("{:?}", slab.pattern),
+                format!("{:?}", boxed.pattern),
+                "algo {i} patterns diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_cache_counter_unchanged_by_batched_construction() {
+        use crate::{DasProblem, Scheduler, SequentialScheduler};
+        let g = generators::path(8);
+        let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..3)
+            .map(|i| Box::new(RelayChain::new(i, &g)) as Box<dyn BlackBoxAlgorithm>)
+            .collect();
+        let p = DasProblem::new(&g, algos, 5);
+        assert_eq!(p.reference_runs_computed(), 0, "references are lazy");
+        for _ in 0..2 {
+            let outcome = SequentialScheduler.run(&p).unwrap();
+            let report = crate::verify::against_references(&p, &outcome).unwrap();
+            assert!(report.all_correct());
+        }
+        assert_eq!(
+            p.reference_runs_computed(),
+            3,
+            "one alone run per algorithm, cached across verifications"
+        );
+    }
 
     #[test]
     fn relay_reference_run() {

@@ -6,7 +6,9 @@
 //! changes some node's output and is caught by
 //! [`crate::verify::against_references`].
 
-use crate::algorithm::{Aid, AlgoNode, AlgoSend, BlackBoxAlgorithm};
+use crate::algorithm::{
+    Aid, AlgoNode, AlgoSend, AlgoSlab, BatchedSends, BlackBoxAlgorithm, NodeBatch,
+};
 use das_graph::{Graph, NodeId};
 use std::sync::Arc;
 
@@ -100,6 +102,92 @@ impl BlackBoxAlgorithm for RelayChain {
             round: 0,
             state: mix(seed, v.0 as u64),
         })
+    }
+
+    fn create_nodes(&self, nodes: &[NodeId], n: usize, seeds: &[u64]) -> NodeBatch {
+        assert_eq!(nodes.len(), seeds.len(), "one seed per node");
+        // Slab index of each graph node (`u32::MAX` = not in this batch),
+        // then one CSR pass over the route: O(route + nodes) total, where
+        // the per-node constructor pays O(route) *per machine*.
+        let mut slab_of = vec![u32::MAX; n];
+        for (i, &v) in nodes.iter().enumerate() {
+            slab_of[v.index()] = i as u32;
+        }
+        let mut pos_off = vec![0u32; nodes.len() + 1];
+        for &rv in self.route.iter() {
+            let slab = slab_of[rv.index()];
+            if slab != u32::MAX {
+                pos_off[slab as usize + 1] += 1;
+            }
+        }
+        for i in 1..pos_off.len() {
+            pos_off[i] += pos_off[i - 1];
+        }
+        let mut cursor = pos_off.clone();
+        let mut pos = vec![0u32; *pos_off.last().unwrap() as usize];
+        // filled in route order, so each machine's positions are ascending
+        // — the same order `create_node`'s enumerate-filter produces
+        for (p, &rv) in self.route.iter().enumerate() {
+            let slab = slab_of[rv.index()];
+            if slab != u32::MAX {
+                pos[cursor[slab as usize] as usize] = p as u32;
+                cursor[slab as usize] += 1;
+            }
+        }
+        let states = seeds
+            .iter()
+            .zip(nodes)
+            .map(|(&s, &v)| mix(s, u64::from(v.0)))
+            .collect();
+        let len = nodes.len();
+        NodeBatch::new(
+            Box::new(RelaySlab {
+                aid: self.aid.0,
+                route: Arc::clone(&self.route),
+                pos_off,
+                pos,
+                states,
+                rounds: vec![0u32; len],
+            }),
+            len,
+        )
+    }
+}
+
+/// Node-contiguous relay machines: per-machine state in flat vectors and
+/// route positions in one CSR table, behaviorally identical to
+/// [`RelayNode`] machine-for-machine.
+struct RelaySlab {
+    aid: u64,
+    route: Arc<[NodeId]>,
+    /// CSR offsets into `pos`: machine `i`'s route positions are
+    /// `pos[pos_off[i]..pos_off[i + 1]]`, ascending.
+    pos_off: Vec<u32>,
+    pos: Vec<u32>,
+    states: Vec<u64>,
+    rounds: Vec<u32>,
+}
+
+impl AlgoSlab for RelaySlab {
+    fn step_into(&mut self, i: usize, inbox: &[(NodeId, Vec<u8>)], out: &mut BatchedSends) {
+        let mut state = self.states[i];
+        for (_, payload) in inbox {
+            state = mix(state, token_of(payload));
+        }
+        let round = self.rounds[i];
+        for &p in &self.pos[self.pos_off[i] as usize..self.pos_off[i + 1] as usize] {
+            let p = p as usize;
+            if p as u32 == round && p + 1 < self.route.len() {
+                out.push(self.route[p + 1], &mix(state, self.aid).to_le_bytes());
+            }
+        }
+        self.states[i] = state;
+        self.rounds[i] = round + 1;
+        out.end_segment();
+    }
+
+    fn output(&self, i: usize) -> Option<Vec<u8>> {
+        Some(self.states[i].to_le_bytes().to_vec())
     }
 }
 
@@ -197,6 +285,62 @@ impl BlackBoxAlgorithm for Prescribed {
             state: mix(seed, v.0 as u64),
         })
     }
+
+    fn create_nodes(&self, nodes: &[NodeId], _n: usize, seeds: &[u64]) -> NodeBatch {
+        assert_eq!(nodes.len(), seeds.len(), "one seed per node");
+        let states = seeds
+            .iter()
+            .zip(nodes)
+            .map(|(&s, &v)| mix(s, u64::from(v.0)))
+            .collect();
+        let len = nodes.len();
+        NodeBatch::new(
+            Box::new(PrescribedSlab {
+                me: nodes.to_vec(),
+                sends: Arc::clone(&self.sends),
+                states,
+                rounds: vec![0u32; len],
+            }),
+            len,
+        )
+    }
+}
+
+/// Node-contiguous prescribed-pattern machines. Each round's `(from, to)`
+/// list is sorted ascending (built from sorted, deduplicated triples), so
+/// one machine's sends are a contiguous range found by binary search —
+/// in the same ascending-`to` order [`PrescribedNode`]'s linear filter
+/// produces.
+struct PrescribedSlab {
+    me: Vec<NodeId>,
+    sends: Arc<Vec<Vec<(NodeId, NodeId)>>>,
+    states: Vec<u64>,
+    rounds: Vec<u32>,
+}
+
+impl AlgoSlab for PrescribedSlab {
+    fn step_into(&mut self, i: usize, inbox: &[(NodeId, Vec<u8>)], out: &mut BatchedSends) {
+        let mut state = self.states[i];
+        for (from, payload) in inbox {
+            state = mix(state, mix(token_of(payload), u64::from(from.0)));
+        }
+        let round = self.rounds[i];
+        if let Some(list) = self.sends.get(round as usize) {
+            let me = self.me[i];
+            let lo = list.partition_point(|&(f, _)| f < me);
+            let hi = lo + list[lo..].partition_point(|&(f, _)| f == me);
+            for &(_, to) in &list[lo..hi] {
+                out.push(to, &mix(state, u64::from(round)).to_le_bytes());
+            }
+        }
+        self.states[i] = state;
+        self.rounds[i] = round + 1;
+        out.end_segment();
+    }
+
+    fn output(&self, i: usize) -> Option<Vec<u8>> {
+        Some(self.states[i].to_le_bytes().to_vec())
+    }
 }
 
 impl AlgoNode for PrescribedNode {
@@ -291,6 +435,71 @@ impl BlackBoxAlgorithm for FloodBall {
             heard_at: if is_source { Some(0) } else { None },
             token: mix(seed, self.aid.0),
             pending: is_source,
+        })
+    }
+
+    fn create_nodes(&self, nodes: &[NodeId], _n: usize, seeds: &[u64]) -> NodeBatch {
+        assert_eq!(nodes.len(), seeds.len(), "one seed per node");
+        let len = nodes.len();
+        NodeBatch::new(
+            Box::new(FloodSlab {
+                neighbors: Arc::clone(&self.neighbors),
+                me: nodes.iter().map(|v| v.index() as u32).collect(),
+                depth: self.depth,
+                rounds: vec![0u32; len],
+                heard_at: nodes
+                    .iter()
+                    .map(|&v| if v == self.source { 0 } else { u32::MAX })
+                    .collect(),
+                tokens: seeds.iter().map(|&s| mix(s, self.aid.0)).collect(),
+                pending: nodes.iter().map(|&v| v == self.source).collect(),
+            }),
+            len,
+        )
+    }
+}
+
+/// Node-contiguous flood machines in struct-of-arrays layout
+/// (`heard_at == u32::MAX` encodes "not heard yet"), behaviorally
+/// identical to [`FloodNode`] machine-for-machine.
+struct FloodSlab {
+    neighbors: Arc<Vec<Vec<NodeId>>>,
+    me: Vec<u32>,
+    depth: u32,
+    rounds: Vec<u32>,
+    heard_at: Vec<u32>,
+    tokens: Vec<u64>,
+    pending: Vec<bool>,
+}
+
+impl AlgoSlab for FloodSlab {
+    fn step_into(&mut self, i: usize, inbox: &[(NodeId, Vec<u8>)], out: &mut BatchedSends) {
+        for (_, payload) in inbox {
+            if self.heard_at[i] == u32::MAX {
+                self.heard_at[i] = self.rounds[i];
+                self.tokens[i] = mix(token_of(payload), 1);
+                self.pending[i] = true;
+            }
+        }
+        if self.pending[i] && self.rounds[i] < self.depth {
+            self.pending[i] = false;
+            let payload = self.tokens[i].to_le_bytes();
+            for &u in &self.neighbors[self.me[i] as usize] {
+                out.push(u, &payload);
+            }
+        }
+        self.rounds[i] += 1;
+        out.end_segment();
+    }
+
+    fn output(&self, i: usize) -> Option<Vec<u8>> {
+        Some(if self.heard_at[i] == u32::MAX {
+            vec![0u8]
+        } else {
+            let mut v = vec![1u8];
+            v.extend_from_slice(&self.heard_at[i].to_le_bytes());
+            v.extend_from_slice(&self.tokens[i].to_le_bytes());
+            v
         })
     }
 }

@@ -1,8 +1,8 @@
 //! Property-based equivalence: the sharded big-round-synchronous executor
 //! must produce the *byte-identical* outcome of the sequential (fused)
 //! `execute_plan`, for every plan, every scheduler, and every shard count —
-//! and the legacy row engine must agree with the columnar default, both
-//! fused and sharded.
+//! and the legacy row engine and the batched engine must both agree with
+//! the columnar default, fused and sharded.
 //!
 //! CI runs this file under `RAYON_NUM_THREADS=1` and `=8`; the sharded
 //! executor uses one dedicated thread per shard, so the equality must hold
@@ -136,6 +136,18 @@ fn assert_equivalent(g: &Graph, k: usize, seed: u64) {
             "scheduler {}: columnar fused diverged from the row engine",
             sched.name()
         );
+        // The batched engine (node-block step_block dispatch over slabs)
+        // must also reproduce the row reference byte for byte.
+        let batched_cfg = ExecutorConfig::default()
+            .with_phase_len(plan.phase_len)
+            .with_engine(EngineKind::ColumnarBatched);
+        let batched = execute_plan_with(&p, &plan, &batched_cfg).expect("batched execution");
+        assert_eq!(
+            fused_bytes,
+            format!("{batched:?}"),
+            "scheduler {}: batched fused diverged from the row engine",
+            sched.name()
+        );
         for shards in SHARD_COUNTS {
             let (sharded, report) =
                 execute_plan_sharded(&p, &plan, shards).expect("sharded execution");
@@ -157,6 +169,19 @@ fn assert_equivalent(g: &Graph, k: usize, seed: u64) {
                 fused_bytes,
                 format!("{row_sharded:?}"),
                 "scheduler {} row engine diverged at {} shards",
+                sched.name(),
+                shards
+            );
+            // ... as must batched shard workers.
+            let batched_shard_cfg = ExecutorConfig::default()
+                .with_shards(shards)
+                .with_engine(EngineKind::ColumnarBatched);
+            let (batched_sharded, _) =
+                execute_plan_sharded_with(&p, &plan, &batched_shard_cfg).expect("batched sharded");
+            assert_eq!(
+                fused_bytes,
+                format!("{batched_sharded:?}"),
+                "scheduler {} batched engine diverged at {} shards",
                 sched.name(),
                 shards
             );

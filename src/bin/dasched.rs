@@ -3,7 +3,7 @@
 //! ```text
 //! dasched run        --graph grid:8x8 --workload mixed:18 --scheduler private [--seed 42]
 //! dasched plan       --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7] [--out plan.json]
-//!                    [--in plan.json] [--execute] [--shards N] [--engine row|columnar]
+//!                    [--in plan.json] [--execute] [--shards N] [--engine row|columnar|batched]
 //!                    [--dump-outcome FILE] [--reuse-artifact]
 //! dasched plan       --graph grid:8x8 --workload mixed:18 --diff a.json b.json
 //! dasched trace      --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7]
@@ -53,7 +53,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   dasched run        --graph SPEC --workload SPEC --scheduler NAME [--seed N]
   dasched plan       --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N] [--out FILE]
-                     [--in FILE] [--execute] [--shards N] [--engine row|columnar]
+                     [--in FILE] [--execute] [--shards N] [--engine row|columnar|batched]
                      [--dump-outcome FILE] [--reuse-artifact]
   dasched plan       --graph SPEC --workload SPEC --diff A.json B.json
   dasched trace      --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N]
@@ -389,7 +389,7 @@ fn diff_plans(problem: &DasProblem<'_>, path_a: &str, path_b: &str) -> Result<()
 
 /// The `plan --execute` tail: run the plan (sharded when `--shards N > 1`,
 /// with a fused-identity check and per-shard report) on the selected
-/// engine (`--engine row|columnar`, columnar by default), verify, and
+/// engine (`--engine row|columnar|batched`, columnar by default), verify, and
 /// honor `--dump-outcome`.
 fn execute_planned(
     opts: &HashMap<String, String>,
@@ -399,8 +399,13 @@ fn execute_planned(
     let shards = opt_u64(opts, "shards")?.unwrap_or(1) as usize;
     let engine = match opts.get("engine").map(String::as_str) {
         None | Some("columnar") => EngineKind::Columnar,
+        Some("batched") => EngineKind::ColumnarBatched,
         Some("row") => EngineKind::Row,
-        Some(other) => return Err(format!("unknown engine `{other}` (row or columnar)")),
+        Some(other) => {
+            return Err(format!(
+                "unknown engine `{other}` (row, columnar, or batched)"
+            ))
+        }
     };
     let config = ExecutorConfig::default()
         .with_engine(engine)
