@@ -23,8 +23,8 @@
 //! without flaking on timing noise.
 
 use das_bench::{
-    run_trial_doubling, run_trial_observed_with_engine, run_trial_sharded, run_trial_swept,
-    workloads, SweepPlanner, TrialRunner,
+    run_trial_doubling, run_trial_networked, run_trial_observed_with_engine, run_trial_sharded,
+    run_trial_swept, workloads, SweepPlanner, TrialRunner,
 };
 use das_core::{
     doubling, execute_plan_observed_with, DasProblem, DoublingConfig, EngineKind, ExecutorConfig,
@@ -36,6 +36,10 @@ use std::time::Instant;
 
 /// Shard count for the sharded leg of the smoke run.
 const SMOKE_SHARDS: usize = 4;
+
+/// Worker count for the networked (coordinator/worker over localhost TCP)
+/// leg of the smoke run.
+const SMOKE_WORKERS: usize = 3;
 
 const USAGE: &str = "usage: bench_smoke [trials] [base_seed] \
                      [--obs off|metrics|full] [--engine row|columnar|batched] \
@@ -296,6 +300,57 @@ fn main() {
         );
     } else {
         println!("wrote {} ({} shards)", sharded_path.display(), SMOKE_SHARDS);
+    }
+
+    // Same trials again over the networked coordinator/worker path on
+    // localhost: schedule-quality numbers must not move, and the artifact
+    // additionally records per-worker coordinator-side traffic. Frame and
+    // byte counts are a pure function of the plan, so this leg's printed
+    // line stays CI-diffable.
+    let networked_clock = Instant::now();
+    let networked = runner.aggregate("e01_smoke_networked", "uniform", |seed| {
+        run_trial_networked(&UniformScheduler::default(), &problem, seed, SMOKE_WORKERS)
+    });
+    let networked_ms = networked_clock.elapsed().as_secs_f64() * 1e3;
+    let networked_path = networked
+        .write(Path::new("."))
+        .expect("write networked BENCH artifact");
+    assert_eq!(
+        (agg.schedule.max, agg.late.max, agg.success_rate),
+        (
+            networked.schedule.max,
+            networked.late.max,
+            networked.success_rate
+        ),
+        "networked execution changed schedule statistics"
+    );
+    let traffic = networked
+        .records
+        .first()
+        .and_then(|r| r.net.as_ref())
+        .expect("networked trials carry traffic");
+    assert_eq!(traffic.workers, SMOKE_WORKERS);
+    if args.wall {
+        println!(
+            "wrote {} ({} workers, trial-0 traffic tx {} frames / {} B, rx {} frames / {} B, wall {:.1} ms)",
+            networked_path.display(),
+            SMOKE_WORKERS,
+            traffic.frames_sent,
+            traffic.bytes_sent,
+            traffic.frames_received,
+            traffic.bytes_received,
+            networked_ms,
+        );
+    } else {
+        println!(
+            "wrote {} ({} workers, trial-0 traffic tx {} frames / {} B, rx {} frames / {} B)",
+            networked_path.display(),
+            SMOKE_WORKERS,
+            traffic.frames_sent,
+            traffic.bytes_sent,
+            traffic.frames_received,
+            traffic.bytes_received,
+        );
     }
 
     // Doubling leg: a congested instance (16 relays stacked on one short

@@ -193,6 +193,13 @@ fn append_points(path: &str, points: &[TrajectoryPoint]) {
 
 /// The `--baseline` gate: every measured (label, engine) pair must stay
 /// within [`REGRESSION_TOLERANCE`] of the last matching baseline point.
+///
+/// A measured pair with *no* baseline point is a failure, not a skip: a
+/// new engine or configuration must be added to the baseline explicitly,
+/// or it would dodge the regression gate forever. To update the baseline,
+/// run `bench_trajectory --out fresh.json` locally and copy the new
+/// point(s) into `ci/bench_baseline.json` (the workflow is documented in
+/// EXPERIMENTS.md).
 fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
     let body = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| fail(&format!("cannot read baseline {baseline_path}: {e}")));
@@ -205,10 +212,13 @@ fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
             .rev()
             .find(|b| b.label == p.label && b.engine == p.engine)
         else {
-            println!(
-                "gate: {} ({}) has no baseline point — skipped",
+            eprintln!(
+                "gate FAILED: {} ({}) has no baseline point in {baseline_path} — \
+                 new configurations must be gated, not skipped; run bench_trajectory \
+                 locally and add the fresh point to the baseline",
                 p.label, p.engine
             );
+            ok = false;
             continue;
         };
         let floor = base.rounds_per_sec * (1.0 - REGRESSION_TOLERANCE);

@@ -22,17 +22,17 @@ pub mod table;
 pub mod workloads;
 
 pub use runner::{
-    DoublingSummary, ShardSummary, SummaryStats, SweepSummary, TrialAggregate, TrialRecord,
-    TrialRunner,
+    DoublingSummary, NetSummary, ShardSummary, SummaryStats, SweepSummary, TrialAggregate,
+    TrialRecord, TrialRunner,
 };
 pub use table::Table;
 
 use das_core::verify::{self, VerifyReport};
 use das_core::{
-    doubling, execute_plan, execute_plan_observed, execute_plan_observed_with,
-    execute_plan_sharded, execute_plan_with, DasProblem, DoublingConfig, EngineKind, ExecError,
-    ExecutorConfig, SchedError, ScheduleOutcome, SchedulePlan, Scheduler, ShardReport,
-    SweepArtifact, UniformScheduler,
+    doubling, execute_plan, execute_plan_networked, execute_plan_observed,
+    execute_plan_observed_with, execute_plan_sharded, execute_plan_with, run_worker, DasProblem,
+    DoublingConfig, EngineKind, ExecError, ExecutorConfig, NetConfig, SchedError, ScheduleOutcome,
+    SchedulePlan, Scheduler, ShardReport, SweepArtifact, UniformScheduler,
 };
 use das_obs::{ObsConfig, ObsReport};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,6 +106,7 @@ pub fn record_trial(
         obs: None,
         doubling: None,
         sweep: None,
+        net: None,
     }
 }
 
@@ -358,6 +359,61 @@ pub fn run_trial_sharded(
     finish_trial(problem, &plan, sched_seed, result)
 }
 
+/// [`run_trial`], executed over the networked coordinator/worker path on
+/// localhost: one coordinator (this thread) plus `workers` worker threads
+/// speaking the framed TCP protocol, exactly as separate processes would.
+/// The recorded outcome fields are byte-identical to [`run_trial`]'s; the
+/// record additionally carries the [`ShardSummary`] and the per-worker
+/// coordinator-side traffic ([`NetSummary`]).
+///
+/// # Panics
+/// Panics if the workload violates the CONGEST model, or on a localhost
+/// networking failure (which, unlike the round cap, is an environment
+/// problem rather than a schedule property).
+pub fn run_trial_networked(
+    scheduler: &dyn Scheduler,
+    problem: &DasProblem<'_>,
+    sched_seed: u64,
+    workers: usize,
+) -> TrialRecord {
+    let plan = scheduler
+        .plan(problem, sched_seed)
+        .expect("workload is model-valid");
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let net = NetConfig::default();
+    let result = std::thread::scope(|scope| {
+        let effective = workers.min(problem.graph().node_count()).max(1);
+        let handles: Vec<_> = (0..effective)
+            .map(|_| {
+                let addr = addr.clone();
+                let net = net.clone();
+                scope.spawn(move || run_worker(problem, &addr, &net))
+            })
+            .collect();
+        let result = execute_plan_networked(problem, &plan, workers, listener, &net);
+        for h in handles {
+            // on a cap error both sides return the same typed error; only
+            // the coordinator's copy feeds the record
+            let _ = h.join().expect("worker thread");
+        }
+        result
+    });
+    match result {
+        Ok((outcome, report)) => {
+            let mut rec = finish_trial(
+                problem,
+                &plan,
+                sched_seed,
+                Ok((outcome, Some(report.shard.clone()))),
+            );
+            rec.net = Some(NetSummary::of(&report));
+            rec
+        }
+        Err(e) => finish_trial(problem, &plan, sched_seed, Err(e)),
+    }
+}
+
 /// Turns an execution result into the trial record: verify-and-record on
 /// success, a `truncated` failure record when the engine-round cap was
 /// hit. Split out so the cap path is unit-testable without building a
@@ -388,6 +444,7 @@ fn finish_trial(
             obs: None,
             doubling: None,
             sweep: None,
+            net: None,
         },
         Err(e) => panic!("trial failed to execute: {e}"),
     }
@@ -467,6 +524,26 @@ mod tests {
             "relays deliver messages"
         );
         assert!(seq.shard.is_none());
+    }
+
+    #[test]
+    fn networked_trial_matches_sequential_and_records_traffic() {
+        let g = generators::path(12);
+        let p = workloads::stacked_relays(&g, 6, 1);
+        let seq = run_trial(&UniformScheduler::default(), &p, 7);
+        let networked = run_trial_networked(&UniformScheduler::default(), &p, 7, 3);
+        // outcome fields are partition- and transport-independent
+        assert_eq!(seq.schedule, networked.schedule);
+        assert_eq!(seq.late, networked.late);
+        assert_eq!(seq.correctness, networked.correctness);
+        let shard = networked.shard.expect("networked trials carry shard data");
+        assert_eq!(shard.shards, 3);
+        let net = networked.net.expect("networked trials carry traffic");
+        assert_eq!(net.workers, 3);
+        assert_eq!(net.per_worker_bytes_sent.len(), 3);
+        assert!(net.frames_sent > 0 && net.frames_received > 0);
+        assert!(net.bytes_sent > 0 && net.bytes_received > 0);
+        assert!(seq.net.is_none());
     }
 
     #[test]

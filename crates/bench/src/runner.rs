@@ -139,6 +139,11 @@ pub struct TrialRecord {
     /// older artifacts and in trials planned from scratch.
     #[serde(default)]
     pub sweep: Option<SweepSummary>,
+    /// Coordinator-side traffic totals, when the trial ran over the
+    /// networked coordinator/worker path. Absent in older artifacts and in
+    /// in-process trials.
+    #[serde(default)]
+    pub net: Option<NetSummary>,
 }
 
 impl TrialRecord {
@@ -230,6 +235,43 @@ impl ShardSummary {
                 .map(|s| (s.step_nanos + s.drain_nanos) as f64 / 1e6)
                 .collect(),
             per_shard_delivered: report.per_shard.iter().map(|s| s.delivered).collect(),
+        }
+    }
+}
+
+/// Traffic-side measurements of one networked (coordinator/worker)
+/// execution, recorded into the artifact alongside the partition-dependent
+/// [`ShardSummary`]. Counted on the coordinator's side of each worker
+/// link, frame headers included.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetSummary {
+    /// Number of worker connections (after clamping to the node count).
+    pub workers: usize,
+    /// Frames the coordinator sent, summed over all workers.
+    pub frames_sent: u64,
+    /// Frames the coordinator received, summed over all workers.
+    pub frames_received: u64,
+    /// Bytes the coordinator sent, summed over all workers.
+    pub bytes_sent: u64,
+    /// Bytes the coordinator received, summed over all workers.
+    pub bytes_received: u64,
+    /// Per-worker bytes sent by the coordinator, in shard order.
+    pub per_worker_bytes_sent: Vec<u64>,
+    /// Per-worker bytes received by the coordinator, in shard order.
+    pub per_worker_bytes_received: Vec<u64>,
+}
+
+impl NetSummary {
+    /// Condenses a [`das_core::NetReport`] into the artifact form.
+    pub fn of(report: &das_core::NetReport) -> Self {
+        NetSummary {
+            workers: report.traffic.len(),
+            frames_sent: report.traffic.iter().map(|t| t.frames_sent).sum(),
+            frames_received: report.traffic.iter().map(|t| t.frames_received).sum(),
+            bytes_sent: report.traffic.iter().map(|t| t.bytes_sent).sum(),
+            bytes_received: report.traffic.iter().map(|t| t.bytes_received).sum(),
+            per_worker_bytes_sent: report.traffic.iter().map(|t| t.bytes_sent).collect(),
+            per_worker_bytes_received: report.traffic.iter().map(|t| t.bytes_received).collect(),
         }
     }
 }
@@ -378,6 +420,7 @@ mod tests {
             obs: None,
             doubling: None,
             sweep: None,
+            net: None,
         }
     }
 

@@ -49,6 +49,67 @@ pub enum ExecError {
         /// The big-round that was draining when the cap was hit.
         big_round: u64,
     },
+    /// A networked worker's connection dropped (or its stream errored)
+    /// while the coordinator was mid-protocol with it.
+    WorkerDisconnected {
+        /// Shard index of the lost worker.
+        shard: usize,
+        /// What the coordinator was doing when the connection died.
+        detail: String,
+    },
+    /// A frame arrived shorter than its length prefix promised (or the
+    /// prefix itself was cut off): the peer closed or corrupted the stream
+    /// mid-frame.
+    TruncatedFrame {
+        /// Where in the protocol the short read happened.
+        detail: String,
+    },
+    /// Coordinator and worker speak different protocol versions.
+    VersionMismatch {
+        /// The coordinator's [`crate::net::PROTOCOL_VERSION`].
+        coordinator: u32,
+        /// The version the worker announced in its JOIN frame.
+        worker: u32,
+    },
+    /// The plan JSON a worker received does not hash to the plan hash the
+    /// coordinator announced — the plan was corrupted or substituted in
+    /// transit.
+    PlanHashMismatch {
+        /// The hash announced in the ASSIGN frame.
+        expected: u64,
+        /// The hash of the plan bytes actually received.
+        got: u64,
+    },
+    /// Coordinator and worker were launched on different problems (graph,
+    /// workload, or tape seed differ), so byte-identity is impossible.
+    ProblemMismatch {
+        /// The coordinator's problem fingerprint.
+        coordinator: u64,
+        /// The worker's problem fingerprint.
+        worker: u64,
+    },
+    /// A blocking network wait exceeded its configured deadline. Every
+    /// wait on the networked path is deadline-bounded, so a dead peer
+    /// surfaces as this error instead of a hang.
+    NetTimeout {
+        /// The protocol phase that timed out.
+        during: String,
+        /// The configured deadline in milliseconds.
+        ms: u64,
+    },
+    /// The run was aborted deliberately: the coordinator was interrupted
+    /// (Ctrl-C) or told this worker to stand down after another worker
+    /// failed.
+    Aborted {
+        /// Why the run was torn down.
+        detail: String,
+    },
+    /// Any other network-layer failure (bind, connect, malformed frame
+    /// kind, oversized frame, encode/decode error).
+    Net {
+        /// Description of the failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -59,6 +120,39 @@ impl std::fmt::Display for ExecError {
                 "engine round cap {cap} exceeded while draining big-round \
                  {big_round}; the schedule does not drain"
             ),
+            ExecError::WorkerDisconnected { shard, detail } => {
+                write!(f, "worker for shard {shard} disconnected: {detail}")
+            }
+            ExecError::TruncatedFrame { detail } => {
+                write!(f, "truncated frame: {detail}")
+            }
+            ExecError::VersionMismatch {
+                coordinator,
+                worker,
+            } => write!(
+                f,
+                "protocol version mismatch: coordinator speaks v{coordinator}, \
+                 worker speaks v{worker}"
+            ),
+            ExecError::PlanHashMismatch { expected, got } => write!(
+                f,
+                "plan hash mismatch: coordinator announced {expected:#018x} but \
+                 the received plan hashes to {got:#018x}"
+            ),
+            ExecError::ProblemMismatch {
+                coordinator,
+                worker,
+            } => write!(
+                f,
+                "problem fingerprint mismatch: coordinator {coordinator:#018x} vs \
+                 worker {worker:#018x} — both sides must be launched with the \
+                 same graph, workload, and seed"
+            ),
+            ExecError::NetTimeout { during, ms } => {
+                write!(f, "network wait timed out after {ms} ms during {during}")
+            }
+            ExecError::Aborted { detail } => write!(f, "run aborted: {detail}"),
+            ExecError::Net { detail } => write!(f, "network error: {detail}"),
         }
     }
 }
@@ -209,7 +303,7 @@ pub struct ExecStats {
 /// can cut it short).
 #[derive(Clone, Debug)]
 pub struct StepPlan {
-    plan: Vec<Vec<Vec<u64>>>,
+    pub(crate) plan: Vec<Vec<Vec<u64>>>,
 }
 
 impl StepPlan {
@@ -285,19 +379,19 @@ impl StepPlan {
 }
 
 /// A message in flight.
-struct Flight {
-    dst: NodeId,
-    algo: u32,
-    round: u32,
-    from: NodeId,
-    payload: Vec<u8>,
+pub(crate) struct Flight {
+    pub(crate) dst: NodeId,
+    pub(crate) algo: u32,
+    pub(crate) round: u32,
+    pub(crate) from: NodeId,
+    pub(crate) payload: Vec<u8>,
 }
 
 /// Per-arc FIFO of in-flight messages: a two-stack queue over plain `Vec`s
 /// (push onto `back`, pop from `front`, refill by reversing), keeping the
 /// hot path on flat storage whose allocations persist across big-rounds.
 #[derive(Default)]
-struct ArcFifo {
+pub(crate) struct ArcFifo {
     /// Pop end, stored in reverse arrival order.
     front: Vec<Flight>,
     /// Push end, in arrival order.
@@ -306,22 +400,22 @@ struct ArcFifo {
 
 impl ArcFifo {
     #[inline]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.front.len() + self.back.len()
     }
 
     #[inline]
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.front.is_empty() && self.back.is_empty()
     }
 
     #[inline]
-    fn push_back(&mut self, f: Flight) {
+    pub(crate) fn push_back(&mut self, f: Flight) {
         self.back.push(f);
     }
 
     #[inline]
-    fn pop_front(&mut self) -> Option<Flight> {
+    pub(crate) fn pop_front(&mut self) -> Option<Flight> {
         if self.front.is_empty() {
             self.front.extend(self.back.drain(..).rev());
         }
@@ -336,7 +430,7 @@ impl ArcFifo {
 /// a power-of-two array of buckets therefore replaces a `BTreeMap`, with
 /// the bucket vectors reused across rounds.
 #[derive(Default)]
-struct TagWindow {
+pub(crate) struct TagWindow {
     /// Smallest tag the window can currently hold.
     base: u32,
     /// Ring position of `base`'s bucket.
@@ -348,7 +442,7 @@ struct TagWindow {
 impl TagWindow {
     /// Files one arrival under `tag`. Requires `tag >= base`, which the
     /// executor's late-drop check guarantees.
-    fn push(&mut self, tag: u32, from: NodeId, payload: Vec<u8>) {
+    pub(crate) fn push(&mut self, tag: u32, from: NodeId, payload: Vec<u8>) {
         debug_assert!(tag >= self.base, "arrival below the live window");
         let offset = (tag - self.base) as usize;
         if offset >= self.buckets.len() {
@@ -361,7 +455,7 @@ impl TagWindow {
     /// Moves the bucket for `tag` into `into` (clearing it first) and
     /// advances the window past `tag`. Buckets below `tag` must already be
     /// empty — the executor consumes tags strictly in order.
-    fn take(&mut self, tag: u32, into: &mut Vec<(NodeId, Vec<u8>)>) {
+    pub(crate) fn take(&mut self, tag: u32, into: &mut Vec<(NodeId, Vec<u8>)>) {
         into.clear();
         debug_assert!(tag >= self.base, "tags are consumed in order");
         if self.buckets.is_empty() {

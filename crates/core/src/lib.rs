@@ -67,6 +67,7 @@ mod schedule;
 
 pub mod bellagio;
 pub mod doubling;
+pub mod net;
 pub mod newman;
 pub mod obs;
 pub mod plan;
@@ -83,6 +84,10 @@ pub use doubling::{DoublingConfig, DoublingOutcome, PlanCacheStats};
 pub use exec::{
     EngineKind, ExecError, ExecStats, Executor, ExecutorConfig, ShardReport, ShardStats, StepPlan,
     Unit,
+};
+pub use net::{
+    execute_plan_networked, install_ctrl_c, plan_hash, problem_fingerprint, run_worker, wire,
+    LinkTraffic, NetConfig, NetReport, WorkerOutcome, PROTOCOL_VERSION,
 };
 pub use obs::{run_traced, TracedRun};
 pub use plan::cache::{PlanArtifact, SweepArtifact};

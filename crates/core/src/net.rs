@@ -1,0 +1,1510 @@
+//! Networked coordinator/worker execution: the sharded executor's
+//! big-round barrier promoted to a real network barrier.
+//!
+//! The in-process sharded executor ([`crate::Executor::run_sharded`])
+//! proved that a DAS execution partitions cleanly at big-round boundaries:
+//! within a big-round every worker touches only its own nodes and the arcs
+//! it owns, and cross-shard messages move exactly once per big-round. This
+//! module runs the same protocol over TCP, one OS process per shard:
+//!
+//! * The **coordinator** owns the plan. It accepts one connection per
+//!   shard, handshakes (protocol version + problem fingerprint), ships the
+//!   full [`SchedulePlan`] JSON (guarded by a hash) plus the shard
+//!   assignment, then relays cross-shard outboxes at every big-round
+//!   boundary and collects the per-shard outcomes at the end.
+//! * A **worker** builds the identical problem locally (same graph,
+//!   workload, and tape seed — enforced by the fingerprint), recomputes the
+//!   same degree-balanced [`Partition`], and runs the row-engine shard loop
+//!   verbatim, with the three in-process barriers replaced by two framed
+//!   round-trips (OUTBOX → INBOX, ACTIVITY → DECISION).
+//!
+//! ## The network-barrier invariant
+//!
+//! Byte-identity of the [`ScheduleOutcome`] extends verbatim from the
+//! threaded path because the wire protocol preserves exactly the state the
+//! in-process barriers preserve — and nothing else crosses a shard
+//! boundary:
+//!
+//! * each worker steps its nodes in the same global `(algorithm, node,
+//!   round)` order the fused executor uses, so per-arc push order within a
+//!   big-round is the sequential order (every arc has a unique source
+//!   node, owned by exactly one worker);
+//! * the coordinator routes each destination's INBOX by **ascending source
+//!   shard**, each group in send order — the exact merge order of the
+//!   in-process outbox sweep (`for src in 0..s`);
+//! * lateness checks read only the destination worker's own `steps_done`,
+//!   which never crosses the wire;
+//! * the termination decision is computed from the same `(big_round,
+//!   any_active)` pair the in-process 3-barrier protocol agrees on.
+//!
+//! ## Robustness
+//!
+//! Every blocking wait is deadline-bounded ([`NetConfig::io_timeout_ms`]):
+//! a dead peer surfaces as a typed [`ExecError`] — never a hang. Worker
+//! connects retry with bounded backoff; frames carry a length prefix
+//! checked against [`NetConfig::max_frame_bytes`]; a coordinator Ctrl-C
+//! (see [`install_ctrl_c`]) aborts all workers gracefully, and a second
+//! Ctrl-C aborts the process.
+
+use crate::exec::{
+    ArcFifo, ExecError, ExecStats, ExecutorConfig, Flight, ShardReport, ShardStats, StepPlan,
+    TagWindow,
+};
+use crate::plan::{SchedError, SchedulePlan};
+use crate::problem::DasProblem;
+use crate::schedule::ScheduleOutcome;
+use crate::shard::Partition;
+use das_graph::NodeId;
+use das_pattern::{SimulationMap, TimedArc};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Version of the wire protocol. A coordinator rejects workers announcing
+/// any other version with [`ExecError::VersionMismatch`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frame kinds of the wire protocol (the byte after the length prefix).
+/// Public so integration tests can speak the protocol against real
+/// endpoints without linking crate internals.
+pub mod wire {
+    /// worker → coordinator: `version: u32, problem_fingerprint: u64`.
+    pub const JOIN: u8 = 1;
+    /// coordinator → worker: `shard: u32, shards: u32, plan_hash: u64,
+    /// plan_json: bytes, of_node: u32 list`.
+    pub const ASSIGN: u8 = 2;
+    /// coordinator → worker: `code: u32, ours: u64, theirs: u64` — the
+    /// handshake failed; decodes to a typed error worker-side.
+    pub const REJECT: u8 = 3;
+    /// worker → coordinator: `big_round: u64`, then per destination shard
+    /// a group of cross-shard flights staged during the step phase.
+    pub const OUTBOX: u8 = 4;
+    /// coordinator → worker: `big_round: u64`, the flights bound for this
+    /// shard, pre-merged in ascending source-shard order.
+    pub const INBOX: u8 = 5;
+    /// worker → coordinator: `big_round: u64, active: u8` — whether this
+    /// shard still holds undrained arcs after the drain phase.
+    pub const ACTIVITY: u8 = 6;
+    /// coordinator → worker: `big_round: u64, done: u8` — the agreed
+    /// termination decision for this big-round.
+    pub const DECISION: u8 = 7;
+    /// worker → coordinator: outputs, departures, and stats of the
+    /// finished shard.
+    pub const DONE: u8 = 8;
+    /// worker → coordinator: `cap: u64, big_round: u64` — the engine
+    /// round cap fired (all workers hit it in lockstep).
+    pub const ERROR: u8 = 9;
+    /// coordinator → worker: `reason: bytes` — stand down; the run is
+    /// being torn down.
+    pub const ABORT: u8 = 10;
+
+    /// REJECT code: protocol version mismatch.
+    pub const REJECT_VERSION: u32 = 1;
+    /// REJECT code: problem fingerprint mismatch.
+    pub const REJECT_PROBLEM: u32 = 2;
+}
+
+// ---------------------------------------------------------------- hashing
+
+/// FNV-1a 64-bit hash, used for the plan hash and problem fingerprint.
+/// Stable across platforms and dependency-free.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The hash shipped in the ASSIGN frame: FNV-1a over the plan's canonical
+/// JSON bytes. Workers recompute it over the received bytes and refuse a
+/// mismatch with [`ExecError::PlanHashMismatch`].
+pub fn plan_hash(plan: &SchedulePlan) -> u64 {
+    fnv1a(plan.to_json().as_bytes())
+}
+
+/// A structural fingerprint of the problem: node count, edge list, tape
+/// seed, and per-algorithm `(aid, rounds)`. Coordinator and workers build
+/// their problems independently from identical CLI flags; the fingerprint
+/// catches a divergence (different graph, workload, or seed) at handshake
+/// time instead of as silent wrong outputs.
+pub fn problem_fingerprint(problem: &DasProblem<'_>) -> u64 {
+    let g = problem.graph();
+    let mut w = ByteWriter::new();
+    w.u64(g.node_count() as u64);
+    for e in g.edges() {
+        let (a, b) = g.endpoints(e);
+        w.u32(a.0);
+        w.u32(b.0);
+    }
+    w.u64(problem.tape_seed());
+    w.u64(problem.k() as u64);
+    for a in problem.algorithms() {
+        w.u64(a.aid().0);
+        w.u32(a.rounds());
+    }
+    fnv1a(&w.buf)
+}
+
+// ---------------------------------------------------------------- codec
+
+/// Little-endian append-only encoder for frame bodies.
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed byte string.
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Little-endian cursor over a received frame body. Every read is
+/// bounds-checked; a short body decodes to [`ExecError::TruncatedFrame`].
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn truncated(&self, what: &str) -> ExecError {
+        ExecError::TruncatedFrame {
+            detail: format!("body ended while decoding {what}"),
+        }
+    }
+
+    fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], ExecError> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(self.truncated(what)),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ExecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ExecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ExecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<&'a [u8], ExecError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+/// Tunables of the networked path. Every blocking wait uses
+/// `io_timeout_ms`, so no failure mode can hang either side.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Deadline for each blocking network wait (accept, read, write), in
+    /// milliseconds. Also bounds the coordinator's wait for all workers to
+    /// connect.
+    pub io_timeout_ms: u64,
+    /// How many times a worker retries its initial connect before giving
+    /// up with [`ExecError::NetTimeout`].
+    pub connect_retries: u32,
+    /// Sleep between connect attempts, in milliseconds.
+    pub connect_backoff_ms: u64,
+    /// Upper bound on a single frame body; larger length prefixes are
+    /// rejected before any allocation ([`ExecError::Net`]).
+    pub max_frame_bytes: usize,
+    /// Cooperative-shutdown flag: when set (e.g. by [`install_ctrl_c`]),
+    /// the coordinator aborts all workers at the next protocol boundary
+    /// and returns [`ExecError::Aborted`].
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            io_timeout_ms: 30_000,
+            connect_retries: 40,
+            connect_backoff_ms: 250,
+            max_frame_bytes: 64 << 20,
+            stop: None,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Sets the per-wait deadline in milliseconds (clamped to ≥ 1).
+    pub fn with_io_timeout_ms(mut self, ms: u64) -> Self {
+        self.io_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Attaches a cooperative-shutdown flag.
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    fn io_timeout(&self) -> Duration {
+        Duration::from_millis(self.io_timeout_ms.max(1))
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst))
+    }
+}
+
+/// Per-connection traffic counters (counted on the side that holds the
+/// connection; frame = length prefix + kind + body).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Frames written to the peer.
+    pub frames_sent: u64,
+    /// Frames read from the peer.
+    pub frames_received: u64,
+    /// Bytes written, including frame headers.
+    pub bytes_sent: u64,
+    /// Bytes read, including frame headers.
+    pub bytes_received: u64,
+}
+
+/// What a networked execution reports beyond the (partition-independent)
+/// [`ScheduleOutcome`]: the merged [`ShardReport`] plus coordinator-side
+/// per-worker traffic, in shard order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetReport {
+    /// The merged per-shard report, exactly as the in-process sharded
+    /// executor returns it.
+    pub shard: ShardReport,
+    /// Coordinator-side traffic per worker connection, in shard order
+    /// (`bytes_sent` = coordinator → worker).
+    pub traffic: Vec<LinkTraffic>,
+}
+
+/// What [`run_worker`] reports once its shard completes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// The shard this worker was assigned.
+    pub shard: usize,
+    /// Total shards in the run.
+    pub shards: usize,
+    /// Machine steps this worker executed.
+    pub steps: u64,
+    /// Messages delivered on arcs this worker owned.
+    pub delivered: u64,
+    /// Messages this worker sent to other shards.
+    pub cross_sent: u64,
+    /// Big-rounds executed (identical on every worker).
+    pub big_rounds: u64,
+    /// Worker-side traffic counters for the coordinator link.
+    pub traffic: LinkTraffic,
+}
+
+// ---------------------------------------------------------------- framing
+
+const FRAME_HEADER: usize = 5; // u32 body length + u8 kind
+
+/// One framed, deadline-bounded, traffic-counted TCP connection.
+struct FramedConn {
+    stream: TcpStream,
+    traffic: LinkTraffic,
+    timeout: Duration,
+    max_frame: usize,
+}
+
+impl FramedConn {
+    fn new(stream: TcpStream, net: &NetConfig) -> Result<Self, ExecError> {
+        let timeout = net.io_timeout();
+        stream.set_nodelay(true).map_err(|e| ExecError::Net {
+            detail: format!("set_nodelay: {e}"),
+        })?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| ExecError::Net {
+                detail: format!("set timeouts: {e}"),
+            })?;
+        Ok(FramedConn {
+            stream,
+            traffic: LinkTraffic::default(),
+            timeout,
+            max_frame: net.max_frame_bytes,
+        })
+    }
+
+    fn io_error(&self, e: std::io::Error, during: &str) -> ExecError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                ExecError::NetTimeout {
+                    during: during.to_string(),
+                    ms: self.timeout.as_millis() as u64,
+                }
+            }
+            std::io::ErrorKind::UnexpectedEof => ExecError::TruncatedFrame {
+                detail: format!("stream ended mid-frame during {during}"),
+            },
+            _ => ExecError::Net {
+                detail: format!("{during}: {e}"),
+            },
+        }
+    }
+
+    /// Writes one frame: `[u32 LE body len][u8 kind][body]`.
+    fn send(&mut self, kind: u8, body: &[u8], during: &str) -> Result<(), ExecError> {
+        let mut header = [0u8; FRAME_HEADER];
+        header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+        header[4] = kind;
+        self.stream
+            .write_all(&header)
+            .and_then(|()| self.stream.write_all(body))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| self.io_error(e, during))?;
+        self.traffic.frames_sent += 1;
+        self.traffic.bytes_sent += (FRAME_HEADER + body.len()) as u64;
+        Ok(())
+    }
+
+    /// Reads one frame. A clean close at a frame boundary reads as a
+    /// connection close ([`ExecError::Net`], upgraded to
+    /// [`ExecError::WorkerDisconnected`] by the coordinator); a close
+    /// mid-frame reads as [`ExecError::TruncatedFrame`].
+    fn recv(&mut self, during: &str) -> Result<(u8, Vec<u8>), ExecError> {
+        let mut header = [0u8; FRAME_HEADER];
+        let mut filled = 0;
+        while filled < FRAME_HEADER {
+            match self.stream.read(&mut header[filled..]) {
+                Ok(0) => {
+                    return Err(if filled == 0 {
+                        ExecError::Net {
+                            detail: format!("connection closed by peer during {during}"),
+                        }
+                    } else {
+                        ExecError::TruncatedFrame {
+                            detail: format!("stream ended mid-header during {during}"),
+                        }
+                    });
+                }
+                Ok(got) => filled += got,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(self.io_error(e, during)),
+            }
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let kind = header[4];
+        if len > self.max_frame {
+            return Err(ExecError::Net {
+                detail: format!(
+                    "frame of {len} bytes exceeds the {} byte limit during {during}",
+                    self.max_frame
+                ),
+            });
+        }
+        let mut body = vec![0u8; len];
+        self.stream
+            .read_exact(&mut body)
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => ExecError::TruncatedFrame {
+                    detail: format!("stream ended mid-body during {during}"),
+                },
+                _ => self.io_error(e, during),
+            })?;
+        self.traffic.frames_received += 1;
+        self.traffic.bytes_received += (FRAME_HEADER + len) as u64;
+        Ok((kind, body))
+    }
+}
+
+/// Upgrades connection-level failures on an established worker link to
+/// [`ExecError::WorkerDisconnected`] (a killed worker closes its socket);
+/// protocol-level and timeout errors pass through unchanged.
+fn for_worker(e: ExecError, shard: usize) -> ExecError {
+    match e {
+        ExecError::Net { detail } | ExecError::TruncatedFrame { detail } => {
+            ExecError::WorkerDisconnected { shard, detail }
+        }
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------- Ctrl-C
+
+static CTRL_C: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_sig: i32) {
+    // async-signal-safe: atomic loads/stores and abort only
+    if let Some(flag) = CTRL_C.get() {
+        if flag.swap(true, Ordering::SeqCst) {
+            // second Ctrl-C: the user wants out *now*
+            std::process::abort();
+        }
+    }
+}
+
+/// Installs a SIGINT handler (Unix; a no-op flag elsewhere) and returns
+/// the flag it sets. Wire the flag into [`NetConfig::with_stop`]: the
+/// first Ctrl-C makes the coordinator abort all workers gracefully at the
+/// next protocol boundary; a second Ctrl-C aborts the process.
+pub fn install_ctrl_c() -> Arc<AtomicBool> {
+    let flag = CTRL_C
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+    flag
+}
+
+// ---------------------------------------------------------------- coordinator
+
+/// Executes a plan over networked workers: the networked analogue of
+/// [`crate::execute_plan_sharded`], with byte-identical
+/// [`ScheduleOutcome`].
+///
+/// The coordinator waits (deadline-bounded) for one connection per shard
+/// on `listener` — `workers` is clamped to the node count exactly as the
+/// in-process partition clamps shards — then drives the big-round relay
+/// until every shard reports done.
+///
+/// # Errors
+/// [`SchedError::InvalidPlan`] if the plan fails validation, or
+/// [`SchedError::Exec`] with a typed [`ExecError`]: the usual
+/// [`ExecError::RoundCapExceeded`] (propagated from workers in lockstep),
+/// or a network failure — worker disconnect, truncated frame, handshake
+/// mismatch, deadline expiry, abort.
+pub fn execute_plan_networked(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    workers: usize,
+    listener: TcpListener,
+    net: &NetConfig,
+) -> Result<(ScheduleOutcome, NetReport), SchedError> {
+    plan.validate(problem)?;
+    let (mut outcome, report) = run_coordinator(problem, plan, workers, listener, net)?;
+    outcome.precompute_rounds = plan.precompute_rounds;
+    Ok((outcome, report))
+}
+
+fn run_coordinator(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    workers: usize,
+    listener: TcpListener,
+    net: &NetConfig,
+) -> Result<(ScheduleOutcome, NetReport), ExecError> {
+    if workers == 0 {
+        return Err(ExecError::Net {
+            detail: "a networked run needs at least one worker".to_string(),
+        });
+    }
+    let g = problem.graph();
+    let part = Partition::degree_balanced(g, workers);
+    let s = part.shards();
+    let mut conns = accept_workers(problem, plan, &part, &listener, net)?;
+    drop(listener);
+    let result = coordinator_protocol(problem, plan, &part, &mut conns, net);
+    if let Err(ref e) = result {
+        // best-effort teardown so surviving workers fail fast with a
+        // typed Aborted instead of waiting out their own deadlines
+        let mut w = ByteWriter::new();
+        w.bytes(e.to_string().as_bytes());
+        for c in conns.iter_mut() {
+            let _ = c.send(wire::ABORT, &w.buf, "abort broadcast");
+        }
+    }
+    let outcome = result?;
+    let traffic: Vec<LinkTraffic> = conns.iter().map(|c| c.traffic.clone()).collect();
+    debug_assert_eq!(traffic.len(), s);
+    let (outcome, shard) = outcome;
+    Ok((outcome, NetReport { shard, traffic }))
+}
+
+/// Accepts and handshakes one connection per shard, in shard order. The
+/// listener is polled non-blocking under the configured deadline so a
+/// stop request (Ctrl-C) or a missing worker can never hang the accept
+/// loop.
+fn accept_workers(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    part: &Partition,
+    listener: &TcpListener,
+    net: &NetConfig,
+) -> Result<Vec<FramedConn>, ExecError> {
+    let s = part.shards();
+    let fingerprint = problem_fingerprint(problem);
+    let plan_json = plan.to_json();
+    let plan_hash = fnv1a(plan_json.as_bytes());
+    listener.set_nonblocking(true).map_err(|e| ExecError::Net {
+        detail: format!("set_nonblocking: {e}"),
+    })?;
+    let deadline = Instant::now() + net.io_timeout();
+    let mut conns: Vec<FramedConn> = Vec::with_capacity(s);
+    while conns.len() < s {
+        if net.stopped() {
+            return Err(ExecError::Aborted {
+                detail: "interrupted while waiting for workers".to_string(),
+            });
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(false).map_err(|e| ExecError::Net {
+                    detail: format!("set_blocking: {e}"),
+                })?;
+                let shard = conns.len();
+                let mut conn = FramedConn::new(stream, net)?;
+                handshake_worker(
+                    &mut conn,
+                    shard,
+                    s,
+                    fingerprint,
+                    plan_hash,
+                    &plan_json,
+                    part,
+                )?;
+                conns.push(conn);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(ExecError::NetTimeout {
+                        during: format!(
+                            "waiting for workers to connect ({} of {s} joined)",
+                            conns.len()
+                        ),
+                        ms: net.io_timeout_ms,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                return Err(ExecError::Net {
+                    detail: format!("accept: {e}"),
+                })
+            }
+        }
+    }
+    Ok(conns)
+}
+
+/// Reads one JOIN, verifies it, and replies with ASSIGN (or REJECT plus a
+/// typed error on mismatch).
+fn handshake_worker(
+    conn: &mut FramedConn,
+    shard: usize,
+    shards: usize,
+    fingerprint: u64,
+    plan_hash: u64,
+    plan_json: &str,
+    part: &Partition,
+) -> Result<(), ExecError> {
+    let (kind, body) = conn.recv("handshake (JOIN)")?;
+    if kind != wire::JOIN {
+        return Err(ExecError::Net {
+            detail: format!("expected JOIN, got frame kind {kind}"),
+        });
+    }
+    let mut r = ByteReader::new(&body);
+    let version = r.u32("JOIN version")?;
+    let worker_fp = r.u64("JOIN fingerprint")?;
+    if version != PROTOCOL_VERSION {
+        let mut w = ByteWriter::new();
+        w.u32(wire::REJECT_VERSION);
+        w.u64(PROTOCOL_VERSION as u64);
+        w.u64(version as u64);
+        let _ = conn.send(wire::REJECT, &w.buf, "handshake (REJECT)");
+        return Err(ExecError::VersionMismatch {
+            coordinator: PROTOCOL_VERSION,
+            worker: version,
+        });
+    }
+    if worker_fp != fingerprint {
+        let mut w = ByteWriter::new();
+        w.u32(wire::REJECT_PROBLEM);
+        w.u64(fingerprint);
+        w.u64(worker_fp);
+        let _ = conn.send(wire::REJECT, &w.buf, "handshake (REJECT)");
+        return Err(ExecError::ProblemMismatch {
+            coordinator: fingerprint,
+            worker: worker_fp,
+        });
+    }
+    let mut w = ByteWriter::new();
+    w.u32(shard as u32);
+    w.u32(shards as u32);
+    w.u64(plan_hash);
+    w.bytes(plan_json.as_bytes());
+    w.u32(part.of_node().len() as u32);
+    for &owner in part.of_node() {
+        w.u32(owner);
+    }
+    conn.send(wire::ASSIGN, &w.buf, "handshake (ASSIGN)")
+        .map_err(|e| for_worker(e, shard))
+}
+
+/// Everything a finished worker ships back in its DONE frame.
+struct ShardDone {
+    outputs: Vec<Vec<Option<Vec<u8>>>>,
+    departures: Vec<SimulationMap>,
+    delivered: u64,
+    late_messages: u64,
+    invalid_sends: u64,
+    max_arc_queue: usize,
+    last_activity_round: u64,
+    big_rounds: u64,
+    shard: ShardStats,
+}
+
+/// The coordinator's relay loop plus the final merge. Mirrors
+/// [`crate::Executor::run_sharded`]'s merge exactly — the outcome is
+/// byte-identical.
+fn coordinator_protocol(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    part: &Partition,
+    conns: &mut [FramedConn],
+    net: &NetConfig,
+) -> Result<(ScheduleOutcome, ShardReport), ExecError> {
+    let g = problem.graph();
+    let n = g.node_count();
+    let k = problem.k();
+    let s = part.shards();
+    let phase_len = plan.phase_len.max(1);
+    let steps = StepPlan::build(g, problem.algorithms(), &plan.units);
+    let last_step_round = steps.last_big_round().unwrap_or(0);
+
+    let mut b: u64 = 0;
+    loop {
+        if net.stopped() {
+            return Err(ExecError::Aborted {
+                detail: format!("interrupted at big-round {b}"),
+            });
+        }
+        // 1. Collect OUTBOX from every worker in ascending shard order and
+        // append each group to its destination's INBOX. Reading sources in
+        // ascending order reproduces the in-process merge order: per
+        // destination, sources ascend and each group keeps its push order.
+        let mut routed_bodies: Vec<Vec<u8>> = vec![Vec::new(); s];
+        let mut routed_counts: Vec<u32> = vec![0; s];
+        for (src, conn) in conns.iter_mut().enumerate() {
+            let (kind, body) = conn
+                .recv("collecting outboxes")
+                .map_err(|e| for_worker(e, src))?;
+            match kind {
+                wire::OUTBOX => {}
+                wire::ERROR => return Err(decode_worker_error(&body)?),
+                other => {
+                    return Err(ExecError::Net {
+                        detail: format!("expected OUTBOX from shard {src}, got kind {other}"),
+                    })
+                }
+            }
+            let mut r = ByteReader::new(&body);
+            let round = r.u64("OUTBOX big-round")?;
+            if round != b {
+                return Err(ExecError::Net {
+                    detail: format!("shard {src} sent OUTBOX for big-round {round}, expected {b}"),
+                });
+            }
+            let groups = r.u32("OUTBOX group count")?;
+            for _ in 0..groups {
+                let dst = r.u32("OUTBOX group shard")? as usize;
+                if dst >= s || dst == src {
+                    return Err(ExecError::Net {
+                        detail: format!("shard {src} routed a group to invalid shard {dst}"),
+                    });
+                }
+                let count = r.u32("OUTBOX group size")?;
+                let start = r.pos;
+                for _ in 0..count {
+                    skip_flight(&mut r)?;
+                }
+                routed_bodies[dst].extend_from_slice(&body[start..r.pos]);
+                routed_counts[dst] += count;
+            }
+        }
+        // 2. Ship each destination its merged INBOX.
+        for dst in 0..s {
+            let mut w = ByteWriter::new();
+            w.u64(b);
+            w.u32(routed_counts[dst]);
+            w.buf.extend_from_slice(&routed_bodies[dst]);
+            conns[dst]
+                .send(wire::INBOX, &w.buf, "shipping inboxes")
+                .map_err(|e| for_worker(e, dst))?;
+        }
+        // 3. Collect post-drain activity.
+        let mut any_active = false;
+        for (src, conn) in conns.iter_mut().enumerate() {
+            let (kind, body) = conn
+                .recv("collecting activity")
+                .map_err(|e| for_worker(e, src))?;
+            match kind {
+                wire::ACTIVITY => {}
+                wire::ERROR => return Err(decode_worker_error(&body)?),
+                other => {
+                    return Err(ExecError::Net {
+                        detail: format!("expected ACTIVITY from shard {src}, got kind {other}"),
+                    })
+                }
+            }
+            let mut r = ByteReader::new(&body);
+            let round = r.u64("ACTIVITY big-round")?;
+            if round != b {
+                return Err(ExecError::Net {
+                    detail: format!(
+                        "shard {src} sent ACTIVITY for big-round {round}, expected {b}"
+                    ),
+                });
+            }
+            any_active |= r.u8("ACTIVITY flag")? != 0;
+        }
+        // 4. Broadcast the termination decision — the same predicate the
+        // in-process path evaluates after its post-increment (`b + 1` here
+        // is the worker's incremented big-round counter).
+        let done = b + 1 > last_step_round && !any_active;
+        let mut w = ByteWriter::new();
+        w.u64(b);
+        w.u8(done as u8);
+        for (dst, conn) in conns.iter_mut().enumerate() {
+            conn.send(wire::DECISION, &w.buf, "broadcasting decision")
+                .map_err(|e| for_worker(e, dst))?;
+        }
+        b += 1;
+        if done {
+            break;
+        }
+    }
+
+    // Collect DONE frames and merge in shard order, exactly as
+    // run_sharded_observed merges its ShardOutputs.
+    let mut outputs: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; n]; k];
+    let mut departures: Vec<SimulationMap> = vec![SimulationMap::new(); k];
+    let mut stats = ExecStats {
+        phase_len,
+        ..ExecStats::default()
+    };
+    let mut last_activity_round = 0u64;
+    let mut report = ShardReport {
+        shards: s,
+        cross_shard_messages: 0,
+        per_shard: Vec::with_capacity(s),
+    };
+    for (src, conn) in conns.iter_mut().enumerate() {
+        let (kind, body) = conn
+            .recv("collecting results")
+            .map_err(|e| for_worker(e, src))?;
+        match kind {
+            wire::DONE => {}
+            wire::ERROR => return Err(decode_worker_error(&body)?),
+            other => {
+                return Err(ExecError::Net {
+                    detail: format!("expected DONE from shard {src}, got kind {other}"),
+                })
+            }
+        }
+        let own: Vec<usize> = (0..n)
+            .filter(|&v| part.of_node()[v] == src as u32)
+            .collect();
+        let done = decode_done(&body, k, own.len())?;
+        stats.delivered += done.delivered;
+        stats.late_messages += done.late_messages;
+        stats.invalid_sends += done.invalid_sends;
+        stats.max_arc_queue = stats.max_arc_queue.max(done.max_arc_queue);
+        // every worker leaves the lockstep loop at the same big-round
+        stats.big_rounds = done.big_rounds;
+        last_activity_round = last_activity_round.max(done.last_activity_round);
+        for (a, (outs, maps)) in done.outputs.into_iter().zip(done.departures).enumerate() {
+            for (li, out) in outs.into_iter().enumerate() {
+                outputs[a][own[li]] = out;
+            }
+            departures[a].extend(maps);
+        }
+        report.cross_shard_messages += done.shard.cross_sent;
+        report.per_shard.push(done.shard);
+    }
+    stats.engine_rounds = (last_step_round + 1)
+        .saturating_mul(phase_len)
+        .max(last_activity_round);
+    Ok((
+        ScheduleOutcome {
+            outputs,
+            stats,
+            departures: Some(departures),
+            precompute_rounds: 0,
+        },
+        report,
+    ))
+}
+
+/// Advances a reader past one encoded flight.
+fn skip_flight(r: &mut ByteReader<'_>) -> Result<(), ExecError> {
+    r.u32("flight arc")?;
+    r.u32("flight dst")?;
+    r.u32("flight algo")?;
+    r.u32("flight round")?;
+    r.u32("flight from")?;
+    r.bytes("flight payload")?;
+    Ok(())
+}
+
+/// Decodes an ERROR frame into the [`ExecError`] the worker hit — today
+/// always the round cap, which every worker reaches in lockstep.
+fn decode_worker_error(body: &[u8]) -> Result<ExecError, ExecError> {
+    let mut r = ByteReader::new(body);
+    let cap = r.u64("ERROR cap")?;
+    let big_round = r.u64("ERROR big-round")?;
+    Ok(ExecError::RoundCapExceeded { cap, big_round })
+}
+
+fn decode_done(body: &[u8], k: usize, own_n: usize) -> Result<ShardDone, ExecError> {
+    let mut r = ByteReader::new(body);
+    let big_rounds = r.u64("DONE big-rounds")?;
+    let last_activity_round = r.u64("DONE last activity")?;
+    let delivered = r.u64("DONE delivered")?;
+    let late_messages = r.u64("DONE late")?;
+    let invalid_sends = r.u64("DONE invalid sends")?;
+    let max_arc_queue = r.u64("DONE max arc queue")? as usize;
+    let shard = ShardStats {
+        shard: r.u64("DONE shard index")? as usize,
+        nodes: r.u64("DONE shard nodes")? as usize,
+        degree: r.u64("DONE shard degree")? as usize,
+        steps: r.u64("DONE shard steps")?,
+        delivered: r.u64("DONE shard delivered")?,
+        cross_sent: r.u64("DONE shard cross-sent")?,
+        step_nanos: r.u64("DONE shard step nanos")?,
+        drain_nanos: r.u64("DONE shard drain nanos")?,
+    };
+    let mut outputs: Vec<Vec<Option<Vec<u8>>>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut per_node = Vec::with_capacity(own_n);
+        for _ in 0..own_n {
+            let some = r.u8("DONE output tag")? != 0;
+            per_node.push(if some {
+                Some(r.bytes("DONE output")?.to_vec())
+            } else {
+                None
+            });
+        }
+        outputs.push(per_node);
+    }
+    let mut departures: Vec<SimulationMap> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let count = r.u64("DONE departure count")?;
+        let mut map = SimulationMap::new();
+        for _ in 0..count {
+            let round = r.u32("DONE departure round")?;
+            let arc = r.u32("DONE departure arc")? as usize;
+            let engine_round = r.u32("DONE departure engine round")?;
+            map.insert(
+                TimedArc {
+                    round,
+                    arc: das_graph::Arc::from_index(arc),
+                },
+                engine_round,
+            );
+        }
+        departures.push(map);
+    }
+    Ok(ShardDone {
+        outputs,
+        departures,
+        delivered,
+        late_messages,
+        invalid_sends,
+        max_arc_queue,
+        last_activity_round,
+        big_rounds,
+        shard,
+    })
+}
+
+// ---------------------------------------------------------------- worker
+
+/// Connects to a coordinator, receives a shard assignment, and runs that
+/// shard of the plan to completion.
+///
+/// The worker must be launched on the *same problem* as the coordinator
+/// (same graph spec, workload, and seed): the handshake fingerprint
+/// enforces this, the received plan's hash is checked against the
+/// announced one, and the shipped partition is cross-checked against a
+/// local recomputation — so a drifted deployment fails typed and early
+/// rather than producing divergent bytes.
+///
+/// # Errors
+/// [`SchedError::InvalidPlan`] if the received plan fails validation for
+/// the local problem; [`SchedError::Exec`] for the round cap or any
+/// network failure, including [`ExecError::Aborted`] when the coordinator
+/// tears the run down.
+pub fn run_worker(
+    problem: &DasProblem<'_>,
+    connect: &str,
+    net: &NetConfig,
+) -> Result<WorkerOutcome, SchedError> {
+    let stream = connect_with_retry(connect, net).map_err(SchedError::Exec)?;
+    let mut conn = FramedConn::new(stream, net).map_err(SchedError::Exec)?;
+
+    // JOIN → ASSIGN (or REJECT / ABORT)
+    let mut w = ByteWriter::new();
+    w.u32(PROTOCOL_VERSION);
+    w.u64(problem_fingerprint(problem));
+    conn.send(wire::JOIN, &w.buf, "handshake (JOIN)")
+        .map_err(SchedError::Exec)?;
+    let (kind, body) = conn
+        .recv("handshake (waiting for ASSIGN)")
+        .map_err(SchedError::Exec)?;
+    let mut r = ByteReader::new(&body);
+    match kind {
+        wire::ASSIGN => {}
+        wire::REJECT => return Err(SchedError::Exec(decode_reject(&body)?)),
+        wire::ABORT => {
+            return Err(SchedError::Exec(ExecError::Aborted {
+                detail: decode_abort(&body),
+            }))
+        }
+        other => {
+            return Err(SchedError::Exec(ExecError::Net {
+                detail: format!("expected ASSIGN, got frame kind {other}"),
+            }))
+        }
+    }
+    let shard = r.u32("ASSIGN shard").map_err(SchedError::Exec)? as usize;
+    let shards = r.u32("ASSIGN shard count").map_err(SchedError::Exec)? as usize;
+    let announced_hash = r.u64("ASSIGN plan hash").map_err(SchedError::Exec)?;
+    let plan_bytes = r.bytes("ASSIGN plan JSON").map_err(SchedError::Exec)?;
+    let got_hash = fnv1a(plan_bytes);
+    if got_hash != announced_hash {
+        return Err(SchedError::Exec(ExecError::PlanHashMismatch {
+            expected: announced_hash,
+            got: got_hash,
+        }));
+    }
+    let plan_json = std::str::from_utf8(plan_bytes).map_err(|e| {
+        SchedError::Exec(ExecError::Net {
+            detail: format!("plan JSON is not UTF-8: {e}"),
+        })
+    })?;
+    let plan = SchedulePlan::from_json(plan_json).map_err(|e| {
+        SchedError::Exec(ExecError::Net {
+            detail: format!("plan JSON failed to parse: {e}"),
+        })
+    })?;
+    // received plans are untrusted, exactly like plans loaded from disk
+    plan.validate(problem)?;
+    let part = Partition::degree_balanced(problem.graph(), shards);
+    let of_len = r.u32("ASSIGN partition length").map_err(SchedError::Exec)? as usize;
+    let mut shipped = Vec::with_capacity(of_len);
+    for _ in 0..of_len {
+        shipped.push(r.u32("ASSIGN partition entry").map_err(SchedError::Exec)?);
+    }
+    if part.shards() != shards || shipped != part.of_node() {
+        return Err(SchedError::Exec(ExecError::Net {
+            detail: "shipped partition disagrees with the locally recomputed \
+                     degree-balanced partition"
+                .to_string(),
+        }));
+    }
+    if shard >= shards {
+        return Err(SchedError::Exec(ExecError::Net {
+            detail: format!("assigned shard {shard} out of range for {shards} shards"),
+        }));
+    }
+    worker_loop(problem, &plan, shard, &part, &mut conn).map_err(SchedError::Exec)
+}
+
+fn connect_with_retry(connect: &str, net: &NetConfig) -> Result<TcpStream, ExecError> {
+    let started = Instant::now();
+    let mut last_err = String::new();
+    for attempt in 0..net.connect_retries.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(net.connect_backoff_ms));
+        }
+        let addrs = match connect.to_socket_addrs() {
+            Ok(a) => a,
+            Err(e) => {
+                last_err = format!("resolve {connect}: {e}");
+                continue;
+            }
+        };
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, net.io_timeout()) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last_err = format!("connect {addr}: {e}"),
+            }
+        }
+    }
+    Err(ExecError::NetTimeout {
+        during: format!(
+            "connecting to {connect} ({} attempts, last error: {last_err})",
+            net.connect_retries.max(1)
+        ),
+        ms: started.elapsed().as_millis() as u64,
+    })
+}
+
+fn decode_reject(body: &[u8]) -> Result<ExecError, ExecError> {
+    let mut r = ByteReader::new(body);
+    let code = r.u32("REJECT code")?;
+    let ours = r.u64("REJECT coordinator value")?;
+    let theirs = r.u64("REJECT worker value")?;
+    Ok(match code {
+        wire::REJECT_VERSION => ExecError::VersionMismatch {
+            coordinator: ours as u32,
+            worker: theirs as u32,
+        },
+        wire::REJECT_PROBLEM => ExecError::ProblemMismatch {
+            coordinator: ours,
+            worker: theirs,
+        },
+        other => ExecError::Net {
+            detail: format!("coordinator rejected the handshake with unknown code {other}"),
+        },
+    })
+}
+
+fn decode_abort(body: &[u8]) -> String {
+    ByteReader::new(body)
+        .bytes("ABORT reason")
+        .ok()
+        .map(|b| String::from_utf8_lossy(b).into_owned())
+        .unwrap_or_else(|| "coordinator aborted the run".to_string())
+}
+
+/// The worker's big-round loop: the row-engine shard worker with the
+/// in-process barriers replaced by framed round-trips. Every stateful
+/// detail — step order, send validation, arc ownership, lateness checks,
+/// drain behaviour, the round cap, the termination predicate — matches
+/// [`crate::Executor::run_sharded`]'s row worker line for line, which is
+/// what makes the outcome byte-identical.
+fn worker_loop(
+    problem: &DasProblem<'_>,
+    plan: &SchedulePlan,
+    me: usize,
+    part: &Partition,
+    conn: &mut FramedConn,
+) -> Result<WorkerOutcome, ExecError> {
+    let g = problem.graph();
+    let algos = problem.algorithms();
+    let config = ExecutorConfig::default().with_phase_len(plan.phase_len);
+    let n = g.node_count();
+    let k = algos.len();
+    let s = part.shards();
+    let seeds: Vec<u64> = (0..k).map(|i| problem.algo_seed(i)).collect();
+    let steps_plan = StepPlan::build(g, algos, &plan.units);
+    let last_step_round = steps_plan.last_big_round().unwrap_or(0);
+    let mut by_big_round: Vec<Vec<(u32, u32, u32)>> =
+        vec![Vec::new(); last_step_round as usize + 1];
+    for a in 0..k {
+        for v in 0..n {
+            for (r, &bb) in steps_plan.plan[a][v].iter().enumerate() {
+                by_big_round[bb as usize].push((a as u32, v as u32, r as u32));
+            }
+        }
+    }
+    let arc_owner: Vec<u32> = (0..g.arc_count())
+        .map(|i| {
+            let (_, dst) = g.arc_endpoints(das_graph::Arc::from_index(i));
+            part.of_node()[dst.index()]
+        })
+        .collect();
+
+    let own: Vec<usize> = (0..n).filter(|&v| part.of_node()[v] == me as u32).collect();
+    let own_n = own.len();
+    let mut local_of = vec![usize::MAX; n];
+    for (li, &v) in own.iter().enumerate() {
+        local_of[v] = li;
+    }
+    let mut machines: Vec<Vec<Box<dyn crate::algorithm::AlgoNode>>> = (0..k)
+        .map(|a| {
+            own.iter()
+                .map(|&v| {
+                    algos[a].create_node(
+                        NodeId(v as u32),
+                        n,
+                        das_congest::util::seed_mix(seeds[a], v as u64),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut steps_done = vec![vec![0u32; own_n]; k];
+    let mut buffers: Vec<TagWindow> = Vec::with_capacity(k * own_n);
+    buffers.resize_with(k * own_n, TagWindow::default);
+    let mut inbox: Vec<(NodeId, Vec<u8>)> = Vec::new();
+    let mut queues: Vec<ArcFifo> = Vec::with_capacity(g.arc_count());
+    queues.resize_with(g.arc_count(), ArcFifo::default);
+    let mut active_arcs: Vec<usize> = Vec::new();
+    let mut stats = ExecStats {
+        phase_len: config.phase_len,
+        ..ExecStats::default()
+    };
+    let mut departures: Vec<SimulationMap> = vec![SimulationMap::new(); k];
+    let mut shard = ShardStats {
+        shard: me,
+        nodes: own_n,
+        degree: own.iter().map(|&v| g.degree(NodeId(v as u32))).sum(),
+        ..ShardStats::default()
+    };
+    let mut engine_round: u64 = 0;
+    let mut last_activity_round: u64 = 0;
+    let mut b: u64 = 0;
+    // per-destination staging for the OUTBOX frame, reused across rounds
+    let mut out_groups: Vec<Vec<u8>> = vec![Vec::new(); s];
+    let mut out_counts: Vec<u32> = vec![0; s];
+    loop {
+        // 1. Step phase: identical to the in-process row worker, except
+        // that cross-shard flights are encoded into per-destination
+        // staging buffers instead of in-memory outboxes.
+        let t_step = Instant::now();
+        if let Some(steps) = by_big_round.get(b as usize) {
+            for &(a, v, r) in steps {
+                let (a, v) = (a as usize, v as usize);
+                let li = local_of[v];
+                if li == usize::MAX {
+                    continue;
+                }
+                debug_assert_eq!(steps_done[a][li], r, "steps execute in order");
+                if r == 0 {
+                    inbox.clear();
+                } else {
+                    buffers[a * own_n + li].take(r - 1, &mut inbox);
+                }
+                // canonical inbox order, matching the reference runner
+                inbox.sort();
+                let sends = machines[a][li].step(&inbox);
+                steps_done[a][li] = r + 1;
+                shard.steps += 1;
+                let me_node = NodeId(v as u32);
+                let mut sent_to: Vec<NodeId> = Vec::new();
+                for snd in sends {
+                    let valid = g.find_edge(me_node, snd.to).is_some()
+                        && snd.payload.len() <= config.message_bytes
+                        && !sent_to.contains(&snd.to);
+                    if !valid {
+                        stats.invalid_sends += 1;
+                        continue;
+                    }
+                    sent_to.push(snd.to);
+                    let edge = g.find_edge(me_node, snd.to).expect("validated");
+                    let arc = g.arc_from(edge, me_node);
+                    let idx = arc.index();
+                    let owner = arc_owner[idx] as usize;
+                    if owner == me {
+                        let q = &mut queues[idx];
+                        if q.is_empty() {
+                            active_arcs.push(idx);
+                        }
+                        q.push_back(Flight {
+                            dst: snd.to,
+                            algo: a as u32,
+                            round: r,
+                            from: me_node,
+                            payload: snd.payload,
+                        });
+                        stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+                    } else {
+                        shard.cross_sent += 1;
+                        let grp = &mut out_groups[owner];
+                        grp.extend_from_slice(&(idx as u32).to_le_bytes());
+                        grp.extend_from_slice(&snd.to.0.to_le_bytes());
+                        grp.extend_from_slice(&(a as u32).to_le_bytes());
+                        grp.extend_from_slice(&r.to_le_bytes());
+                        grp.extend_from_slice(&me_node.0.to_le_bytes());
+                        grp.extend_from_slice(&(snd.payload.len() as u32).to_le_bytes());
+                        grp.extend_from_slice(&snd.payload);
+                        out_counts[owner] += 1;
+                    }
+                }
+            }
+        }
+        shard.step_nanos += t_step.elapsed().as_nanos() as u64;
+
+        // All outboxes for big-round b are complete: the first network
+        // barrier (OUTBOX up, INBOX down).
+        let mut w = ByteWriter::new();
+        w.u64(b);
+        let groups = out_counts.iter().filter(|&&c| c > 0).count();
+        w.u32(groups as u32);
+        for dst in 0..s {
+            if out_counts[dst] == 0 {
+                continue;
+            }
+            w.u32(dst as u32);
+            w.u32(out_counts[dst]);
+            w.buf.extend_from_slice(&out_groups[dst]);
+            out_groups[dst].clear();
+            out_counts[dst] = 0;
+        }
+        conn.send(wire::OUTBOX, &w.buf, "sending outbox")?;
+
+        let (kind, body) = conn.recv("waiting for inbox")?;
+        match kind {
+            wire::INBOX => {}
+            wire::ABORT => {
+                return Err(ExecError::Aborted {
+                    detail: decode_abort(&body),
+                })
+            }
+            other => {
+                return Err(ExecError::Net {
+                    detail: format!("expected INBOX, got frame kind {other}"),
+                })
+            }
+        }
+        let t_drain = Instant::now();
+        // 2. Merge cross-shard arrivals into the owned queues — the shard
+        // boundary crossing, once per big-round, already ordered by
+        // ascending source shard by the coordinator.
+        {
+            let mut r = ByteReader::new(&body);
+            let round = r.u64("INBOX big-round")?;
+            if round != b {
+                return Err(ExecError::Net {
+                    detail: format!("INBOX for big-round {round}, expected {b}"),
+                });
+            }
+            let count = r.u32("INBOX count")?;
+            for _ in 0..count {
+                let idx = r.u32("flight arc")? as usize;
+                let dst = NodeId(r.u32("flight dst")?);
+                let algo = r.u32("flight algo")?;
+                let round = r.u32("flight round")?;
+                let from = NodeId(r.u32("flight from")?);
+                let payload = r.bytes("flight payload")?.to_vec();
+                if idx >= queues.len() || arc_owner[idx] as usize != me {
+                    return Err(ExecError::Net {
+                        detail: format!("INBOX delivered arc {idx} this shard does not own"),
+                    });
+                }
+                let q = &mut queues[idx];
+                if q.is_empty() {
+                    active_arcs.push(idx);
+                }
+                q.push_back(Flight {
+                    dst,
+                    algo,
+                    round,
+                    from,
+                    payload,
+                });
+                stats.max_arc_queue = stats.max_arc_queue.max(q.len());
+            }
+        }
+
+        // 3. Drain the owned queues for phase_len engine rounds, exactly
+        // as the in-process worker does.
+        let mut capped = None;
+        'drain: for _ in 0..config.phase_len {
+            let arcs = std::mem::take(&mut active_arcs);
+            for arc_idx in arcs {
+                let Some(f) = queues[arc_idx].pop_front() else {
+                    continue;
+                };
+                if !queues[arc_idx].is_empty() {
+                    active_arcs.push(arc_idx);
+                }
+                let (a, li) = (f.algo as usize, local_of[f.dst.index()]);
+                debug_assert_ne!(li, usize::MAX, "arc delivered to a foreign shard");
+                departures[a].insert(
+                    TimedArc {
+                        round: f.round,
+                        arc: das_graph::Arc::from_index(arc_idx),
+                    },
+                    engine_round as u32,
+                );
+                let late = steps_done[a][li] >= f.round + 2;
+                if late {
+                    stats.late_messages += 1;
+                } else {
+                    buffers[a * own_n + li].push(f.round, f.from, f.payload);
+                    stats.delivered += 1;
+                }
+                last_activity_round = engine_round + 1;
+            }
+            engine_round += 1;
+            if engine_round > config.max_engine_rounds {
+                // every worker's engine-round counter is identical, so all
+                // workers reach this in lockstep; each tells the
+                // coordinator and exits with the same typed error
+                capped = Some(ExecError::RoundCapExceeded {
+                    cap: config.max_engine_rounds,
+                    big_round: b,
+                });
+                break 'drain;
+            }
+        }
+        shard.drain_nanos += t_drain.elapsed().as_nanos() as u64;
+        if let Some(err) = capped {
+            let mut w = ByteWriter::new();
+            w.u64(config.max_engine_rounds);
+            w.u64(b);
+            let _ = conn.send(wire::ERROR, &w.buf, "reporting round cap");
+            return Err(err);
+        }
+
+        // 4. Termination: the second network barrier (ACTIVITY up,
+        // DECISION down) replaces the in-process activity counter and its
+        // two barriers.
+        let mut w = ByteWriter::new();
+        w.u64(b);
+        w.u8(!active_arcs.is_empty() as u8);
+        conn.send(wire::ACTIVITY, &w.buf, "posting activity")?;
+        let (kind, body) = conn.recv("waiting for decision")?;
+        match kind {
+            wire::DECISION => {}
+            wire::ABORT => {
+                return Err(ExecError::Aborted {
+                    detail: decode_abort(&body),
+                })
+            }
+            other => {
+                return Err(ExecError::Net {
+                    detail: format!("expected DECISION, got frame kind {other}"),
+                })
+            }
+        }
+        let mut r = ByteReader::new(&body);
+        let round = r.u64("DECISION big-round")?;
+        if round != b {
+            return Err(ExecError::Net {
+                detail: format!("DECISION for big-round {round}, expected {b}"),
+            });
+        }
+        let done = r.u8("DECISION flag")? != 0;
+        b += 1;
+        if done {
+            break;
+        }
+    }
+
+    shard.delivered = stats.delivered;
+    // DONE: outputs, departures, and stats, in one frame.
+    let mut w = ByteWriter::new();
+    w.u64(b);
+    w.u64(last_activity_round);
+    w.u64(stats.delivered);
+    w.u64(stats.late_messages);
+    w.u64(stats.invalid_sends);
+    w.u64(stats.max_arc_queue as u64);
+    w.u64(shard.shard as u64);
+    w.u64(shard.nodes as u64);
+    w.u64(shard.degree as u64);
+    w.u64(shard.steps);
+    w.u64(shard.delivered);
+    w.u64(shard.cross_sent);
+    w.u64(shard.step_nanos);
+    w.u64(shard.drain_nanos);
+    for per_node in &machines {
+        for m in per_node {
+            match m.output() {
+                Some(out) => {
+                    w.u8(1);
+                    w.bytes(&out);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+    for map in &departures {
+        w.u64(map.len() as u64);
+        for (ta, &er) in map {
+            w.u32(ta.round);
+            w.u32(ta.arc.index() as u32);
+            w.u32(er);
+        }
+    }
+    conn.send(wire::DONE, &w.buf, "reporting results")?;
+    Ok(WorkerOutcome {
+        shard: me,
+        shards: s,
+        steps: shard.steps,
+        delivered: stats.delivered,
+        cross_sent: shard.cross_sent,
+        big_rounds: b,
+        traffic: conn.traffic.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // standard FNV-1a 64 test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn byte_codec_round_trips() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        w.bytes(b"payload");
+        let mut r = ByteReader::new(&w.buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("c").unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.bytes("d").unwrap(), b"payload");
+        assert!(matches!(
+            r.u8("past the end"),
+            Err(ExecError::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn short_body_decodes_to_truncated_frame() {
+        let mut w = ByteWriter::new();
+        w.u32(100); // promises 100 bytes
+        w.buf.extend_from_slice(b"short");
+        let mut r = ByteReader::new(&w.buf);
+        assert!(matches!(
+            r.bytes("clipped"),
+            Err(ExecError::TruncatedFrame { .. })
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! The tentpole byte-identity property, extended over the wire: a
+//! coordinator plus N workers talking framed TCP on localhost must produce
+//! the *byte-identical* `ScheduleOutcome` of the fused executor and the
+//! in-process sharded executor, for every scheduler, on both graph
+//! families, at 1 and 3 workers.
+//!
+//! A pinned-seed matrix (rather than proptest) keeps the socket churn
+//! bounded; the seeds sweep both graph randomness and workload randomness.
+
+use das_core::synthetic::{FloodBall, Prescribed, RelayChain};
+use das_core::{
+    execute_plan, execute_plan_networked, execute_plan_sharded, run_worker, BlackBoxAlgorithm,
+    DasProblem, InterleaveScheduler, NetConfig, PrivateScheduler, Scheduler, SequentialScheduler,
+    TunedUniformScheduler, UniformScheduler,
+};
+use das_graph::{generators, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::TcpListener;
+
+const WORKER_COUNTS: [usize; 2] = [1, 3];
+
+/// A random mixed workload (prescribed / flood / relay) on `g` — the same
+/// generator the sharded-equivalence property uses.
+fn build_algos(g: &Graph, k: usize, seed: u64) -> Vec<Box<dyn BlackBoxAlgorithm>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count() as u32;
+    let m = g.edge_count() as u32;
+    (0..k as u64)
+        .map(|i| match i % 3 {
+            0 => {
+                let triples: Vec<(u32, NodeId, NodeId)> = (0..4)
+                    .map(|_| {
+                        let e = das_graph::EdgeId(rng.gen_range(0..m));
+                        let (a, b) = g.endpoints(e);
+                        let (from, to) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+                        (rng.gen_range(0..5u32), from, to)
+                    })
+                    .collect();
+                Box::new(Prescribed::new(i, g, &triples)) as Box<dyn BlackBoxAlgorithm>
+            }
+            1 => Box::new(FloodBall::new(i, g, NodeId(rng.gen_range(0..n)), 3)),
+            _ => {
+                let mut route = vec![NodeId(rng.gen_range(0..n))];
+                for _ in 0..4 {
+                    let cur = *route.last().expect("non-empty");
+                    let nbrs = g.neighbors(cur);
+                    let (next, _) = nbrs[rng.gen_range(0..nbrs.len())];
+                    route.push(next);
+                }
+                Box::new(RelayChain::along(i, g, route))
+            }
+        })
+        .collect()
+}
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(SequentialScheduler),
+        Box::new(InterleaveScheduler),
+        Box::new(UniformScheduler::default()),
+        Box::new(TunedUniformScheduler::default()),
+        Box::new(PrivateScheduler::default()),
+    ]
+}
+
+/// Runs the plan over localhost TCP: a coordinator thread (this one) plus
+/// `workers` worker threads sharing the same in-memory problem, exactly as
+/// separate processes would rebuild it from identical flags.
+fn run_networked(
+    p: &DasProblem<'_>,
+    plan: &das_core::SchedulePlan,
+    workers: usize,
+) -> (das_core::ScheduleOutcome, das_core::NetReport) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let net = NetConfig::default().with_io_timeout_ms(20_000);
+    std::thread::scope(|scope| {
+        let effective = workers.min(p.graph().node_count());
+        let mut handles = Vec::new();
+        for _ in 0..effective {
+            let addr = addr.clone();
+            let net = net.clone();
+            handles.push(scope.spawn(move || run_worker(p, &addr, &net)));
+        }
+        let result =
+            execute_plan_networked(p, plan, workers, listener, &net).expect("networked execution");
+        for h in handles {
+            h.join().expect("worker thread").expect("worker outcome");
+        }
+        result
+    })
+}
+
+/// Zeroes the wall-clock fields of a shard report so the deterministic
+/// remainder can be compared byte-for-byte.
+fn strip_timings(report: &das_core::ShardReport) -> das_core::ShardReport {
+    let mut r = report.clone();
+    for s in &mut r.per_shard {
+        s.step_nanos = 0;
+        s.drain_nanos = 0;
+    }
+    r
+}
+
+/// Asserts fused == in-process sharded == networked bytes for every
+/// scheduler and worker count on the given graph.
+fn assert_networked_equivalent(g: &Graph, k: usize, seed: u64) {
+    let p = DasProblem::new(g, build_algos(g, k, seed), seed);
+    for sched in all_schedulers() {
+        let plan = sched.plan(&p, seed).expect("model-valid workload");
+        let fused = execute_plan(&p, &plan).expect("fused execution");
+        let fused_bytes = format!("{fused:?}");
+        for workers in WORKER_COUNTS {
+            let (sharded, shard_report) =
+                execute_plan_sharded(&p, &plan, workers).expect("sharded execution");
+            assert_eq!(
+                fused_bytes,
+                format!("{sharded:?}"),
+                "scheduler {}: in-process sharded diverged at {workers} shards",
+                sched.name()
+            );
+            let (networked, net_report) = run_networked(&p, &plan, workers);
+            assert_eq!(
+                fused_bytes,
+                format!("{networked:?}"),
+                "scheduler {}: networked diverged at {workers} workers",
+                sched.name()
+            );
+            // The partition-dependent shard report must also agree with the
+            // in-process sharded run (modulo wall-clock timings): same
+            // partition, same protocol.
+            assert_eq!(
+                format!("{:?}", strip_timings(&shard_report)),
+                format!("{:?}", strip_timings(&net_report.shard)),
+                "scheduler {}: networked shard report diverged at {workers} workers",
+                sched.name()
+            );
+            assert_eq!(net_report.traffic.len(), shard_report.shards);
+            for t in &net_report.traffic {
+                assert!(t.frames_sent > 0 && t.frames_received > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn networked_matches_fused_on_gnp() {
+    for seed in [1u64, 17, 131] {
+        let g = generators::gnp_connected(12, 2.5 / 12.0, seed);
+        assert_networked_equivalent(&g, 3, seed.wrapping_mul(0x9e37_79b9));
+    }
+}
+
+#[test]
+fn networked_matches_fused_on_layered() {
+    let g = generators::layered(4, 3);
+    for seed in [2u64, 23, 271] {
+        assert_networked_equivalent(&g, 3, seed);
+    }
+}
+
+/// More workers than nodes: the coordinator clamps to the node count (the
+/// partition's own clamp) and only accepts that many connections; the
+/// outcome is still byte-identical.
+#[test]
+fn networked_clamps_workers_to_node_count() {
+    let g = generators::layered(2, 2);
+    let p = DasProblem::new(&g, build_algos(&g, 2, 5), 5);
+    let plan = SequentialScheduler.plan(&p, 5).expect("plan");
+    let fused = execute_plan(&p, &plan).expect("fused");
+    let n = g.node_count();
+    let (networked, report) = run_networked(&p, &plan, n + 10);
+    assert_eq!(format!("{fused:?}"), format!("{networked:?}"));
+    assert_eq!(report.shard.shards, n);
+}

@@ -12,7 +12,18 @@
 //! dasched carve      --graph grid:10x10 --dilation 3 [--layers 20] [--seed 42]
 //! dasched lowerbound --layers 6 --eta 64 --k 32 --p 0.12 [--seed 42]
 //! dasched mst        --graph gnp:100:0.05 [--cap 8] [--k 4] [--seed 42]
+//! dasched coordinator --graph grid:8x8 --workload mixed:18 --scheduler uniform --workers 3
+//!                    [--seed 42] [--sched-seed 7] [--listen 127.0.0.1:0] [--timeout-ms 30000]
+//!                    [--dump-outcome FILE]
+//! dasched worker     --graph grid:8x8 --workload mixed:18 --connect HOST:PORT [--seed 42]
+//!                    [--timeout-ms 30000]
 //! ```
+//!
+//! `coordinator`/`worker` run one plan across OS processes: the
+//! coordinator listens, partitions, and relays cross-shard traffic at
+//! big-round boundaries; each worker must be launched with the *same*
+//! graph/workload/seed flags (enforced by a handshake fingerprint). The
+//! outcome is byte-identical to `plan --execute` on the same flags.
 //!
 //! Graph specs: `path:N`, `cycle:N`, `grid:RxC`, `gnp:N:P`, `tree:N:ARITY`,
 //! `expander:N:D`, `star:N`, `hypercube:D`.
@@ -28,9 +39,10 @@ use dasched::core::plan::analysis as plan_analysis;
 use dasched::core::plan::diff::PlanDiff;
 use dasched::core::synthetic::{FloodBall, RelayChain};
 use dasched::core::{
-    execute_plan_sharded_with, execute_plan_with, run_traced, verify, BlackBoxAlgorithm,
-    DasProblem, EngineKind, ExecutorConfig, InterleaveScheduler, PrivateScheduler, SchedulePlan,
-    Scheduler, SequentialScheduler, TunedUniformScheduler, UniformScheduler,
+    execute_plan_networked, execute_plan_sharded_with, execute_plan_with, install_ctrl_c,
+    run_traced, run_worker, verify, BlackBoxAlgorithm, DasProblem, EngineKind, ExecutorConfig,
+    InterleaveScheduler, NetConfig, PrivateScheduler, SchedulePlan, Scheduler, SequentialScheduler,
+    TunedUniformScheduler, UniformScheduler,
 };
 use dasched::graph::{generators, Graph, NodeId};
 use dasched::lowerbound::{analysis, search, HardInstance, HardInstanceParams};
@@ -62,6 +74,9 @@ const USAGE: &str = "usage:
   dasched carve      --graph SPEC --dilation D [--layers L] [--seed N]
   dasched lowerbound --layers L --eta E --k K --p P [--seed N]
   dasched mst        --graph SPEC [--cap C] [--k K] [--seed N]
+  dasched coordinator --graph SPEC --workload SPEC --scheduler NAME --workers N [--seed N]
+                     [--sched-seed N] [--listen ADDR] [--timeout-ms N] [--dump-outcome FILE]
+  dasched worker     --graph SPEC --workload SPEC --connect HOST:PORT [--seed N] [--timeout-ms N]
 
 graph specs:    path:N  cycle:N  grid:RxC  gnp:N:P  tree:N:ARITY
                 expander:N:D  star:N  hypercube:D
@@ -81,6 +96,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "carve" => cmd_carve(&opts, seed),
         "lowerbound" => cmd_lowerbound(&opts, seed),
         "mst" => cmd_mst(&opts, seed),
+        "coordinator" => cmd_coordinator(&opts, seed),
+        "worker" => cmd_worker(&opts, seed),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -127,6 +144,45 @@ fn opt_u64(opts: &HashMap<String, String>, key: &str) -> Result<Option<u64>, Str
     opts.get(key)
         .map(|s| s.parse().map_err(|_| format!("--{key} must be a number")))
         .transpose()
+}
+
+/// Checked `usize` flag parse: out-of-range values are a usage error, not
+/// a silent truncation (`opt_u64(...)? as usize` wrapped on 32-bit hosts).
+fn opt_usize(opts: &HashMap<String, String>, key: &str) -> Result<Option<usize>, String> {
+    opts.get(key)
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("--{key} must be a non-negative integer fitting usize"))
+        })
+        .transpose()
+}
+
+/// Checked `u32` flag parse; same contract as [`opt_usize`].
+fn opt_u32(opts: &HashMap<String, String>, key: &str) -> Result<Option<u32>, String> {
+    opts.get(key)
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("--{key} must be a non-negative integer fitting u32"))
+        })
+        .transpose()
+}
+
+/// Parses a shard/worker count flag. Zero is rejected at parse time: the
+/// partitioner would silently clamp it to 1 and the run would be
+/// misreported as what the user asked for.
+fn opt_count(opts: &HashMap<String, String>, key: &str) -> Result<Option<usize>, String> {
+    match opt_usize(opts, key)? {
+        Some(0) => Err(format!("--{key} must be >= 1")),
+        v => Ok(v),
+    }
+}
+
+/// Reports when a requested shard/worker count exceeds the node count and
+/// will run clamped, so the console record matches reality.
+fn note_clamped(key: &str, requested: usize, n: usize) {
+    if requested > n {
+        println!("note: --{key} {requested} exceeds n={n}; running {n} effective shard(s)");
+    }
 }
 
 /// Parses a graph spec like `grid:8x8` or `gnp:100:0.05`.
@@ -396,7 +452,8 @@ fn execute_planned(
     problem: &DasProblem<'_>,
     plan: &dasched::core::SchedulePlan,
 ) -> Result<(), String> {
-    let shards = opt_u64(opts, "shards")?.unwrap_or(1) as usize;
+    let shards = opt_count(opts, "shards")?.unwrap_or(1);
+    note_clamped("shards", shards, problem.graph().node_count());
     let engine = match opts.get("engine").map(String::as_str) {
         None | Some("columnar") => EngineKind::Columnar,
         Some("batched") => EngineKind::ColumnarBatched,
@@ -471,8 +528,9 @@ fn cmd_trace(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     let problem = DasProblem::new(&g, algos, seed);
     let sched = parse_scheduler(req(opts, "scheduler")?)?;
     let sched_seed = opt_u64(opts, "sched-seed")?.unwrap_or_else(|| sched.default_sched_seed());
-    let shards = opt_u64(opts, "shards")?.unwrap_or(1) as usize;
-    let top = opt_u64(opts, "top")?.unwrap_or(10) as usize;
+    let shards = opt_count(opts, "shards")?.unwrap_or(1);
+    note_clamped("shards", shards, problem.graph().node_count());
+    let top = opt_usize(opts, "top")?.unwrap_or(10);
     let export = opts.get("export").map(String::as_str).unwrap_or("chrome");
 
     let obs = dasched::obs::ObsConfig::full();
@@ -525,10 +583,10 @@ fn cmd_compare(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> 
 
 fn cmd_carve(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     let g = parse_graph(req(opts, "graph")?, seed)?;
-    let dilation = opt_u64(opts, "dilation")?.ok_or("missing --dilation")? as u32;
+    let dilation = opt_u32(opts, "dilation")?.ok_or("missing --dilation")?;
     let mut cfg = CarveConfig::for_dilation(&g, dilation);
-    if let Some(l) = opt_u64(opts, "layers")? {
-        cfg = cfg.with_num_layers(l as usize);
+    if let Some(l) = opt_usize(opts, "layers")? {
+        cfg = cfg.with_num_layers(l);
     }
     let cl = Clustering::carve_centralized(&g, &cfg, seed);
     let q = quality::measure(&g, &cl, dilation);
@@ -556,9 +614,9 @@ fn cmd_carve(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
 }
 
 fn cmd_lowerbound(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
-    let layers = opt_u64(opts, "layers")?.ok_or("missing --layers")? as usize;
-    let eta = opt_u64(opts, "eta")?.ok_or("missing --eta")? as usize;
-    let k = opt_u64(opts, "k")?.ok_or("missing --k")? as usize;
+    let layers = opt_usize(opts, "layers")?.ok_or("missing --layers")?;
+    let eta = opt_usize(opts, "eta")?.ok_or("missing --eta")?;
+    let k = opt_usize(opts, "k")?.ok_or("missing --k")?;
     let p: f64 = req(opts, "p")?
         .parse()
         .map_err(|_| "--p must be a probability")?;
@@ -586,8 +644,8 @@ fn cmd_lowerbound(opts: &HashMap<String, String>, seed: u64) -> Result<(), Strin
 
 fn cmd_mst(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     let g = parse_graph(req(opts, "graph")?, seed)?;
-    let cap = opt_u64(opts, "cap")?.unwrap_or(0) as u32;
-    let k = opt_u64(opts, "k")?.unwrap_or(1) as usize;
+    let cap = opt_u32(opts, "cap")?.unwrap_or(0);
+    let k = opt_usize(opts, "k")?.unwrap_or(1);
     let algos: Vec<Box<dyn BlackBoxAlgorithm>> = (0..k as u64)
         .map(|i| {
             Box::new(MstAlgorithm::new(
@@ -610,6 +668,110 @@ fn cmd_mst(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
         frag.1
     );
     report_one("uniform", &problem, &UniformScheduler::default())
+}
+
+/// Builds a [`NetConfig`] from the shared networking flags.
+fn parse_net(opts: &HashMap<String, String>) -> Result<NetConfig, String> {
+    let mut net = NetConfig::default();
+    if let Some(ms) = opt_u64(opts, "timeout-ms")? {
+        if ms == 0 {
+            return Err("--timeout-ms must be >= 1".into());
+        }
+        net = net.with_io_timeout_ms(ms);
+    }
+    Ok(net)
+}
+
+/// `dasched coordinator`: plan locally, accept one TCP connection per
+/// worker, relay cross-shard traffic at big-round boundaries, and verify
+/// the collected outcome. Workers must be launched with the same
+/// `--graph/--workload/--seed` flags; the handshake enforces it.
+fn cmd_coordinator(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
+    let problem = DasProblem::new(&g, algos, seed);
+    let sched = parse_scheduler(req(opts, "scheduler")?)?;
+    let sched_seed = opt_u64(opts, "sched-seed")?.unwrap_or_else(|| sched.default_sched_seed());
+    let workers = opt_count(opts, "workers")?.ok_or("missing --workers")?;
+    let listen = opts
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let plan = sched
+        .plan(&problem, sched_seed)
+        .map_err(|e| e.to_string())?;
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // this line is the launch contract: workers (and scripts spawning
+    // them) read the bound address from it, so print it before blocking
+    println!("listening on {addr}");
+    println!("{}", describe(&problem)?);
+    note_clamped("workers", workers, problem.graph().node_count());
+    let net = parse_net(opts)?.with_stop(install_ctrl_c());
+    let t0 = std::time::Instant::now();
+    let (outcome, report) = execute_plan_networked(&problem, &plan, workers, listener, &net)
+        .map_err(|e| e.to_string())?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "networked: {} worker(s), {} cross-shard messages, wall {wall_ms:.1} ms",
+        report.shard.shards, report.shard.cross_shard_messages
+    );
+    for (s, t) in report.shard.per_shard.iter().zip(&report.traffic) {
+        println!(
+            "  worker {}: {} nodes, steps {}, delivered {}, cross-sent {}, \
+             tx {} frames / {} B, rx {} frames / {} B",
+            s.shard,
+            s.nodes,
+            s.steps,
+            s.delivered,
+            s.cross_sent,
+            t.frames_sent,
+            t.bytes_sent,
+            t.frames_received,
+            t.bytes_received
+        );
+    }
+    let rep = verify::against_references(&problem, &outcome).map_err(|e| e.to_string())?;
+    println!(
+        "executed: schedule {} rounds, precompute {}, late {}, correct {:.1}%",
+        outcome.schedule_rounds(),
+        outcome.precompute_rounds,
+        outcome.stats.late_messages,
+        rep.correctness_rate() * 100.0
+    );
+    if let Some(path) = opts.get("dump-outcome") {
+        std::fs::write(path, format!("{outcome:?}")).map_err(|e| e.to_string())?;
+        println!("wrote outcome debug dump to {path}");
+    }
+    Ok(())
+}
+
+/// `dasched worker`: rebuild the problem from the same flags as the
+/// coordinator, connect, and run the assigned shard to completion.
+fn cmd_worker(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let algos = parse_workload(req(opts, "workload")?, &g, seed)?;
+    let problem = DasProblem::new(&g, algos, seed);
+    let connect = req(opts, "connect")?;
+    let net = parse_net(opts)?;
+    println!("connecting to {connect}");
+    let out = run_worker(&problem, connect, &net).map_err(|e| e.to_string())?;
+    println!(
+        "worker done: shard {}/{}, steps {}, delivered {}, cross-sent {}, big-rounds {}, \
+         tx {} frames / {} B, rx {} frames / {} B",
+        out.shard,
+        out.shards,
+        out.steps,
+        out.delivered,
+        out.cross_sent,
+        out.big_rounds,
+        out.traffic.frames_sent,
+        out.traffic.bytes_sent,
+        out.traffic.frames_received,
+        out.traffic.bytes_received
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -997,6 +1159,176 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         assert!(run(&args).unwrap_err().contains("unknown export format"));
+    }
+
+    #[test]
+    fn zero_and_overflowing_counts_are_usage_errors() {
+        let mk = |pairs: &[(&str, &str)]| {
+            let mut m = HashMap::new();
+            for (k, v) in pairs {
+                m.insert(k.to_string(), v.to_string());
+            }
+            m
+        };
+        // --shards 0 used to be silently clamped to 1 by the partitioner
+        let err = opt_count(&mk(&[("shards", "0")]), "shards").unwrap_err();
+        assert!(err.contains(">= 1"), "got: {err}");
+        assert_eq!(
+            opt_count(&mk(&[("shards", "3")]), "shards").unwrap(),
+            Some(3)
+        );
+        assert_eq!(opt_count(&mk(&[]), "shards").unwrap(), None);
+        // values that fit the flag's type parse checked...
+        assert_eq!(opt_u32(&mk(&[("cap", "8")]), "cap").unwrap(), Some(8));
+        assert_eq!(opt_usize(&mk(&[("top", "10")]), "top").unwrap(), Some(10));
+        // ...and values that do not are usage errors, not truncations
+        let err = opt_u32(&mk(&[("cap", "4294967296")]), "cap").unwrap_err();
+        assert!(err.contains("u32"), "got: {err}");
+        assert!(opt_u32(&mk(&[("cap", "-1")]), "cap").is_err());
+        assert!(opt_usize(&mk(&[("top", "1e9")]), "top").is_err());
+        // end to end: the run command rejects --shards 0 before executing
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "path:8",
+            "--workload",
+            "relays:2",
+            "--scheduler",
+            "sequential",
+            "--execute",
+            "--shards",
+            "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--shards must be >= 1"), "got: {err}");
+    }
+
+    #[test]
+    fn coordinator_rejects_missing_or_zero_workers() {
+        let base = [
+            "coordinator",
+            "--graph",
+            "path:8",
+            "--workload",
+            "relays:2",
+            "--scheduler",
+            "sequential",
+        ];
+        let args: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        assert!(run(&args).unwrap_err().contains("missing --workers"));
+        let args: Vec<String> = base
+            .iter()
+            .copied()
+            .chain(["--workers", "0"])
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("--workers must be >= 1"));
+        let args: Vec<String> = base
+            .iter()
+            .copied()
+            .chain(["--workers", "2", "--timeout-ms", "0"])
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args)
+            .unwrap_err()
+            .contains("--timeout-ms must be >= 1"));
+    }
+
+    #[test]
+    fn worker_requires_connect() {
+        let args: Vec<String> = ["worker", "--graph", "path:8", "--workload", "relays:2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("missing --connect"));
+    }
+
+    /// Full coordinator/worker round trip in one process: the coordinator
+    /// command runs on a fixed port with two worker threads driving the
+    /// `worker` command against it, and the dumped outcome matches the
+    /// fused `plan --execute` dump byte for byte.
+    #[test]
+    fn coordinator_and_worker_commands_round_trip() {
+        let dir = std::env::temp_dir().join("dasched_networked_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fused_dump = dir.join("fused.txt");
+        let net_dump = dir.join("networked.txt");
+        let base = [
+            "--graph",
+            "path:12",
+            "--workload",
+            "relays:3",
+            "--seed",
+            "11",
+        ];
+
+        let fused_args: Vec<String> = ["plan"]
+            .iter()
+            .copied()
+            .chain(base)
+            .chain([
+                "--scheduler",
+                "uniform",
+                "--execute",
+                "--dump-outcome",
+                fused_dump.to_str().unwrap(),
+            ])
+            .map(|s| s.to_string())
+            .collect();
+        run(&fused_args).unwrap();
+
+        // a pre-bound port lets the worker threads know where to connect
+        // without parsing the coordinator's stdout
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let worker_args: Vec<String> = ["worker"]
+            .iter()
+            .copied()
+            .chain(base)
+            .chain(["--connect", &addr, "--timeout-ms", "20000"])
+            .map(|s| s.to_string())
+            .collect();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let args = worker_args.clone();
+                std::thread::spawn(move || run(&args))
+            })
+            .collect();
+        let coord_args: Vec<String> = ["coordinator"]
+            .iter()
+            .copied()
+            .chain(base)
+            .chain([
+                "--scheduler",
+                "uniform",
+                "--workers",
+                "2",
+                "--listen",
+                &addr,
+                "--timeout-ms",
+                "20000",
+                "--dump-outcome",
+                net_dump.to_str().unwrap(),
+            ])
+            .map(|s| s.to_string())
+            .collect();
+        run(&coord_args).unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+
+        let fused = std::fs::read_to_string(&fused_dump).unwrap();
+        let networked = std::fs::read_to_string(&net_dump).unwrap();
+        assert_eq!(fused, networked, "networked dump must match the fused dump");
+        for f in [fused_dump, net_dump] {
+            std::fs::remove_file(f).unwrap();
+        }
     }
 
     #[test]
