@@ -5,8 +5,13 @@
 //! sharded-vs-fused wall-clock comparison.
 //!
 //! Usage: `bench_smoke [trials] [base_seed] [--obs off|metrics|full]
-//! [--engine row|columnar|batched] [--dump-outcome FILE] [--wall]`
-//! (defaults: 8 trials, seed 42, obs off, columnar engine).
+//! [--engine row|columnar|batched] [--dump-outcome FILE] [--wall]
+//! [--serve [ADDR]]` (defaults: 8 trials, seed 42, obs off, columnar
+//! engine). `--serve` binds a live [`das_obs::ObsServer`] console (an OS
+//! port when ADDR is omitted, advertised on the `listening on ADDR`
+//! stdout line) that streams each leg's phase and, on the legs that carry
+//! a hub, per-shard load and doubling attempts — without perturbing any
+//! printed or persisted output.
 //!
 //! `--engine` selects the execution engine for the fused trials and the
 //! outcome dumps; schedule statistics are byte-identical across engines
@@ -30,8 +35,9 @@ use das_core::{
     doubling, execute_plan_observed_with, DasProblem, DoublingConfig, EngineKind, ExecutorConfig,
     Scheduler, UniformScheduler,
 };
-use das_obs::ObsConfig;
+use das_obs::{LiveHub, ObsConfig, ObsServer};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shard count for the sharded leg of the smoke run.
@@ -44,7 +50,7 @@ const SMOKE_WORKERS: usize = 3;
 const USAGE: &str = "usage: bench_smoke [trials] [base_seed] \
                      [--obs off|metrics|full] [--engine row|columnar|batched] \
                      [--dump-outcome FILE] [--plan-cache on|off] \
-                     [--dump-doubling FILE] [--wall]";
+                     [--dump-doubling FILE] [--wall] [--serve [ADDR]]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -61,6 +67,7 @@ struct Args {
     plan_cache: bool,
     dump_doubling: Option<String>,
     wall: bool,
+    serve: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -73,9 +80,10 @@ fn parse_args() -> Args {
         plan_cache: true,
         dump_doubling: None,
         wall: false,
+        serve: None,
     };
     let mut positional = 0usize;
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--obs" => {
@@ -115,6 +123,16 @@ fn parse_args() -> Args {
                 );
             }
             "--wall" => args.wall = true,
+            "--serve" => {
+                // optional bind address: consume the next token only when
+                // it cannot be another flag or a positional trial count
+                args.serve = Some(match it.peek() {
+                    Some(v) if !v.starts_with("--") && v.parse::<u64>().is_err() => {
+                        it.next().expect("peeked")
+                    }
+                    _ => "127.0.0.1:0".to_string(),
+                });
+            }
             other => {
                 let n: u64 = other
                     .parse()
@@ -143,9 +161,12 @@ fn dump_outcomes(
     problem: &DasProblem<'_>,
     obs: &ObsConfig,
     engine: EngineKind,
+    live: Option<Arc<LiveHub>>,
 ) {
     let sched = UniformScheduler::default();
-    let cfg = ExecutorConfig::default().with_engine(engine);
+    let cfg = ExecutorConfig::default()
+        .with_engine(engine)
+        .with_live(live);
     let mut dump = String::new();
     for t in 0..runner.trials() {
         let seed = runner.trial_seed(t);
@@ -198,7 +219,32 @@ fn main() {
     let problem = workloads::segment_relays(&g, 40, 16, 2, 7);
     problem.parameters().expect("workload is model-valid");
 
+    // --serve: live operator console over the smoke run. The hub is
+    // write-only, so every leg's outputs are unchanged by its presence.
+    let live = args.serve.as_ref().map(|_| Arc::new(LiveHub::new()));
+    let _server = match (&args.serve, &live) {
+        (Some(addr), Some(hub)) => {
+            let srv = ObsServer::bind(addr, hub.clone())
+                .unwrap_or_else(|e| fail(&format!("bind {addr}: {e}")));
+            println!("listening on {}", srv.local_addr());
+            let engine = match args.engine {
+                EngineKind::Row => "row",
+                EngineKind::Columnar => "columnar",
+                EngineKind::ColumnarBatched => "batched",
+            };
+            hub.set_run_info(engine, 1);
+            Some(srv)
+        }
+        _ => None,
+    };
+    let phase = |name: &str| {
+        if let Some(hub) = &live {
+            hub.set_phase(name);
+        }
+    };
+
     let runner = TrialRunner::new(args.base_seed, args.trials);
+    phase("fused trials");
     let fused_clock = Instant::now();
     let agg = runner.aggregate("e01_smoke", "uniform", |seed| {
         run_trial_observed_with_engine(
@@ -246,12 +292,21 @@ fn main() {
     );
 
     if let Some(dump) = &args.dump_outcome {
-        dump_outcomes(dump, &runner, &problem, &args.obs, args.engine);
+        phase("outcome dumps");
+        dump_outcomes(
+            dump,
+            &runner,
+            &problem,
+            &args.obs,
+            args.engine,
+            live.clone(),
+        );
     }
 
     // Same trials again from one shared sweep artifact: the scheduler plans
     // its seed-independent prefix once, every trial re-derives only the
     // seed-dependent tail, and the schedule-quality numbers must not move.
+    phase("swept trials");
     let sweep_sched = UniformScheduler::default();
     let planner = SweepPlanner::new(&sweep_sched, &problem);
     let swept = runner.aggregate("e01_smoke_swept", "uniform", |seed| {
@@ -276,6 +331,7 @@ fn main() {
     // Same trials again through the sharded executor: the schedule-quality
     // numbers must not move (byte-identical outcomes), only wall-clock and
     // the per-shard fields may differ.
+    phase("sharded trials");
     let sharded_clock = Instant::now();
     let sharded = runner.aggregate("e01_smoke_sharded", "uniform", |seed| {
         run_trial_sharded(&UniformScheduler::default(), &problem, seed, SMOKE_SHARDS)
@@ -307,6 +363,7 @@ fn main() {
     // additionally records per-worker coordinator-side traffic. Frame and
     // byte counts are a pure function of the plan, so this leg's printed
     // line stays CI-diffable.
+    phase("networked trials");
     let networked_clock = Instant::now();
     let networked = runner.aggregate("e01_smoke_networked", "uniform", |seed| {
         run_trial_networked(&UniformScheduler::default(), &problem, seed, SMOKE_WORKERS)
@@ -356,12 +413,14 @@ fn main() {
     // Doubling leg: a congested instance (16 relays stacked on one short
     // path) that forces a multi-attempt search, so the plan-artifact cache
     // has attempts to save planning work on.
+    phase("doubling trials");
     let dg = das_graph::generators::path(24);
     let dbl_problem = workloads::stacked_relays(&dg, 16, 7);
     let cfg = DoublingConfig {
         reuse_artifact: args.plan_cache,
         ..DoublingConfig::default()
-    };
+    }
+    .with_live(live.clone());
     let dbl_clock = Instant::now();
     let dbl = runner.aggregate("e01_smoke_doubling", "uniform+doubling", |seed| {
         run_trial_doubling(&UniformScheduler::default(), &dbl_problem, seed, &cfg)
@@ -445,4 +504,5 @@ fn main() {
     if let Some(dump) = &args.dump_doubling {
         dump_doubling_outcomes(dump, &runner, &dbl_problem, &cfg);
     }
+    phase("done");
 }

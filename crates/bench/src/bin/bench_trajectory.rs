@@ -8,6 +8,11 @@
 //! Usage: `bench_trajectory [--out FILE] [--baseline FILE] [--budget-ms N]
 //! [--tag LABEL]`
 //!
+//! Without `--tag`, the provenance tag defaults to the repository's short
+//! commit hash (read once via `git rev-parse --short HEAD`), or
+//! `untracked` when the binary runs outside a git checkout — so locally
+//! appended points are attributable to a commit without extra flags.
+//!
 //! With `--baseline FILE` the run additionally gates: if any
 //! configuration's rounds/sec lands more than 20% below the matching
 //! point in the committed baseline, the binary exits nonzero and CI
@@ -74,7 +79,25 @@ fn parse_args() -> Args {
             other => fail(&format!("unexpected argument `{other}`")),
         }
     }
+    if args.tag.is_none() {
+        args.tag = Some(git_short_hash());
+    }
     args
+}
+
+/// The default provenance tag: the short commit hash of the working
+/// directory, read once per run, or `untracked` when `git` is missing or
+/// the binary runs outside a checkout.
+fn git_short_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "untracked".to_string())
 }
 
 /// One measured point on the benchmark trajectory. The schema is append-
@@ -213,10 +236,12 @@ fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
             .find(|b| b.label == p.label && b.engine == p.engine)
         else {
             eprintln!(
-                "gate FAILED: {} ({}) has no baseline point in {baseline_path} — \
+                "gate FAILED: {} ({}, tag {}) has no baseline point in {baseline_path} — \
                  new configurations must be gated, not skipped; run bench_trajectory \
                  locally and add the fresh point to the baseline",
-                p.label, p.engine
+                p.label,
+                p.engine,
+                p.tag.as_deref().unwrap_or("untagged")
             );
             ok = false;
             continue;
@@ -224,9 +249,11 @@ fn gate(baseline_path: &str, points: &[TrajectoryPoint]) -> bool {
         let floor = base.rounds_per_sec * (1.0 - REGRESSION_TOLERANCE);
         if p.rounds_per_sec < floor {
             eprintln!(
-                "gate FAILED: {} ({}) at {:.0} rounds/s, below {:.0} (baseline {:.0} - {:.0}%)",
+                "gate FAILED: {} ({}, tag {}) at {:.0} rounds/s, below {:.0} \
+                 (baseline {:.0} - {:.0}%)",
                 p.label,
                 p.engine,
+                p.tag.as_deref().unwrap_or("untagged"),
                 p.rounds_per_sec,
                 floor,
                 base.rounds_per_sec,

@@ -37,14 +37,16 @@
 //! [`DoublingConfig::reuse_artifact`] turns it off for A/B neutrality
 //! checks.
 
+use crate::exec::ExecutorConfig;
 use crate::plan::cache::PlanArtifact;
-use crate::plan::{analysis, execute_plan_observed, SchedError};
+use crate::plan::{analysis, execute_plan_observed_with, SchedError};
 use crate::problem::DasProblem;
 use crate::reference::ReferenceError;
 use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 use crate::{InterleaveScheduler, PrivateScheduler, UniformScheduler};
-use das_obs::{ObsConfig, ObsReport, Stage, TraceEvent};
+use das_obs::{LiveHub, ObsConfig, ObsReport, Stage, TraceEvent};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The outcome of a doubling search.
@@ -95,6 +97,12 @@ pub struct DoublingConfig {
     /// trivial congestion upper bound). Tests and experiments use a tiny
     /// cap to force the fallback path deterministically.
     pub cap_override: Option<u64>,
+    /// Optional live hub: every attempt's verdict is published into it as
+    /// a [`das_obs::DoublingAttempt`] (and the fallback, if taken), and
+    /// the final execution streams per-shard snapshots. Publication is
+    /// write-only, so the search outcome is byte-identical with or
+    /// without a hub attached.
+    pub live: Option<Arc<LiveHub>>,
 }
 
 impl Default for DoublingConfig {
@@ -102,7 +110,17 @@ impl Default for DoublingConfig {
         DoublingConfig {
             reuse_artifact: true,
             cap_override: None,
+            live: None,
         }
+    }
+}
+
+impl DoublingConfig {
+    /// Returns the configuration with the live hub set (builder style).
+    #[must_use]
+    pub fn with_live(mut self, live: Option<Arc<LiveHub>>) -> Self {
+        self.live = live;
+        self
     }
 }
 
@@ -338,8 +356,17 @@ pub fn uniform_with_doubling_configured(
                 reused_artifact: reused,
             },
         );
+        if let Some(hub) = &cfg.live {
+            hub.publish_doubling_attempt(
+                guess,
+                prediction.predicted_engine_rounds,
+                prediction.feasible(),
+            );
+        }
         if prediction.feasible() {
-            let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
+            let exec_cfg = ExecutorConfig::default().with_live(cfg.live.clone());
+            let (mut outcome, exec_report) =
+                execute_plan_observed_with(problem, &plan, obs, &exec_cfg)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds += wasted;
             finish_report(&mut report, obs, exec_report, wasted, false, &cache);
@@ -362,9 +389,14 @@ pub fn uniform_with_doubling_configured(
         rejected += 1;
         wasted += prediction.predicted_engine_rounds + detection_cost(problem);
         if guess > cap {
+            if let Some(hub) = &cfg.live {
+                hub.publish_doubling_fallback();
+            }
             let fallback = InterleaveScheduler;
             let plan = fallback.plan(problem, fallback.default_sched_seed())?;
-            let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
+            let exec_cfg = ExecutorConfig::default().with_live(cfg.live.clone());
+            let (mut outcome, exec_report) =
+                execute_plan_observed_with(problem, &plan, obs, &exec_cfg)?;
             outcome.precompute_rounds += wasted;
             finish_report(&mut report, obs, exec_report, wasted, true, &cache);
             return Ok((
@@ -477,8 +509,17 @@ pub fn private_with_doubling_configured(
                 reused_artifact: reused,
             },
         );
+        if let Some(hub) = &cfg.live {
+            hub.publish_doubling_attempt(
+                guess,
+                prediction.predicted_engine_rounds,
+                prediction.feasible(),
+            );
+        }
         if prediction.feasible() {
-            let (mut outcome, exec_report) = execute_plan_observed(problem, &plan, obs)?;
+            let exec_cfg = ExecutorConfig::default().with_live(cfg.live.clone());
+            let (mut outcome, exec_report) =
+                execute_plan_observed_with(problem, &plan, obs, &exec_cfg)?;
             debug_assert_eq!(outcome.stats.late_messages, 0, "prediction is exact");
             outcome.precompute_rounds = pre + wasted;
             finish_report(&mut report, obs, exec_report, wasted, false, &cache);
@@ -499,9 +540,14 @@ pub fn private_with_doubling_configured(
         rejected += 1;
         wasted += prediction.predicted_engine_rounds + detection_cost(problem);
         if guess > cap {
+            if let Some(hub) = &cfg.live {
+                hub.publish_doubling_fallback();
+            }
             let fb = InterleaveScheduler;
             let plan = fb.plan(problem, fb.default_sched_seed())?;
-            let (mut fallback, exec_report) = execute_plan_observed(problem, &plan, obs)?;
+            let exec_cfg = ExecutorConfig::default().with_live(cfg.live.clone());
+            let (mut fallback, exec_report) =
+                execute_plan_observed_with(problem, &plan, obs, &exec_cfg)?;
             fallback.precompute_rounds = pre + wasted;
             finish_report(&mut report, obs, exec_report, wasted, true, &cache);
             return Ok((

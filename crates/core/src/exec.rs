@@ -237,6 +237,11 @@ pub struct ExecutorConfig {
     /// Which engine implementation to run; outcomes are byte-identical
     /// either way (see [`EngineKind`]).
     pub engine: EngineKind,
+    /// Live observability hub, if the run is being served. Probes publish
+    /// write-only snapshots into it at big-round boundaries; execution
+    /// never reads it, so outcomes stay byte-identical with or without it
+    /// (`tests/obs_neutrality.rs` enforces this with a polling client).
+    pub live: Option<std::sync::Arc<das_obs::LiveHub>>,
 }
 
 impl Default for ExecutorConfig {
@@ -248,6 +253,7 @@ impl Default for ExecutorConfig {
             record_departures: true,
             shards: 1,
             engine: EngineKind::default(),
+            live: None,
         }
     }
 }
@@ -256,6 +262,12 @@ impl ExecutorConfig {
     /// Sets the big-round length.
     pub fn with_phase_len(mut self, phase_len: u64) -> Self {
         self.phase_len = phase_len.max(1);
+        self
+    }
+
+    /// Attaches a live observability hub for the run to publish into.
+    pub fn with_live(mut self, live: Option<std::sync::Arc<das_obs::LiveHub>>) -> Self {
+        self.live = live;
         self
     }
 
@@ -546,6 +558,7 @@ impl Executor {
         obs: &ObsConfig,
     ) -> Result<(ScheduleOutcome, Option<ObsReport>), ExecError> {
         let mut probe = ExecObs::new(obs, 0);
+        probe.attach_live(config.live.clone());
         let outcome = Self::run_with(g, algos, seeds, units, config, &mut probe)?;
         Ok((outcome, probe.finish()))
     }
@@ -1057,6 +1070,7 @@ fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput, ExecError>
     queues.resize_with(g.arc_count(), ArcFifo::default);
     let mut active_arcs: Vec<usize> = Vec::new();
     let mut obs = ExecObs::new(ctx.obs, me as u32);
+    obs.attach_live(config.live.clone());
     obs.init(g.arc_count(), config.phase_len);
     let mut stats = ExecStats {
         phase_len: config.phase_len,

@@ -1006,6 +1006,7 @@ pub(super) fn shard_worker(me: usize, ctx: &ShardCtx<'_>) -> Result<ShardOutput,
     let mut active_arcs: Vec<usize> = Vec::new();
     let mut scratch_arcs: Vec<usize> = Vec::new();
     let mut obs = ExecObs::new(ctx.obs, me as u32);
+    obs.attach_live(config.live.clone());
     obs.init(g.arc_count(), config.phase_len);
     let mut stats = ExecStats {
         phase_len: config.phase_len,
@@ -1264,6 +1265,7 @@ pub(super) fn shard_worker_batched(
     let mut active_arcs: Vec<usize> = Vec::new();
     let mut scratch_arcs: Vec<usize> = Vec::new();
     let mut obs = ExecObs::new(ctx.obs, me as u32);
+    obs.attach_live(config.live.clone());
     obs.init(g.arc_count(), config.phase_len);
     let mut stats = ExecStats {
         phase_len: config.phase_len,

@@ -89,7 +89,7 @@ pub use net::{
     execute_plan_networked, install_ctrl_c, plan_hash, problem_fingerprint, run_worker, wire,
     LinkTraffic, NetConfig, NetReport, WorkerOutcome, PROTOCOL_VERSION,
 };
-pub use obs::{run_traced, TracedRun};
+pub use obs::{run_traced, run_traced_live, TracedRun};
 pub use plan::cache::{PlanArtifact, SweepArtifact};
 pub use plan::{
     execute_plan, execute_plan_observed, execute_plan_observed_with, execute_plan_sharded,

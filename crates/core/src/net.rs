@@ -254,6 +254,12 @@ pub struct NetConfig {
     /// the coordinator aborts all workers at the next protocol boundary
     /// and returns [`ExecError::Aborted`].
     pub stop: Option<Arc<AtomicBool>>,
+    /// Optional live hub (coordinator side): per-worker cumulative totals
+    /// piggybacked on `ACTIVITY` frames and per-link traffic snapshots are
+    /// published into it every big-round. Publication is write-only and
+    /// never adds frames or blocks the protocol, so the outcome is
+    /// byte-identical with or without a hub attached.
+    pub live: Option<Arc<das_obs::LiveHub>>,
 }
 
 impl Default for NetConfig {
@@ -264,6 +270,7 @@ impl Default for NetConfig {
             connect_backoff_ms: 250,
             max_frame_bytes: 64 << 20,
             stop: None,
+            live: None,
         }
     }
 }
@@ -278,6 +285,13 @@ impl NetConfig {
     /// Attaches a cooperative-shutdown flag.
     pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Self {
         self.stop = Some(stop);
+        self
+    }
+
+    /// Attaches a live hub for coordinator-side telemetry publication.
+    #[must_use]
+    pub fn with_live(mut self, live: Option<Arc<das_obs::LiveHub>>) -> Self {
+        self.live = live;
         self
     }
 
@@ -558,6 +572,23 @@ fn run_coordinator(
     let outcome = result?;
     let traffic: Vec<LinkTraffic> = conns.iter().map(|c| c.traffic.clone()).collect();
     debug_assert_eq!(traffic.len(), s);
+    if let Some(hub) = &net.live {
+        // final authoritative snapshot: includes the DECISION and DONE
+        // frames the mid-run barrier snapshots have not seen yet
+        hub.publish_links(
+            traffic
+                .iter()
+                .enumerate()
+                .map(|(shard, t)| das_obs::LinkLive {
+                    shard,
+                    frames_sent: t.frames_sent,
+                    bytes_sent: t.bytes_sent,
+                    frames_received: t.frames_received,
+                    bytes_received: t.bytes_received,
+                })
+                .collect(),
+        );
+    }
     let (outcome, shard) = outcome;
     Ok((outcome, NetReport { shard, traffic }))
 }
@@ -799,6 +830,33 @@ fn coordinator_protocol(
                 });
             }
             any_active |= r.u8("ACTIVITY flag")? != 0;
+            // Workers piggyback cumulative totals after the flag; a bare
+            // flag (older worker) is still valid, so only read the tail if
+            // it is present.
+            if r.pos < body.len() {
+                let steps = r.u64("ACTIVITY steps")?;
+                let delivered = r.u64("ACTIVITY delivered")?;
+                let late = r.u64("ACTIVITY late")?;
+                let cross = r.u64("ACTIVITY cross-sent")?;
+                if let Some(hub) = &net.live {
+                    hub.publish_worker_totals(src as u32, b, steps, delivered, late, cross);
+                }
+            }
+        }
+        if let Some(hub) = &net.live {
+            hub.publish_links(
+                conns
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, c)| das_obs::LinkLive {
+                        shard,
+                        frames_sent: c.traffic.frames_sent,
+                        bytes_sent: c.traffic.bytes_sent,
+                        frames_received: c.traffic.frames_received,
+                        bytes_received: c.traffic.bytes_received,
+                    })
+                    .collect(),
+            );
         }
         // 4. Broadcast the termination decision — the same predicate the
         // in-process path evaluates after its post-increment (`b + 1` here
@@ -1389,6 +1447,13 @@ fn worker_loop(
         let mut w = ByteWriter::new();
         w.u64(b);
         w.u8(!active_arcs.is_empty() as u8);
+        // Cumulative telemetry totals ride along for free: coordinators
+        // that predate them ignore the tail (ByteReader never over-reads),
+        // so the protocol version is unchanged.
+        w.u64(shard.steps);
+        w.u64(stats.delivered);
+        w.u64(stats.late_messages);
+        w.u64(shard.cross_sent);
         conn.send(wire::ACTIVITY, &w.buf, "posting activity")?;
         let (kind, body) = conn.recv("waiting for decision")?;
         match kind {

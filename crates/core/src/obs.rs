@@ -10,13 +10,15 @@
 //! durations are added as `wall_us` args only when
 //! [`ObsConfig::wall_clock`] is set.
 
+use crate::exec::ExecutorConfig;
 use crate::plan::{self, analysis, SchedError, SchedulePlan};
 use crate::problem::DasProblem;
 use crate::schedule::ScheduleOutcome;
 use crate::schedulers::Scheduler;
 use crate::verify::{self, VerifyReport};
-use crate::ShardReport;
-use das_obs::{ObsConfig, ObsReport, Stage, TraceEvent};
+use crate::{EngineKind, ShardReport};
+use das_obs::{LiveHub, ObsConfig, ObsReport, Stage, TraceEvent};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything a traced pipeline run produced.
@@ -49,6 +51,37 @@ pub fn run_traced(
     shards: usize,
     obs: &ObsConfig,
 ) -> Result<TracedRun, SchedError> {
+    run_traced_live(problem, scheduler, sched_seed, shards, obs, None)
+}
+
+/// [`run_traced`] with an optional live hub attached: the executor probes
+/// publish per-shard snapshots into `live` at big-round boundaries, phase
+/// transitions (`plan` → `execute` → `verify` → `done`) are mirrored into
+/// it, and the final merged report replaces the incremental view at the
+/// end. Serving the hub over HTTP (`das_obs::ObsServer`) while this runs
+/// never changes the outcome — publication is write-only and clocked on
+/// big-round barriers (`tests/obs_neutrality.rs` polls a live server
+/// mid-run and asserts byte-identical outcomes).
+///
+/// # Errors
+/// Exactly as [`run_traced`].
+pub fn run_traced_live(
+    problem: &DasProblem<'_>,
+    scheduler: &dyn Scheduler,
+    sched_seed: u64,
+    shards: usize,
+    obs: &ObsConfig,
+    live: Option<Arc<LiveHub>>,
+) -> Result<TracedRun, SchedError> {
+    if let Some(hub) = &live {
+        let engine = match ExecutorConfig::default().engine {
+            EngineKind::Row => "row",
+            EngineKind::Columnar => "columnar",
+            EngineKind::ColumnarBatched => "batched",
+        };
+        hub.set_run_info(engine, shards.max(1));
+        hub.set_phase("plan");
+    }
     let t_plan = Instant::now();
     let plan = scheduler.plan(problem, sched_seed)?;
     let prediction = obs
@@ -91,12 +124,20 @@ pub fn run_traced(
         }
     }
 
+    if let Some(hub) = &live {
+        hub.set_phase("execute");
+    }
     let t_exec = Instant::now();
     let (outcome, shard_report, exec_report) = if shards > 1 {
-        let (outcome, sr, er) = plan::execute_plan_sharded_observed(problem, &plan, shards, obs)?;
+        let config = ExecutorConfig::default()
+            .with_shards(shards)
+            .with_live(live.clone());
+        let (outcome, sr, er) =
+            plan::execute_plan_sharded_observed_with(problem, &plan, obs, &config)?;
         (outcome, Some(sr), er)
     } else {
-        let (outcome, er) = plan::execute_plan_observed(problem, &plan, obs)?;
+        let config = ExecutorConfig::default().with_live(live.clone());
+        let (outcome, er) = plan::execute_plan_observed_with(problem, &plan, obs, &config)?;
         (outcome, None, er)
     };
     let exec_wall_us = t_exec.elapsed().as_micros() as u64;
@@ -104,6 +145,9 @@ pub fn run_traced(
         report.merge(er);
     }
 
+    if let Some(hub) = &live {
+        hub.set_phase("verify");
+    }
     let t_verify = Instant::now();
     let verify = verify::against_references(problem, &outcome)?;
     let verify_wall_us = t_verify.elapsed().as_micros() as u64;
@@ -137,6 +181,10 @@ pub fn run_traced(
         }
     }
 
+    if let Some(hub) = &live {
+        // the merged report is authoritative; this also flips to `done`
+        hub.publish_final(&report);
+    }
     Ok(TracedRun {
         plan,
         outcome,

@@ -161,6 +161,82 @@ proptest! {
     }
 }
 
+/// Issues one blocking HTTP/1.1 GET against the live server and returns
+/// the raw response (head + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect to live server");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: live\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    buf
+}
+
+/// The tentpole neutrality leg: a live HTTP server attached to the run
+/// with a client polling it *mid-execution* must leave the
+/// `ScheduleOutcome` byte-identical — publication is write-only and
+/// clocked on big-round barriers, so concurrent readers cannot feed
+/// anything back into the engine.
+#[test]
+fn live_server_polling_mid_run_is_outcome_neutral() {
+    use das_core::{run_traced, run_traced_live};
+    use das_obs::{LiveHub, ObsServer};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let g = generators::gnp_connected(14, 0.3, 11);
+    let p = DasProblem::new(&g, build_algos(&g, 4, 11), 11);
+    let sched = UniformScheduler::default();
+    let obs = ObsConfig::full();
+    for shards in [1usize, 3] {
+        let baseline = run_traced(&p, &sched, 11, shards, &obs).expect("unserved run");
+        let hub = Arc::new(LiveHub::new());
+        let server = ObsServer::bind("127.0.0.1:0", hub.clone()).expect("bind live server");
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                // at least one full poll, then keep hammering until the
+                // run completes — overlapping the execution when it is
+                // long enough to be overlapped
+                let mut polls = 0u32;
+                loop {
+                    for path in ["/status", "/profile", "/metrics", "/events?since=0"] {
+                        let rsp = http_get(addr, path);
+                        assert!(rsp.starts_with("HTTP/1.1 200"), "{path} -> {rsp}");
+                    }
+                    polls += 1;
+                    if stop.load(Ordering::SeqCst) {
+                        return polls;
+                    }
+                }
+            })
+        };
+        let served =
+            run_traced_live(&p, &sched, 11, shards, &obs, Some(hub.clone())).expect("served run");
+        stop.store(true, Ordering::SeqCst);
+        let polls = poller.join().expect("poller thread");
+        assert!(polls > 0, "the client must have polled at least once");
+        assert_eq!(
+            format!("{:?}", baseline.outcome),
+            format!("{:?}", served.outcome),
+            "live serving perturbed the outcome at {shards} shard(s)"
+        );
+        assert_eq!(baseline.report.events, served.report.events);
+        assert_eq!(baseline.report.metrics, served.report.metrics);
+        let status = http_get(addr, "/status");
+        assert!(
+            status.contains("\"done\":true"),
+            "hub must report done after the run: {status}"
+        );
+    }
+}
+
 /// Wall-clock recording is the one explicitly nondeterministic channel;
 /// even with it on, outcomes must stay byte-identical (only `wall.*`
 /// metrics may differ between runs).

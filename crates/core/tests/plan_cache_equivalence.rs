@@ -292,6 +292,7 @@ fn doubling_fallback_path_matches_too() {
     let off_cfg = DoublingConfig {
         reuse_artifact: false,
         cap_override: Some(1),
+        ..DoublingConfig::default()
     };
     let (on, _) =
         doubling::uniform_with_doubling_configured(&p, &UniformScheduler::default(), &obs, &on_cfg)

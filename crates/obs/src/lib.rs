@@ -21,6 +21,12 @@
 //! crate's `TraceSummary`), and a [`TraceEvent`] stream exportable as JSONL,
 //! Chrome `trace_events` JSON (loadable in Perfetto — one track per shard,
 //! one process per pipeline stage), or a plain-text top-K hot report.
+//!
+//! The [`live`] module adds a *live* view of the same data: probes publish
+//! snapshots into a shared [`LiveHub`] at big-round boundaries, and
+//! [`http::ObsServer`] serves them over plain HTTP/1.1 while the run is in
+//! flight — still without perturbing outcomes (the snapshot-at-barrier
+//! invariant; see DESIGN.md).
 
 #![warn(missing_docs)]
 
@@ -31,9 +37,14 @@ mod probe;
 mod profile;
 mod report;
 
+pub mod http;
+pub mod live;
+
 pub use config::{ObsConfig, ObsMode};
 pub use event::{EventPhase, Stage, TraceEvent};
+pub use http::ObsServer;
+pub use live::{BigRoundDelta, DoublingAttempt, LinkLive, LiveHub};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use probe::ExecObs;
 pub use profile::{sparkline, LoadProfile};
-pub use report::{ObsReport, ObsSummary};
+pub use report::{ObsReport, ObsSummary, ShardLoad};

@@ -168,6 +168,41 @@ impl MetricsRegistry {
             self.put_histogram(k, h.clone());
         }
     }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// Names are prefixed `das_` with dots mapped to underscores
+    /// (`exec.delivered` → `das_exec_delivered`); histograms emit the
+    /// standard cumulative `_bucket{le=…}` series plus `_sum` and
+    /// `_count`. `BTreeMap` ordering keeps the exposition deterministic.
+    pub fn to_prometheus(&self) -> String {
+        fn prom_name(key: &str) -> String {
+            let mut name = String::with_capacity(key.len() + 4);
+            name.push_str("das_");
+            for c in key.chars() {
+                name.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            name
+        }
+        let mut s = String::new();
+        for (k, v) in &self.counters {
+            let name = prom_name(k);
+            s.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let name = prom_name(k);
+            s.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &bound) in h.bounds.iter().enumerate() {
+                cumulative += h.counts[i];
+                s.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            s.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.total));
+            s.push_str(&format!("{name}_sum {}\n", h.sum));
+            s.push_str(&format!("{name}_count {}\n", h.total));
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +255,26 @@ mod tests {
     fn merge_rejects_shape_mismatch() {
         let mut a = Histogram::pow2(4);
         a.merge(&Histogram::pow2(5));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_counters_and_buckets() {
+        let mut m = MetricsRegistry::new();
+        m.inc("exec.delivered", 12);
+        let mut h = Histogram::pow2(3); // bounds 1 2 4
+        for v in [1, 2, 3, 9] {
+            h.record(v);
+        }
+        m.put_histogram("exec.queue_depth", h);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE das_exec_delivered counter\ndas_exec_delivered 12\n"));
+        assert!(text.contains("das_exec_queue_depth_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("das_exec_queue_depth_bucket{le=\"2\"} 2\n"));
+        // cumulative: ≤4 covers 1,2,3 — the 9 lands only in +Inf
+        assert!(text.contains("das_exec_queue_depth_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("das_exec_queue_depth_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("das_exec_queue_depth_sum 15\n"));
+        assert!(text.contains("das_exec_queue_depth_count 4\n"));
     }
 
     #[test]

@@ -2,9 +2,11 @@
 
 use crate::config::ObsConfig;
 use crate::event::{Stage, TraceEvent};
+use crate::live::{BigRoundDelta, LiveHub};
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::profile::LoadProfile;
-use crate::report::ObsReport;
+use crate::report::{ObsReport, ShardLoad};
+use std::sync::Arc;
 
 /// Incremental recorder threaded through an executor run (one per shard in
 /// the sharded executor).
@@ -40,6 +42,10 @@ pub struct ExecObs {
     br_delivered: u64,
     br_late: u64,
     br_cross: u64,
+    // Live publication (write-only; never read back into execution).
+    live: Option<Arc<LiveHub>>,
+    published_rounds: usize,
+    published_events: usize,
 }
 
 impl ExecObs {
@@ -70,6 +76,9 @@ impl ExecObs {
             br_delivered: 0,
             br_late: 0,
             br_cross: 0,
+            live: None,
+            published_rounds: 0,
+            published_events: 0,
         }
     }
 
@@ -85,6 +94,16 @@ impl ExecObs {
             p.max_events = config.max_events;
         }
         p
+    }
+
+    /// Attaches a live hub: from now on `end_big_round` publishes this
+    /// lane's deltas into it. Publication is write-only and happens only
+    /// at big-round boundaries, so attaching a hub can never perturb the
+    /// run. A `None` hub (or a disabled probe) leaves publication off.
+    pub fn attach_live(&mut self, hub: Option<Arc<LiveHub>>) {
+        if self.on {
+            self.live = hub;
+        }
     }
 
     /// Whether this probe records anything.
@@ -192,6 +211,17 @@ impl ExecObs {
         if !self.on {
             return;
         }
+        // Capture this round's per-edge injections before the fold below
+        // zeroes the scratch; published (write-only) after the round's
+        // events are recorded.
+        let live_edges: Vec<(usize, u64)> = if self.live.is_some() {
+            self.touched
+                .iter()
+                .map(|&arc| (arc, self.phase_inject[arc]))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for &arc in &self.touched {
             self.congestion.record(self.phase_inject[arc]);
             self.phase_inject[arc] = 0;
@@ -218,6 +248,24 @@ impl ExecObs {
                     .arg("delivered", self.br_delivered)
                     .arg("late", self.br_late),
             );
+        }
+        if let Some(hub) = &self.live {
+            let delta = BigRoundDelta {
+                steps: self.br_steps,
+                delivered: self.br_delivered,
+                late: self.br_late,
+                cross_sent: self.br_cross,
+                edges: live_edges,
+                round_base: self.published_rounds,
+                rounds: self.profile.per_round[self.published_rounds..].to_vec(),
+                events: self.events[self.published_events..]
+                    .iter()
+                    .map(|e| serde_json::to_string(e).expect("event values are finite"))
+                    .collect(),
+            };
+            hub.publish_big_round(self.lane, b, &delta);
+            self.published_rounds = self.profile.per_round.len();
+            self.published_events = self.events.len();
         }
         self.br_steps = 0;
         self.br_delivered = 0;
@@ -251,9 +299,19 @@ impl ExecObs {
         metrics.put_histogram("exec.arc_congestion_per_phase", self.congestion);
         metrics.put_histogram("exec.queue_depth", self.queue_depth);
         metrics.put_histogram("exec.inbox_depth", self.inbox_depth);
+        if let Some(hub) = &self.live {
+            hub.merge_metrics(&metrics);
+        }
         Some(ObsReport {
             metrics,
             profile: self.profile,
+            per_shard: vec![ShardLoad {
+                lane: self.lane,
+                steps: self.steps,
+                delivered: self.delivered,
+                late: self.late,
+                cross_sent: self.cross_sent,
+            }],
             events: self.events,
         })
     }
@@ -328,6 +386,42 @@ mod tests {
         let r = p.finish().unwrap();
         assert!(r.events.is_empty());
         assert_eq!(r.metrics.counter("exec.delivered"), 1);
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn attached_hub_sees_big_round_deltas_and_final_metrics() {
+        use serde::Value;
+        let hub = Arc::new(LiveHub::new());
+        let mut p = ExecObs::new(&ObsConfig::full(), 1);
+        p.attach_live(Some(Arc::clone(&hub)));
+        p.init(3, 10);
+        p.on_step(0);
+        p.on_inject(2, 1);
+        p.on_deliver(0, false);
+        p.end_big_round(0);
+        // The hub already saw big round 0 while the run is "in flight".
+        let v: Value = serde_json::from_str(&hub.render_profile()).unwrap();
+        let shards = v.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(shards[0].get("shard").and_then(Value::as_u64), Some(1));
+        assert_eq!(shards[0].get("delivered").and_then(Value::as_u64), Some(1));
+        let top = v.get("top_edges").unwrap().as_array().unwrap();
+        assert_eq!(top[0].get("arc").and_then(Value::as_u64), Some(2));
+        let (events, next) = hub.render_events_since(0);
+        assert_eq!(next, 2); // span + counter for big round 0
+        assert!(events.contains("big-round 0"));
+        // finish() folds the probe's metrics into the hub.
+        let report = p.finish().unwrap();
+        assert_eq!(report.per_shard.len(), 1);
+        assert_eq!(report.per_shard[0].lane, 1);
+        let m: Value = serde_json::from_str(&hub.render_metrics_json()).unwrap();
+        assert_eq!(
+            m.get("counters")
+                .unwrap()
+                .get("exec.delivered")
+                .and_then(Value::as_u64),
+            Some(1)
+        );
     }
 
     #[cfg(feature = "record")]

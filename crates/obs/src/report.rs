@@ -19,8 +19,26 @@ pub struct ObsReport {
     pub metrics: MetricsRegistry,
     /// Per-round / per-edge load.
     pub profile: LoadProfile,
+    /// Per-shard (lane) load totals, in merge order — one entry per probe
+    /// that recorded (a fused run contributes a single lane-0 entry).
+    pub per_shard: Vec<ShardLoad>,
     /// Trace events on the deterministic big-round clock.
     pub events: Vec<TraceEvent>,
+}
+
+/// One executor lane's cumulative load totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoad {
+    /// Lane (shard) index.
+    pub lane: u32,
+    /// Machine steps executed on this lane.
+    pub steps: u64,
+    /// Messages delivered on time.
+    pub delivered: u64,
+    /// Late (dropped) messages.
+    pub late: u64,
+    /// Messages handed to other shards.
+    pub cross_sent: u64,
 }
 
 impl ObsReport {
@@ -33,6 +51,7 @@ impl ObsReport {
     pub fn merge(&mut self, other: &ObsReport) {
         self.metrics.merge(&other.metrics);
         self.profile.merge(&other.profile);
+        self.per_shard.extend(other.per_shard.iter().cloned());
         self.events.extend(other.events.iter().cloned());
     }
 
@@ -169,6 +188,18 @@ impl ObsReport {
         for (e, c) in self.profile.top_edges(top) {
             let _ = writeln!(s, "    arc {e:>6}: {c}");
         }
+        if !self.per_shard.is_empty() {
+            let _ = writeln!(s, "  hot shards (by delivered):");
+            let mut shards: Vec<&ShardLoad> = self.per_shard.iter().collect();
+            shards.sort_by_key(|l| (std::cmp::Reverse(l.delivered), l.lane));
+            for l in shards.into_iter().take(top) {
+                let _ = writeln!(
+                    s,
+                    "    shard {:>4}: {} delivered, {} late, {} steps, {} cross-shard",
+                    l.lane, l.delivered, l.late, l.steps, l.cross_sent
+                );
+            }
+        }
         let _ = writeln!(s, "  counters:");
         for (k, v) in &self.metrics.counters {
             let _ = writeln!(s, "    {k}: {v}");
@@ -239,6 +270,13 @@ mod tests {
         h.record(3);
         r.metrics.put_histogram("exec.queue_depth", h);
         r.profile = LoadProfile::from_parts(vec![0, 2, 4], vec![1, 0, 5]);
+        r.per_shard.push(ShardLoad {
+            lane: 0,
+            steps: 3,
+            delivered: 5,
+            late: 1,
+            cross_sent: 0,
+        });
         r.push_event(TraceEvent::span(Stage::Execute, 0, "big-round 0", 0, 10).arg("delivered", 2));
         r.push_event(TraceEvent::span(Stage::Execute, 1, "big-round 0", 0, 10));
         r.push_event(TraceEvent::instant(Stage::Verify, 0, "verified", 20));
@@ -314,6 +352,52 @@ mod tests {
         assert!(text.contains("round      2: 4"));
         assert!(text.contains("arc      2: 5"));
         assert!(text.contains("exec.delivered: 5"));
+    }
+
+    #[test]
+    fn hot_text_ranks_shards_by_delivered() {
+        let mut r = sample_report();
+        r.per_shard = vec![
+            ShardLoad {
+                lane: 0,
+                steps: 2,
+                delivered: 1,
+                late: 0,
+                cross_sent: 3,
+            },
+            ShardLoad {
+                lane: 1,
+                steps: 5,
+                delivered: 9,
+                late: 2,
+                cross_sent: 0,
+            },
+            ShardLoad {
+                lane: 2,
+                steps: 1,
+                delivered: 4,
+                late: 0,
+                cross_sent: 1,
+            },
+        ];
+        let text = r.hot_text(2);
+        assert!(text.contains("hot shards (by delivered):"));
+        // top-2 by delivered: shard 1 then shard 2; shard 0 is cut.
+        let i1 = text.find("shard    1: 9 delivered").expect("shard 1 row");
+        let i2 = text.find("shard    2: 4 delivered").expect("shard 2 row");
+        assert!(i1 < i2, "heaviest shard listed first");
+        assert!(!text.contains("shard    0:"));
+    }
+
+    #[test]
+    fn hot_text_shard_section_edge_cases() {
+        // 0-shard report (no probe recorded): no shard section at all.
+        let r = ObsReport::new();
+        assert!(!r.hot_text(3).contains("hot shards"));
+        // top=0: the header still anchors the section, with no rows.
+        let text = sample_report().hot_text(0);
+        assert!(text.contains("hot shards (by delivered):"));
+        assert!(!text.contains("shard    0:"));
     }
 
     #[test]

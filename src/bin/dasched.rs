@@ -8,13 +8,14 @@
 //! dasched plan       --graph grid:8x8 --workload mixed:18 --diff a.json b.json
 //! dasched trace      --graph grid:8x8 --workload mixed:18 --scheduler uniform [--sched-seed 7]
 //!                    [--shards N] [--export chrome|jsonl|text] [--top K] [--out trace.json]
+//!                    [--serve [ADDR]] [--keep-open] [--dump-outcome FILE]
 //! dasched compare    --graph path:100 --workload segments:32:14 [--seed 42]
 //! dasched carve      --graph grid:10x10 --dilation 3 [--layers 20] [--seed 42]
 //! dasched lowerbound --layers 6 --eta 64 --k 32 --p 0.12 [--seed 42]
 //! dasched mst        --graph gnp:100:0.05 [--cap 8] [--k 4] [--seed 42]
 //! dasched coordinator --graph grid:8x8 --workload mixed:18 --scheduler uniform --workers 3
 //!                    [--seed 42] [--sched-seed 7] [--listen 127.0.0.1:0] [--timeout-ms 30000]
-//!                    [--dump-outcome FILE]
+//!                    [--dump-outcome FILE] [--serve-obs ADDR] [--keep-open]
 //! dasched worker     --graph grid:8x8 --workload mixed:18 --connect HOST:PORT [--seed 42]
 //!                    [--timeout-ms 30000]
 //! ```
@@ -40,14 +41,16 @@ use dasched::core::plan::diff::PlanDiff;
 use dasched::core::synthetic::{FloodBall, RelayChain};
 use dasched::core::{
     execute_plan_networked, execute_plan_sharded_with, execute_plan_with, install_ctrl_c,
-    run_traced, run_worker, verify, BlackBoxAlgorithm, DasProblem, EngineKind, ExecutorConfig,
+    run_traced_live, run_worker, verify, BlackBoxAlgorithm, DasProblem, EngineKind, ExecutorConfig,
     InterleaveScheduler, NetConfig, PrivateScheduler, SchedulePlan, Scheduler, SequentialScheduler,
     TunedUniformScheduler, UniformScheduler,
 };
 use dasched::graph::{generators, Graph, NodeId};
 use dasched::lowerbound::{analysis, search, HardInstance, HardInstanceParams};
+use dasched::obs::{LiveHub, ObsServer};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,12 +73,14 @@ const USAGE: &str = "usage:
   dasched plan       --graph SPEC --workload SPEC --diff A.json B.json
   dasched trace      --graph SPEC --workload SPEC --scheduler NAME [--seed N] [--sched-seed N]
                      [--shards N] [--export chrome|jsonl|text] [--top K] [--out FILE]
+                     [--serve [ADDR]] [--keep-open] [--dump-outcome FILE]
   dasched compare    --graph SPEC --workload SPEC [--seed N]
   dasched carve      --graph SPEC --dilation D [--layers L] [--seed N]
   dasched lowerbound --layers L --eta E --k K --p P [--seed N]
   dasched mst        --graph SPEC [--cap C] [--k K] [--seed N]
   dasched coordinator --graph SPEC --workload SPEC --scheduler NAME --workers N [--seed N]
                      [--sched-seed N] [--listen ADDR] [--timeout-ms N] [--dump-outcome FILE]
+                     [--serve-obs ADDR] [--keep-open]
   dasched worker     --graph SPEC --workload SPEC --connect HOST:PORT [--seed N] [--timeout-ms N]
 
 graph specs:    path:N  cycle:N  grid:RxC  gnp:N:P  tree:N:ARITY
@@ -105,17 +110,27 @@ fn run(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------- parsing
 
 /// Flags that take no value (present = set).
-const BOOLEAN_FLAGS: &[&str] = &["execute", "reuse-artifact"];
+const BOOLEAN_FLAGS: &[&str] = &["execute", "reuse-artifact", "keep-open"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
         if BOOLEAN_FLAGS.contains(&name) {
             out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        // --serve takes an *optional* bind address: consume the next token
+        // only when it is not another flag, defaulting to an OS-chosen port
+        if name == "serve" {
+            let addr = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "127.0.0.1:0".to_string(),
+            };
+            out.insert("serve".to_string(), addr);
             continue;
         }
         // --diff is the one flag taking two values: the plan files A and B
@@ -537,7 +552,22 @@ fn cmd_trace(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
     if !obs.enabled() {
         return Err("das-obs was built without the `record` feature".into());
     }
-    let traced = run_traced(&problem, sched.as_ref(), sched_seed, shards, &obs)
+    // --serve: share a live hub between the executing threads and an HTTP
+    // server; snapshots publish only at big-round barriers, so the served
+    // run's outcome stays byte-identical to an unserved one.
+    let live = opts.get("serve").map(|_| Arc::new(LiveHub::new()));
+    let server = match (opts.get("serve"), &live) {
+        (Some(addr), Some(hub)) => {
+            let srv =
+                ObsServer::bind(addr, hub.clone()).map_err(|e| format!("bind {addr}: {e}"))?;
+            // launch contract: scripts read the bound address (port 0 is
+            // resolved by the OS) from this exact stdout line
+            println!("listening on {}", srv.local_addr());
+            Some(srv)
+        }
+        _ => None,
+    };
+    let traced = run_traced_live(&problem, sched.as_ref(), sched_seed, shards, &obs, live)
         .map_err(|e| e.to_string())?;
     eprintln!(
         "traced {} on {} shard(s): schedule {} rounds, precompute {}, late {}, correct {:.1}%, {} events",
@@ -566,6 +596,20 @@ fn cmd_trace(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
         }
         None => print!("{body}"),
     }
+    if let Some(path) = opts.get("dump-outcome") {
+        std::fs::write(path, format!("{:?}", traced.outcome)).map_err(|e| e.to_string())?;
+        eprintln!("wrote outcome debug dump to {path}");
+    }
+    if let Some(srv) = &server {
+        if opts.contains_key("keep-open") {
+            eprintln!("run finished; serving on {} until Ctrl-C", srv.local_addr());
+            let stop = install_ctrl_c();
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+    drop(server);
     Ok(())
 }
 
@@ -708,7 +752,24 @@ fn cmd_coordinator(opts: &HashMap<String, String>, seed: u64) -> Result<(), Stri
     println!("listening on {addr}");
     println!("{}", describe(&problem)?);
     note_clamped("workers", workers, problem.graph().node_count());
-    let net = parse_net(opts)?.with_stop(install_ctrl_c());
+    // --serve-obs: aggregate the workers' ACTIVITY-piggybacked telemetry
+    // and the coordinator-side link traffic behind a live HTTP endpoint.
+    let obs_hub = match opts.get("serve-obs") {
+        Some(bind) => {
+            let hub = Arc::new(LiveHub::new());
+            hub.set_run_info("networked", workers.min(problem.graph().node_count()));
+            hub.set_phase("execute");
+            let srv =
+                ObsServer::bind(bind, hub.clone()).map_err(|e| format!("bind {bind}: {e}"))?;
+            println!("obs listening on {}", srv.local_addr());
+            Some((hub, srv))
+        }
+        None => None,
+    };
+    let stop = install_ctrl_c();
+    let net = parse_net(opts)?
+        .with_stop(stop.clone())
+        .with_live(obs_hub.as_ref().map(|(h, _)| h.clone()));
     let t0 = std::time::Instant::now();
     let (outcome, report) = execute_plan_networked(&problem, &plan, workers, listener, &net)
         .map_err(|e| e.to_string())?;
@@ -743,6 +804,18 @@ fn cmd_coordinator(opts: &HashMap<String, String>, seed: u64) -> Result<(), Stri
     if let Some(path) = opts.get("dump-outcome") {
         std::fs::write(path, format!("{outcome:?}")).map_err(|e| e.to_string())?;
         println!("wrote outcome debug dump to {path}");
+    }
+    if let Some((hub, srv)) = &obs_hub {
+        hub.set_phase("done");
+        if opts.contains_key("keep-open") {
+            println!(
+                "run finished; obs serving on {} until Ctrl-C",
+                srv.local_addr()
+            );
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
     }
     Ok(())
 }
@@ -798,6 +871,29 @@ mod tests {
         let opts = parse_flags(&args).unwrap();
         assert_eq!(opts["execute"], "true");
         assert_eq!(opt_u64(&opts, "shards").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn serve_flag_takes_an_optional_address() {
+        let mk = |args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_flags(&args).unwrap()
+        };
+        // explicit address
+        let opts = mk(&["--serve", "0.0.0.0:8080", "--shards", "2"]);
+        assert_eq!(opts["serve"], "0.0.0.0:8080");
+        assert_eq!(opt_u64(&opts, "shards").unwrap(), Some(2));
+        // bare --serve followed by another flag: defaults, consumes nothing
+        let opts = mk(&["--serve", "--keep-open", "--top", "5"]);
+        assert_eq!(opts["serve"], "127.0.0.1:0");
+        assert_eq!(opts["keep-open"], "true");
+        assert_eq!(opt_u64(&opts, "top").unwrap(), Some(5));
+        // bare --serve at the end of the line
+        let opts = mk(&["--serve"]);
+        assert_eq!(opts["serve"], "127.0.0.1:0");
+        // --serve-obs is an ordinary valued flag
+        let opts = mk(&["--serve-obs", "127.0.0.1:9000"]);
+        assert_eq!(opts["serve-obs"], "127.0.0.1:9000");
     }
 
     #[test]
