@@ -22,9 +22,12 @@
 
 use das_bench::{workloads, SweepPlanner};
 use das_core::{
-    execute_plan_with, DasProblem, EngineKind, ExecutorConfig, Scheduler, UniformScheduler,
+    execute_plan_with, run_loadgen, serve, DasProblem, EngineKind, ExecutorConfig, LoadgenConfig,
+    NetConfig, Scheduler, ServeConfig, UniformScheduler,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str =
@@ -197,6 +200,53 @@ fn measure(
     }
 }
 
+/// Measures the serve path: an in-process daemon on an ephemeral port
+/// driven by the deterministic loadgen (2 clients × 12 jobs). `rounds`
+/// records jobs completed and `rounds_per_sec` the sustained jobs/sec —
+/// the unit differs from the engine points, which is why the pair gets
+/// its own (label, engine) row in the baseline.
+fn measure_serve(tag: &Option<String>) -> TrajectoryPoint {
+    let g = das_graph::generators::grid(4, 4);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind serve bench");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let cfg = ServeConfig {
+        tape_seed: 42,
+        net: NetConfig::default().with_stop(stop.clone()),
+        ..ServeConfig::default()
+    };
+    let lg = LoadgenConfig {
+        clients: 2,
+        jobs_per_client: 12,
+        depth: 4,
+        seed: 42,
+        ..LoadgenConfig::default()
+    };
+    let report = std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| {
+            serve(&g, &UniformScheduler::default(), listener, &cfg).expect("serve bench daemon")
+        });
+        let report = run_loadgen(&g, &addr, &lg).expect("serve bench loadgen");
+        stop.store(true, Ordering::SeqCst);
+        let daemon_report = daemon.join().expect("daemon thread");
+        assert_eq!(
+            daemon_report.completed, 24,
+            "every benchmark job must verify clean"
+        );
+        report
+    });
+    TrajectoryPoint {
+        label: "e01_serve".to_string(),
+        engine: "serve".to_string(),
+        rounds: report.completed,
+        rounds_per_sec: report.jobs_per_sec,
+        plan_cache_hits: 0,
+        sweep_shared: true,
+        peak_rss_kb: peak_rss_kb(),
+        tag: tag.clone(),
+    }
+}
+
 /// Appends `points` to the JSON array in `path` (creating it if absent).
 fn append_points(path: &str, points: &[TrajectoryPoint]) {
     let mut all: Vec<TrajectoryPoint> = match std::fs::read_to_string(path) {
@@ -309,6 +359,7 @@ fn main() {
             &args.tag,
             EngineKind::ColumnarBatched,
         ),
+        measure_serve(&args.tag),
     ];
 
     for p in &points {

@@ -88,6 +88,13 @@ pub enum ExecError {
         /// The worker's problem fingerprint.
         worker: u64,
     },
+    /// A worker JOINed after every shard slot was already assigned: the
+    /// coordinator keeps listening just long enough to turn stragglers
+    /// away with a typed REJECT instead of a generic connection error.
+    LateJoin {
+        /// How many shard slots the run had (all taken).
+        shards: usize,
+    },
     /// A blocking network wait exceeded its configured deadline. Every
     /// wait on the networked path is deadline-bounded, so a dead peer
     /// surfaces as this error instead of a hang.
@@ -147,6 +154,11 @@ impl std::fmt::Display for ExecError {
                 "problem fingerprint mismatch: coordinator {coordinator:#018x} vs \
                  worker {worker:#018x} — both sides must be launched with the \
                  same graph, workload, and seed"
+            ),
+            ExecError::LateJoin { shards } => write!(
+                f,
+                "late JOIN rejected: all {shards} shard slots are already \
+                 assigned for this run"
             ),
             ExecError::NetTimeout { during, ms } => {
                 write!(f, "network wait timed out after {ms} ms during {during}")

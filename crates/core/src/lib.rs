@@ -72,6 +72,7 @@ pub mod newman;
 pub mod obs;
 pub mod plan;
 pub mod schedulers;
+pub mod serve;
 pub mod shard;
 pub mod synthetic;
 pub mod verify;
@@ -86,8 +87,8 @@ pub use exec::{
     Unit,
 };
 pub use net::{
-    execute_plan_networked, install_ctrl_c, plan_hash, problem_fingerprint, run_worker, wire,
-    LinkTraffic, NetConfig, NetReport, WorkerOutcome, PROTOCOL_VERSION,
+    execute_plan_networked, graph_fingerprint, install_ctrl_c, plan_hash, problem_fingerprint,
+    run_worker, wire, LinkTraffic, NetConfig, NetReport, WorkerOutcome, PROTOCOL_VERSION,
 };
 pub use obs::{run_traced, run_traced_live, TracedRun};
 pub use plan::cache::{PlanArtifact, SweepArtifact};
@@ -102,5 +103,9 @@ pub use schedule::ScheduleOutcome;
 pub use schedulers::{
     prime_range_overhead, uniform_length_bound, InterleaveScheduler, PrivateDelayLaw,
     PrivateScheduler, Scheduler, SequentialScheduler, TunedUniformScheduler, UniformScheduler,
+};
+pub use serve::{
+    admit, run_loadgen, serve, Budgets, Capacity, JobKind, JobSpec, JobStatus, LoadgenConfig,
+    LoadgenReport, Rejection, ServeConfig, ServeReport,
 };
 pub use shard::Partition;

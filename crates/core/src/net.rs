@@ -8,10 +8,13 @@
 //! module runs the same protocol over TCP, one OS process per shard:
 //!
 //! * The **coordinator** owns the plan. It accepts one connection per
-//!   shard, handshakes (protocol version + problem fingerprint), ships the
-//!   full [`SchedulePlan`] JSON (guarded by a hash) plus the shard
-//!   assignment, then relays cross-shard outboxes at every big-round
-//!   boundary and collects the per-shard outcomes at the end.
+//!   shard, handshakes (protocol version + problem fingerprint), ships each
+//!   worker its slice of the [`SchedulePlan`] (guarded by a slice hash next
+//!   to the full-plan hash) plus the shard assignment, then relays
+//!   cross-shard outboxes at every big-round boundary and collects the
+//!   per-shard outcomes at the end. Stragglers that JOIN after every slot
+//!   is assigned are turned away with a typed REJECT
+//!   ([`ExecError::LateJoin`]).
 //! * A **worker** builds the identical problem locally (same graph,
 //!   workload, and tape seed — enforced by the fingerprint), recomputes the
 //!   same degree-balanced [`Partition`], and runs the row-engine shard loop
@@ -64,7 +67,11 @@ use std::time::{Duration, Instant};
 
 /// Version of the wire protocol. A coordinator rejects workers announcing
 /// any other version with [`ExecError::VersionMismatch`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: ASSIGN ships a per-shard plan *slice* (guarded by its own hash next
+/// to the full-plan hash) instead of the full plan, late JOINs get a typed
+/// REJECT, and the serve-path frames (HELLO/CAPS/SUBMIT/…) exist.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frame kinds of the wire protocol (the byte after the length prefix).
 /// Public so integration tests can speak the protocol against real
@@ -72,8 +79,10 @@ pub const PROTOCOL_VERSION: u32 = 1;
 pub mod wire {
     /// worker → coordinator: `version: u32, problem_fingerprint: u64`.
     pub const JOIN: u8 = 1;
-    /// coordinator → worker: `shard: u32, shards: u32, plan_hash: u64,
-    /// plan_json: bytes, of_node: u32 list`.
+    /// coordinator → worker: `shard: u32, shards: u32, plan_hash: u64
+    /// (full plan), slice_hash: u64, slice_json: bytes, of_node: u32
+    /// list`. The slice is the full plan restricted to the shard's nodes
+    /// ([`crate::SchedulePlan::slice_for_shard`]).
     pub const ASSIGN: u8 = 2;
     /// coordinator → worker: `code: u32, ours: u64, theirs: u64` — the
     /// handshake failed; decodes to a typed error worker-side.
@@ -100,10 +109,47 @@ pub mod wire {
     /// being torn down.
     pub const ABORT: u8 = 10;
 
+    /// client → server: `job_id: u64, kind: u8, source: u32, depth: u32,
+    /// declared_dilation: u32, declared_congestion: u64,
+    /// declared_payload: u32` — submit one job with its declared budgets.
+    pub const SUBMIT: u8 = 11;
+    /// server → client: `job_id: u64, queued: u64` — the job passed
+    /// admission and is queued for the next batch.
+    pub const ACCEPTED: u8 = 12;
+    /// server → client: `job_id: u64, code: u32, declared: u64,
+    /// capacity: u64` — admission refused the job; `code` names the
+    /// violated budget (`BUDGET_*`) or `MALFORMED`.
+    pub const REJECTED: u8 = 13;
+    /// server → client: `job_id: u64, status: u8, schedule_rounds: u64,
+    /// batch_k: u32, delivered: u64, late: u64, measured_dilation: u32,
+    /// measured_congestion: u64, outputs: u32 count + per node
+    /// `tag: u8 [, bytes]`` — the job's outcome after batch execution.
+    pub const RESULT: u8 = 14;
+    /// client → server: `version: u32, graph_fingerprint: u64` — the
+    /// serve-path handshake (the client has no problem yet, only a graph).
+    pub const HELLO: u8 = 15;
+    /// server → client: `version: u32, graph_fingerprint: u64,
+    /// tape_seed: u64, batch_max: u32, pool_shards: u32,
+    /// max_dilation: u32, max_congestion: u64, max_payload: u32` — the
+    /// server's advertised capacity, in reply to HELLO.
+    pub const CAPS: u8 = 16;
+
     /// REJECT code: protocol version mismatch.
     pub const REJECT_VERSION: u32 = 1;
     /// REJECT code: problem fingerprint mismatch.
     pub const REJECT_PROBLEM: u32 = 2;
+    /// REJECT code: the worker JOINed after every shard slot was assigned.
+    pub const REJECT_FULL: u32 = 3;
+
+    /// REJECTED code: declared dilation exceeds the advertised capacity.
+    pub const BUDGET_DILATION: u32 = 1;
+    /// REJECTED code: declared congestion exceeds the advertised capacity.
+    pub const BUDGET_CONGESTION: u32 = 2;
+    /// REJECTED code: declared payload exceeds the advertised capacity.
+    pub const BUDGET_PAYLOAD: u32 = 3;
+    /// REJECTED code: the SUBMIT body itself was malformed (unknown job
+    /// kind, out-of-range source node).
+    pub const MALFORMED: u32 = 4;
 }
 
 // ---------------------------------------------------------------- hashing
@@ -149,32 +195,47 @@ pub fn problem_fingerprint(problem: &DasProblem<'_>) -> u64 {
     fnv1a(&w.buf)
 }
 
+/// A structural fingerprint of just the graph (node count + edge list):
+/// the serve-path analogue of [`problem_fingerprint`]. A serve client has
+/// no [`DasProblem`] yet — jobs arrive later — so the HELLO/CAPS handshake
+/// checks only that both sides were launched on the same graph spec.
+pub fn graph_fingerprint(g: &das_graph::Graph) -> u64 {
+    let mut w = ByteWriter::new();
+    w.u64(g.node_count() as u64);
+    for e in g.edges() {
+        let (a, b) = g.endpoints(e);
+        w.u32(a.0);
+        w.u32(b.0);
+    }
+    fnv1a(&w.buf)
+}
+
 // ---------------------------------------------------------------- codec
 
 /// Little-endian append-only encoder for frame bodies.
-struct ByteWriter {
-    buf: Vec<u8>,
+pub(crate) struct ByteWriter {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl ByteWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ByteWriter { buf: Vec::new() }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Length-prefixed byte string.
-    fn bytes(&mut self, b: &[u8]) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
         self.u32(b.len() as u32);
         self.buf.extend_from_slice(b);
     }
@@ -182,13 +243,13 @@ impl ByteWriter {
 
 /// Little-endian cursor over a received frame body. Every read is
 /// bounds-checked; a short body decodes to [`ExecError::TruncatedFrame`].
-struct ByteReader<'a> {
+pub(crate) struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         ByteReader { buf, pos: 0 }
     }
 
@@ -210,23 +271,23 @@ impl<'a> ByteReader<'a> {
         }
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, ExecError> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, ExecError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, ExecError> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, ExecError> {
         Ok(u32::from_le_bytes(
             self.take(4, what)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, ExecError> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, ExecError> {
         Ok(u64::from_le_bytes(
             self.take(8, what)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn bytes(&mut self, what: &str) -> Result<&'a [u8], ExecError> {
+    pub(crate) fn bytes(&mut self, what: &str) -> Result<&'a [u8], ExecError> {
         let len = self.u32(what)? as usize;
         self.take(len, what)
     }
@@ -299,7 +360,7 @@ impl NetConfig {
         Duration::from_millis(self.io_timeout_ms.max(1))
     }
 
-    fn stopped(&self) -> bool {
+    pub(crate) fn stopped(&self) -> bool {
         self.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst))
     }
 }
@@ -355,7 +416,7 @@ pub struct WorkerOutcome {
 const FRAME_HEADER: usize = 5; // u32 body length + u8 kind
 
 /// One framed, deadline-bounded, traffic-counted TCP connection.
-struct FramedConn {
+pub(crate) struct FramedConn {
     stream: TcpStream,
     traffic: LinkTraffic,
     timeout: Duration,
@@ -363,7 +424,7 @@ struct FramedConn {
 }
 
 impl FramedConn {
-    fn new(stream: TcpStream, net: &NetConfig) -> Result<Self, ExecError> {
+    pub(crate) fn new(stream: TcpStream, net: &NetConfig) -> Result<Self, ExecError> {
         let timeout = net.io_timeout();
         stream.set_nodelay(true).map_err(|e| ExecError::Net {
             detail: format!("set_nodelay: {e}"),
@@ -399,8 +460,43 @@ impl FramedConn {
         }
     }
 
+    /// Waits up to `wait` for the next frame to start arriving, without
+    /// consuming anything: `Ok(true)` means bytes are ready (or the peer
+    /// closed — the following [`FramedConn::recv`] will classify that),
+    /// `Ok(false)` means the deadline passed quietly. The connection's
+    /// configured read timeout is restored before returning, so this
+    /// composes with `recv` to make a long idle wait interruptible.
+    pub(crate) fn poll_readable(&mut self, wait: Duration) -> Result<bool, ExecError> {
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))
+            .map_err(|e| ExecError::Net {
+                detail: format!("set poll timeout: {e}"),
+            })?;
+        let mut probe = [0u8; 1];
+        let ready = match self.stream.peek(&mut probe) {
+            Ok(_) => Ok(true),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(ExecError::Net {
+                detail: format!("poll: {e}"),
+            }),
+        };
+        self.stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| ExecError::Net {
+                detail: format!("restore timeout: {e}"),
+            })?;
+        ready
+    }
+
     /// Writes one frame: `[u32 LE body len][u8 kind][body]`.
-    fn send(&mut self, kind: u8, body: &[u8], during: &str) -> Result<(), ExecError> {
+    pub(crate) fn send(&mut self, kind: u8, body: &[u8], during: &str) -> Result<(), ExecError> {
         let mut header = [0u8; FRAME_HEADER];
         header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
         header[4] = kind;
@@ -418,7 +514,7 @@ impl FramedConn {
     /// connection close ([`ExecError::Net`], upgraded to
     /// [`ExecError::WorkerDisconnected`] by the coordinator); a close
     /// mid-frame reads as [`ExecError::TruncatedFrame`].
-    fn recv(&mut self, during: &str) -> Result<(u8, Vec<u8>), ExecError> {
+    pub(crate) fn recv(&mut self, during: &str) -> Result<(u8, Vec<u8>), ExecError> {
         let mut header = [0u8; FRAME_HEADER];
         let mut filled = 0;
         while filled < FRAME_HEADER {
@@ -558,7 +654,11 @@ fn run_coordinator(
     let part = Partition::degree_balanced(g, workers);
     let s = part.shards();
     let mut conns = accept_workers(problem, plan, &part, &listener, net)?;
-    drop(listener);
+    // Keep listening for the rest of the run: a worker that JOINs after
+    // every slot is assigned gets a typed REJECT_FULL instead of a
+    // connection-refused (late-JOIN doorman).
+    let doorman_stop = Arc::new(AtomicBool::new(false));
+    let doorman = spawn_doorman(listener, s, net.clone(), doorman_stop.clone());
     let result = coordinator_protocol(problem, plan, &part, &mut conns, net);
     if let Err(ref e) = result {
         // best-effort teardown so surviving workers fail fast with a
@@ -569,6 +669,8 @@ fn run_coordinator(
             let _ = c.send(wire::ABORT, &w.buf, "abort broadcast");
         }
     }
+    doorman_stop.store(true, Ordering::SeqCst);
+    let _ = doorman.join();
     let outcome = result?;
     let traffic: Vec<LinkTraffic> = conns.iter().map(|c| c.traffic.clone()).collect();
     debug_assert_eq!(traffic.len(), s);
@@ -606,8 +708,7 @@ fn accept_workers(
 ) -> Result<Vec<FramedConn>, ExecError> {
     let s = part.shards();
     let fingerprint = problem_fingerprint(problem);
-    let plan_json = plan.to_json();
-    let plan_hash = fnv1a(plan_json.as_bytes());
+    let plan_hash = plan_hash(plan);
     listener.set_nonblocking(true).map_err(|e| ExecError::Net {
         detail: format!("set_nonblocking: {e}"),
     })?;
@@ -626,13 +727,16 @@ fn accept_workers(
                 })?;
                 let shard = conns.len();
                 let mut conn = FramedConn::new(stream, net)?;
+                // each worker gets only its own slice of the plan: O(plan/s)
+                // on the wire instead of O(plan) per worker
+                let slice_json = plan.slice_for_shard(part.of_node(), shard as u32).to_json();
                 handshake_worker(
                     &mut conn,
                     shard,
                     s,
                     fingerprint,
                     plan_hash,
-                    &plan_json,
+                    &slice_json,
                     part,
                 )?;
                 conns.push(conn);
@@ -659,15 +763,56 @@ fn accept_workers(
     Ok(conns)
 }
 
+/// Owns the listener for the rest of the run and turns stragglers away:
+/// any connection accepted after all shard slots are assigned gets its one
+/// frame read (best-effort) and a `REJECT_FULL` reply, which workers
+/// decode to [`ExecError::LateJoin`]. The thread polls non-blocking (the
+/// listener already is) and exits promptly once `stop` is set.
+fn spawn_doorman(
+    listener: TcpListener,
+    shards: usize,
+    net: NetConfig,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let Ok(mut conn) = FramedConn::new(stream, &net) else {
+                        continue;
+                    };
+                    // read the straggler's JOIN so its REJECT is not lost
+                    // in a half-open race; content does not matter
+                    let _ = conn.recv("doorman (late JOIN)");
+                    let mut w = ByteWriter::new();
+                    w.u32(wire::REJECT_FULL);
+                    w.u64(shards as u64);
+                    w.u64(shards as u64);
+                    let _ = conn.send(wire::REJECT, &w.buf, "doorman (REJECT)");
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    })
+}
+
 /// Reads one JOIN, verifies it, and replies with ASSIGN (or REJECT plus a
-/// typed error on mismatch).
+/// typed error on mismatch). The ASSIGN carries the worker's plan slice
+/// and both hashes: the slice hash guards the shipped bytes, the full-plan
+/// hash pins the run identity across all workers.
 fn handshake_worker(
     conn: &mut FramedConn,
     shard: usize,
     shards: usize,
     fingerprint: u64,
     plan_hash: u64,
-    plan_json: &str,
+    slice_json: &str,
     part: &Partition,
 ) -> Result<(), ExecError> {
     let (kind, body) = conn.recv("handshake (JOIN)")?;
@@ -705,7 +850,8 @@ fn handshake_worker(
     w.u32(shard as u32);
     w.u32(shards as u32);
     w.u64(plan_hash);
-    w.bytes(plan_json.as_bytes());
+    w.u64(fnv1a(slice_json.as_bytes()));
+    w.bytes(slice_json.as_bytes());
     w.u32(part.of_node().len() as u32);
     for &owner in part.of_node() {
         w.u32(owner);
@@ -1069,8 +1215,11 @@ pub fn run_worker(
     }
     let shard = r.u32("ASSIGN shard").map_err(SchedError::Exec)? as usize;
     let shards = r.u32("ASSIGN shard count").map_err(SchedError::Exec)? as usize;
-    let announced_hash = r.u64("ASSIGN plan hash").map_err(SchedError::Exec)?;
-    let plan_bytes = r.bytes("ASSIGN plan JSON").map_err(SchedError::Exec)?;
+    let _full_plan_hash = r.u64("ASSIGN plan hash").map_err(SchedError::Exec)?;
+    let announced_hash = r.u64("ASSIGN slice hash").map_err(SchedError::Exec)?;
+    let plan_bytes = r
+        .bytes("ASSIGN plan slice JSON")
+        .map_err(SchedError::Exec)?;
     let got_hash = fnv1a(plan_bytes);
     if got_hash != announced_hash {
         return Err(SchedError::Exec(ExecError::PlanHashMismatch {
@@ -1108,10 +1257,18 @@ pub fn run_worker(
             detail: format!("assigned shard {shard} out of range for {shards} shards"),
         }));
     }
+    // the slice must be a fixed point of slicing: every scheduled step
+    // belongs to a node this shard owns (with one shard this degenerates
+    // to slice == full plan)
+    if plan.slice_for_shard(part.of_node(), shard as u32) != plan {
+        return Err(SchedError::Exec(ExecError::Net {
+            detail: "received plan slice schedules nodes outside the assigned shard".to_string(),
+        }));
+    }
     worker_loop(problem, &plan, shard, &part, &mut conn).map_err(SchedError::Exec)
 }
 
-fn connect_with_retry(connect: &str, net: &NetConfig) -> Result<TcpStream, ExecError> {
+pub(crate) fn connect_with_retry(connect: &str, net: &NetConfig) -> Result<TcpStream, ExecError> {
     let started = Instant::now();
     let mut last_err = String::new();
     for attempt in 0..net.connect_retries.max(1) {
@@ -1141,7 +1298,7 @@ fn connect_with_retry(connect: &str, net: &NetConfig) -> Result<TcpStream, ExecE
     })
 }
 
-fn decode_reject(body: &[u8]) -> Result<ExecError, ExecError> {
+pub(crate) fn decode_reject(body: &[u8]) -> Result<ExecError, ExecError> {
     let mut r = ByteReader::new(body);
     let code = r.u32("REJECT code")?;
     let ours = r.u64("REJECT coordinator value")?;
@@ -1155,13 +1312,16 @@ fn decode_reject(body: &[u8]) -> Result<ExecError, ExecError> {
             coordinator: ours,
             worker: theirs,
         },
+        wire::REJECT_FULL => ExecError::LateJoin {
+            shards: ours as usize,
+        },
         other => ExecError::Net {
             detail: format!("coordinator rejected the handshake with unknown code {other}"),
         },
     })
 }
 
-fn decode_abort(body: &[u8]) -> String {
+pub(crate) fn decode_abort(body: &[u8]) -> String {
     ByteReader::new(body)
         .bytes("ABORT reason")
         .ok()

@@ -232,6 +232,35 @@ impl SchedulePlan {
         self.units.len()
     }
 
+    /// Restricts the plan to the nodes `shard` owns (per `of_node`, the
+    /// shard index of each node): non-owned nodes get `trunc = 0` (no
+    /// steps) and `delay = 0` (no dead weight in the JSON), owned nodes
+    /// keep their schedule byte-for-byte.
+    ///
+    /// This is what the networked coordinator ships each worker instead of
+    /// the full plan: a worker only ever steps its own nodes, its big-round
+    /// table tolerates being shorter than the global schedule, and the
+    /// termination decision is coordinator-driven from the *full* plan — so
+    /// executing a slice is byte-identical to executing the full plan on
+    /// that shard. Slicing with a one-shard partition returns a plan whose
+    /// step schedule equals the original's.
+    ///
+    /// # Panics
+    /// Panics if a unit's vectors are shorter than `of_node` (callers slice
+    /// validated plans).
+    pub fn slice_for_shard(&self, of_node: &[u32], shard: u32) -> SchedulePlan {
+        let mut sliced = self.clone();
+        for u in &mut sliced.units {
+            for (v, &owner) in of_node.iter().enumerate() {
+                if owner != shard {
+                    u.trunc[v] = 0;
+                    u.delay[v] = 0;
+                }
+            }
+        }
+        sliced
+    }
+
     /// The plan's canonical JSON form (pretty-printed, keys in declaration
     /// order): equal plans serialize byte-identically.
     ///
@@ -588,6 +617,44 @@ mod tests {
             assert_eq!(a.to_json(), b.to_json(), "{}", sched.name());
             assert_eq!(a.scheduler, sched.name());
             assert_eq!(a.sched_seed, 12345);
+        }
+    }
+
+    #[test]
+    fn shard_slices_are_fixed_points_and_one_shard_slice_is_the_full_plan() {
+        let g = generators::path(12);
+        let p = mixed_problem(&g);
+        for sched in all_schedulers() {
+            let plan = sched.plan(&p, 9).unwrap();
+            // 1 shard owns every node, so the slice IS the plan — byte for
+            // byte, since slicing must not disturb serialization.
+            let whole = crate::shard::Partition::degree_balanced(&g, 1);
+            let s1 = plan.slice_for_shard(whole.of_node(), 0);
+            assert_eq!(s1, plan, "{}", sched.name());
+            assert_eq!(s1.to_json(), plan.to_json(), "{}", sched.name());
+            // slicing an already-sliced plan changes nothing (the worker's
+            // cross-check relies on this fixed point)
+            let part = crate::shard::Partition::degree_balanced(&g, 3);
+            for shard in 0..3u32 {
+                let slice = plan.slice_for_shard(part.of_node(), shard);
+                assert_eq!(
+                    slice.slice_for_shard(part.of_node(), shard),
+                    slice,
+                    "{}",
+                    sched.name()
+                );
+                // non-owned nodes are fully disabled in every unit
+                for u in &slice.units {
+                    for (v, &owner) in part.of_node().iter().enumerate() {
+                        if owner != shard {
+                            assert_eq!(u.trunc[v], 0, "{}", sched.name());
+                            assert_eq!(u.delay[v], 0, "{}", sched.name());
+                        }
+                    }
+                }
+                // a slice still validates against the problem
+                slice.validate(&p).unwrap();
+            }
         }
     }
 

@@ -133,8 +133,8 @@ fn truncated_frame_yields_typed_error() {
     assert!(started.elapsed() < Duration::from_secs(10));
 }
 
-/// A coordinator announcing a plan hash that does not match the shipped
-/// plan bytes must be refused by the worker with `PlanHashMismatch`.
+/// A coordinator announcing a slice hash that does not match the shipped
+/// slice bytes must be refused by the worker with `PlanHashMismatch`.
 #[test]
 fn mismatched_plan_hash_yields_typed_error() {
     let g = small_graph();
@@ -150,7 +150,8 @@ fn mismatched_plan_hash_yields_typed_error() {
         let mut assign = Vec::new();
         assign.extend_from_slice(&0u32.to_le_bytes()); // shard
         assign.extend_from_slice(&1u32.to_le_bytes()); // shards
-        assign.extend_from_slice(&0xdead_beefu64.to_le_bytes()); // wrong hash
+        assign.extend_from_slice(&0u64.to_le_bytes()); // full-plan hash
+        assign.extend_from_slice(&0xdead_beefu64.to_le_bytes()); // wrong slice hash
         assign.extend_from_slice(&(bogus_plan.len() as u32).to_le_bytes());
         assign.extend_from_slice(bogus_plan);
         send_frame(&mut s, wire::ASSIGN, &assign);
@@ -204,6 +205,49 @@ fn version_mismatch_is_rejected_both_sides() {
     assert_eq!(kind, wire::REJECT);
     let code = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
     assert_eq!(code, wire::REJECT_VERSION);
+}
+
+/// Two workers racing for a single shard slot: exactly one wins the slot
+/// and completes; the straggler gets a typed `LateJoin` REJECT from the
+/// doorman instead of a hang or a silent drop.
+#[test]
+fn late_join_after_assignment_is_rejected_typed() {
+    let g = small_graph();
+    let p = build_problem(&g);
+    let plan = SequentialScheduler.plan(&p, 7).expect("plan");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let net = NetConfig::default().with_io_timeout_ms(5_000);
+    let started = Instant::now();
+    let results: Vec<Result<_, SchedError>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                let net = net.clone();
+                let p = &p;
+                scope.spawn(move || run_worker(p, &addr, &net))
+            })
+            .collect();
+        execute_plan_networked(&p, &plan, 1, listener, &net).expect("one-worker run");
+        workers
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
+    });
+    let won = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(won, 1, "exactly one worker may win the slot: {results:?}");
+    let loser = results
+        .into_iter()
+        .find_map(|r| r.err())
+        .expect("one loser");
+    match exec_err(Err::<(), _>(loser)) {
+        ExecError::LateJoin { shards } => assert_eq!(shards, 1),
+        other => panic!("expected LateJoin, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "late-JOIN rejection must be deadline-bounded"
+    );
 }
 
 /// A coordinator with no workers must time out typed, not hang.
@@ -292,6 +336,7 @@ fn net_error_display_is_descriptive() {
             },
             "timed out",
         ),
+        (ExecError::LateJoin { shards: 3 }, "late JOIN rejected"),
         (
             ExecError::Aborted {
                 detail: "ctrl-c".to_string(),

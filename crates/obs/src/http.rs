@@ -19,7 +19,8 @@
 //! | `GET /metrics` | metrics registry as JSON; `?format=prometheus` for text exposition |
 //! | `GET /doubling` | doubling-search attempt log and counters |
 //! | `GET /net` | per-link coordinator↔worker traffic |
-//! | `GET /events?since=N` | JSONL tail of trace events from cursor `N` |
+//! | `GET /jobs` | serve-daemon admission counters (queued/admitted/rejected/completed) |
+//! | `GET /events?since=N` | JSONL tail of trace events from cursor `N` (non-numeric `N` → 400) |
 
 use crate::live::LiveHub;
 use std::io::{ErrorKind, Read, Write};
@@ -195,10 +196,33 @@ fn handle_connection(mut stream: TcpStream, hub: &LiveHub) {
             &[],
         ),
         "/net" => respond(&mut stream, 200, "application/json", &hub.render_net(), &[]),
+        "/jobs" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &hub.render_jobs(),
+            &[],
+        ),
         "/events" => {
-            let since = query_param(query, "since")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0);
+            // a missing `since` means "from the start"; a present but
+            // non-numeric (or overflowing) one is a client bug and gets a
+            // 400, never a silent clamp to 0
+            let since = match query_param(query, "since") {
+                None => 0,
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        respond(
+                            &mut stream,
+                            400,
+                            "text/plain",
+                            "bad since: expected a non-negative integer\n",
+                            &[],
+                        );
+                        return;
+                    }
+                },
+            };
             let (body, next) = hub.render_events_since(since);
             let next_header = format!("X-Obs-Next: {next}");
             respond(
@@ -320,6 +344,64 @@ mod tests {
         let (_, head, body) = get(server.local_addr(), "/events?since=2");
         assert!(body.is_empty());
         assert!(head.contains("X-Obs-Next: 2"));
+    }
+
+    #[test]
+    fn events_since_is_parsed_strictly() {
+        let (server, hub) = test_server();
+        hub.publish_big_round(
+            0,
+            0,
+            &crate::live::BigRoundDelta {
+                events: vec!["{\"a\":1}".into()],
+                ..Default::default()
+            },
+        );
+        let addr = server.local_addr();
+        // garbage and overflowing cursors are client bugs: 400, not 0
+        for target in [
+            "/events?since=banana",
+            "/events?since=-1",
+            "/events?since=1e9",
+            "/events?since=99999999999999999999999999",
+            "/events?since=",
+        ] {
+            let (code, _, _) = get(addr, target);
+            assert_eq!(code, 400, "{target}");
+        }
+        // a cursor beyond the newest sequence is valid and yields an
+        // empty tail, never a clamped replay
+        let (code, head, body) = get(addr, "/events?since=100");
+        assert_eq!(code, 200);
+        assert!(body.is_empty());
+        assert!(head.contains("X-Obs-Next: 1"));
+        // missing cursor means "from the start"
+        let (code, _, body) = get(addr, "/events");
+        assert_eq!(code, 200);
+        assert_eq!(body.lines().count(), 1);
+        // an oversized query string is still a valid head: parsed, then
+        // rejected on the bad cursor rather than crashing the server
+        let big = format!("/events?since={}", "9".repeat(4096));
+        let (code, _, _) = get(addr, &big);
+        assert_eq!(code, 400);
+    }
+
+    #[test]
+    fn jobs_endpoint_serves_admission_counters() {
+        let (server, hub) = test_server();
+        hub.publish_jobs(crate::live::JobsLive {
+            queued: 1,
+            admitted: 5,
+            rejected: 2,
+            completed: 4,
+            failed: 0,
+            batches: 2,
+        });
+        let (code, _, body) = get(server.local_addr(), "/jobs");
+        assert_eq!(code, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("admitted").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("rejected").and_then(Value::as_u64), Some(2));
     }
 
     #[test]

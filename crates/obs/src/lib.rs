@@ -43,7 +43,7 @@ pub mod live;
 pub use config::{ObsConfig, ObsMode};
 pub use event::{EventPhase, Stage, TraceEvent};
 pub use http::ObsServer;
-pub use live::{BigRoundDelta, DoublingAttempt, LinkLive, LiveHub};
+pub use live::{BigRoundDelta, DoublingAttempt, JobsLive, LinkLive, LiveHub};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use probe::ExecObs;
 pub use profile::{sparkline, LoadProfile};

@@ -76,6 +76,27 @@ pub struct LinkLive {
     pub bytes_received: u64,
 }
 
+/// Job-admission counters for a long-lived `dasched serve` daemon, as
+/// shown by `GET /jobs`. Published as one authoritative snapshot per
+/// change (the [`LiveHub::publish_links`] idiom): the server owns the
+/// counts, the hub only mirrors them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobsLive {
+    /// Jobs admitted but not yet executed.
+    pub queued: u64,
+    /// Jobs that passed admission (cumulative).
+    pub admitted: u64,
+    /// Jobs refused at admission (cumulative).
+    pub rejected: u64,
+    /// Jobs executed and verified clean (cumulative).
+    pub completed: u64,
+    /// Jobs executed but failed verify / budget cross-check / execution
+    /// (cumulative).
+    pub failed: u64,
+    /// Batches executed (cumulative).
+    pub batches: u64,
+}
+
 /// Cumulative per-lane counters, keyed by lane (shard) index.
 #[derive(Clone, Debug, Default)]
 struct LaneTotals {
@@ -103,6 +124,7 @@ struct LiveState {
     doubling_rejected: u64,
     doubling_fell_back: bool,
     links: Vec<LinkLive>,
+    jobs: JobsLive,
     events: VecDeque<String>,
     /// Sequence number of `events.front()`.
     events_base: u64,
@@ -244,6 +266,11 @@ impl LiveHub {
     /// Replaces the per-link traffic snapshot (coordinator-side).
     pub fn publish_links(&self, links: Vec<LinkLive>) {
         self.lock().links = links;
+    }
+
+    /// Replaces the job-admission snapshot (serve daemon side).
+    pub fn publish_jobs(&self, jobs: JobsLive) {
+        self.lock().jobs = jobs;
     }
 
     /// Publishes the final merged report: the authoritative metrics and
@@ -430,12 +457,30 @@ impl LiveHub {
         serde_json::to_string(&doc).expect("net view is finite")
     }
 
+    /// `GET /jobs` body: the serve daemon's admission counters.
+    pub fn render_jobs(&self) -> String {
+        let s = self.lock();
+        let doc = Value::Object(vec![
+            ("queued".into(), Value::U64(s.jobs.queued)),
+            ("admitted".into(), Value::U64(s.jobs.admitted)),
+            ("rejected".into(), Value::U64(s.jobs.rejected)),
+            ("completed".into(), Value::U64(s.jobs.completed)),
+            ("failed".into(), Value::U64(s.jobs.failed)),
+            ("batches".into(), Value::U64(s.jobs.batches)),
+        ]);
+        serde_json::to_string(&doc).expect("jobs view is finite")
+    }
+
     /// `GET /events?since=N` body: the buffered JSONL tail starting at
-    /// sequence `since`, and the cursor to pass as the next `since`.
+    /// sequence `since`, and the cursor to pass as the next `since`. A
+    /// `since` beyond the newest sequence yields an empty body (never a
+    /// clamped replay).
     pub fn render_events_since(&self, since: u64) -> (String, u64) {
         let s = self.lock();
         let start = since.max(s.events_base);
-        let skip = (start - s.events_base) as usize;
+        // checked, not `as usize`: a since near u64::MAX must skip
+        // everything on 32-bit targets too, not truncate into a replay
+        let skip = usize::try_from(start - s.events_base).unwrap_or(usize::MAX);
         let mut body = String::new();
         for line in s.events.iter().skip(skip) {
             body.push_str(line);
@@ -600,6 +645,41 @@ mod tests {
         assert_eq!(shards[0].get("shard").and_then(Value::as_u64), Some(2));
         assert_eq!(shards[0].get("steps").and_then(Value::as_u64), Some(9));
         assert_eq!(shards[0].get("late").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn jobs_snapshot_renders() {
+        let hub = LiveHub::new();
+        hub.publish_jobs(JobsLive {
+            queued: 2,
+            admitted: 10,
+            rejected: 3,
+            completed: 7,
+            failed: 1,
+            batches: 4,
+        });
+        let v: Value = serde_json::from_str(&hub.render_jobs()).unwrap();
+        assert_eq!(v.get("queued").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("admitted").and_then(Value::as_u64), Some(10));
+        assert_eq!(v.get("rejected").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("completed").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("batches").and_then(Value::as_u64), Some(4));
+    }
+
+    #[test]
+    fn events_since_beyond_newest_is_empty_even_at_u64_max() {
+        let hub = LiveHub::new();
+        hub.publish_big_round(
+            0,
+            0,
+            &BigRoundDelta {
+                events: vec!["{\"i\":0}".to_string()],
+                ..BigRoundDelta::default()
+            },
+        );
+        let (body, next) = hub.render_events_since(u64::MAX);
+        assert!(body.is_empty());
+        assert_eq!(next, 1);
     }
 
     #[test]

@@ -175,7 +175,11 @@ impl ExecObs {
         if !self.on {
             return;
         }
-        self.profile.add_round(engine_round as usize, 1);
+        // checked, not `as usize`: the engine-round cap keeps this small,
+        // but a 32-bit target must fail loudly rather than truncate the
+        // index and credit the wrong round
+        let round = usize::try_from(engine_round).expect("engine round fits usize");
+        self.profile.add_round(round, 1);
         if late {
             self.late += 1;
             self.br_late += 1;

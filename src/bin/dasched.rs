@@ -18,6 +18,13 @@
 //!                    [--dump-outcome FILE] [--serve-obs ADDR] [--keep-open]
 //! dasched worker     --graph grid:8x8 --workload mixed:18 --connect HOST:PORT [--seed 42]
 //!                    [--timeout-ms 30000]
+//! dasched serve      --graph grid:8x8 [--scheduler uniform] [--seed 42] [--listen 127.0.0.1:0]
+//!                    [--batch 4] [--batch-wait-ms 50] [--pool 2] [--engine row|columnar|batched]
+//!                    [--max-dilation N] [--max-congestion N] [--max-payload N]
+//!                    [--serve-obs ADDR] [--timeout-ms 30000]
+//! dasched loadgen    --graph grid:8x8 --connect HOST:PORT [--seed 42] [--clients 2] [--jobs 8]
+//!                    [--depth 6] [--check] [--reject-every N] [--out bench.json]
+//!                    [--dump-outputs FILE] [--timeout-ms 30000]
 //! ```
 //!
 //! `coordinator`/`worker` run one plan across OS processes: the
@@ -25,6 +32,14 @@
 //! big-round boundaries; each worker must be launched with the *same*
 //! graph/workload/seed flags (enforced by a handshake fingerprint). The
 //! outcome is byte-identical to `plan --execute` on the same flags.
+//!
+//! `serve` keeps a scheduling daemon alive: clients SUBMIT jobs with
+//! declared budgets, admission compares them against the advertised
+//! capacity (content-free — see DESIGN.md), admitted jobs are batched
+//! into DAS instances, and each RESULT carries outputs byte-identical to
+//! a one-shot `plan --execute` of the same jobs under the same seed.
+//! `loadgen` drives a daemon with deterministic concurrent job streams
+//! and reports sustained jobs/sec plus latency quantiles.
 //!
 //! Graph specs: `path:N`, `cycle:N`, `grid:RxC`, `gnp:N:P`, `tree:N:ARITY`,
 //! `expander:N:D`, `star:N`, `hypercube:D`.
@@ -41,9 +56,10 @@ use dasched::core::plan::diff::PlanDiff;
 use dasched::core::synthetic::{FloodBall, RelayChain};
 use dasched::core::{
     execute_plan_networked, execute_plan_sharded_with, execute_plan_with, install_ctrl_c,
-    run_traced_live, run_worker, verify, BlackBoxAlgorithm, DasProblem, EngineKind, ExecutorConfig,
-    InterleaveScheduler, NetConfig, PrivateScheduler, SchedulePlan, Scheduler, SequentialScheduler,
-    TunedUniformScheduler, UniformScheduler,
+    run_loadgen, run_traced_live, run_worker, verify, BlackBoxAlgorithm, Capacity, DasProblem,
+    EngineKind, ExecutorConfig, InterleaveScheduler, LoadgenConfig, NetConfig, PrivateScheduler,
+    SchedulePlan, Scheduler, SequentialScheduler, ServeConfig, TunedUniformScheduler,
+    UniformScheduler,
 };
 use dasched::graph::{generators, Graph, NodeId};
 use dasched::lowerbound::{analysis, search, HardInstance, HardInstanceParams};
@@ -82,6 +98,13 @@ const USAGE: &str = "usage:
                      [--sched-seed N] [--listen ADDR] [--timeout-ms N] [--dump-outcome FILE]
                      [--serve-obs ADDR] [--keep-open]
   dasched worker     --graph SPEC --workload SPEC --connect HOST:PORT [--seed N] [--timeout-ms N]
+  dasched serve      --graph SPEC [--scheduler NAME] [--seed N] [--listen ADDR] [--batch N]
+                     [--batch-wait-ms N] [--pool N] [--engine row|columnar|batched]
+                     [--max-dilation N] [--max-congestion N] [--max-payload N]
+                     [--serve-obs ADDR] [--timeout-ms N]
+  dasched loadgen    --graph SPEC --connect HOST:PORT [--seed N] [--clients N] [--jobs N]
+                     [--depth N] [--check] [--reject-every N] [--out FILE]
+                     [--dump-outputs FILE] [--timeout-ms N]
 
 graph specs:    path:N  cycle:N  grid:RxC  gnp:N:P  tree:N:ARITY
                 expander:N:D  star:N  hypercube:D
@@ -103,6 +126,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "mst" => cmd_mst(&opts, seed),
         "coordinator" => cmd_coordinator(&opts, seed),
         "worker" => cmd_worker(&opts, seed),
+        "serve" => cmd_serve(&opts, seed),
+        "loadgen" => cmd_loadgen(&opts, seed),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -110,7 +135,7 @@ fn run(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------- parsing
 
 /// Flags that take no value (present = set).
-const BOOLEAN_FLAGS: &[&str] = &["execute", "reuse-artifact", "keep-open"];
+const BOOLEAN_FLAGS: &[&str] = &["execute", "reuse-artifact", "keep-open", "check"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -469,16 +494,7 @@ fn execute_planned(
 ) -> Result<(), String> {
     let shards = opt_count(opts, "shards")?.unwrap_or(1);
     note_clamped("shards", shards, problem.graph().node_count());
-    let engine = match opts.get("engine").map(String::as_str) {
-        None | Some("columnar") => EngineKind::Columnar,
-        Some("batched") => EngineKind::ColumnarBatched,
-        Some("row") => EngineKind::Row,
-        Some(other) => {
-            return Err(format!(
-                "unknown engine `{other}` (row, columnar, or batched)"
-            ))
-        }
-    };
+    let engine = parse_engine(opts, EngineKind::Columnar)?;
     let config = ExecutorConfig::default()
         .with_engine(engine)
         .with_phase_len(plan.phase_len);
@@ -529,7 +545,53 @@ fn execute_planned(
         std::fs::write(path, format!("{outcome:?}")).map_err(|e| e.to_string())?;
         println!("wrote outcome debug dump to {path}");
     }
+    if let Some(path) = opts.get("dump-outputs") {
+        let entries: Vec<(u64, Vec<Option<Vec<u8>>>)> = outcome
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, outs)| (problem.algorithms()[i].aid().0, outs.clone()))
+            .collect();
+        std::fs::write(path, render_outputs(&entries)).map_err(|e| e.to_string())?;
+        println!("wrote per-job outputs to {path}");
+    }
     Ok(())
+}
+
+/// Parses `--engine row|columnar|batched` (shared by `plan --execute` and
+/// `serve`), falling back to `default` when absent.
+fn parse_engine(opts: &HashMap<String, String>, default: EngineKind) -> Result<EngineKind, String> {
+    match opts.get("engine").map(String::as_str) {
+        None => Ok(default),
+        Some("columnar") => Ok(EngineKind::Columnar),
+        Some("batched") => Ok(EngineKind::ColumnarBatched),
+        Some("row") => Ok(EngineKind::Row),
+        Some(other) => Err(format!(
+            "unknown engine `{other}` (row, columnar, or batched)"
+        )),
+    }
+}
+
+/// Canonical per-job output dump: one line per `(job, node)` pair, keyed
+/// by algorithm/job id so a served run and a one-shot run of the same job
+/// set diff byte-identically regardless of batching.
+fn render_outputs(entries: &[(u64, Vec<Option<Vec<u8>>>)]) -> String {
+    let mut out = String::new();
+    for (aid, outputs) in entries {
+        for (v, bytes) in outputs.iter().enumerate() {
+            out.push_str(&format!("job={aid} node={v} out="));
+            match bytes {
+                Some(b) => {
+                    for byte in b {
+                        out.push_str(&format!("{byte:02x}"));
+                    }
+                }
+                None => out.push('-'),
+            }
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// `dasched trace`: one fully observed plan → execute → verify run, with
@@ -844,6 +906,161 @@ fn cmd_worker(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
         out.traffic.frames_received,
         out.traffic.bytes_received
     );
+    Ok(())
+}
+
+/// `dasched serve`: a long-lived scheduling daemon. Clients SUBMIT jobs
+/// with declared budgets; admission is a content-free comparison against
+/// the advertised capacity; admitted jobs are batched into DAS instances,
+/// planned through the sweep cache, executed on the in-process pool, and
+/// verified before each RESULT goes back. Runs until Ctrl-C, then drains
+/// the admitted queue and prints the final counters.
+fn cmd_serve(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let sched = parse_scheduler(
+        opts.get("scheduler")
+            .map(String::as_str)
+            .unwrap_or("uniform"),
+    )?;
+    let sched_seed = opt_u64(opts, "sched-seed")?.unwrap_or_else(|| sched.default_sched_seed());
+    let listen = opts
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // launch contract, same as coordinator/trace: scripts read the bound
+    // address from this exact line before connecting
+    println!("listening on {addr}");
+    let pool = opt_count(opts, "pool")?.unwrap_or(2);
+    note_clamped("pool", pool, g.node_count());
+    let obs_hub = match opts.get("serve-obs") {
+        Some(bind) => {
+            let hub = Arc::new(LiveHub::new());
+            hub.set_run_info("serve", pool.min(g.node_count()));
+            hub.set_phase("serve");
+            let srv =
+                ObsServer::bind(bind, hub.clone()).map_err(|e| format!("bind {bind}: {e}"))?;
+            println!("obs listening on {}", srv.local_addr());
+            Some((hub, srv))
+        }
+        None => None,
+    };
+    let stop = install_ctrl_c();
+    let net = parse_net(opts)?
+        .with_stop(stop.clone())
+        .with_live(obs_hub.as_ref().map(|(h, _)| h.clone()));
+    let defaults = ServeConfig::default();
+    let mut capacity = Capacity::default();
+    if let Some(v) = opt_u32(opts, "max-dilation")? {
+        capacity.max_dilation = v;
+    }
+    if let Some(v) = opt_u64(opts, "max-congestion")? {
+        capacity.max_congestion = v;
+    }
+    if let Some(v) = opt_u32(opts, "max-payload")? {
+        capacity.max_payload_bytes = v;
+    }
+    let cfg = ServeConfig {
+        batch_max: opt_count(opts, "batch")?.unwrap_or(defaults.batch_max),
+        batch_wait_ms: opt_u64(opts, "batch-wait-ms")?.unwrap_or(defaults.batch_wait_ms),
+        pool_shards: pool,
+        capacity,
+        tape_seed: seed,
+        sched_seed,
+        engine: parse_engine(opts, defaults.engine)?,
+        net,
+    };
+    println!(
+        "serving {} jobs/batch (wait {} ms) on {} pool shard(s), capacity: dilation {} congestion {} payload {} B",
+        cfg.batch_max,
+        cfg.batch_wait_ms,
+        cfg.pool_shards,
+        cfg.capacity.max_dilation,
+        cfg.capacity.max_congestion,
+        cfg.capacity.max_payload_bytes
+    );
+    let report =
+        dasched::core::serve(&g, sched.as_ref(), listener, &cfg).map_err(|e| e.to_string())?;
+    if let Some((hub, _)) = &obs_hub {
+        hub.set_phase("done");
+    }
+    println!(
+        "serve done: admitted {} rejected {} completed {} failed {} over {} batch(es)",
+        report.admitted, report.rejected, report.completed, report.failed, report.batches
+    );
+    Ok(())
+}
+
+/// `dasched loadgen`: deterministic concurrent job streams against a serve
+/// daemon. `--check` re-derives every output locally and fails on any byte
+/// mismatch; `--out` writes the bench point JSON; `--dump-outputs` writes
+/// the canonical per-job output lines for diffing against
+/// `plan --execute --dump-outputs`.
+fn cmd_loadgen(opts: &HashMap<String, String>, seed: u64) -> Result<(), String> {
+    let g = parse_graph(req(opts, "graph")?, seed)?;
+    let connect = req(opts, "connect")?;
+    let cfg = LoadgenConfig {
+        clients: opt_count(opts, "clients")?.unwrap_or(2),
+        jobs_per_client: opt_count(opts, "jobs")?.unwrap_or(8),
+        depth: opt_u32(opts, "depth")?.unwrap_or(6),
+        seed,
+        check: opts.contains_key("check"),
+        reject_every: opt_usize(opts, "reject-every")?.unwrap_or(0),
+        net: parse_net(opts)?,
+    };
+    println!(
+        "loadgen: {} client(s) x {} job(s), depth {}, seed {seed} -> {connect}",
+        cfg.clients, cfg.jobs_per_client, cfg.depth
+    );
+    let report = run_loadgen(&g, connect, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "loadgen done: submitted {} completed {} rejected {} failed {} in {} ms",
+        report.submitted, report.completed, report.rejected, report.failed, report.wall_ms
+    );
+    println!(
+        "throughput {:.1} jobs/s, latency p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms",
+        report.jobs_per_sec, report.p50_ms, report.p95_ms, report.p99_ms
+    );
+    if cfg.check {
+        println!(
+            "output check: {} byte mismatch(es)",
+            report.check_mismatches
+        );
+    }
+    if let Some(path) = opts.get("out") {
+        let json = format!(
+            "{{\n  \"label\": \"e01_serve\",\n  \"jobs_per_sec\": {:.3},\n  \"p50_ms\": {:.3},\n  \
+             \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"submitted\": {},\n  \"completed\": {},\n  \
+             \"rejected\": {},\n  \"failed\": {},\n  \"check_mismatches\": {},\n  \"wall_ms\": {}\n}}\n",
+            report.jobs_per_sec,
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.submitted,
+            report.completed,
+            report.rejected,
+            report.failed,
+            report.check_mismatches,
+            report.wall_ms
+        );
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("wrote bench point to {path}");
+    }
+    if let Some(path) = opts.get("dump-outputs") {
+        std::fs::write(path, render_outputs(&report.outputs)).map_err(|e| e.to_string())?;
+        println!("wrote per-job outputs to {path}");
+    }
+    if report.failed > 0 {
+        return Err(format!("{} job(s) failed", report.failed));
+    }
+    if report.check_mismatches > 0 {
+        return Err(format!(
+            "{} output byte mismatch(es) against local alone runs",
+            report.check_mismatches
+        ));
+    }
     Ok(())
 }
 
@@ -1425,6 +1642,130 @@ mod tests {
         for f in [fused_dump, net_dump] {
             std::fs::remove_file(f).unwrap();
         }
+    }
+
+    /// The serve-path byte-identity contract, through the CLI surfaces: a
+    /// loadgen run against a live daemon dumps the same per-job output
+    /// lines as a one-shot `plan --execute` of the identical job set
+    /// (same graph, seed, depth, and source formula), regardless of how
+    /// the daemon batched the jobs.
+    #[test]
+    fn loadgen_dump_matches_one_shot_plan_execute_dump() {
+        use dasched::core::serve as serve_daemon;
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let dir = std::env::temp_dir().join("dasched_serve_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let served_dump = dir.join("served.txt");
+        let oneshot_dump = dir.join("oneshot.txt");
+
+        // library-side daemon on an ephemeral port (the serve *command*
+        // blocks on Ctrl-C, which a unit test cannot deliver cleanly)
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let g = parse_graph("grid:3x3", 42).unwrap();
+        let cfg = ServeConfig {
+            batch_max: 2, // forces multi-batch execution of the 3 jobs
+            tape_seed: 42,
+            net: NetConfig::default().with_stop(stop.clone()),
+            ..ServeConfig::default()
+        };
+        let daemon = {
+            let g = g.clone();
+            std::thread::spawn(move || {
+                serve_daemon(&g, &UniformScheduler::default(), listener, &cfg).unwrap()
+            })
+        };
+
+        // `loadgen --check --dump-outputs`: 1 client, 3 jobs, depth 4
+        let args: Vec<String> = [
+            "loadgen",
+            "--graph",
+            "grid:3x3",
+            "--connect",
+            &addr,
+            "--clients",
+            "1",
+            "--jobs",
+            "3",
+            "--depth",
+            "4",
+            "--check",
+            "--dump-outputs",
+            served_dump.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        stop.store(true, Ordering::SeqCst);
+        let report = daemon.join().unwrap();
+        assert_eq!(report.completed, 3);
+        assert!(report.batches >= 2, "batch_max 2 must split 3 jobs");
+
+        // the identical job set as a one-shot plan --execute
+        let args: Vec<String> = [
+            "plan",
+            "--graph",
+            "grid:3x3",
+            "--workload",
+            "floods:3:4",
+            "--scheduler",
+            "uniform",
+            "--seed",
+            "42",
+            "--execute",
+            "--dump-outputs",
+            oneshot_dump.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+
+        let served = std::fs::read_to_string(&served_dump).unwrap();
+        let oneshot = std::fs::read_to_string(&oneshot_dump).unwrap();
+        assert!(!served.is_empty());
+        assert_eq!(
+            served, oneshot,
+            "served outputs must be byte-identical to the one-shot run"
+        );
+        for f in [served_dump, oneshot_dump] {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn loadgen_requires_connect_and_serve_validates_counts() {
+        let args: Vec<String> = ["loadgen", "--graph", "path:8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("missing --connect"));
+        let args: Vec<String> = ["serve", "--graph", "path:8", "--pool", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("--pool must be >= 1"));
+        let args: Vec<String> = ["serve", "--graph", "path:8", "--engine", "quantum"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).unwrap_err().contains("unknown engine"));
+    }
+
+    #[test]
+    fn render_outputs_is_canonical() {
+        let entries = vec![
+            (0u64, vec![Some(vec![0xab, 0x01]), None]),
+            (1u64, vec![None, Some(vec![])]),
+        ];
+        assert_eq!(
+            render_outputs(&entries),
+            "job=0 node=0 out=ab01\njob=0 node=1 out=-\n\
+             job=1 node=0 out=-\njob=1 node=1 out=\n"
+        );
     }
 
     #[test]
